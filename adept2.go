@@ -1,0 +1,207 @@
+// Package adept2 is a Go implementation of ADEPT2, the adaptive process
+// management system of Reichert, Rinderle, Kreher, and Dadam (ICDE 2005):
+// a process engine whose instances can be changed ad hoc at runtime and
+// migrated — correctness-preserving and on the fly — to evolved schema
+// versions.
+//
+// The package is a facade over the subsystem packages in internal/: the
+// block-structured process meta model and builder, the buildtime verifier
+// (deadlock-causing cycles, data flow), the execution engine with
+// worklists and an org model, the change framework with per-operation
+// compliance conditions, the replay-based compliance criterion, the
+// migration manager, and the hybrid substitution-block storage for biased
+// instances.
+//
+// Quick start:
+//
+//	b := adept2.NewBuilder("order")
+//	frag := b.Seq(b.Activity("a", "A", adept2.WithRole("clerk")),
+//	              b.Activity("c", "C", adept2.WithRole("clerk")))
+//	schema, _ := b.Build(frag)
+//
+//	sys := adept2.New()
+//	_ = sys.Org().AddUser(&adept2.User{ID: "ann", Roles: []string{"clerk"}})
+//	_ = sys.Deploy(schema)
+//	inst, _ := sys.CreateInstance("order")
+//	_ = sys.Complete(inst.ID(), "a", "ann", nil)
+package adept2
+
+import (
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/model"
+	"adept2/internal/monitor"
+	"adept2/internal/org"
+	"adept2/internal/storage"
+	"adept2/internal/worklist"
+)
+
+// Model layer.
+type (
+	// Schema is a buildtime process schema (a WSM net).
+	Schema = model.Schema
+	// SchemaView is the read-only schema interface shared by plain schemas
+	// and biased-instance overlays.
+	SchemaView = model.SchemaView
+	// Builder assembles block-structured schemas from fragments.
+	Builder = model.Builder
+	// Fragment is a single-entry single-exit region under construction.
+	Fragment = model.Fragment
+	// Node is a schema node.
+	Node = model.Node
+	// NodeType enumerates node kinds.
+	NodeType = model.NodeType
+	// Edge connects schema nodes.
+	Edge = model.Edge
+	// DataElement is a typed process variable.
+	DataElement = model.DataElement
+	// DataEdge connects activity parameters to data elements.
+	DataEdge = model.DataEdge
+	// NodeOption customizes nodes created through the builder.
+	NodeOption = model.NodeOption
+)
+
+// Node and data constants re-exported for builder call sites.
+const (
+	NodeActivity  = model.NodeActivity
+	NodeStart     = model.NodeStart
+	NodeEnd       = model.NodeEnd
+	NodeANDSplit  = model.NodeANDSplit
+	NodeANDJoin   = model.NodeANDJoin
+	NodeXORSplit  = model.NodeXORSplit
+	NodeXORJoin   = model.NodeXORJoin
+	NodeLoopStart = model.NodeLoopStart
+	NodeLoopEnd   = model.NodeLoopEnd
+
+	TypeString = model.TypeString
+	TypeInt    = model.TypeInt
+	TypeBool   = model.TypeBool
+	TypeFloat  = model.TypeFloat
+)
+
+// Builder entry points.
+var (
+	// NewBuilder creates a builder for version 1 of a process type.
+	NewBuilder = model.NewBuilder
+	// NewVersionBuilder creates a builder for an explicit version.
+	NewVersionBuilder = model.NewVersionBuilder
+	// WithRole assigns a staff role to an activity.
+	WithRole = model.WithRole
+	// WithTemplate names the reusable activity template.
+	WithTemplate = model.WithTemplate
+	// WithAuto marks a node as automatically executed.
+	WithAuto = model.WithAuto
+	// WithDuration attaches a nominal duration hint.
+	WithDuration = model.WithDuration
+	// WithDecisionElement wires an automatic decision gateway to a data
+	// element.
+	WithDecisionElement = model.WithDecisionElement
+	// WithMaxIterations bounds a loop.
+	WithMaxIterations = model.WithMaxIterations
+)
+
+// Runtime layer.
+type (
+	// Engine is the process runtime.
+	Engine = engine.Engine
+	// Instance is one running process instance.
+	Instance = engine.Instance
+	// CompleteOption customizes activity completion.
+	CompleteOption = engine.CompleteOption
+	// WorkItem is one unit of offered work.
+	WorkItem = worklist.Item
+	// OrgModel registers users and roles.
+	OrgModel = org.Model
+	// User is an organizational agent.
+	User = org.User
+	// StorageStrategy selects the biased-instance representation.
+	StorageStrategy = storage.Strategy
+)
+
+// Completion options and storage strategies.
+var (
+	// WithDecision supplies an XOR routing decision.
+	WithDecision = engine.WithDecision
+	// WithLoopAgain supplies a loop iteration decision.
+	WithLoopAgain = engine.WithLoopAgain
+)
+
+// Storage strategies for biased instances (paper Fig. 2).
+const (
+	StorageHybrid   = storage.Hybrid
+	StorageFullCopy = storage.FullCopy
+	StorageOnTheFly = storage.OnTheFly
+)
+
+// Change framework.
+type (
+	// Operation is one ADEPT2 change operation.
+	Operation = change.Operation
+	// SerialInsert inserts an activity between two neighbors.
+	SerialInsert = change.SerialInsert
+	// ParallelInsert inserts an activity parallel to a region.
+	ParallelInsert = change.ParallelInsert
+	// ConditionalInsert inserts an activity guarded by a condition.
+	ConditionalInsert = change.ConditionalInsert
+	// DeleteActivity removes an activity.
+	DeleteActivity = change.DeleteActivity
+	// MoveActivity shifts an activity to a new position.
+	MoveActivity = change.MoveActivity
+	// InsertSyncEdge adds a cross-branch ordering constraint.
+	InsertSyncEdge = change.InsertSyncEdge
+	// DeleteSyncEdge removes a sync edge.
+	DeleteSyncEdge = change.DeleteSyncEdge
+	// UpdateStaffAssignment changes the role of an activity.
+	UpdateStaffAssignment = change.UpdateStaffAssignment
+	// AddDataElement declares a new data element.
+	AddDataElement = change.AddDataElement
+	// AddDataEdge connects a parameter to a data element.
+	AddDataEdge = change.AddDataEdge
+	// DeleteDataEdge removes a data edge.
+	DeleteDataEdge = change.DeleteDataEdge
+)
+
+// Evolution layer.
+type (
+	// MigrationReport summarizes one schema evolution (paper Fig. 3).
+	MigrationReport = evolution.Report
+	// InstanceResult is one row of a migration report.
+	InstanceResult = evolution.InstanceResult
+	// Outcome classifies a migration result.
+	Outcome = evolution.Outcome
+	// EvolveOptions tunes a migration run.
+	EvolveOptions = evolution.Options
+	// CheckMode selects fast conditions vs. history replay.
+	CheckMode = evolution.CheckMode
+	// AdaptMode selects the state adaptation procedure.
+	AdaptMode = evolution.AdaptMode
+)
+
+// Migration outcome and mode constants.
+const (
+	Migrated           = evolution.Migrated
+	AlreadyFinished    = evolution.AlreadyFinished
+	StateConflict      = evolution.StateConflict
+	StructuralConflict = evolution.StructuralConflict
+	SemanticConflict   = evolution.SemanticConflict
+	MigrationFailed    = evolution.Failed
+
+	FastCheck   = evolution.FastCheck
+	ReplayCheck = evolution.ReplayCheck
+
+	AdaptIncremental = evolution.AdaptIncremental
+	AdaptReplay      = evolution.AdaptReplay
+)
+
+// Monitoring helpers.
+var (
+	// RenderSchema renders a schema as text.
+	RenderSchema = monitor.RenderSchema
+	// RenderInstance renders an instance marking as text.
+	RenderInstance = monitor.RenderInstance
+	// FormatReport renders a migration report (Fig. 3 style).
+	FormatReport = monitor.FormatReport
+	// SummarizeWorklists renders all user worklists.
+	SummarizeWorklists = monitor.SummarizeWorklists
+)

@@ -1,0 +1,336 @@
+// Benchmarks regenerating the evaluation artifacts of the ADEPT2 paper
+// (one family per figure, plus the ablations indexed in EXPERIMENTS.md).
+// cmd/adeptbench produces the same results as human-readable tables.
+package adept2_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/compliance"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/graph"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/sim"
+	"adept2/internal/storage"
+	"adept2/internal/verify"
+)
+
+// --- Fig. 1 / E1: compliance decision cost -------------------------------
+
+// benchLoopInstance prepares a loop-process instance with the given number
+// of completed loop iterations (history length grows linearly).
+func benchLoopInstance(b *testing.B, iterations int) (*engine.Engine, *engine.Instance) {
+	b.Helper()
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.LoopProcess()); err != nil {
+		b.Fatal(err)
+	}
+	inst, err := e.CreateInstance("loopy", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.DriveLoopIterations(e, inst, iterations); err != nil {
+		b.Fatal(err)
+	}
+	return e, inst
+}
+
+// BenchmarkFig1ComplianceFast measures the per-operation fast compliance
+// conditions; the cost must stay flat as the history grows.
+func BenchmarkFig1ComplianceFast(b *testing.B) {
+	ops := sim.LoopProcessTypeChange()
+	for _, iters := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			_, inst := benchLoopInstance(b, iters)
+			ctx := &change.Context{
+				View:    inst.View(),
+				Marking: inst.MarkingSnapshot(),
+				Stats:   inst.StatsSnapshot(),
+				Store:   inst.DataSnapshot(),
+			}
+			b.ReportMetric(float64(len(inst.HistoryEvents())), "history-events")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := compliance.CheckFast(ctx, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1ComplianceReplay measures the ground-truth replay checker;
+// its cost grows with the history length.
+func BenchmarkFig1ComplianceReplay(b *testing.B) {
+	ops := sim.LoopProcessTypeChange()
+	target := sim.LoopProcess()
+	for _, op := range ops {
+		if err := op.ApplyTo(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+	targetInfo, err := graph.Analyze(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseInfo, err := graph.Analyze(sim.LoopProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, iters := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			_, inst := benchLoopInstance(b, iters)
+			events := inst.HistoryEvents()
+			b.ReportMetric(float64(len(events)), "history-events")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reduced := history.Reduce(baseInfo, events)
+				if _, err := compliance.Replay(target, targetInfo, reduced); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 2 / E2: biased-instance representation -------------------------
+
+// BenchmarkFig2ViewAccess measures the schema-access cost per strategy
+// (the read path every engine operation takes) and reports the bias
+// memory per biased instance.
+func BenchmarkFig2ViewAccess(b *testing.B) {
+	for _, strat := range storage.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			e := engine.New(sim.Org())
+			if err := e.Deploy(sim.OnlineOrder()); err != nil {
+				b.Fatal(err)
+			}
+			e.SetStorageStrategy(strat)
+			inst, err := e.CreateInstance("online_order", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := change.ApplyAdHoc(inst, sim.OnlineOrderBiasI2()...); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(inst.Footprint().BiasBytes), "bias-bytes")
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				v := inst.View()
+				sink += len(v.NodeIDs())
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFig2BiasMemory reports the aggregate memory of a population per
+// strategy (bytes/op is meaningless here; the custom metrics carry the
+// result).
+func BenchmarkFig2BiasMemory(b *testing.B) {
+	for _, strat := range storage.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := engine.New(sim.Org())
+				if err := e.Deploy(sim.OnlineOrder()); err != nil {
+					b.Fatal(err)
+				}
+				e.SetStorageStrategy(strat)
+				rng := rand.New(rand.NewSource(1))
+				insts, err := sim.BuildPopulation(e, rng, sim.DefaultPopulationOpts(500))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var biasBytes, biased float64
+				for _, inst := range insts {
+					if inst.Biased() {
+						biased++
+						biasBytes += float64(inst.Footprint().BiasBytes)
+					}
+				}
+				if biased > 0 {
+					b.ReportMetric(biasBytes/biased, "bias-bytes/biased-inst")
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 3 / E3: population migration -----------------------------------
+
+// BenchmarkFig3Migration migrates a freshly built population per
+// iteration; us/instance is the headline number ("thousands of instances
+// on the fly").
+func BenchmarkFig3Migration(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		for _, mode := range []evolution.CheckMode{evolution.FastCheck, evolution.ReplayCheck} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e := engine.New(sim.Org())
+					if err := e.Deploy(sim.OnlineOrder()); err != nil {
+						b.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(1))
+					if _, err := sim.BuildPopulation(e, rng, sim.DefaultPopulationOpts(n)); err != nil {
+						b.Fatal(err)
+					}
+					mgr := evolution.NewManager(e)
+					b.StartTimer()
+					report, err := mgr.Evolve("online_order", sim.OnlineOrderTypeChange(), evolution.Options{Mode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(report.Elapsed.Microseconds())/float64(report.Total()), "us/instance")
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// --- E4: buildtime verification -------------------------------------------
+
+// BenchmarkVerify measures the full buildtime check suite across schema
+// sizes.
+func BenchmarkVerify(b *testing.B) {
+	for _, depth := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(7))
+		opts := sim.DefaultSchemaOpts()
+		opts.MaxDepth = depth
+		opts.MaxSeq = 5
+		s := sim.RandomSchema(rng, fmt.Sprintf("bench%d", depth), opts)
+		b.Run(fmt.Sprintf("nodes=%d", s.NumNodes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := verify.Check(s); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+	}
+}
+
+// --- E5: ad-hoc change latency --------------------------------------------
+
+// BenchmarkAdHocChange measures the full atomic ad-hoc change round trip
+// (trial application + verification + state conditions + commit +
+// adaptation) per storage strategy.
+func BenchmarkAdHocChange(b *testing.B) {
+	for _, strat := range storage.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			e := engine.New(sim.Org())
+			if err := e.Deploy(sim.OnlineOrder()); err != nil {
+				b.Fatal(err)
+			}
+			e.SetStorageStrategy(strat)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst, err := e.CreateInstance("online_order", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				op := &change.SerialInsert{
+					Node: &model.Node{ID: fmt.Sprintf("x%d", i), Type: model.NodeActivity, Role: "sales", Template: "x"},
+					Pred: "collect_data",
+					Succ: "confirm_order",
+				}
+				b.StartTimer()
+				if err := change.ApplyAdHoc(inst, op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: state adaptation ablation ----------------------------------------
+
+// BenchmarkStateAdaptation compares the incremental marking adaptation
+// with full history replay during migration.
+func BenchmarkStateAdaptation(b *testing.B) {
+	for _, adapt := range []evolution.AdaptMode{evolution.AdaptIncremental, evolution.AdaptReplay} {
+		b.Run(adapt.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := engine.New(sim.Org())
+				if err := e.Deploy(sim.OnlineOrder()); err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(1))
+				if _, err := sim.BuildPopulation(e, rng, sim.DefaultPopulationOpts(500)); err != nil {
+					b.Fatal(err)
+				}
+				mgr := evolution.NewManager(e)
+				b.StartTimer()
+				if _, err := mgr.Evolve("online_order", sim.OnlineOrderTypeChange(), evolution.Options{Adapt: adapt}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: biased migration across representations ---------------------------
+
+// BenchmarkBiasedMigration isolates migration of biased instances: the
+// bias must be structurally re-checked and re-applied, which stresses the
+// representation differently per strategy.
+func BenchmarkBiasedMigration(b *testing.B) {
+	for _, strat := range storage.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := engine.New(sim.Org())
+				if err := e.Deploy(sim.OnlineOrder()); err != nil {
+					b.Fatal(err)
+				}
+				e.SetStorageStrategy(strat)
+				rng := rand.New(rand.NewSource(1))
+				opts := sim.DefaultPopulationOpts(300)
+				opts.BiasedFrac = 1.0
+				opts.ConflictingBiasFrac = 0.5
+				if _, err := sim.BuildPopulation(e, rng, opts); err != nil {
+					b.Fatal(err)
+				}
+				mgr := evolution.NewManager(e)
+				b.StartTimer()
+				if _, err := mgr.Evolve("online_order", sim.OnlineOrderTypeChange(), evolution.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: engine throughput baseline ----------------------------------------
+
+// BenchmarkEngineComplete measures the plain user-operation path; the
+// concurrent-migration variant of E8 (wall-clock interference) lives in
+// cmd/adeptbench -experiment concurrent.
+func BenchmarkEngineComplete(b *testing.B) {
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		b.Fatal(err)
+	}
+	insts := make([]*engine.Instance, b.N)
+	for i := range insts {
+		inst, err := e.CreateInstance("online_order", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.CompleteActivity(insts[i].ID(), "get_order", "ann", map[string]any{"out": "o"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

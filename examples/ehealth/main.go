@@ -1,0 +1,127 @@
+// Command ehealth models the e-health scenario the paper's prototype was
+// deployed for: a cyclic treatment process where exceptional situations
+// demand ad-hoc deviations per patient — an extra lab test inserted for
+// one patient, a skipped examination for another — without losing the
+// system's correctness guarantees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adept2"
+)
+
+func buildTreatment() *adept2.Schema {
+	b := adept2.NewBuilder("treatment")
+	b.DataElement("diagnosis", adept2.TypeString)
+	b.DataElement("cured", adept2.TypeBool)
+
+	admit := b.Activity("admit", "Admit Patient", adept2.WithRole("nurse"))
+	anamnesis := b.Activity("anamnesis", "Anamnesis", adept2.WithRole("physician"))
+	b.Write("anamnesis", "diagnosis", "diagnosis")
+
+	// Treatment cycle: examine and treat run against lab work in
+	// parallel; the physician decides after each round whether to repeat.
+	examine := b.Activity("examine", "Examine", adept2.WithRole("physician"))
+	b.Read("examine", "diagnosis", "diagnosis", true)
+	treat := b.Activity("treat", "Treat", adept2.WithRole("physician"))
+	lab := b.Activity("lab_basic", "Basic Lab Panel", adept2.WithRole("lab"))
+	round := b.Parallel(b.Seq(examine, treat), lab)
+	evaluate := b.Activity("evaluate", "Evaluate Round", adept2.WithRole("physician"))
+	b.Write("evaluate", "cured", "cured")
+	cycle := b.Loop(b.Seq(round, evaluate), "", 10)
+
+	discharge := b.Activity("discharge", "Discharge", adept2.WithRole("nurse"))
+	s, err := b.Build(b.Seq(admit, anamnesis, cycle, discharge))
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loopEndOf(s *adept2.Schema) string {
+	for _, n := range s.Nodes() {
+		if n.Type == adept2.NodeLoopEnd {
+			return n.ID
+		}
+	}
+	log.Fatal("no loop end")
+	return ""
+}
+
+func main() {
+	schema := buildTreatment()
+	loopEnd := loopEndOf(schema)
+
+	sys := adept2.New()
+	for _, u := range []*adept2.User{
+		{ID: "nina", Roles: []string{"nurse"}},
+		{ID: "dr_may", Roles: []string{"physician"}},
+		{ID: "lu", Roles: []string{"lab"}},
+	} {
+		must(sys.AddUser(u))
+	}
+	must(sys.Deploy(schema))
+
+	// Patient A follows the standard process for one round.
+	pa, err := sys.CreateInstance("treatment")
+	must(err)
+	must(sys.Complete(pa.ID(), "admit", "nina", nil))
+	must(sys.Complete(pa.ID(), "anamnesis", "dr_may", map[string]any{"diagnosis": "pneumonia"}))
+
+	// Exceptional situation: patient A additionally needs an MRT scan in
+	// parallel with this round's basic lab panel — an ad-hoc deviation for
+	// this single instance.
+	must(sys.AdHocChange(pa.ID(), &adept2.ParallelInsert{
+		Node: &adept2.Node{ID: "mrt_scan", Name: "MRT Scan", Type: adept2.NodeActivity, Role: "lab", Template: "mrt"},
+		From: "lab_basic",
+		To:   "lab_basic",
+	}))
+	fmt.Println("patient A deviates from the template:")
+	fmt.Print(adept2.RenderInstance(pa))
+
+	// The round proceeds, including the extra scan.
+	must(sys.Complete(pa.ID(), "examine", "dr_may", nil))
+	must(sys.Complete(pa.ID(), "treat", "dr_may", nil))
+	must(sys.Complete(pa.ID(), "lab_basic", "lu", nil))
+	must(sys.Complete(pa.ID(), "mrt_scan", "lu", nil))
+	must(sys.Complete(pa.ID(), "evaluate", "dr_may", map[string]any{"cured": false}))
+	// Not cured: iterate the treatment cycle once more.
+	must(sys.CompleteLoop(pa.ID(), loopEnd, "", nil, true))
+	fmt.Printf("\npatient A entered round 2 (loop iterations: %d)\n", pa.LoopIterations(loopEnd))
+	must(sys.Complete(pa.ID(), "examine", "dr_may", nil))
+	must(sys.Complete(pa.ID(), "treat", "dr_may", nil))
+	must(sys.Complete(pa.ID(), "lab_basic", "lu", nil))
+	must(sys.Complete(pa.ID(), "mrt_scan", "lu", nil))
+	must(sys.Complete(pa.ID(), "evaluate", "dr_may", map[string]any{"cured": true}))
+	must(sys.CompleteLoop(pa.ID(), loopEnd, "", nil, false))
+	must(sys.Complete(pa.ID(), "discharge", "nina", nil))
+	fmt.Printf("patient A discharged: %v\n\n", pa.Done())
+
+	// Patient B: the basic lab panel is not medically indicated; the
+	// physician deletes it for this instance. The engine checks that no
+	// data dependency breaks.
+	pb, err := sys.CreateInstance("treatment")
+	must(err)
+	must(sys.Complete(pb.ID(), "admit", "nina", nil))
+	must(sys.Complete(pb.ID(), "anamnesis", "dr_may", map[string]any{"diagnosis": "sprain"}))
+	must(sys.AdHocChange(pb.ID(), &adept2.DeleteActivity{ID: "lab_basic"}))
+	fmt.Println("patient B skips the lab panel:")
+	fmt.Print(adept2.RenderInstance(pb))
+
+	// Attempting to delete an already-started activity is rejected — the
+	// guarantee that makes ad-hoc changes safe.
+	must(sys.Start(pb.ID(), "examine", "dr_may"))
+	if err := sys.AdHocChange(pb.ID(), &adept2.DeleteActivity{ID: "examine"}); err != nil {
+		fmt.Printf("\nrejected as expected: %v\n", err)
+	} else {
+		log.Fatal("deleting a running activity must be rejected")
+	}
+}

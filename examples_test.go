@@ -1,0 +1,39 @@
+package adept2_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end; the examples
+// double as integration tests of the public API.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string // substrings the output must contain
+	}{
+		{"quickstart", []string{"ann's worklist", "biased=true", "instance done: true"}},
+		{"onlineorder", []string{"migrated", "structural-conflict", "state-conflict", "all done: I1=true (v2), I2=true (v1), I3=true (v1)"}},
+		{"ehealth", []string{"patient A discharged: true", "rejected as expected"}},
+		{"container", []string{"3 on V2", "recovered from journal"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package change
+
+import (
+	"fmt"
+
+	"adept2/internal/engine"
+	"adept2/internal/verify"
+)
+
+// StructuralError describes a structural conflict: the changed schema
+// would violate the buildtime guarantees (e.g. a deadlock-causing cycle).
+type StructuralError struct {
+	Reason string
+}
+
+func (e *StructuralError) Error() string {
+	return "change: structural conflict: " + e.Reason
+}
+
+// ApplyAdHoc performs an ad-hoc change of a single running instance — the
+// paper's first change dimension. The change is atomic: operations are
+// applied to a trial materialization first, the full buildtime verifier
+// runs on the result, and the per-operation state conditions are checked
+// against the instance; only if everything holds is the bias committed to
+// the instance's storage representation and the marking adapted. On any
+// failure the instance is untouched.
+func ApplyAdHoc(inst *engine.Instance, ops ...Operation) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("change: ad-hoc change without operations")
+	}
+	return inst.Mutate(func(mx *engine.Mutable) error {
+		if mx.Done() {
+			return fmt.Errorf("change: instance %s already completed", inst.ID())
+		}
+		// 1. Trial application on a scratch copy.
+		trial, err := mx.TrialSchema()
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := op.ApplyTo(trial); err != nil {
+				return err
+			}
+		}
+		// 2. The changed schema must satisfy every buildtime guarantee.
+		if res := verify.Check(trial); !res.OK() {
+			return &StructuralError{Reason: res.Err().Error()}
+		}
+		// 3. State conditions against the live instance.
+		view, err := mx.View()
+		if err != nil {
+			return err
+		}
+		ctx := &Context{View: view, Marking: mx.Marking(), Stats: mx.Stats(), Store: mx.Store()}
+		for _, op := range ops {
+			if err := op.FastCompliance(ctx); err != nil {
+				return err
+			}
+		}
+		// 4. Commit to the persistent representation.
+		if target := mx.PersistentTarget(); target != nil {
+			for _, op := range ops {
+				if err := op.ApplyTo(target); err != nil {
+					// The trial succeeded, so this indicates corruption.
+					return fmt.Errorf("change: commit failed after successful trial: %w", err)
+				}
+			}
+		}
+		biasOps := make([]engine.BiasOp, len(ops))
+		for i, op := range ops {
+			biasOps[i] = op
+		}
+		if err := mx.CommitBias(biasOps...); err != nil {
+			return err
+		}
+		// 5. Automatic state adaptation.
+		_, err = mx.AdaptState()
+		return err
+	})
+}
+
+// AsOperations converts recorded engine bias ops back to change
+// operations. It fails if a foreign BiasOp implementation sneaked in.
+func AsOperations(biasOps []engine.BiasOp) ([]Operation, error) {
+	ops := make([]Operation, len(biasOps))
+	for i, b := range biasOps {
+		op, ok := b.(Operation)
+		if !ok {
+			return nil, fmt.Errorf("change: bias op %T is not a change operation", b)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}

@@ -1,0 +1,89 @@
+// Package change implements the ADEPT2 change framework: the complete set
+// of high-level change operations (insert, delete, and move activities;
+// insert and delete sync edges; data-flow changes), each with
+//
+//   - a structural precondition (Precheck) evaluated on the schema,
+//   - an application procedure (ApplyTo) usable on plain schemas and on
+//     biased-instance overlays alike, and
+//   - a *fast compliance condition* (FastCompliance) — the per-operation
+//     state condition of Fig. 1 of the paper that decides in O(1) whether
+//     a running instance may adopt the change, without replaying its
+//     execution history.
+//
+// The fast conditions are exact with respect to the replay-based
+// compliance criterion in internal/compliance; the property-based tests in
+// that package verify the equivalence on randomized workloads.
+package change
+
+import (
+	"fmt"
+
+	"adept2/internal/data"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/state"
+)
+
+// Context carries the instance facets a fast compliance condition
+// consults: the current schema view, the marking, the per-node execution
+// index, and the data store. All reads are O(1) per queried node.
+type Context struct {
+	View    model.SchemaView
+	Marking *state.Marking
+	Stats   history.Stats
+	Store   *data.Store
+}
+
+// started reports whether the node entered execution in the current loop
+// iteration.
+func (c *Context) started(node string) bool { return c.Stats.Started(node) }
+
+// ComplianceError describes a state-related conflict: the instance has
+// progressed beyond the point the operation touches.
+type ComplianceError struct {
+	Op     string
+	Reason string
+}
+
+func (e *ComplianceError) Error() string {
+	return fmt.Sprintf("change: %s: state conflict: %s", e.Op, e.Reason)
+}
+
+func stateConflict(op, format string, args ...any) error {
+	return &ComplianceError{Op: op, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Operation is one ADEPT2 change operation. Operations implement
+// engine.BiasOp, so recorded instance biases can be re-applied by the
+// engine when materializing on-the-fly views and re-based onto new schema
+// versions during migration.
+type Operation interface {
+	// OpName identifies the operation kind (stable, used in JSON).
+	OpName() string
+	// Precheck validates structural preconditions against a view.
+	Precheck(v model.SchemaView) error
+	// ApplyTo applies the operation to a mutable view. The caller is
+	// responsible for running the verifier on the result (the framework
+	// helpers in this package do).
+	ApplyTo(v model.MutableView) error
+	// FastCompliance evaluates the operation's state condition against a
+	// running instance. nil means the instance can adopt the change.
+	FastCompliance(ctx *Context) error
+	// InsertedTemplate returns the activity template the operation inserts
+	// ("" for non-inserting operations); semantical conflict detection
+	// compares these across concurrent changes.
+	InsertedTemplate() string
+	// String renders the operation for reports.
+	String() string
+}
+
+// InsertedTemplates collects the activity templates inserted by a change.
+func InsertedTemplates(ops []Operation) map[string]bool {
+	out := make(map[string]bool)
+	for _, op := range ops {
+		if t := op.InsertedTemplate(); t != "" {
+			out[t] = true
+		}
+	}
+	return out
+}

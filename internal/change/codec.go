@@ -1,0 +1,75 @@
+package change
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// envelope is the serialized form of one operation.
+type envelope struct {
+	Op   string          `json:"op"`
+	Args json.RawMessage `json:"args"`
+}
+
+// MarshalOps serializes operations for persistence (WAL records, change
+// logs).
+func MarshalOps(ops []Operation) ([]byte, error) {
+	envs := make([]envelope, len(ops))
+	for i, op := range ops {
+		args, err := json.Marshal(op)
+		if err != nil {
+			return nil, fmt.Errorf("change: marshal %s: %w", op.OpName(), err)
+		}
+		envs[i] = envelope{Op: op.OpName(), Args: args}
+	}
+	return json.Marshal(envs)
+}
+
+// UnmarshalOps deserializes operations produced by MarshalOps.
+func UnmarshalOps(b []byte) ([]Operation, error) {
+	var envs []envelope
+	if err := json.Unmarshal(b, &envs); err != nil {
+		return nil, fmt.Errorf("change: unmarshal ops: %w", err)
+	}
+	ops := make([]Operation, len(envs))
+	for i, env := range envs {
+		op, err := newOp(env.Op)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(env.Args, op); err != nil {
+			return nil, fmt.Errorf("change: unmarshal %s: %w", env.Op, err)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+func newOp(name string) (Operation, error) {
+	switch name {
+	case "serial-insert":
+		return &SerialInsert{}, nil
+	case "parallel-insert":
+		return &ParallelInsert{}, nil
+	case "conditional-insert":
+		return &ConditionalInsert{}, nil
+	case "delete-activity":
+		return &DeleteActivity{}, nil
+	case "move-activity":
+		return &MoveActivity{}, nil
+	case "insert-sync-edge":
+		return &InsertSyncEdge{}, nil
+	case "delete-sync-edge":
+		return &DeleteSyncEdge{}, nil
+	case "update-staff-assignment":
+		return &UpdateStaffAssignment{}, nil
+	case "add-data-element":
+		return &AddDataElement{}, nil
+	case "add-data-edge":
+		return &AddDataEdge{}, nil
+	case "delete-data-edge":
+		return &DeleteDataEdge{}, nil
+	default:
+		return nil, fmt.Errorf("change: unknown operation %q", name)
+	}
+}

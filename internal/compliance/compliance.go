@@ -1,0 +1,243 @@
+// Package compliance implements the ADEPT2 compliance criterion for
+// dynamic process changes: a running instance may adopt a changed schema
+// iff its loop-reduced execution history could have been produced on that
+// schema (relaxed trace equivalence — entries for newly inserted automatic
+// nodes may be interleaved, entries of deleted nodes must not exist).
+//
+// Replay is the ground-truth checker: it re-executes the reduced history
+// on the target schema view event by event. The fast path — the
+// per-operation conditions of Fig. 1, implemented on each operation in
+// internal/change — answers the same question in O(affected nodes) using
+// the instance's marking and execution index; CheckFast evaluates it.
+// Property-based tests assert that both paths agree.
+package compliance
+
+import (
+	"fmt"
+
+	"adept2/internal/change"
+	"adept2/internal/data"
+	"adept2/internal/graph"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/state"
+)
+
+// Error reports why a history is not replayable on a schema view.
+type Error struct {
+	// Event is the first history event that could not be reproduced (nil
+	// when the failure is not event-specific).
+	Event *history.Event
+	// Reason explains the failure.
+	Reason string
+}
+
+func (e *Error) Error() string {
+	if e.Event != nil {
+		return fmt.Sprintf("compliance: event %s: %s", e.Event, e.Reason)
+	}
+	return "compliance: " + e.Reason
+}
+
+// ReplayResult carries the state reconstructed by a successful replay.
+type ReplayResult struct {
+	// Marking is the instance marking after replaying the full history on
+	// the target view — i.e. the adapted state a migrated instance
+	// receives.
+	Marking *state.Marking
+	// Store holds the data versions reconstructed from the history.
+	Store *data.Store
+	// VirtualFirings counts how many newly inserted automatic nodes had to
+	// be interleaved (a measure of how much the change affected the
+	// already-passed region).
+	VirtualFirings int
+}
+
+// Replay checks whether the (reduced) history is reproducible on the
+// target view and reconstructs the resulting state. info must be the block
+// analysis of the target view.
+//
+// Newly inserted automatic nodes (no event in the history, auto-executable
+// per model.Node.CanAutoExecute) are fired virtually whenever a recorded
+// event is blocked on them — the "relaxed" part of the trace equivalence.
+// Newly inserted manual activities are never fired virtually: if a
+// recorded event depends on one, the instance is not compliant.
+func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*ReplayResult, error) {
+	m := state.NewMarking()
+	m.Init(view)
+	store := data.NewStore()
+
+	inHistory := make(map[string]bool, len(events))
+	for _, e := range events {
+		inHistory[e.Node] = true
+	}
+
+	res := &ReplayResult{Marking: m, Store: store}
+	state.Evaluate(view, m, 0)
+
+	for _, e := range events {
+		n, ok := view.Node(e.Node)
+		if !ok {
+			return nil, &Error{Event: e, Reason: "node no longer exists in the target schema"}
+		}
+		switch e.Kind {
+		case history.Started:
+			for m.Node(e.Node) != state.Activated {
+				if !fireVirtual(view, info, m, store, inHistory, e.Seq, res) {
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s and cannot become activated", m.Node(e.Node))}
+				}
+				state.Evaluate(view, m, e.Seq)
+			}
+			// Mandatory inputs must have been available.
+			for _, de := range view.DataEdgesOf(e.Node) {
+				if de.Access == model.Read && de.Mandatory && !store.Has(de.Element) {
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("mandatory input element %q had no value", de.Element)}
+				}
+			}
+			if err := m.Start(e.Node); err != nil {
+				return nil, &Error{Event: e, Reason: err.Error()}
+			}
+		case history.Completed:
+			if m.Node(e.Node) != state.Running {
+				return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s, not running", m.Node(e.Node))}
+			}
+			// The recorded routing decision must still be possible.
+			if n.Type == model.NodeXORSplit {
+				found := false
+				for _, edge := range model.OutControlEdges(view, e.Node) {
+					if edge.Code == e.Decision {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("selected branch (code %d) no longer exists", e.Decision)}
+				}
+			}
+			// Outputs must exactly cover the write edges of the target
+			// schema.
+			for _, de := range view.DataEdgesOf(e.Node) {
+				if de.Access != model.Write {
+					continue
+				}
+				if _, ok := e.Writes[de.Element]; !ok {
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("completion wrote no value for element %q required by the target schema", de.Element)}
+				}
+			}
+			for elem, val := range e.Writes {
+				if !writesElement(view, e.Node, elem) {
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("recorded write of element %q has no data edge in the target schema", elem)}
+				}
+				store.Write(elem, val, e.Node, e.Seq)
+			}
+			if n.Type == model.NodeLoopEnd && e.Again {
+				blk, ok := info.ByJoin(e.Node)
+				if !ok {
+					return nil, &Error{Event: e, Reason: "loop end has no loop block in the target schema"}
+				}
+				state.ResetLoop(view, m, blk.Region())
+			} else {
+				if err := m.Complete(view, e.Node, e.Decision); err != nil {
+					return nil, &Error{Event: e, Reason: err.Error()}
+				}
+			}
+		}
+		state.Evaluate(view, m, e.Seq)
+	}
+	return res, nil
+}
+
+// fireVirtual starts and completes one newly inserted automatic node, in
+// deterministic schema order. It returns false when no such node is
+// enabled.
+func fireVirtual(view model.SchemaView, info *graph.Info, m *state.Marking, store *data.Store, inHistory map[string]bool, seq int, res *ReplayResult) bool {
+	for _, id := range view.NodeIDs() {
+		if m.Node(id) != state.Activated || inHistory[id] {
+			continue
+		}
+		n, _ := view.Node(id)
+		if !n.CanAutoExecute() {
+			continue
+		}
+		if err := m.Start(id); err != nil {
+			continue
+		}
+		decision := -1
+		if n.Type == model.NodeXORSplit {
+			decision = virtualDecision(view, store, n)
+		}
+		// Virtual completions zero-fill their write edges, mirroring the
+		// engine's automatic execution.
+		for _, de := range view.DataEdgesOf(id) {
+			if de.Access != model.Write {
+				continue
+			}
+			if elem, ok := view.DataElement(de.Element); ok {
+				store.Write(de.Element, elem.Type.ZeroValue(), id, seq)
+			}
+		}
+		if n.Type == model.NodeLoopEnd {
+			// Virtual loops never iterate during replay.
+			if err := m.Complete(view, id, -1); err != nil {
+				continue
+			}
+		} else if err := m.Complete(view, id, decision); err != nil {
+			continue
+		}
+		res.VirtualFirings++
+		return true
+	}
+	_ = info
+	return false
+}
+
+// virtualDecision resolves an XOR decision for a virtually fired split:
+// the decision element's current value, clamped to the lowest existing
+// code — identical to the engine's clamping rule.
+func virtualDecision(view model.SchemaView, store *data.Store, n *model.Node) int {
+	outs := model.OutControlEdges(view, n.ID)
+	min := outs[0].Code
+	for _, e := range outs {
+		if e.Code < min {
+			min = e.Code
+		}
+	}
+	if n.DecisionElement == "" {
+		return min
+	}
+	val, ok := store.Read(n.DecisionElement)
+	if !ok {
+		return min
+	}
+	want, ok := data.AsInt(val)
+	if !ok {
+		return min
+	}
+	for _, e := range outs {
+		if e.Code == want {
+			return want
+		}
+	}
+	return min
+}
+
+func writesElement(v model.SchemaView, node, elem string) bool {
+	for _, de := range v.DataEdgesOf(node) {
+		if de.Access == model.Write && de.Element == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckFast evaluates the fast per-operation compliance conditions (paper
+// Fig. 1) of a change against a running instance. It returns nil when the
+// instance may adopt the change.
+func CheckFast(ctx *change.Context, ops []change.Operation) error {
+	for _, op := range ops {
+		if err := op.FastCompliance(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

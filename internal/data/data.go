@@ -1,0 +1,195 @@
+// Package data implements the ADEPT2 data manager: versioned values of
+// process data elements. Every write appends a new version tagged with the
+// writing activity and event sequence, so reads are reproducible during
+// compliance replay and the "missing data after activity deletion" problem
+// is decidable from the version history.
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"adept2/internal/model"
+)
+
+// Version is one write of a data element.
+type Version struct {
+	// Value is the written value (string, int64, bool, or float64).
+	Value any `json:"value"`
+	// Writer is the activity that wrote the value.
+	Writer string `json:"writer"`
+	// Seq is the event sequence number of the write.
+	Seq int `json:"seq"`
+}
+
+// Store holds the versions of all data elements of one instance.
+type Store struct {
+	versions map[string][]Version
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{versions: make(map[string][]Version)}
+}
+
+// Write appends a version for the element.
+func (s *Store) Write(elem string, value any, writer string, seq int) {
+	s.versions[elem] = append(s.versions[elem], Version{Value: value, Writer: writer, Seq: seq})
+}
+
+// Read returns the latest value of the element.
+func (s *Store) Read(elem string) (any, bool) {
+	vs := s.versions[elem]
+	if len(vs) == 0 {
+		return nil, false
+	}
+	return vs[len(vs)-1].Value, true
+}
+
+// ReadAt returns the value the element held just before the given event
+// sequence — the value an activity starting at seq observed. Compliance
+// replay uses it to re-check data availability.
+func (s *Store) ReadAt(elem string, seq int) (any, bool) {
+	vs := s.versions[elem]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].Seq < seq {
+			return vs[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// Has reports whether the element has at least one version.
+func (s *Store) Has(elem string) bool { return len(s.versions[elem]) > 0 }
+
+// Versions returns the full version history of the element.
+func (s *Store) Versions(elem string) []Version { return s.versions[elem] }
+
+// Elements returns all element IDs with at least one version, sorted.
+func (s *Store) Elements() []string {
+	ids := make([]string, 0, len(s.versions))
+	for id := range s.versions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DropWritesBy removes all versions written by the given activity. The
+// change framework calls it when an activity whose outputs were never
+// consumed is deleted.
+func (s *Store) DropWritesBy(writer string) {
+	for elem, vs := range s.versions {
+		kept := vs[:0]
+		for _, v := range vs {
+			if v.Writer != writer {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.versions, elem)
+		} else {
+			s.versions[elem] = kept
+		}
+	}
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for elem, vs := range s.versions {
+		c.versions[elem] = append([]Version(nil), vs...)
+	}
+	return c
+}
+
+// ApproxBytes estimates the memory held by the store.
+func (s *Store) ApproxBytes() int {
+	total := 0
+	for elem, vs := range s.versions {
+		total += len(elem) + 16
+		for _, v := range vs {
+			total += len(v.Writer) + 32
+			if str, ok := v.Value.(string); ok {
+				total += len(str)
+			}
+		}
+	}
+	return total
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Store) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.versions)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Store) UnmarshalJSON(b []byte) error {
+	m := make(map[string][]Version)
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("data: unmarshal store: %w", err)
+	}
+	// JSON numbers decode as float64; integers are re-normalized lazily by
+	// Coerce at the call sites that care about the static type.
+	s.versions = m
+	return nil
+}
+
+// Coerce converts a dynamic value to the element's declared type. It
+// accepts the native Go type, the JSON decoding of it, and (for int/float)
+// plain int values from call sites.
+func Coerce(value any, t model.DataType) (any, error) {
+	switch t {
+	case model.TypeString:
+		if v, ok := value.(string); ok {
+			return v, nil
+		}
+	case model.TypeBool:
+		if v, ok := value.(bool); ok {
+			return v, nil
+		}
+	case model.TypeInt:
+		switch v := value.(type) {
+		case int64:
+			return v, nil
+		case int:
+			return int64(v), nil
+		case float64:
+			if v == float64(int64(v)) {
+				return int64(v), nil
+			}
+		}
+	case model.TypeFloat:
+		switch v := value.(type) {
+		case float64:
+			return v, nil
+		case int:
+			return float64(v), nil
+		case int64:
+			return float64(v), nil
+		}
+	}
+	return nil, fmt.Errorf("data: value %v (%T) is not assignable to %s", value, value, t)
+}
+
+// AsInt extracts an integer decision value (XOR split routing).
+func AsInt(value any) (int, bool) {
+	switch v := value.(type) {
+	case int64:
+		return int(v), true
+	case int:
+		return v, true
+	case float64:
+		if v == float64(int64(v)) {
+			return int(v), true
+		}
+	}
+	return 0, false
+}
+
+// AsBool extracts a boolean decision value (loop repetition).
+func AsBool(value any) (bool, bool) {
+	v, ok := value.(bool)
+	return v, ok
+}

@@ -1,0 +1,141 @@
+package data
+
+import (
+	"encoding/json"
+	"testing"
+
+	"adept2/internal/model"
+)
+
+func TestStoreWriteReadVersions(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Read("d"); ok {
+		t.Fatal("read of unwritten element must fail")
+	}
+	s.Write("d", int64(1), "a", 2)
+	s.Write("d", int64(2), "b", 5)
+	v, ok := s.Read("d")
+	if !ok || v != int64(2) {
+		t.Fatalf("Read = %v, %v", v, ok)
+	}
+	if !s.Has("d") || s.Has("x") {
+		t.Fatal("Has broken")
+	}
+	if got := len(s.Versions("d")); got != 2 {
+		t.Fatalf("versions = %d", got)
+	}
+	if got := s.Elements(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("elements = %v", got)
+	}
+}
+
+func TestStoreReadAt(t *testing.T) {
+	s := NewStore()
+	s.Write("d", int64(1), "a", 2)
+	s.Write("d", int64(2), "b", 5)
+	if _, ok := s.ReadAt("d", 2); ok {
+		t.Fatal("ReadAt before first write must fail")
+	}
+	if v, ok := s.ReadAt("d", 3); !ok || v != int64(1) {
+		t.Fatalf("ReadAt(3) = %v, %v", v, ok)
+	}
+	if v, ok := s.ReadAt("d", 100); !ok || v != int64(2) {
+		t.Fatalf("ReadAt(100) = %v, %v", v, ok)
+	}
+}
+
+func TestStoreDropWritesBy(t *testing.T) {
+	s := NewStore()
+	s.Write("d", int64(1), "a", 2)
+	s.Write("d", int64(2), "b", 5)
+	s.Write("e", "x", "a", 7)
+	s.DropWritesBy("a")
+	if v, _ := s.Read("d"); v != int64(2) {
+		t.Fatal("b's write should survive")
+	}
+	if s.Has("e") {
+		t.Fatal("element with only a's writes should vanish")
+	}
+}
+
+func TestStoreCloneAndJSON(t *testing.T) {
+	s := NewStore()
+	s.Write("d", "hello", "a", 1)
+	c := s.Clone()
+	c.Write("d", "bye", "b", 2)
+	if v, _ := s.Read("d"); v != "hello" {
+		t.Fatal("clone leaked")
+	}
+	if s.ApproxBytes() == 0 {
+		t.Fatal("ApproxBytes zero")
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Store
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Read("d"); !ok || v != "hello" {
+		t.Fatalf("round trip value = %v, %v", v, ok)
+	}
+	if err := json.Unmarshal([]byte("["), &back); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		val  any
+		tp   model.DataType
+		want any
+		ok   bool
+	}{
+		{"x", model.TypeString, "x", true},
+		{1, model.TypeString, nil, false},
+		{true, model.TypeBool, true, true},
+		{"t", model.TypeBool, nil, false},
+		{int64(3), model.TypeInt, int64(3), true},
+		{3, model.TypeInt, int64(3), true},
+		{3.0, model.TypeInt, int64(3), true},
+		{3.5, model.TypeInt, nil, false},
+		{3.5, model.TypeFloat, 3.5, true},
+		{3, model.TypeFloat, 3.0, true},
+		{int64(4), model.TypeFloat, 4.0, true},
+		{"x", model.TypeFloat, nil, false},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.val, c.tp)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Coerce(%v, %s) = %v, %v; want %v", c.val, c.tp, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Coerce(%v, %s) should fail", c.val, c.tp)
+		}
+	}
+}
+
+func TestAsIntAsBool(t *testing.T) {
+	if v, ok := AsInt(int64(7)); !ok || v != 7 {
+		t.Fatal("AsInt int64")
+	}
+	if v, ok := AsInt(7); !ok || v != 7 {
+		t.Fatal("AsInt int")
+	}
+	if v, ok := AsInt(7.0); !ok || v != 7 {
+		t.Fatal("AsInt float")
+	}
+	if _, ok := AsInt(7.5); ok {
+		t.Fatal("AsInt fractional")
+	}
+	if _, ok := AsInt("7"); ok {
+		t.Fatal("AsInt string")
+	}
+	if v, ok := AsBool(true); !ok || !v {
+		t.Fatal("AsBool")
+	}
+	if _, ok := AsBool(1); ok {
+		t.Fatal("AsBool non-bool")
+	}
+}

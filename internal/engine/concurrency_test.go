@@ -1,0 +1,170 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/model"
+	"adept2/internal/sim"
+	"adept2/internal/state"
+)
+
+// TestConcurrentInstanceExecution drives many instances from parallel
+// goroutines; per-instance locking must keep every instance consistent.
+// Run with -race to exercise the synchronization.
+func TestConcurrentInstanceExecution(t *testing.T) {
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	insts := make([]*engine.Instance, n)
+	for i := range insts {
+		inst, err := e.CreateInstance("online_order", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i, inst := range insts {
+		wg.Add(1)
+		go func(i int, inst *engine.Instance) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			d := sim.NewDriver(rng, e)
+			if err := d.RunToCompletion(inst); err != nil {
+				errs <- fmt.Errorf("instance %d: %w", i, err)
+			}
+		}(i, inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i, inst := range insts {
+		if !inst.Done() {
+			t.Errorf("instance %d not done", i)
+		}
+	}
+	if e.Worklist().Len() != 0 {
+		t.Errorf("worklist not drained: %d items", e.Worklist().Len())
+	}
+}
+
+// TestConcurrentAdHocChanges applies disjoint ad-hoc changes from parallel
+// goroutines, one per instance.
+func TestConcurrentAdHocChanges(t *testing.T) {
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		inst, err := e.CreateInstance("online_order", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, inst *engine.Instance) {
+			defer wg.Done()
+			op := &change.SerialInsert{
+				Node: &model.Node{ID: fmt.Sprintf("x%d", i), Type: model.NodeActivity, Role: "sales", Template: "x"},
+				Pred: "collect_data",
+				Succ: "confirm_order",
+			}
+			if err := change.ApplyAdHoc(inst, op); err != nil {
+				errs <- err
+			}
+		}(i, inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for _, inst := range e.Instances() {
+		if !inst.Biased() {
+			t.Error("instance missed its bias")
+		}
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Suspend(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Suspended() {
+		t.Fatal("instance should be suspended")
+	}
+	if err := e.CompleteActivity(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err == nil {
+		t.Fatal("user op on suspended instance must fail")
+	}
+	if err := e.StartActivity(inst.ID(), "get_order", "ann"); err == nil {
+		t.Fatal("start on suspended instance must fail")
+	}
+	// Ad-hoc changes remain possible while suspended.
+	if err := change.ApplyAdHoc(inst, &change.InsertSyncEdge{From: "collect_data", To: "compose_order"}); err != nil {
+		t.Fatalf("ad-hoc change while suspended: %v", err)
+	}
+	if err := e.Resume(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompleteActivity(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err != nil {
+		t.Fatalf("after resume: %v", err)
+	}
+	// Error paths.
+	if err := e.Resume(inst.ID()); err == nil {
+		t.Fatal("resume of non-suspended instance must fail")
+	}
+	if err := e.Suspend("nope"); err == nil {
+		t.Fatal("suspend of unknown instance must fail")
+	}
+	if err := e.Resume("nope"); err == nil {
+		t.Fatal("resume of unknown instance must fail")
+	}
+}
+
+// TestOnTheFlyInstanceExecutesEndToEnd exercises the materialize-per-
+// access representation through a complete biased run.
+func TestOnTheFlyInstanceExecutesEndToEnd(t *testing.T) {
+	e := engine.New(sim.Org())
+	e.SetStorageStrategy(2) // storage.OnTheFly
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := change.ApplyAdHoc(inst, sim.OnlineOrderBiasI2()...); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	d := sim.NewDriver(rng, e)
+	if err := d.RunToCompletion(inst); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Done() {
+		t.Fatal("on-the-fly instance should complete")
+	}
+	if inst.NodeState("send_brochure") != state.Completed {
+		t.Fatal("bias activity should have run")
+	}
+}

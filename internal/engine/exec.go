@@ -1,0 +1,385 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"adept2/internal/data"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/state"
+)
+
+// CompleteOption customizes activity completion.
+type CompleteOption func(*completeOpts)
+
+type completeOpts struct {
+	decision    int
+	decisionSet bool
+	again       bool
+	againSet    bool
+}
+
+// WithDecision supplies the selection code for completing an XOR split
+// manually.
+func WithDecision(code int) CompleteOption {
+	return func(o *completeOpts) { o.decision = code; o.decisionSet = true }
+}
+
+// WithLoopAgain supplies the iteration decision for completing a loop end
+// manually.
+func WithLoopAgain(again bool) CompleteOption {
+	return func(o *completeOpts) { o.again = again; o.againSet = true }
+}
+
+// startLocked validates and performs the start of a node.
+func (inst *Instance) startLocked(node, user string) error {
+	if inst.done {
+		return fmt.Errorf("engine: start %s/%s: instance is completed", inst.id, node)
+	}
+	if inst.suspended && user != "" {
+		return fmt.Errorf("engine: start %s/%s: instance is suspended", inst.id, node)
+	}
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return err
+	}
+	n, ok := v.Node(node)
+	if !ok {
+		return fmt.Errorf("engine: start %s/%s: no such node", inst.id, node)
+	}
+	if got := inst.marking.Node(node); got != state.Activated {
+		return fmt.Errorf("engine: start %s/%s: node is %s, not activated", inst.id, node, got)
+	}
+	if !n.Auto && n.Role != "" {
+		if user == "" {
+			return fmt.Errorf("engine: start %s/%s: activity requires a user with role %q", inst.id, node, n.Role)
+		}
+		if !inst.eng.org.HasRole(user, n.Role) {
+			return fmt.Errorf("engine: start %s/%s: user %q lacks role %q", inst.id, node, user, n.Role)
+		}
+	}
+	reads, err := inst.gatherReadsLocked(v, n)
+	if err != nil {
+		return err
+	}
+	if err := inst.marking.Start(node); err != nil {
+		return err
+	}
+	e := inst.hist.Append(&history.Event{Kind: history.Started, Node: node, User: user, Reads: reads, Decision: -1})
+	inst.stats.OnStart(node, e.Seq)
+	if !n.Auto && n.Type == model.NodeActivity {
+		// Best effort: the item exists unless the node was activated by
+		// adaptation inside a Mutate (reconciled afterwards).
+		_ = inst.eng.wl.MarkStarted(inst.id, node, user)
+	}
+	return nil
+}
+
+// gatherReadsLocked collects the input parameter values of a node and
+// enforces mandatory supplies.
+func (inst *Instance) gatherReadsLocked(v model.SchemaView, n *model.Node) (map[string]any, error) {
+	var reads map[string]any
+	for _, de := range v.DataEdgesOf(n.ID) {
+		if de.Access != model.Read {
+			continue
+		}
+		val, ok := inst.store.Read(de.Element)
+		if !ok {
+			if de.Mandatory {
+				return nil, fmt.Errorf("engine: start %s/%s: mandatory input %q (element %q) has no value", inst.id, n.ID, de.Parameter, de.Element)
+			}
+			if elem, ok := v.DataElement(de.Element); ok {
+				val = elem.Type.ZeroValue()
+			}
+		}
+		if reads == nil {
+			reads = make(map[string]any)
+		}
+		reads[de.Parameter] = val
+	}
+	return reads, nil
+}
+
+// completeEntryLocked is the user-facing completion path: it starts the
+// node first when it is merely activated, completes it, and advances the
+// instance.
+func (inst *Instance) completeEntryLocked(node, user string, outputs map[string]any, opts ...CompleteOption) error {
+	if inst.done {
+		return fmt.Errorf("engine: complete %s/%s: instance is completed", inst.id, node)
+	}
+	if inst.suspended {
+		return fmt.Errorf("engine: complete %s/%s: instance is suspended", inst.id, node)
+	}
+	if inst.marking.Node(node) == state.Activated {
+		if err := inst.startLocked(node, user); err != nil {
+			return err
+		}
+	}
+	var co completeOpts
+	for _, o := range opts {
+		o(&co)
+	}
+	if err := inst.completeCoreLocked(node, user, outputs, co); err != nil {
+		return err
+	}
+	return inst.cascadeLocked()
+}
+
+// completeCoreLocked performs the completion bookkeeping without running
+// the automatic cascade.
+func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]any, co completeOpts) error {
+	v, blocks, err := inst.viewLocked()
+	if err != nil {
+		return err
+	}
+	n, ok := v.Node(node)
+	if !ok {
+		return fmt.Errorf("engine: complete %s/%s: no such node", inst.id, node)
+	}
+	if got := inst.marking.Node(node); got != state.Running {
+		return fmt.Errorf("engine: complete %s/%s: node is %s, not running", inst.id, node, got)
+	}
+
+	// Routing decisions.
+	decision := -1
+	if n.Type == model.NodeXORSplit {
+		decision, err = inst.xorDecisionLocked(v, n, co)
+		if err != nil {
+			return err
+		}
+	}
+	again := false
+	if n.Type == model.NodeLoopEnd {
+		again = inst.loopDecisionLocked(n, co)
+	}
+
+	// Output parameters -> data element writes.
+	writes, err := inst.collectWritesLocked(v, n, outputs)
+	if err != nil {
+		return err
+	}
+
+	e := inst.hist.Append(&history.Event{
+		Kind:     history.Completed,
+		Node:     node,
+		User:     user,
+		Decision: decision,
+		Again:    again,
+		Writes:   writes,
+	})
+	inst.stats.OnComplete(node, e.Seq, decision)
+	for elem, val := range writes {
+		inst.store.Write(elem, val, node, e.Seq)
+	}
+
+	if n.Type == model.NodeLoopEnd && again {
+		blk, ok := blocks.ByJoin(node)
+		if !ok {
+			return fmt.Errorf("engine: complete %s/%s: loop end has no block", inst.id, node)
+		}
+		region := blk.Region()
+		inst.stats.PurgeRegion(region)
+		state.ResetLoop(v, inst.marking, region)
+		inst.loopIter[node]++
+		// Nested loops restart their iteration count.
+		for id := range region {
+			if id == node {
+				continue
+			}
+			if inner, ok := v.Node(id); ok && inner.Type == model.NodeLoopEnd {
+				inst.loopIter[id] = 0
+			}
+			inst.eng.wl.Withdraw(inst.id, id)
+		}
+		return nil
+	}
+
+	if err := inst.marking.Complete(v, node, decision); err != nil {
+		return err
+	}
+	inst.eng.wl.Withdraw(inst.id, node)
+	return nil
+}
+
+// xorDecisionLocked resolves the selection code of an XOR split from the
+// explicit option or the split's decision element. An unmatched code is
+// clamped to the lowest outgoing code so the engine stays total; the event
+// records the code actually taken.
+func (inst *Instance) xorDecisionLocked(v model.SchemaView, n *model.Node, co completeOpts) (int, error) {
+	outs := model.OutControlEdges(v, n.ID)
+	codes := make([]int, 0, len(outs))
+	for _, e := range outs {
+		codes = append(codes, e.Code)
+	}
+	sort.Ints(codes)
+	var want int
+	switch {
+	case co.decisionSet:
+		want = co.decision
+	case n.DecisionElement != "":
+		val, ok := inst.store.Read(n.DecisionElement)
+		if !ok {
+			return 0, fmt.Errorf("engine: complete %s/%s: decision element %q has no value", inst.id, n.ID, n.DecisionElement)
+		}
+		iv, ok := data.AsInt(val)
+		if !ok {
+			return 0, fmt.Errorf("engine: complete %s/%s: decision element %q holds %v, not an integer", inst.id, n.ID, n.DecisionElement, val)
+		}
+		want = iv
+	default:
+		return 0, fmt.Errorf("engine: complete %s/%s: xor split needs a decision (WithDecision or decision element)", inst.id, n.ID)
+	}
+	for _, c := range codes {
+		if c == want {
+			return want, nil
+		}
+	}
+	return codes[0], nil
+}
+
+// loopDecisionLocked resolves the iteration decision of a loop end,
+// bounded by MaxIterations.
+func (inst *Instance) loopDecisionLocked(n *model.Node, co completeOpts) bool {
+	again := false
+	switch {
+	case co.againSet:
+		again = co.again
+	case n.DecisionElement != "":
+		if val, ok := inst.store.Read(n.DecisionElement); ok {
+			if b, ok := data.AsBool(val); ok {
+				again = b
+			}
+		}
+	}
+	if again && n.MaxIterations > 0 && inst.loopIter[n.ID]+1 >= n.MaxIterations {
+		again = false
+	}
+	return again
+}
+
+// collectWritesLocked validates output parameters against the node's write
+// data edges and returns element -> value. Manual nodes must supply every
+// output parameter; automatic nodes zero-fill missing ones.
+func (inst *Instance) collectWritesLocked(v model.SchemaView, n *model.Node, outputs map[string]any) (map[string]any, error) {
+	var writes map[string]any
+	seen := make(map[string]bool, len(outputs))
+	for _, de := range v.DataEdgesOf(n.ID) {
+		if de.Access != model.Write {
+			continue
+		}
+		elem, ok := v.DataElement(de.Element)
+		if !ok {
+			return nil, fmt.Errorf("engine: complete %s/%s: write edge references unknown element %q", inst.id, n.ID, de.Element)
+		}
+		val, supplied := outputs[de.Parameter]
+		if !supplied {
+			if !n.Auto {
+				return nil, fmt.Errorf("engine: complete %s/%s: missing output parameter %q", inst.id, n.ID, de.Parameter)
+			}
+			val = elem.Type.ZeroValue()
+		}
+		coerced, err := data.Coerce(val, elem.Type)
+		if err != nil {
+			return nil, fmt.Errorf("engine: complete %s/%s: parameter %q: %w", inst.id, n.ID, de.Parameter, err)
+		}
+		if writes == nil {
+			writes = make(map[string]any)
+		}
+		writes[de.Element] = coerced
+		seen[de.Parameter] = true
+	}
+	for p := range outputs {
+		if !seen[p] {
+			return nil, fmt.Errorf("engine: complete %s/%s: unknown output parameter %q", inst.id, n.ID, p)
+		}
+	}
+	return writes, nil
+}
+
+// cascadeLocked drives the instance forward: it evaluates the marking,
+// executes automatic nodes until none is enabled, detects completion of
+// the end node, and reconciles the worklist.
+func (inst *Instance) cascadeLocked() error {
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return err
+	}
+	for {
+		state.Evaluate(v, inst.marking, inst.hist.NextSeq())
+
+		if end := v.EndID(); end != "" && inst.marking.Node(end) == state.Activated {
+			inst.marking.SetNode(end, state.Completed)
+			inst.done = true
+			break
+		}
+
+		next := ""
+		for _, id := range v.NodeIDs() {
+			if inst.marking.Node(id) != state.Activated {
+				continue
+			}
+			n, _ := v.Node(id)
+			if n.CanAutoExecute() {
+				next = id
+				break
+			}
+		}
+		if next == "" {
+			break
+		}
+		if err := inst.startLocked(next, ""); err != nil {
+			return err
+		}
+		if err := inst.completeCoreLocked(next, "", nil, completeOpts{}); err != nil {
+			return err
+		}
+		// A loop reset may have changed nothing visible to Evaluate's
+		// fixpoint (states were cleared); loop again from the top.
+	}
+	inst.syncWorklistLocked()
+	return nil
+}
+
+// syncWorklistLocked reconciles the instance's work items with its
+// marking: activated manual activities get items; items of nodes that are
+// no longer activated or running are withdrawn.
+func (inst *Instance) syncWorklistLocked() {
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return
+	}
+	wanted := make(map[string]*model.Node)
+	for _, id := range v.NodeIDs() {
+		n, _ := v.Node(id)
+		if n.Type != model.NodeActivity || n.Auto {
+			continue
+		}
+		if s := inst.marking.Node(id); s == state.Activated || s == state.Running {
+			wanted[id] = n
+		}
+	}
+	for _, it := range inst.eng.wl.ItemsForInstance(inst.id) {
+		n, ok := wanted[it.Node]
+		// In-progress work is never disturbed; offered items whose staff
+		// assignment changed are withdrawn and re-offered to the new role.
+		if ok && (it.Role == n.Role || inst.marking.Node(it.Node) == state.Running) {
+			delete(wanted, it.Node) // keep existing item
+		} else {
+			inst.eng.wl.Withdraw(inst.id, it.Node)
+		}
+	}
+	ids := make([]string, 0, len(wanted))
+	for id := range wanted {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := wanted[id]
+		if inst.marking.Node(id) != state.Activated {
+			continue // running without item: user already started it
+		}
+		users := inst.eng.org.UsersInRole(n.Role)
+		_, _ = inst.eng.wl.Offer(inst.id, id, n.Role, users)
+	}
+}

@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"adept2/internal/data"
+	"adept2/internal/graph"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/state"
+	"adept2/internal/storage"
+)
+
+// Instance is one running process instance. All exported methods are safe
+// for concurrent use; the migration manager and the change framework
+// obtain exclusive access through Mutate.
+type Instance struct {
+	mu  sync.Mutex
+	eng *Engine
+
+	id       string
+	typeName string
+	version  int
+	base     *model.Schema
+
+	strategy storage.Strategy
+	overlay  *storage.Overlay // hybrid representation (nil while unbiased)
+	fullcopy *model.Schema    // full-copy representation (nil while unbiased)
+	biasOps  []BiasOp
+
+	blocks    *graph.Info // block analysis of the cached view (nil for on-the-fly biased instances)
+	marking   *state.Marking
+	hist      *history.Log
+	stats     history.Stats
+	store     *data.Store
+	loopIter  map[string]int // loop end ID -> completed iterations
+	done      bool
+	suspended bool
+
+	migrations int
+}
+
+func newInstance(e *Engine, id string, base *model.Schema, strat storage.Strategy) *Instance {
+	return &Instance{
+		eng:      e,
+		id:       id,
+		typeName: base.TypeName(),
+		version:  base.Version(),
+		base:     base,
+		strategy: strat,
+		marking:  state.NewMarking(),
+		hist:     history.NewLog(),
+		stats:    history.NewStats(),
+		store:    data.NewStore(),
+		loopIter: make(map[string]int),
+	}
+}
+
+// ID returns the instance identifier.
+func (inst *Instance) ID() string { return inst.id }
+
+// TypeName returns the process type of the instance.
+func (inst *Instance) TypeName() string { return inst.typeName }
+
+// Version returns the schema version the instance currently runs on.
+func (inst *Instance) Version() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.version
+}
+
+// Done reports whether the instance reached its end node.
+func (inst *Instance) Done() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.done
+}
+
+// Suspended reports whether user operations on the instance are blocked.
+func (inst *Instance) Suspended() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.suspended
+}
+
+// Biased reports whether the instance deviates from its schema version.
+func (inst *Instance) Biased() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return len(inst.biasOps) > 0
+}
+
+// BiasOps returns the instance-specific change operations applied so far.
+func (inst *Instance) BiasOps() []BiasOp {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return append([]BiasOp(nil), inst.biasOps...)
+}
+
+// Migrations returns how often the instance migrated to a newer schema
+// version.
+func (inst *Instance) Migrations() int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.migrations
+}
+
+// Strategy returns the storage strategy of the instance.
+func (inst *Instance) Strategy() storage.Strategy { return inst.strategy }
+
+// View returns the instance's current schema view. For on-the-fly biased
+// instances this materializes the instance-specific schema — the
+// deliberate cost of that baseline representation.
+func (inst *Instance) View() model.SchemaView {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		panic(fmt.Sprintf("engine: instance %s: corrupt bias: %v", inst.id, err))
+	}
+	return v
+}
+
+// NodeState returns the state of one node.
+func (inst *Instance) NodeState(node string) state.NodeState {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.marking.Node(node)
+}
+
+// MarkingSnapshot returns a copy of the instance marking.
+func (inst *Instance) MarkingSnapshot() *state.Marking {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.marking.Clone()
+}
+
+// HistoryEvents returns a copy of the physical execution history.
+func (inst *Instance) HistoryEvents() []*history.Event {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	events := inst.hist.Events()
+	out := make([]*history.Event, len(events))
+	for i, e := range events {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// StatsSnapshot returns a copy of the per-node execution index.
+func (inst *Instance) StatsSnapshot() history.Stats {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.stats.Clone()
+}
+
+// DataSnapshot returns a copy of the instance data store.
+func (inst *Instance) DataSnapshot() *data.Store {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.store.Clone()
+}
+
+// LoopIterations returns how often the given loop end iterated.
+func (inst *Instance) LoopIterations(loopEnd string) int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.loopIter[loopEnd]
+}
+
+// StorageFootprint describes the memory attributable to one instance under
+// its storage strategy; the Fig. 2 experiment aggregates it.
+type StorageFootprint struct {
+	// BiasBytes is the representation cost of the instance-specific
+	// schema: the substitution block (hybrid), the full copy, or the
+	// recorded operations (on-the-fly).
+	BiasBytes int
+	// StateBytes covers marking, history, stats, and data versions.
+	StateBytes int
+}
+
+// Footprint returns the instance's storage footprint.
+func (inst *Instance) Footprint() StorageFootprint {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	f := StorageFootprint{
+		StateBytes: inst.marking.ApproxBytes() + inst.hist.ApproxBytes() + inst.store.ApproxBytes() + 24*len(inst.stats),
+	}
+	switch {
+	case inst.overlay != nil:
+		f.BiasBytes = inst.overlay.ApproxBytes()
+	case inst.fullcopy != nil:
+		f.BiasBytes = inst.fullcopy.ApproxBytes()
+	case len(inst.biasOps) > 0:
+		f.BiasBytes = 64 * len(inst.biasOps) // recorded operations only
+	}
+	return f
+}
+
+// viewLocked returns the current schema view and its block analysis.
+func (inst *Instance) viewLocked() (model.SchemaView, *graph.Info, error) {
+	switch {
+	case len(inst.biasOps) == 0:
+		info, err := inst.eng.blocksOf(inst.base)
+		return inst.base, info, err
+	case inst.strategy == storage.Hybrid:
+		return inst.overlay, inst.blocks, nil
+	case inst.strategy == storage.FullCopy:
+		return inst.fullcopy, inst.blocks, nil
+	default: // on-the-fly: materialize per access
+		s := inst.base.Clone()
+		s.SetSchemaID(inst.base.SchemaID() + "+bias")
+		for _, op := range inst.biasOps {
+			if err := op.ApplyTo(s); err != nil {
+				return nil, nil, fmt.Errorf("engine: materialize bias of %s: %w", inst.id, err)
+			}
+		}
+		info, err := graph.Analyze(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, info, nil
+	}
+}
+
+// blocksOf caches block analyses of deployed (immutable) schemas so the
+// thousands of unbiased instances of one type share a single analysis.
+func (e *Engine) blocksOf(s *model.Schema) (*graph.Info, error) {
+	e.mu.RLock()
+	info, ok := e.blocks[s]
+	e.mu.RUnlock()
+	if ok {
+		return info, nil
+	}
+	info, err := graph.Analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.blocks[s] = info
+	e.mu.Unlock()
+	return info, nil
+}
+
+// bootstrapLocked initializes the marking of a fresh instance and runs the
+// automatic cascade.
+func (inst *Instance) bootstrapLocked() error {
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return err
+	}
+	inst.marking.Init(v)
+	return inst.cascadeLocked()
+}
+
+// Mutable is the controlled mutation surface handed out by Mutate. It is
+// only valid within the Mutate callback.
+type Mutable struct {
+	inst *Instance
+}
+
+// Mutate runs fn with exclusive access to the instance internals and
+// reconciles the worklist afterwards. The change framework and the
+// migration manager are its only intended callers.
+func (inst *Instance) Mutate(fn func(mx *Mutable) error) error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := fn(&Mutable{inst: inst}); err != nil {
+		return err
+	}
+	inst.syncWorklistLocked()
+	return nil
+}
+
+// View returns the current schema view.
+func (mx *Mutable) View() (model.SchemaView, error) {
+	v, _, err := mx.inst.viewLocked()
+	return v, err
+}
+
+// Blocks returns the block analysis of the current view.
+func (mx *Mutable) Blocks() (*graph.Info, error) {
+	_, info, err := mx.inst.viewLocked()
+	return info, err
+}
+
+// Marking exposes the live marking.
+func (mx *Mutable) Marking() *state.Marking { return mx.inst.marking }
+
+// Stats exposes the live execution index.
+func (mx *Mutable) Stats() history.Stats { return mx.inst.stats }
+
+// History exposes the live history log.
+func (mx *Mutable) History() *history.Log { return mx.inst.hist }
+
+// Store exposes the live data store.
+func (mx *Mutable) Store() *data.Store { return mx.inst.store }
+
+// Done reports whether the instance finished.
+func (mx *Mutable) Done() bool { return mx.inst.done }
+
+// BiasOps returns the recorded instance-specific change operations.
+func (mx *Mutable) BiasOps() []BiasOp {
+	return append([]BiasOp(nil), mx.inst.biasOps...)
+}
+
+// Version returns the current schema version.
+func (mx *Mutable) Version() int { return mx.inst.version }
+
+// Base returns the deployed schema the instance references.
+func (mx *Mutable) Base() *model.Schema { return mx.inst.base }
+
+// TrialSchema materializes the current view into a standalone schema the
+// caller may mutate freely to validate a change before committing it.
+func (mx *Mutable) TrialSchema() (*model.Schema, error) {
+	v, _, err := mx.inst.viewLocked()
+	if err != nil {
+		return nil, err
+	}
+	return storage.Materialize(v, v.SchemaID()+"+trial", v.TypeName(), v.Version())
+}
+
+// PersistentTarget returns the mutable view the committed bias must be
+// applied to: the overlay (hybrid), the materialized copy (full-copy), or
+// nil for on-the-fly instances (which re-apply recorded operations on
+// access).
+func (mx *Mutable) PersistentTarget() model.MutableView {
+	inst := mx.inst
+	switch inst.strategy {
+	case storage.Hybrid:
+		if inst.overlay == nil {
+			inst.overlay = storage.NewOverlay(inst.base)
+		}
+		return inst.overlay
+	case storage.FullCopy:
+		if inst.fullcopy == nil {
+			inst.fullcopy = inst.base.Clone()
+			inst.fullcopy.SetSchemaID(inst.base.SchemaID() + "+bias")
+		}
+		return inst.fullcopy
+	default:
+		return nil
+	}
+}
+
+// CommitBias records operations as part of the instance bias and refreshes
+// the cached block analysis.
+func (mx *Mutable) CommitBias(ops ...BiasOp) error {
+	inst := mx.inst
+	inst.biasOps = append(inst.biasOps, ops...)
+	return mx.refreshBlocks()
+}
+
+func (mx *Mutable) refreshBlocks() error {
+	inst := mx.inst
+	if len(inst.biasOps) == 0 || inst.strategy == storage.OnTheFly {
+		inst.blocks = nil
+		return nil
+	}
+	var v model.SchemaView
+	if inst.strategy == storage.Hybrid {
+		v = inst.overlay
+	} else {
+		v = inst.fullcopy
+	}
+	info, err := graph.Analyze(v)
+	if err != nil {
+		return fmt.Errorf("engine: refresh blocks of %s: %w", inst.id, err)
+	}
+	inst.blocks = info
+	return nil
+}
+
+// MigrateTo moves the instance to a new schema version: the base schema is
+// swapped, the (possibly empty) rebased bias is re-applied to a fresh
+// representation, and the version counter advances. State adaptation is
+// the caller's next step (AdaptState).
+func (mx *Mutable) MigrateTo(newBase *model.Schema, rebased []BiasOp) error {
+	inst := mx.inst
+	inst.base = newBase
+	inst.version = newBase.Version()
+	inst.overlay = nil
+	inst.fullcopy = nil
+	inst.biasOps = nil
+	inst.blocks = nil
+	if len(rebased) > 0 {
+		target := (&Mutable{inst: inst}).PersistentTarget()
+		if target != nil {
+			for _, op := range rebased {
+				if err := op.ApplyTo(target); err != nil {
+					return fmt.Errorf("engine: migrate %s: re-apply bias: %w", inst.id, err)
+				}
+			}
+		}
+		inst.biasOps = rebased
+		if err := mx.refreshBlocks(); err != nil {
+			return err
+		}
+	}
+	inst.migrations++
+	return nil
+}
+
+// RebuildBias replaces the instance bias wholesale: the representation is
+// reset against the unchanged base schema and the remaining operations are
+// re-applied. The rollback facility uses it to undo ad-hoc changes.
+func (mx *Mutable) RebuildBias(ops []BiasOp) error {
+	inst := mx.inst
+	inst.overlay = nil
+	inst.fullcopy = nil
+	inst.biasOps = nil
+	inst.blocks = nil
+	if len(ops) == 0 {
+		return nil
+	}
+	target := mx.PersistentTarget()
+	if target != nil {
+		for _, op := range ops {
+			if err := op.ApplyTo(target); err != nil {
+				return fmt.Errorf("engine: rebuild bias of %s: %w", inst.id, err)
+			}
+		}
+	}
+	inst.biasOps = ops
+	return mx.refreshBlocks()
+}
+
+// AdaptState recomputes the marking against the current view (the
+// efficient state adaptation of the paper) and returns the newly activated
+// nodes. It also advances the instance over any automatic nodes the
+// adaptation enabled.
+func (mx *Mutable) AdaptState() ([]string, error) {
+	inst := mx.inst
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return nil, err
+	}
+	activated := state.Adapt(v, inst.marking, inst.stats.Decisions(), inst.hist.NextSeq())
+	if err := inst.cascadeLocked(); err != nil {
+		return activated, err
+	}
+	return activated, nil
+}
+
+// Cascade runs the automatic execution cascade (used after replay-based
+// state adaptation).
+func (mx *Mutable) Cascade() error { return mx.inst.cascadeLocked() }
+
+// SetMarking replaces the instance marking wholesale. The replay-based
+// state adaptation path (the ablation baseline to Adapt) installs the
+// marking reconstructed by compliance.Replay and then runs Cascade.
+func (mx *Mutable) SetMarking(m *state.Marking) { mx.inst.marking = m }

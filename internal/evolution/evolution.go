@@ -1,0 +1,355 @@
+// Package evolution implements ADEPT2 schema evolution and instance
+// migration: a process type change ΔT derives a new schema version, and
+// the migration manager propagates it to the running instances of the old
+// version — on the fly, classifying every instance as migrated or as
+// having a state-related, structural, or semantical conflict (the Fig. 3
+// migration report of the paper).
+package evolution
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"adept2/internal/change"
+	"adept2/internal/compliance"
+	"adept2/internal/engine"
+	"adept2/internal/graph"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/verify"
+)
+
+// Outcome classifies the migration result of one instance.
+type Outcome uint8
+
+const (
+	// Migrated: the instance is compliant and now runs on the new version.
+	Migrated Outcome = iota
+	// AlreadyFinished: the instance completed before the migration; it
+	// stays on its version.
+	AlreadyFinished
+	// StateConflict: the instance progressed beyond the change region
+	// (instance I3 of Fig. 1); it remains on the old version.
+	StateConflict
+	// StructuralConflict: the instance's ad-hoc bias conflicts with the
+	// type change — jointly they would violate the buildtime guarantees,
+	// e.g. create a deadlock-causing cycle (instance I2 of Fig. 1).
+	StructuralConflict
+	// SemanticConflict: the type change and the instance bias insert the
+	// same activity template (duplicate work).
+	SemanticConflict
+	// Failed: an internal error occurred; the instance is untouched.
+	Failed
+)
+
+var outcomeNames = [...]string{
+	Migrated:           "migrated",
+	AlreadyFinished:    "already-finished",
+	StateConflict:      "state-conflict",
+	StructuralConflict: "structural-conflict",
+	SemanticConflict:   "semantic-conflict",
+	Failed:             "failed",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Outcomes enumerates all outcome values in display order.
+func Outcomes() []Outcome {
+	return []Outcome{Migrated, AlreadyFinished, StateConflict, StructuralConflict, SemanticConflict, Failed}
+}
+
+// CheckMode selects the compliance checking algorithm.
+type CheckMode uint8
+
+const (
+	// FastCheck uses the per-operation state conditions (paper Fig. 1).
+	FastCheck CheckMode = iota
+	// ReplayCheck replays the reduced execution history on the target
+	// schema (the ground-truth criterion; slower).
+	ReplayCheck
+)
+
+func (m CheckMode) String() string {
+	if m == ReplayCheck {
+		return "replay"
+	}
+	return "fast"
+}
+
+// AdaptMode selects the state adaptation procedure for migrated instances.
+type AdaptMode uint8
+
+const (
+	// AdaptIncremental recomputes derivable marking parts in place
+	// (state.Adapt — the paper's efficient procedure).
+	AdaptIncremental AdaptMode = iota
+	// AdaptReplay rebuilds the marking by replaying the reduced history on
+	// the new schema (baseline for the ablation).
+	AdaptReplay
+)
+
+func (m AdaptMode) String() string {
+	if m == AdaptReplay {
+		return "replay-adapt"
+	}
+	return "incremental-adapt"
+}
+
+// Options tunes a migration run.
+type Options struct {
+	// Workers bounds the number of instances migrated concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// Mode selects the compliance check (default FastCheck).
+	Mode CheckMode
+	// Adapt selects the state adaptation procedure (default
+	// AdaptIncremental).
+	Adapt AdaptMode
+}
+
+// InstanceResult is the per-instance row of a migration report.
+type InstanceResult struct {
+	Instance string
+	Outcome  Outcome
+	// Detail explains conflicts in user terms (which condition failed).
+	Detail string
+	// Biased records whether the instance carried ad-hoc changes.
+	Biased bool
+	// Duration is the wall time spent deciding and migrating.
+	Duration time.Duration
+}
+
+// Report summarizes one migration run (the content of the paper's Fig. 3
+// report window).
+type Report struct {
+	TypeName    string
+	FromVersion int
+	ToVersion   int
+	Options     Options
+	Results     []InstanceResult
+	Elapsed     time.Duration
+}
+
+// Count returns how many instances ended with the outcome.
+func (r *Report) Count(o Outcome) int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the number of considered instances.
+func (r *Report) Total() int { return len(r.Results) }
+
+// Manager performs schema evolutions against one engine.
+type Manager struct {
+	eng *engine.Engine
+}
+
+// NewManager returns a migration manager for the engine.
+func NewManager(e *engine.Engine) *Manager { return &Manager{eng: e} }
+
+// DeriveVersion applies a type change to the latest version of the process
+// type and returns the new (verified, not yet deployed) schema version.
+func (m *Manager) DeriveVersion(typeName string, ops []change.Operation) (*model.Schema, error) {
+	from := m.eng.LatestVersion(typeName)
+	if from == 0 {
+		return nil, fmt.Errorf("evolution: unknown process type %q", typeName)
+	}
+	base, _ := m.eng.Schema(typeName, from)
+	next := base.Clone()
+	next.SetVersion(from + 1)
+	next.SetSchemaID(fmt.Sprintf("%s@v%d", typeName, from+1))
+	for _, op := range ops {
+		if err := op.ApplyTo(next); err != nil {
+			return nil, fmt.Errorf("evolution: derive %s v%d: %w", typeName, from+1, err)
+		}
+	}
+	if res := verify.Check(next); !res.OK() {
+		return nil, fmt.Errorf("evolution: derive %s v%d: %w", typeName, from+1, res.Err())
+	}
+	return next, nil
+}
+
+// Evolve performs a full schema evolution: it derives and deploys the new
+// version and migrates all compliant instances of the old version on the
+// fly. Non-compliant instances keep running on the old version (their
+// conflict is reported), exactly as in the paper's demo.
+func (m *Manager) Evolve(typeName string, ops []change.Operation, opts Options) (*Report, error) {
+	from := m.eng.LatestVersion(typeName)
+	next, err := m.DeriveVersion(typeName, ops)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.eng.Deploy(next); err != nil {
+		return nil, err
+	}
+	report := m.MigrateAll(typeName, from, next, ops, opts)
+	return report, nil
+}
+
+// MigrateAll migrates every instance of (typeName, fromVersion) towards
+// the already-deployed target schema and returns the report.
+func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Schema, ops []change.Operation, opts Options) *Report {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	insts := m.eng.InstancesOf(typeName, fromVersion)
+	results := make([]InstanceResult, len(insts))
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = m.MigrateInstance(insts[i], target, ops, opts)
+			}
+		}()
+	}
+	for i := range insts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	return &Report{
+		TypeName:    typeName,
+		FromVersion: fromVersion,
+		ToVersion:   target.Version(),
+		Options:     opts,
+		Results:     results,
+		Elapsed:     time.Since(start),
+	}
+}
+
+// MigrateInstance decides and (if compliant) performs the migration of one
+// instance to the target schema.
+func (m *Manager) MigrateInstance(inst *engine.Instance, target *model.Schema, ops []change.Operation, opts Options) InstanceResult {
+	res := InstanceResult{Instance: inst.ID()}
+	begin := time.Now()
+	err := inst.Mutate(func(mx *engine.Mutable) error {
+		res.Biased = len(mx.BiasOps()) > 0
+		res.Outcome, res.Detail = m.migrateLocked(mx, target, ops, opts)
+		return nil
+	})
+	if err != nil {
+		res.Outcome, res.Detail = Failed, err.Error()
+	}
+	res.Duration = time.Since(begin)
+	return res
+}
+
+// migrateLocked runs under the instance lock.
+func (m *Manager) migrateLocked(mx *engine.Mutable, target *model.Schema, ops []change.Operation, opts Options) (Outcome, string) {
+	if mx.Done() {
+		return AlreadyFinished, ""
+	}
+	biasOps, err := change.AsOperations(mxBias(mx))
+	if err != nil {
+		return Failed, err.Error()
+	}
+	// 1. Semantical conflicts: type change and bias insert the same
+	// activity template.
+	if len(biasOps) > 0 {
+		tChange := change.InsertedTemplates(ops)
+		for t := range change.InsertedTemplates(biasOps) {
+			if tChange[t] {
+				return SemanticConflict, fmt.Sprintf("type change and instance bias both insert template %q", t)
+			}
+		}
+	}
+
+	// 2. Structural conflicts: the bias must re-apply cleanly to the new
+	// version and the result must satisfy every buildtime guarantee
+	// (instance I2 of Fig. 1 fails here with a deadlock-causing cycle).
+	targetView := model.SchemaView(target)
+	if len(biasOps) > 0 {
+		trial := target.Clone()
+		trial.SetSchemaID(trial.SchemaID() + "+bias-trial")
+		for _, op := range biasOps {
+			if err := op.ApplyTo(trial); err != nil {
+				return StructuralConflict, err.Error()
+			}
+		}
+		if vres := verify.Check(trial); !vres.OK() {
+			return StructuralConflict, vres.Err().Error()
+		}
+		targetView = trial
+	}
+
+	// 3. State-related conflicts: compliance check.
+	switch opts.Mode {
+	case ReplayCheck:
+		curBlocks, err := mx.Blocks()
+		if err != nil {
+			return Failed, err.Error()
+		}
+		reduced := history.Reduce(curBlocks, mx.History().Events())
+		info, err := graph.Analyze(targetView)
+		if err != nil {
+			return StructuralConflict, err.Error()
+		}
+		if _, err := compliance.Replay(targetView, info, reduced); err != nil {
+			return StateConflict, err.Error()
+		}
+	default:
+		view, err := mx.View()
+		if err != nil {
+			return Failed, err.Error()
+		}
+		ctx := &change.Context{View: view, Marking: mx.Marking(), Stats: mx.Stats(), Store: mx.Store()}
+		if err := compliance.CheckFast(ctx, ops); err != nil {
+			return StateConflict, err.Error()
+		}
+	}
+
+	// 4. Migrate: swap schema version, re-apply bias, adapt state.
+	rebased := make([]engine.BiasOp, len(biasOps))
+	for i, op := range biasOps {
+		rebased[i] = op
+	}
+	if err := mx.MigrateTo(target, rebased); err != nil {
+		return Failed, err.Error()
+	}
+	switch opts.Adapt {
+	case AdaptReplay:
+		view, err := mx.View()
+		if err != nil {
+			return Failed, err.Error()
+		}
+		info, err := mx.Blocks()
+		if err != nil {
+			return Failed, err.Error()
+		}
+		reduced := history.Reduce(info, mx.History().Events())
+		rr, err := compliance.Replay(view, info, reduced)
+		if err != nil {
+			return Failed, "replay adaptation after successful check: " + err.Error()
+		}
+		mx.SetMarking(rr.Marking)
+		if err := mx.Cascade(); err != nil {
+			return Failed, err.Error()
+		}
+	default:
+		if _, err := mx.AdaptState(); err != nil {
+			return Failed, err.Error()
+		}
+	}
+	return Migrated, ""
+}
+
+// mxBias fetches the recorded bias ops from the mutable instance.
+func mxBias(mx *engine.Mutable) []engine.BiasOp { return mx.BiasOps() }

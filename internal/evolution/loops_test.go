@@ -1,0 +1,194 @@
+package evolution_test
+
+import (
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/model"
+	"adept2/internal/sim"
+	"adept2/internal/state"
+)
+
+// loopEngine deploys the loop process and creates an instance driven
+// through the given number of iterations.
+func loopEngine(t *testing.T, iterations int) (*engine.Engine, *engine.Instance, string) {
+	t.Helper()
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.LoopProcess()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("loopy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loopEnd string
+	for _, n := range sim.LoopProcess().Nodes() {
+		if n.Type == model.NodeLoopEnd {
+			loopEnd = n.ID
+		}
+	}
+	if iterations >= 0 {
+		if err := sim.DriveLoopIterations(e, inst, iterations); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, inst, loopEnd
+}
+
+// TestLoopInstanceMigratesAfterIterations: the paper's criterion "works
+// correctly in connection with loop backs" — an instance that already
+// iterated several times migrates, because only the *last* iteration
+// counts (loop-reduced history).
+func TestLoopInstanceMigratesAfterIterations(t *testing.T) {
+	for _, mode := range []evolution.CheckMode{evolution.FastCheck, evolution.ReplayCheck} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, inst, _ := loopEngine(t, 3)
+			// The change inserts review before finalize; finalize has not
+			// started, so the instance is compliant despite 40 history
+			// events.
+			mgr := evolution.NewManager(e)
+			report, err := mgr.Evolve("loopy", sim.LoopProcessTypeChange(), evolution.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultOf(report, inst.ID()); got.Outcome != evolution.Migrated {
+				t.Fatalf("outcome = %s (%s)", got.Outcome, got.Detail)
+			}
+			if inst.Version() != 2 {
+				t.Fatal("version")
+			}
+			// finalize still waits behind the new review activity.
+			if inst.NodeState("review") != state.Activated {
+				t.Fatalf("review = %s", inst.NodeState("review"))
+			}
+			if inst.NodeState("finalize") != state.NotActivated {
+				t.Fatalf("finalize = %s", inst.NodeState("finalize"))
+			}
+			if err := e.CompleteActivity(inst.ID(), "review", "ann", nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CompleteActivity(inst.ID(), "finalize", "ann", nil); err != nil {
+				t.Fatal(err)
+			}
+			if !inst.Done() {
+				t.Fatal("instance should complete on V2")
+			}
+		})
+	}
+}
+
+// TestLoopBodyChangeMidIteration: inserting into the loop body while the
+// current iteration already passed the insertion point is a state
+// conflict under the fast check AND the replay check (the logical history
+// of the current iteration contains the successor).
+func TestLoopBodyChangeMidIteration(t *testing.T) {
+	ops := []change.Operation{&change.SerialInsert{
+		Node: &model.Node{ID: "audit", Type: model.NodeActivity, Role: "worker", Template: "audit"},
+		Pred: "step1",
+		Succ: "step2",
+	}}
+	for _, mode := range []evolution.CheckMode{evolution.FastCheck, evolution.ReplayCheck} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Instance inside iteration 2, step2 already completed.
+			e, inst, _ := loopEngine(t, -1)
+			for _, n := range []string{"step1", "step2"} {
+				if err := e.CompleteActivity(inst.ID(), n, "ann", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mgr := evolution.NewManager(e)
+			report, err := mgr.Evolve("loopy", ops, evolution.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultOf(report, inst.ID()); got.Outcome != evolution.StateConflict {
+				t.Fatalf("mid-iteration insert = %s (%s), want state conflict", got.Outcome, got.Detail)
+			}
+		})
+	}
+}
+
+// TestLoopBodyChangeAfterLoopBack: the same insertion is compliant right
+// after a loop back, because the new iteration has not reached the
+// insertion point — the loop-purged history at work.
+func TestLoopBodyChangeAfterLoopBack(t *testing.T) {
+	ops := []change.Operation{&change.SerialInsert{
+		Node: &model.Node{ID: "audit", Type: model.NodeActivity, Role: "worker", Template: "audit"},
+		Pred: "step1",
+		Succ: "step2",
+	}}
+	for _, mode := range []evolution.CheckMode{evolution.FastCheck, evolution.ReplayCheck} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, inst, loopEnd := loopEngine(t, -1)
+			// Complete a full iteration and loop back.
+			for _, n := range []string{"step1", "step2", "step3"} {
+				if err := e.CompleteActivity(inst.ID(), n, "ann", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.CompleteActivity(inst.ID(), loopEnd, "", nil, engine.WithLoopAgain(true)); err != nil {
+				t.Fatal(err)
+			}
+			// New iteration: step1 activated, nothing in it started yet.
+			mgr := evolution.NewManager(e)
+			report, err := mgr.Evolve("loopy", ops, evolution.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultOf(report, inst.ID()); got.Outcome != evolution.Migrated {
+				t.Fatalf("post-loop-back insert = %s (%s), want migrated", got.Outcome, got.Detail)
+			}
+			// The new activity participates in the fresh iteration.
+			if err := e.CompleteActivity(inst.ID(), "step1", "ann", nil); err != nil {
+				t.Fatal(err)
+			}
+			if inst.NodeState("audit") != state.Activated {
+				t.Fatalf("audit = %s", inst.NodeState("audit"))
+			}
+		})
+	}
+}
+
+// TestLoopMigrationPreservesIterationBehaviour: a migrated loop instance
+// keeps iterating correctly, including the inserted activity in later
+// iterations.
+func TestLoopMigrationPreservesIterationBehaviour(t *testing.T) {
+	// One completed iteration, loop back taken: the instance sits at the
+	// start of iteration 2 when the type change arrives.
+	e, inst, loopEnd := loopEngine(t, -1)
+	for _, n := range []string{"step1", "step2", "step3"} {
+		if err := e.CompleteActivity(inst.ID(), n, "ann", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CompleteActivity(inst.ID(), loopEnd, "", nil, engine.WithLoopAgain(true)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := evolution.NewManager(e)
+	report, err := mgr.Evolve("loopy", sim.LoopProcessTypeChange(), evolution.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultOf(report, inst.ID()); got.Outcome != evolution.Migrated {
+		t.Fatalf("outcome = %s (%s)", got.Outcome, got.Detail)
+	}
+	// Finish iteration 2 on V2, exit the loop, and pass review.
+	for _, n := range []string{"step1", "step2", "step3"} {
+		if err := e.CompleteActivity(inst.ID(), n, "ann", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CompleteActivity(inst.ID(), loopEnd, "", nil, engine.WithLoopAgain(false)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"review", "finalize"} {
+		if err := e.CompleteActivity(inst.ID(), n, "ann", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !inst.Done() {
+		t.Fatal("migrated loop instance should complete")
+	}
+}

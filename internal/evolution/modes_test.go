@@ -1,0 +1,84 @@
+package evolution_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/sim"
+)
+
+// TestCheckModesClassifyIdentically is the migration-level counterpart of
+// the op-level fast≡replay property: two identical populations, one
+// migrated with the fast conditions and one with full history replay,
+// must receive exactly the same per-instance classification.
+func TestCheckModesClassifyIdentically(t *testing.T) {
+	const n = 400
+	build := func() *engine.Engine {
+		e := engine.New(sim.Org())
+		if err := e.Deploy(sim.OnlineOrder()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		if _, err := sim.BuildPopulation(e, rng, sim.DefaultPopulationOpts(n)); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	fastEngine := build()
+	replayEngine := build()
+
+	fastReport, err := evolution.NewManager(fastEngine).Evolve(
+		"online_order", sim.OnlineOrderTypeChange(), evolution.Options{Mode: evolution.FastCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayReport, err := evolution.NewManager(replayEngine).Evolve(
+		"online_order", sim.OnlineOrderTypeChange(), evolution.Options{Mode: evolution.ReplayCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fastReport.Total() != replayReport.Total() {
+		t.Fatalf("population mismatch: %d vs %d", fastReport.Total(), replayReport.Total())
+	}
+	replayByInst := make(map[string]evolution.Outcome, replayReport.Total())
+	for _, r := range replayReport.Results {
+		replayByInst[r.Instance] = r.Outcome
+	}
+	var mismatches int
+	for _, r := range fastReport.Results {
+		if got := replayByInst[r.Instance]; got != r.Outcome {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("instance %s: fast=%s replay=%s (%s)", r.Instance, r.Outcome, got, r.Detail)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d/%d classifications disagree", mismatches, fastReport.Total())
+	}
+	// Both classified a non-trivial mix.
+	if fastReport.Count(evolution.Migrated) == 0 ||
+		fastReport.Count(evolution.StateConflict) == 0 ||
+		fastReport.Count(evolution.StructuralConflict) == 0 {
+		t.Fatalf("degenerate population: %s", summarize(fastReport))
+	}
+	// And the migrated instances' markings agree pairwise.
+	for _, r := range fastReport.Results {
+		if r.Outcome != evolution.Migrated {
+			continue
+		}
+		fi, _ := fastEngine.Instance(r.Instance)
+		ri, _ := replayEngine.Instance(r.Instance)
+		fm, rm := fi.MarkingSnapshot(), ri.MarkingSnapshot()
+		for _, id := range fi.View().NodeIDs() {
+			if fm.Node(id) != rm.Node(id) {
+				t.Fatalf("instance %s node %s: fast-mode state %s, replay-mode state %s",
+					r.Instance, id, fm.Node(id), rm.Node(id))
+			}
+		}
+	}
+}

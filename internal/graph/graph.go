@@ -1,0 +1,138 @@
+// Package graph provides the graph algorithms used across ADEPT2:
+// topological ordering, reachability, and block-structure analysis
+// (matching split/join pairs, branch membership, proper nesting). All
+// algorithms operate on model.SchemaView so they work identically on plain
+// schemas and on biased-instance overlays.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"adept2/internal/model"
+)
+
+// EdgeFilter selects the edges an algorithm traverses.
+type EdgeFilter func(*model.Edge) bool
+
+// Control selects control edges only. Loop edges are excluded, so the
+// resulting graph of a correct schema is acyclic.
+func Control(e *model.Edge) bool { return e.Type == model.EdgeControl }
+
+// ControlAndSync selects control and sync edges; this is the graph the
+// deadlock check must find acyclic (sync edges may not induce cycles —
+// the deadlock-causing-cycle criterion of the paper).
+func ControlAndSync(e *model.Edge) bool {
+	return e.Type == model.EdgeControl || e.Type == model.EdgeSync
+}
+
+// All selects every edge including loop edges.
+func All(*model.Edge) bool { return true }
+
+// TopoOrder returns a topological order of all nodes over the filtered
+// edges. If the filtered graph contains a cycle, it returns an error
+// naming the nodes on the residual cycle.
+func TopoOrder(v model.SchemaView, filter EdgeFilter) ([]string, error) {
+	ids := v.NodeIDs()
+	indeg := make(map[string]int, len(ids))
+	for _, id := range ids {
+		indeg[id] = 0
+	}
+	for _, e := range v.Edges() {
+		if filter(e) {
+			indeg[e.To]++
+		}
+	}
+	// Deterministic queue: process ready nodes in schema order.
+	queue := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]string, 0, len(ids))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, e := range v.OutEdges(id) {
+			if !filter(e) {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(ids) {
+		var cyc []string
+		for _, id := range ids {
+			if indeg[id] > 0 {
+				cyc = append(cyc, id)
+			}
+		}
+		sort.Strings(cyc)
+		return nil, fmt.Errorf("graph: cycle involving nodes %v", cyc)
+	}
+	return order, nil
+}
+
+// Reachable returns the set of nodes reachable from the given node over
+// the filtered edges. With forward=false it follows edges backwards.
+// The start node itself is included.
+func Reachable(v model.SchemaView, from string, filter EdgeFilter, forward bool) map[string]bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var edges []*model.Edge
+		if forward {
+			edges = v.OutEdges(id)
+		} else {
+			edges = v.InEdges(id)
+		}
+		for _, e := range edges {
+			if !filter(e) {
+				continue
+			}
+			next := e.To
+			if !forward {
+				next = e.From
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// HasPath reports whether a path from one node to another exists over the
+// filtered edges. A node trivially has a path to itself.
+func HasPath(v model.SchemaView, from, to string, filter EdgeFilter) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range v.OutEdges(id) {
+			if !filter(e) {
+				continue
+			}
+			if e.To == to {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+// Package history implements the ADEPT2 execution history: the per-
+// instance log of start and completion events the compliance criterion
+// replays. Reduce computes the *logical* (loop-purged) history — only the
+// last iteration of every loop block is retained — which is exactly the
+// view the paper's relaxed trace equivalence inspects.
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adept2/internal/graph"
+	"adept2/internal/model"
+)
+
+// Kind distinguishes event types.
+type Kind uint8
+
+const (
+	// Started records that a node entered execution.
+	Started Kind = iota
+	// Completed records that a node finished, together with its routing
+	// decision and the data it wrote.
+	Completed
+)
+
+func (k Kind) String() string {
+	if k == Completed {
+		return "completed"
+	}
+	return "started"
+}
+
+// Event is one entry of the execution history.
+type Event struct {
+	// Seq is the instance-wide sequence number (1-based, dense).
+	Seq int `json:"seq"`
+	// Kind is Started or Completed.
+	Kind Kind `json:"kind"`
+	// Node is the schema node the event belongs to.
+	Node string `json:"node"`
+	// User is the acting user (empty for automatic nodes).
+	User string `json:"user,omitempty"`
+	// Decision is the selection code chosen by a completed XOR split
+	// (-1 when not applicable).
+	Decision int `json:"decision,omitempty"`
+	// Again is true when a completed loop end decided to iterate.
+	Again bool `json:"again,omitempty"`
+	// Reads holds the parameter values supplied when the node started.
+	Reads map[string]any `json:"reads,omitempty"`
+	// Writes holds element values written on completion (element -> value).
+	Writes map[string]any `json:"writes,omitempty"`
+}
+
+func (e *Event) String() string {
+	switch {
+	case e.Kind == Completed && e.Again:
+		return fmt.Sprintf("#%d completed %s (again)", e.Seq, e.Node)
+	case e.Kind == Completed && e.Decision >= 0:
+		return fmt.Sprintf("#%d completed %s (decision %d)", e.Seq, e.Node, e.Decision)
+	case e.Kind == Completed:
+		return fmt.Sprintf("#%d completed %s", e.Seq, e.Node)
+	default:
+		return fmt.Sprintf("#%d started %s", e.Seq, e.Node)
+	}
+}
+
+// Clone returns a deep copy of the event.
+func (e *Event) Clone() *Event {
+	c := *e
+	if e.Reads != nil {
+		c.Reads = make(map[string]any, len(e.Reads))
+		for k, v := range e.Reads {
+			c.Reads[k] = v
+		}
+	}
+	if e.Writes != nil {
+		c.Writes = make(map[string]any, len(e.Writes))
+		for k, v := range e.Writes {
+			c.Writes[k] = v
+		}
+	}
+	return &c
+}
+
+// Log is an append-only execution history.
+type Log struct {
+	events  []*Event
+	nextSeq int
+}
+
+// NewLog returns an empty history.
+func NewLog() *Log { return &Log{nextSeq: 1} }
+
+// Append adds an event, assigning it the next sequence number, and returns
+// the event.
+func (l *Log) Append(e *Event) *Event {
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, e)
+	return e
+}
+
+// Events returns the full physical history in order. Callers must not
+// mutate the returned slice.
+func (l *Log) Events() []*Event { return l.events }
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// NextSeq returns the sequence number the next event will receive.
+func (l *Log) NextSeq() int { return l.nextSeq }
+
+// Clone returns a deep copy of the log.
+func (l *Log) Clone() *Log {
+	c := &Log{nextSeq: l.nextSeq, events: make([]*Event, len(l.events))}
+	for i, e := range l.events {
+		c.events[i] = e.Clone()
+	}
+	return c
+}
+
+// ApproxBytes estimates the memory held by the history.
+func (l *Log) ApproxBytes() int {
+	total := 0
+	for _, e := range l.events {
+		total += 48 + len(e.Node) + len(e.User) + 32*(len(e.Reads)+len(e.Writes))
+	}
+	return total
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l *Log) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.events)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Log) UnmarshalJSON(b []byte) error {
+	var events []*Event
+	if err := json.Unmarshal(b, &events); err != nil {
+		return fmt.Errorf("history: unmarshal log: %w", err)
+	}
+	next := 1
+	if n := len(events); n > 0 {
+		next = events[n-1].Seq + 1
+	}
+	l.events = events
+	l.nextSeq = next
+	return nil
+}
+
+// Reduce computes the logical execution history: every loop iteration that
+// was superseded by a later one is purged. Concretely, whenever a loop end
+// completes with Again=true, all prior events of nodes inside that loop's
+// region (including nested loops) are dropped together with the iterating
+// completion itself. The result is the history of the final iteration of
+// every loop — the paper's loop-tolerant compliance view.
+//
+// info must be the block analysis of the same schema view the events were
+// recorded on.
+func Reduce(info *graph.Info, events []*Event) []*Event {
+	out := make([]*Event, 0, len(events))
+	for _, e := range events {
+		if e.Kind == Completed && e.Again {
+			if blk, ok := info.ByJoin(e.Node); ok && blk.Kind == model.NodeLoopStart {
+				region := blk.Region()
+				kept := out[:0]
+				for _, prev := range out {
+					if !region[prev.Node] {
+						kept = append(kept, prev)
+					}
+				}
+				out = kept
+				continue // the iterating completion itself is purged
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats is the per-node execution index an instance maintains alongside
+// its physical history. The fast compliance conditions consult it instead
+// of scanning the history: "has this node started?", "when did it
+// complete?", "which branch did this split choose?" all answer in O(1).
+type Stats map[string]*NodeStat
+
+// NodeStat is the execution record of one node in the *current* loop
+// iteration (stats of purged iterations are removed, mirroring Reduce).
+type NodeStat struct {
+	// StartSeq is the sequence number of the node's start event (0 if
+	// never started).
+	StartSeq int
+	// CompleteSeq is the sequence number of the node's completion event
+	// (0 if not completed).
+	CompleteSeq int
+	// Decision is the XOR selection code chosen on completion (-1
+	// otherwise).
+	Decision int
+}
+
+// NewStats returns an empty index.
+func NewStats() Stats { return make(Stats) }
+
+// OnStart records a start event.
+func (s Stats) OnStart(node string, seq int) {
+	s[node] = &NodeStat{StartSeq: seq, Decision: -1}
+}
+
+// OnComplete records a completion event.
+func (s Stats) OnComplete(node string, seq, decision int) {
+	st, ok := s[node]
+	if !ok {
+		st = &NodeStat{Decision: -1}
+		s[node] = st
+	}
+	st.CompleteSeq = seq
+	st.Decision = decision
+}
+
+// PurgeRegion removes the stats of all nodes in a loop region, called when
+// the loop iterates (mirrors Reduce).
+func (s Stats) PurgeRegion(region map[string]bool) {
+	for id := range region {
+		delete(s, id)
+	}
+}
+
+// Started reports whether the node started in the current iteration.
+func (s Stats) Started(node string) bool {
+	st, ok := s[node]
+	return ok && st.StartSeq > 0
+}
+
+// StartSeq returns the node's start sequence (0 if not started).
+func (s Stats) StartSeq(node string) int {
+	if st, ok := s[node]; ok {
+		return st.StartSeq
+	}
+	return 0
+}
+
+// CompleteSeq returns the node's completion sequence (0 if not completed).
+func (s Stats) CompleteSeq(node string) int {
+	if st, ok := s[node]; ok {
+		return st.CompleteSeq
+	}
+	return 0
+}
+
+// Decisions extracts the selection codes of all completed XOR splits,
+// keyed by node ID; state.Adapt consumes this to re-derive dead paths.
+func (s Stats) Decisions() map[string]int {
+	d := make(map[string]int)
+	for id, st := range s {
+		if st.CompleteSeq > 0 && st.Decision >= 0 {
+			d[id] = st.Decision
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of the stats index.
+func (s Stats) Clone() Stats {
+	c := make(Stats, len(s))
+	for id, st := range s {
+		cp := *st
+		c[id] = &cp
+	}
+	return c
+}

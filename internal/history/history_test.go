@@ -1,0 +1,178 @@
+package history
+
+import (
+	"encoding/json"
+	"testing"
+
+	"adept2/internal/graph"
+	"adept2/internal/model"
+)
+
+func loopSchema(t *testing.T) (*model.Schema, *graph.Info, string, string) {
+	t.Helper()
+	b := model.NewBuilder("loop")
+	loop := b.Loop(b.Seq(b.Activity("w", "W"), b.Activity("v", "V")), "", 0)
+	s, err := b.Build(b.Seq(b.Activity("pre", "Pre"), loop, b.Activity("post", "Post")))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	info, err := graph.Analyze(s)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var ls, le string
+	for _, n := range s.Nodes() {
+		switch n.Type {
+		case model.NodeLoopStart:
+			ls = n.ID
+		case model.NodeLoopEnd:
+			le = n.ID
+		}
+	}
+	return s, info, ls, le
+}
+
+func TestLogAppendAssignsDenseSeq(t *testing.T) {
+	l := NewLog()
+	e1 := l.Append(&Event{Kind: Started, Node: "a"})
+	e2 := l.Append(&Event{Kind: Completed, Node: "a"})
+	if e1.Seq != 1 || e2.Seq != 2 || l.Len() != 2 || l.NextSeq() != 3 {
+		t.Fatalf("seq assignment broken: %d %d len=%d next=%d", e1.Seq, e2.Seq, l.Len(), l.NextSeq())
+	}
+}
+
+func TestLogCloneIsDeep(t *testing.T) {
+	l := NewLog()
+	l.Append(&Event{Kind: Completed, Node: "a", Writes: map[string]any{"d": int64(1)}})
+	c := l.Clone()
+	c.Events()[0].Writes["d"] = int64(99)
+	if l.Events()[0].Writes["d"] != int64(1) {
+		t.Fatal("clone shares write maps")
+	}
+	c.Append(&Event{Kind: Started, Node: "b"})
+	if l.Len() != 1 {
+		t.Fatal("clone append leaked")
+	}
+}
+
+func TestLogJSONRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Append(&Event{Kind: Started, Node: "a", User: "u1", Reads: map[string]any{"p": "v"}})
+	l.Append(&Event{Kind: Completed, Node: "a", Decision: 2})
+	blob, err := json.Marshal(l)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Log
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Len() != 2 || back.NextSeq() != 3 {
+		t.Fatalf("round trip: len=%d next=%d", back.Len(), back.NextSeq())
+	}
+	if back.Events()[1].Decision != 2 {
+		t.Fatal("decision lost")
+	}
+	if err := json.Unmarshal([]byte("{"), &back); err == nil {
+		t.Fatal("expected error for bad JSON")
+	}
+}
+
+func TestReduceDropsSupersededIterations(t *testing.T) {
+	_, info, ls, le := loopSchema(t)
+	l := NewLog()
+	// pre, then two iterations of (ls, w, v, le-again), then final
+	// iteration completing.
+	l.Append(&Event{Kind: Started, Node: "pre"})
+	l.Append(&Event{Kind: Completed, Node: "pre"})
+	for i := 0; i < 2; i++ {
+		l.Append(&Event{Kind: Started, Node: ls})
+		l.Append(&Event{Kind: Completed, Node: ls})
+		l.Append(&Event{Kind: Started, Node: "w"})
+		l.Append(&Event{Kind: Completed, Node: "w"})
+		l.Append(&Event{Kind: Started, Node: "v"})
+		l.Append(&Event{Kind: Completed, Node: "v"})
+		l.Append(&Event{Kind: Started, Node: le})
+		l.Append(&Event{Kind: Completed, Node: le, Again: true})
+	}
+	l.Append(&Event{Kind: Started, Node: ls})
+	l.Append(&Event{Kind: Completed, Node: ls})
+	l.Append(&Event{Kind: Started, Node: "w"})
+	l.Append(&Event{Kind: Completed, Node: "w"})
+
+	red := Reduce(info, l.Events())
+	// Expected: pre(2) + final iteration so far (ls started/completed, w
+	// started/completed) = 6 events.
+	if len(red) != 6 {
+		t.Fatalf("reduced length = %d, want 6: %v", len(red), red)
+	}
+	for _, e := range red {
+		if e.Again {
+			t.Fatalf("iterating completion survived reduction: %v", e)
+		}
+	}
+	if red[0].Node != "pre" || red[2].Node != ls || red[4].Node != "w" {
+		t.Fatalf("unexpected order: %v", red)
+	}
+}
+
+func TestReduceKeepsNonLoopHistory(t *testing.T) {
+	_, info, _, _ := loopSchema(t)
+	l := NewLog()
+	l.Append(&Event{Kind: Started, Node: "pre"})
+	l.Append(&Event{Kind: Completed, Node: "pre"})
+	red := Reduce(info, l.Events())
+	if len(red) != 2 {
+		t.Fatalf("reduce must keep all non-loop events, got %d", len(red))
+	}
+}
+
+func TestStatsLifecycle(t *testing.T) {
+	s := NewStats()
+	s.OnStart("a", 3)
+	if !s.Started("a") || s.StartSeq("a") != 3 || s.CompleteSeq("a") != 0 {
+		t.Fatal("start bookkeeping")
+	}
+	s.OnComplete("a", 4, -1)
+	if s.CompleteSeq("a") != 4 {
+		t.Fatal("complete bookkeeping")
+	}
+	s.OnComplete("split", 6, 1) // completion without recorded start
+	d := s.Decisions()
+	if d["split"] != 1 {
+		t.Fatalf("decisions = %v", d)
+	}
+	if _, ok := d["a"]; ok {
+		t.Fatal("non-split decision leaked")
+	}
+	c := s.Clone()
+	c.OnStart("b", 9)
+	if s.Started("b") {
+		t.Fatal("clone leaked")
+	}
+	s.PurgeRegion(map[string]bool{"a": true})
+	if s.Started("a") {
+		t.Fatal("purge failed")
+	}
+	if s.Started("nope") || s.StartSeq("nope") != 0 || s.CompleteSeq("nope") != 0 {
+		t.Fatal("zero stats for unknown nodes")
+	}
+}
+
+func TestEventStringsAndKind(t *testing.T) {
+	if (&Event{Seq: 1, Kind: Started, Node: "a"}).String() != "#1 started a" {
+		t.Fatal("started string")
+	}
+	if (&Event{Seq: 2, Kind: Completed, Node: "s", Decision: 1}).String() != "#2 completed s (decision 1)" {
+		t.Fatal("decision string")
+	}
+	if (&Event{Seq: 3, Kind: Completed, Node: "le", Again: true}).String() != "#3 completed le (again)" {
+		t.Fatal("again string")
+	}
+	if (&Event{Seq: 4, Kind: Completed, Node: "a", Decision: -1}).String() != "#4 completed a" {
+		t.Fatal("plain completed string")
+	}
+	if Started.String() != "started" || Completed.String() != "completed" {
+		t.Fatal("kind strings")
+	}
+}

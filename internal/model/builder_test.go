@@ -1,0 +1,215 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderSequence(t *testing.T) {
+	b := NewBuilder("demo")
+	frag := b.Seq(b.Activity("a", "A"), b.Activity("c", "C"))
+	s, err := b.Build(frag)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if s.StartID() == "" || s.EndID() == "" {
+		t.Fatal("missing start/end")
+	}
+	if !s.HasEdge(EdgeKey{From: "a", To: "c", Type: EdgeControl}) {
+		t.Fatal("sequence edge missing")
+	}
+	if !s.HasEdge(EdgeKey{From: "start", To: "a", Type: EdgeControl}) {
+		t.Fatal("start wiring missing")
+	}
+	if !s.HasEdge(EdgeKey{From: "c", To: "end", Type: EdgeControl}) {
+		t.Fatal("end wiring missing")
+	}
+}
+
+func TestBuilderParallelAndChoice(t *testing.T) {
+	b := NewBuilder("demo")
+	b.DataElement("route", TypeInt)
+	par := b.Parallel(b.Activity("p1", "P1"), b.Activity("p2", "P2"))
+	choice := b.Choice("route", b.Activity("c1", "C1"), b.Empty())
+	s, err := b.Build(b.Seq(par, choice))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var andSplits, xorSplits, nops int
+	var xorSplitID string
+	for _, n := range s.Nodes() {
+		switch n.Type {
+		case NodeANDSplit:
+			andSplits++
+		case NodeXORSplit:
+			xorSplits++
+			xorSplitID = n.ID
+		case NodeActivity:
+			if strings.HasPrefix(n.ID, "nop_") {
+				nops++
+				if !n.Auto {
+					t.Error("empty branch activity must be automatic")
+				}
+			}
+		}
+	}
+	if andSplits != 1 || xorSplits != 1 || nops != 1 {
+		t.Fatalf("gateway counts: and=%d xor=%d nop=%d", andSplits, xorSplits, nops)
+	}
+	split, _ := s.Node(xorSplitID)
+	if split.DecisionElement != "route" || !split.Auto {
+		t.Fatalf("xor split config: %+v", split)
+	}
+	codes := map[int]bool{}
+	for _, e := range OutControlEdges(s, xorSplitID) {
+		codes[e.Code] = true
+	}
+	if !codes[0] || !codes[1] {
+		t.Fatalf("xor branch codes missing: %v", codes)
+	}
+}
+
+func TestBuilderLoop(t *testing.T) {
+	b := NewBuilder("demo")
+	b.DataElement("again", TypeBool)
+	loop := b.Loop(b.Activity("body", "Body"), "again", 5)
+	s, err := b.Build(loop)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var loopEnd *Node
+	for _, n := range s.Nodes() {
+		if n.Type == NodeLoopEnd {
+			loopEnd = n
+		}
+	}
+	if loopEnd == nil {
+		t.Fatal("loop end missing")
+	}
+	if loopEnd.MaxIterations != 5 || loopEnd.DecisionElement != "again" {
+		t.Fatalf("loop end config: %+v", loopEnd)
+	}
+	var loopEdges int
+	for _, e := range s.Edges() {
+		if e.Type == EdgeLoop {
+			loopEdges++
+			if e.From != loopEnd.ID {
+				t.Fatalf("loop edge source %q, want %q", e.From, loopEnd.ID)
+			}
+		}
+	}
+	if loopEdges != 1 {
+		t.Fatalf("want 1 loop edge, got %d", loopEdges)
+	}
+}
+
+func TestBuilderDataWiring(t *testing.T) {
+	b := NewBuilder("demo")
+	b.DataElement("order", TypeString)
+	a := b.Activity("a", "A", WithRole("clerk"), WithTemplate("tmplA"), WithDuration(7))
+	c := b.Activity("c", "C")
+	b.Write("a", "order", "out")
+	b.Read("c", "order", "in", true)
+	s, err := b.Build(b.Seq(a, c))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	na, _ := s.Node("a")
+	if na.Role != "clerk" || na.Template != "tmplA" || na.Duration != 7 {
+		t.Fatalf("node options not applied: %+v", na)
+	}
+	des := s.DataEdgesOf("c")
+	if len(des) != 1 || des[0].Access != Read || !des[0].Mandatory {
+		t.Fatalf("data edges of c: %v", des)
+	}
+}
+
+func TestBuilderSync(t *testing.T) {
+	b := NewBuilder("demo")
+	p := b.Parallel(
+		b.Seq(b.Activity("a1", "A1"), b.Activity("a2", "A2")),
+		b.Seq(b.Activity("b1", "B1"), b.Activity("b2", "B2")),
+	)
+	b.Sync("a1", "b2")
+	s, err := b.Build(p)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !s.HasEdge(EdgeKey{From: "a1", To: "b2", Type: EdgeSync}) {
+		t.Fatal("sync edge missing")
+	}
+}
+
+func TestBuilderErrorsAreSticky(t *testing.T) {
+	b := NewBuilder("demo")
+	f1 := b.Activity("a", "A")
+	f2 := b.Activity("a", "dup") // duplicate ID -> sticky error
+	if b.Err() == nil {
+		t.Fatal("expected builder error")
+	}
+	if f2.valid {
+		t.Fatal("fragment after error must be invalid")
+	}
+	// All further calls are no-ops and Build fails with the first error.
+	b.Sync("a", "zz")
+	b.DataElement("d", TypeInt)
+	b.Read("a", "d", "p", false)
+	b.Write("a", "d", "p")
+	if _, err := b.Build(f1); err == nil {
+		t.Fatal("build must return the sticky error")
+	}
+}
+
+func TestBuilderInvalidCompositions(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(b *Builder) Fragment
+	}{
+		{"empty seq", func(b *Builder) Fragment { return b.Seq() }},
+		{"seq with invalid fragment", func(b *Builder) Fragment { return b.Seq(Fragment{}) }},
+		{"parallel single branch", func(b *Builder) Fragment { return b.Parallel(b.Activity("a", "A")) }},
+		{"parallel invalid branch", func(b *Builder) Fragment {
+			return b.Parallel(b.Activity("a", "A"), Fragment{})
+		}},
+		{"choice single branch", func(b *Builder) Fragment { return b.Choice("", b.Activity("a", "A")) }},
+		{"choice invalid branch", func(b *Builder) Fragment {
+			return b.Choice("", b.Activity("a", "A"), Fragment{})
+		}},
+		{"loop invalid body", func(b *Builder) Fragment { return b.Loop(Fragment{}, "", 0) }},
+	}
+	for _, c := range cases {
+		b := NewBuilder("demo")
+		c.run(b)
+		if b.Err() == nil {
+			t.Errorf("%s: expected builder error", c.name)
+		}
+	}
+	// Build with an invalid root.
+	b := NewBuilder("demo")
+	if _, err := b.Build(Fragment{}); err == nil {
+		t.Error("build with invalid root must fail")
+	}
+}
+
+func TestBuilderStartEndCollision(t *testing.T) {
+	b := NewBuilder("demo")
+	frag := b.Seq(b.Activity("start", "user start"), b.Activity("end", "user end"))
+	s, err := b.Build(frag)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if s.StartID() != "__start" || s.EndID() != "__end" {
+		t.Fatalf("collision handling failed: start=%q end=%q", s.StartID(), s.EndID())
+	}
+}
+
+func TestVersionBuilder(t *testing.T) {
+	b := NewVersionBuilder("demo", 3)
+	s, err := b.Build(b.Activity("a", "A"))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if s.Version() != 3 || s.SchemaID() != "demo@v3" {
+		t.Fatalf("version metadata: %q v%d", s.SchemaID(), s.Version())
+	}
+}

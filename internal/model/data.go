@@ -1,0 +1,115 @@
+package model
+
+import "fmt"
+
+// DataType enumerates the primitive types of data elements.
+type DataType uint8
+
+const (
+	TypeString DataType = iota
+	TypeInt
+	TypeBool
+	TypeFloat
+)
+
+var dataTypeNames = [...]string{
+	TypeString: "string",
+	TypeInt:    "int",
+	TypeBool:   "bool",
+	TypeFloat:  "float",
+}
+
+func (t DataType) String() string {
+	if int(t) < len(dataTypeNames) {
+		return dataTypeNames[t]
+	}
+	return fmt.Sprintf("data-type(%d)", uint8(t))
+}
+
+// ZeroValue returns the zero value of the data type, used when optional
+// parameters are read before any activity has written the element.
+func (t DataType) ZeroValue() any {
+	switch t {
+	case TypeInt:
+		return int64(0)
+	case TypeBool:
+		return false
+	case TypeFloat:
+		return float64(0)
+	default:
+		return ""
+	}
+}
+
+// DataElement is a typed process variable. Activities exchange information
+// exclusively through data elements connected by data edges, which is what
+// makes data flow analyzable at buildtime.
+type DataElement struct {
+	ID   string
+	Name string
+	Type DataType
+}
+
+// Clone returns a copy of the data element.
+func (d *DataElement) Clone() *DataElement {
+	c := *d
+	return &c
+}
+
+// DataAccess distinguishes read and write data edges.
+type DataAccess uint8
+
+const (
+	Read DataAccess = iota
+	Write
+)
+
+func (a DataAccess) String() string {
+	if a == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// DataEdge connects an activity parameter to a data element.
+type DataEdge struct {
+	Activity string
+	Element  string
+	Access   DataAccess
+
+	// Parameter is the name of the activity parameter mapped to the
+	// element.
+	Parameter string
+
+	// Mandatory marks read edges whose parameter must be supplied: the
+	// activity cannot start unless some completed activity has written the
+	// element. The buildtime data flow check guarantees a writer exists on
+	// every path; the runtime enforces it again defensively.
+	Mandatory bool
+}
+
+// Key identifies a data edge within a schema.
+func (d *DataEdge) Key() DataEdgeKey {
+	return DataEdgeKey{Activity: d.Activity, Element: d.Element, Access: d.Access, Parameter: d.Parameter}
+}
+
+// Clone returns a copy of the data edge.
+func (d *DataEdge) Clone() *DataEdge {
+	c := *d
+	return &c
+}
+
+func (d *DataEdge) String() string {
+	if d.Access == Write {
+		return fmt.Sprintf("%s --%s--> %s", d.Activity, d.Parameter, d.Element)
+	}
+	return fmt.Sprintf("%s <--%s-- %s", d.Activity, d.Parameter, d.Element)
+}
+
+// DataEdgeKey identifies a data edge.
+type DataEdgeKey struct {
+	Activity  string
+	Element   string
+	Access    DataAccess
+	Parameter string
+}

@@ -1,0 +1,13 @@
+// Package model defines the ADEPT2 process meta model: block-structured
+// process schemas (WSM nets) consisting of activity and gateway nodes,
+// control edges, sync edges (cross-branch ordering constraints inside
+// parallel blocks), loop edges, and explicit data flow (typed data elements
+// connected to activities through read/write data edges).
+//
+// A Schema is the buildtime artifact. All consumers (the verifier, the
+// execution engine, the change framework, the compliance checker) operate
+// on the read-only SchemaView interface so that biased instances can
+// substitute an overlay view (see internal/storage) without materializing
+// a full per-instance schema copy — the hybrid representation of Fig. 2 of
+// the ADEPT2 paper.
+package model

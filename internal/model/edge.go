@@ -1,0 +1,78 @@
+package model
+
+import "fmt"
+
+// EdgeType enumerates the edge kinds of the ADEPT2 meta model.
+type EdgeType uint8
+
+const (
+	// EdgeControl is a regular control flow edge.
+	EdgeControl EdgeType = iota
+	// EdgeSync is a synchronization edge: its target may not start before
+	// its source has completed or has been definitely skipped. Sync edges
+	// order activities of different branches of a parallel block; they are
+	// the ET=Sync edges of Fig. 1 of the ADEPT2 paper.
+	EdgeSync
+	// EdgeLoop is the back edge from a NodeLoopEnd to its NodeLoopStart.
+	EdgeLoop
+)
+
+var edgeTypeNames = [...]string{
+	EdgeControl: "control",
+	EdgeSync:    "sync",
+	EdgeLoop:    "loop",
+}
+
+func (t EdgeType) String() string {
+	if int(t) < len(edgeTypeNames) {
+		return edgeTypeNames[t]
+	}
+	return fmt.Sprintf("edge-type(%d)", uint8(t))
+}
+
+// Edge connects two schema nodes.
+type Edge struct {
+	From string
+	To   string
+	Type EdgeType
+
+	// Code is the selection code of a control edge leaving an XOR split:
+	// the split's decision selects the outgoing edge whose code matches.
+	// It is 0 (and irrelevant) for all other edges.
+	Code int
+}
+
+// Key returns the identity of the edge. A schema holds at most one edge
+// per key; parallel edges of different types (e.g. a control and a sync
+// edge between the same nodes) are distinct.
+func (e *Edge) Key() EdgeKey {
+	return EdgeKey{From: e.From, To: e.To, Type: e.Type}
+}
+
+// Clone returns a copy of the edge.
+func (e *Edge) Clone() *Edge {
+	c := *e
+	return &c
+}
+
+func (e *Edge) String() string {
+	switch e.Type {
+	case EdgeControl:
+		return fmt.Sprintf("%s->%s", e.From, e.To)
+	case EdgeSync:
+		return fmt.Sprintf("%s~>%s", e.From, e.To)
+	default:
+		return fmt.Sprintf("%s=>%s", e.From, e.To)
+	}
+}
+
+// EdgeKey identifies an edge within a schema.
+type EdgeKey struct {
+	From string
+	To   string
+	Type EdgeType
+}
+
+func (k EdgeKey) String() string {
+	return (&Edge{From: k.From, To: k.To, Type: k.Type}).String()
+}

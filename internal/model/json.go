@@ -1,0 +1,62 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// schemaJSON is the serialized form of a Schema. The element order is the
+// schema's stable insertion order, so marshalling round-trips exactly.
+type schemaJSON struct {
+	ID        string         `json:"id"`
+	TypeName  string         `json:"type"`
+	Version   int            `json:"version"`
+	Nodes     []*Node        `json:"nodes"`
+	Edges     []*Edge        `json:"edges"`
+	Data      []*DataElement `json:"data,omitempty"`
+	DataEdges []*DataEdge    `json:"dataEdges,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	return json.Marshal(schemaJSON{
+		ID:        s.id,
+		TypeName:  s.typeName,
+		Version:   s.version,
+		Nodes:     s.Nodes(),
+		Edges:     s.edges,
+		Data:      s.DataElements(),
+		DataEdges: s.dataEdges,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Schema) UnmarshalJSON(b []byte) error {
+	var raw schemaJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return fmt.Errorf("model: unmarshal schema: %w", err)
+	}
+	dec := NewSchema(raw.ID, raw.TypeName, raw.Version)
+	for _, n := range raw.Nodes {
+		if err := dec.AddNode(n); err != nil {
+			return err
+		}
+	}
+	for _, e := range raw.Edges {
+		if err := dec.AddEdge(e); err != nil {
+			return err
+		}
+	}
+	for _, d := range raw.Data {
+		if err := dec.AddDataElement(d); err != nil {
+			return err
+		}
+	}
+	for _, de := range raw.DataEdges {
+		if err := dec.AddDataEdge(de); err != nil {
+			return err
+		}
+	}
+	*s = *dec
+	return nil
+}

@@ -1,0 +1,99 @@
+package model_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adept2/internal/model"
+	"adept2/internal/sim"
+)
+
+// TestSchemaJSONRoundTripProperty: serialization round-trips random
+// generated schemas exactly (structure and metadata).
+func TestSchemaJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.RandomSchema(rng, "rt", sim.DefaultSchemaOpts())
+		blob, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var back model.Schema
+		if err := json.Unmarshal(blob, &back); err != nil {
+			return false
+		}
+		return model.Equal(s, &back) &&
+			back.SchemaID() == s.SchemaID() &&
+			back.StartID() == s.StartID() &&
+			back.EndID() == s.EndID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneEqualProperty: cloning preserves structure, and mutating the
+// clone never touches the original.
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.RandomSchema(rng, "cl", sim.DefaultSchemaOpts())
+		c := s.Clone()
+		if !model.Equal(s, c) {
+			return false
+		}
+		if err := c.AddNode(&model.Node{ID: "__mut", Type: model.NodeActivity}); err != nil {
+			return false
+		}
+		if _, leaked := s.Node("__mut"); leaked {
+			return false
+		}
+		return !model.Equal(s, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderCardinalityProperty: builder-produced schemas always satisfy
+// the block-structured cardinality rules (one in/out control edge for
+// activities, etc.) — the invariant the verifier assumes.
+func TestBuilderCardinalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.RandomSchema(rng, "card", sim.DefaultSchemaOpts())
+		for _, id := range s.NodeIDs() {
+			n, _ := s.Node(id)
+			in := len(model.InControlEdges(s, id))
+			out := len(model.OutControlEdges(s, id))
+			switch n.Type {
+			case model.NodeStart:
+				if in != 0 || out != 1 {
+					return false
+				}
+			case model.NodeEnd:
+				if in != 1 || out != 0 {
+					return false
+				}
+			case model.NodeActivity, model.NodeLoopStart, model.NodeLoopEnd:
+				if in != 1 || out != 1 {
+					return false
+				}
+			case model.NodeANDSplit, model.NodeXORSplit:
+				if in != 1 || out < 2 {
+					return false
+				}
+			case model.NodeANDJoin, model.NodeXORJoin:
+				if in < 2 || out != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

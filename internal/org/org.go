@@ -1,0 +1,118 @@
+// Package org implements the ADEPT2 organizational model: users, roles,
+// and org units. Staff assignments on activities reference roles; the
+// worklist manager resolves them to concrete users through this model.
+package org
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// User is an organizational agent.
+type User struct {
+	ID    string   `json:"id"`
+	Name  string   `json:"name"`
+	Roles []string `json:"roles"`
+	Unit  string   `json:"unit,omitempty"`
+}
+
+// Model is a thread-safe registry of users and roles.
+type Model struct {
+	mu    sync.RWMutex
+	users map[string]*User
+	roles map[string][]string // role -> user IDs (sorted)
+}
+
+// NewModel returns an empty organizational model.
+func NewModel() *Model {
+	return &Model{
+		users: make(map[string]*User),
+		roles: make(map[string][]string),
+	}
+}
+
+// AddUser registers a user.
+func (m *Model) AddUser(u *User) error {
+	if u == nil || u.ID == "" {
+		return fmt.Errorf("org: add user: empty ID")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.users[u.ID]; dup {
+		return fmt.Errorf("org: add user %q: duplicate ID", u.ID)
+	}
+	cp := *u
+	cp.Roles = append([]string(nil), u.Roles...)
+	m.users[u.ID] = &cp
+	for _, r := range cp.Roles {
+		m.roles[r] = insertSorted(m.roles[r], u.ID)
+	}
+	return nil
+}
+
+// User looks up a user by ID.
+func (m *Model) User(id string) (*User, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	u, ok := m.users[id]
+	return u, ok
+}
+
+// UsersInRole returns the IDs of all users holding the role, sorted.
+func (m *Model) UsersInRole(role string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.roles[role]...)
+}
+
+// HasRole reports whether the user holds the role.
+func (m *Model) HasRole(userID, role string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	u, ok := m.users[userID]
+	if !ok {
+		return false
+	}
+	for _, r := range u.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Roles returns all known roles, sorted.
+func (m *Model) Roles() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rs := make([]string, 0, len(m.roles))
+	for r := range m.roles {
+		rs = append(rs, r)
+	}
+	sort.Strings(rs)
+	return rs
+}
+
+// Users returns all user IDs, sorted.
+func (m *Model) Users() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]string, 0, len(m.users))
+	for id := range m.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func insertSorted(ss []string, s string) []string {
+	i := sort.SearchStrings(ss, s)
+	if i < len(ss) && ss[i] == s {
+		return ss
+	}
+	ss = append(ss, "")
+	copy(ss[i+1:], ss[i:])
+	ss[i] = s
+	return ss
+}

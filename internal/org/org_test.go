@@ -1,0 +1,70 @@
+package org
+
+import "testing"
+
+func demoModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	users := []*User{
+		{ID: "ann", Name: "Ann", Roles: []string{"clerk", "sales"}},
+		{ID: "bob", Name: "Bob", Roles: []string{"clerk"}},
+		{ID: "cyn", Name: "Cyn", Roles: []string{"warehouse"}, Unit: "logistics"},
+	}
+	for _, u := range users {
+		if err := m.AddUser(u); err != nil {
+			t.Fatalf("add user: %v", err)
+		}
+	}
+	return m
+}
+
+func TestModelLookup(t *testing.T) {
+	m := demoModel(t)
+	u, ok := m.User("ann")
+	if !ok || u.Name != "Ann" {
+		t.Fatalf("User(ann) = %+v, %v", u, ok)
+	}
+	if _, ok := m.User("zz"); ok {
+		t.Fatal("unknown user found")
+	}
+	if got := m.UsersInRole("clerk"); len(got) != 2 || got[0] != "ann" || got[1] != "bob" {
+		t.Fatalf("UsersInRole(clerk) = %v", got)
+	}
+	if got := m.UsersInRole("none"); len(got) != 0 {
+		t.Fatalf("UsersInRole(none) = %v", got)
+	}
+	if !m.HasRole("ann", "sales") || m.HasRole("bob", "sales") || m.HasRole("zz", "clerk") {
+		t.Fatal("HasRole broken")
+	}
+	if got := m.Roles(); len(got) != 3 {
+		t.Fatalf("Roles = %v", got)
+	}
+	if got := m.Users(); len(got) != 3 || got[0] != "ann" {
+		t.Fatalf("Users = %v", got)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	m := demoModel(t)
+	if err := m.AddUser(&User{ID: "ann"}); err == nil {
+		t.Fatal("duplicate user must fail")
+	}
+	if err := m.AddUser(&User{}); err == nil {
+		t.Fatal("empty ID must fail")
+	}
+	if err := m.AddUser(nil); err == nil {
+		t.Fatal("nil user must fail")
+	}
+}
+
+func TestAddUserCopiesInput(t *testing.T) {
+	m := NewModel()
+	u := &User{ID: "x", Roles: []string{"r"}}
+	if err := m.AddUser(u); err != nil {
+		t.Fatal(err)
+	}
+	u.Roles[0] = "mutated"
+	if !m.HasRole("x", "r") {
+		t.Fatal("model must copy the roles slice")
+	}
+}

@@ -1,0 +1,179 @@
+// Package persist implements durable command journaling for the ADEPT2
+// runtime: every state-changing command (deploy, instance creation,
+// activity completion, ad-hoc change, schema evolution) is appended to a
+// newline-delimited JSON write-ahead journal. Recovery replays the journal
+// through the public API, reconstructing the exact engine state — the
+// substitution for the paper prototype's RDBMS-backed storage layer (see
+// DESIGN.md).
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one journaled command.
+type Record struct {
+	// Seq is the journal sequence number (1-based).
+	Seq int `json:"seq"`
+	// Op names the command (facade-defined, e.g. "deploy", "complete").
+	Op string `json:"op"`
+	// Args carries the command arguments.
+	Args json.RawMessage `json:"args"`
+}
+
+// Journal is an append-only command log. It is safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	w    io.Writer
+	file *os.File // non-nil when backed by a file
+	seq  int
+	sync bool
+}
+
+// NewJournal wraps an arbitrary writer (tests use a bytes.Buffer).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// OpenJournal opens (or creates) a file-backed journal in append mode. If
+// the file already holds records, new sequence numbers continue after the
+// highest existing one.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open journal: %w", err)
+	}
+	recs, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{w: f, file: f, sync: true}
+	if n := len(recs); n > 0 {
+		j.seq = recs[n-1].Seq
+	}
+	return j, nil
+}
+
+// SetSync toggles fsync after every append (default true for file-backed
+// journals; benchmarks disable it).
+func (j *Journal) SetSync(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sync = on
+}
+
+// Append journals one command.
+func (j *Journal) Append(op string, args any) error {
+	blob, err := json.Marshal(args)
+	if err != nil {
+		return fmt.Errorf("persist: marshal %s args: %w", op, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec := Record{Seq: j.seq, Op: op, Args: blob}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	if j.file != nil && j.sync {
+		if err := j.file.Sync(); err != nil {
+			return fmt.Errorf("persist: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last appended record.
+func (j *Journal) Seq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Close closes a file-backed journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file != nil {
+		return j.file.Close()
+	}
+	return nil
+}
+
+// ReadJournal parses all records from a reader. A trailing partial line
+// (torn write after a crash) is tolerated and discarded; corruption in the
+// middle of the journal is an error.
+func ReadJournal(r io.Reader) ([]Record, error) {
+	return readAll(r)
+}
+
+// LoadJournal reads all records of a journal file. A missing file yields
+// an empty journal.
+func LoadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: load journal: %w", err)
+	}
+	defer f.Close()
+	return readAll(f)
+}
+
+func readAll(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A malformed line followed by more data is real corruption.
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Possibly a torn final write; decide when we see whether more
+			// lines follow.
+			pendingErr = fmt.Errorf("persist: corrupt record at line %d: %w", lineNo, err)
+			continue
+		}
+		if want := len(recs) + 1; rec.Seq != want {
+			return nil, fmt.Errorf("persist: journal gap at line %d: seq %d, want %d", lineNo, rec.Seq, want)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("persist: read journal: %w", err)
+	}
+	return recs, nil
+}
+
+// Applier replays one journaled command; the facade implements it.
+type Applier func(op string, args json.RawMessage) error
+
+// Replay feeds every record to the applier in order.
+func Replay(recs []Record, apply Applier) error {
+	for _, rec := range recs {
+		if err := apply(rec.Op, rec.Args); err != nil {
+			return fmt.Errorf("persist: replay record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if err := j.Append("create", map[string]any{"type": "order"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("complete", map[string]any{"node": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Seq() != 2 {
+		t.Fatalf("seq = %d", j.Seq())
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Op != "create" || recs[1].Seq != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if err := j.Append("create", nil); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"seq":2,"op":"comp`) // torn write, no newline... then EOF
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestJournalRejectsMidCorruption(t *testing.T) {
+	data := `{"seq":1,"op":"a","args":null}
+garbage
+{"seq":2,"op":"b","args":null}
+`
+	if _, err := ReadJournal(strings.NewReader(data)); err == nil {
+		t.Fatal("mid-journal corruption must be rejected")
+	}
+}
+
+func TestJournalRejectsGaps(t *testing.T) {
+	data := `{"seq":1,"op":"a","args":null}
+{"seq":3,"op":"b","args":null}
+`
+	if _, err := ReadJournal(strings.NewReader(data)); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("expected gap error, got %v", err)
+	}
+}
+
+func TestFileJournalReopenContinuesSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	if err := j.Append("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append("c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Seq != 3 || recs[2].Op != "c" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestLoadJournalMissingFile(t *testing.T) {
+	recs, err := LoadJournal(filepath.Join(t.TempDir(), "absent.ndjson"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Op: "ok", Args: json.RawMessage(`null`)},
+		{Seq: 2, Op: "boom", Args: json.RawMessage(`null`)},
+		{Seq: 3, Op: "ok", Args: json.RawMessage(`null`)},
+	}
+	var applied []string
+	err := Replay(recs, func(op string, _ json.RawMessage) error {
+		applied = append(applied, op)
+		if op == "boom" {
+			return os.ErrInvalid
+		}
+		return nil
+	})
+	if err == nil || len(applied) != 2 {
+		t.Fatalf("applied=%v err=%v", applied, err)
+	}
+}
+
+func TestAppendMarshalsErrors(t *testing.T) {
+	j := NewJournal(&bytes.Buffer{})
+	if err := j.Append("bad", func() {}); err == nil {
+		t.Fatal("unmarshalable args must fail")
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/model"
+)
+
+// PopulationOpts tunes a synthetic online-order instance population — the
+// "thousands of running instances" of the paper's Fig. 3 experiment.
+type PopulationOpts struct {
+	// N is the number of instances.
+	N int
+	// BiasedFrac is the fraction of instances receiving an ad-hoc change.
+	BiasedFrac float64
+	// ConflictingBiasFrac is the fraction of *biased* instances whose bias
+	// structurally conflicts with the Fig. 1 type change (the I2 bias);
+	// the rest receive a disjoint, migratable bias.
+	ConflictingBiasFrac float64
+	// LateFrac is the fraction of instances advanced past the change
+	// region (state conflicts, the I3 state).
+	LateFrac float64
+}
+
+// DefaultPopulationOpts matches the shape of the paper's demo: most
+// instances migratable, a tail of state and structural conflicts.
+func DefaultPopulationOpts(n int) PopulationOpts {
+	return PopulationOpts{N: n, BiasedFrac: 0.2, ConflictingBiasFrac: 0.5, LateFrac: 0.25}
+}
+
+// BuildPopulation creates an online-order population on the engine. The
+// schema must already be deployed. It returns the created instances.
+func BuildPopulation(e *engine.Engine, rng *rand.Rand, opts PopulationOpts) ([]*engine.Instance, error) {
+	insts := make([]*engine.Instance, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		inst, err := e.CreateInstance("online_order", 0)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+
+		r := rng.Float64()
+		switch {
+		case r < opts.LateFrac:
+			if err := AdvanceOnlineOrderToI3(e, inst); err != nil {
+				return nil, fmt.Errorf("sim: advance %s to I3: %w", inst.ID(), err)
+			}
+		case r < opts.LateFrac+0.5:
+			if err := AdvanceOnlineOrderToI1(e, inst); err != nil {
+				return nil, fmt.Errorf("sim: advance %s to I1: %w", inst.ID(), err)
+			}
+		default:
+			// Stays fresh (only get_order enabled).
+		}
+
+		if rng.Float64() < opts.BiasedFrac {
+			var ops []change.Operation
+			if rng.Float64() < opts.ConflictingBiasFrac {
+				ops = conflictingBias(i)
+			} else {
+				ops = disjointBias(i)
+			}
+			if err := change.ApplyAdHoc(inst, ops...); err != nil {
+				// Advanced instances may reject some biases; that's part
+				// of a realistic population — skip silently.
+				continue
+			}
+		}
+	}
+	return insts, nil
+}
+
+// conflictingBias returns the I2 bias (unique node IDs per instance): a
+// brochure activity plus the sync edge that later collides with ΔT.
+func conflictingBias(i int) []change.Operation {
+	return []change.Operation{
+		&change.SerialInsert{
+			Node: &model.Node{
+				ID:       fmt.Sprintf("send_brochure_%d", i),
+				Name:     "Send Brochure",
+				Type:     model.NodeActivity,
+				Role:     "sales",
+				Template: "send_brochure",
+			},
+			Pred: "collect_data",
+			Succ: "confirm_order",
+		},
+		&change.InsertSyncEdge{From: "confirm_order", To: "compose_order"},
+	}
+}
+
+// disjointBias returns a bias that never conflicts with ΔT: an extra
+// quality check before delivery.
+func disjointBias(i int) []change.Operation {
+	return []change.Operation{
+		&change.SerialInsert{
+			Node: &model.Node{
+				ID:       fmt.Sprintf("quality_check_%d", i),
+				Name:     "Quality Check",
+				Type:     model.NodeActivity,
+				Role:     "warehouse",
+				Template: "quality_check",
+			},
+			Pred: "get_order",
+			Succ: "and-split_1",
+		},
+	}
+}
+
+// LoopProcess builds a process whose history grows with every iteration:
+// a loop of three activities plus a trailing finalize activity. The Fig. 1
+// compliance-cost experiment drives it to a target history length.
+func LoopProcess() *model.Schema {
+	b := model.NewBuilder("loopy")
+	body := b.Seq(
+		b.Activity("step1", "Step 1", model.WithRole("worker")),
+		b.Activity("step2", "Step 2", model.WithRole("worker")),
+		b.Activity("step3", "Step 3", model.WithRole("worker")),
+	)
+	loop := b.Loop(body, "", 0)
+	fin := b.Activity("finalize", "Finalize", model.WithRole("worker"))
+	s, err := b.Build(b.Seq(loop, fin))
+	if err != nil {
+		panic(fmt.Sprintf("sim: loop process: %v", err))
+	}
+	return s
+}
+
+// DriveLoopIterations runs the loop process instance through the given
+// number of loop iterations, leaving the loop afterwards (finalize stays
+// enabled). Each pass adds ten history events (gateway and activity
+// starts/completions).
+func DriveLoopIterations(e *engine.Engine, inst *engine.Instance, iterations int) error {
+	v := inst.View()
+	var loopEnd string
+	for _, id := range v.NodeIDs() {
+		n, _ := v.Node(id)
+		if n.Type == model.NodeLoopEnd {
+			loopEnd = id
+		}
+	}
+	for it := 0; it <= iterations; it++ {
+		for _, node := range []string{"step1", "step2", "step3"} {
+			if err := e.CompleteActivity(inst.ID(), node, "ann", nil); err != nil {
+				return err
+			}
+		}
+		again := it < iterations
+		if err := e.CompleteActivity(inst.ID(), loopEnd, "", nil, engine.WithLoopAgain(again)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoopProcessTypeChange is the change measured by the Fig. 1 experiment: a
+// review activity inserted before finalize.
+func LoopProcessTypeChange() []change.Operation {
+	var loopEnd string
+	s := LoopProcess()
+	for _, n := range s.Nodes() {
+		if n.Type == model.NodeLoopEnd {
+			loopEnd = n.ID
+		}
+	}
+	return []change.Operation{
+		&change.SerialInsert{
+			Node: &model.Node{ID: "review", Name: "Review", Type: model.NodeActivity, Role: "worker", Template: "review"},
+			Pred: loopEnd,
+			Succ: "finalize",
+		},
+	}
+}

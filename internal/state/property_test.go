@@ -1,0 +1,154 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adept2/internal/model"
+)
+
+// genRun builds a random schema and a random partial execution of it,
+// returning the view and the marking.
+func genRun(rng *rand.Rand) (model.SchemaView, *Marking, map[string]int) {
+	b := model.NewBuilder("p")
+	var n int
+	var frag func(depth int) model.Fragment
+	frag = func(depth int) model.Fragment {
+		if depth <= 0 || rng.Float64() < 0.55 {
+			n++
+			return b.Activity(actID(n), "A", model.WithRole("r"))
+		}
+		if rng.Intn(2) == 0 {
+			return b.Parallel(frag(depth-1), frag(depth-1))
+		}
+		return b.Choice("", frag(depth-1), frag(depth-1))
+	}
+	s, err := b.Build(b.Seq(frag(3)))
+	if err != nil {
+		panic(err)
+	}
+	m := NewMarking()
+	m.Init(s)
+	Evaluate(s, m, 1)
+	decisions := map[string]int{}
+	// Random partial run: repeatedly pick an activated node and complete
+	// it (choosing random XOR branches).
+	for step := 0; step < 30; step++ {
+		enabled := m.NodesInState(Activated)
+		if len(enabled) == 0 {
+			break
+		}
+		id := enabled[rng.Intn(len(enabled))]
+		if m.Start(id) != nil {
+			break
+		}
+		node, _ := s.Node(id)
+		dec := -1
+		if node.Type == model.NodeXORSplit {
+			outs := model.OutControlEdges(s, id)
+			dec = outs[rng.Intn(len(outs))].Code
+			decisions[id] = dec
+		}
+		if m.Complete(s, id, dec) != nil {
+			break
+		}
+		Evaluate(s, m, step+2)
+	}
+	return s, m, decisions
+}
+
+func actID(n int) string {
+	digits := []byte("0123456789")
+	out := []byte{'a'}
+	if n == 0 {
+		return "a0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{digits[n%10]}, buf...)
+		n /= 10
+	}
+	return string(append(out, buf...))
+}
+
+// TestEvaluateIdempotent: a second Evaluate pass never changes anything
+// (the rules reach a true fixpoint).
+func TestEvaluateIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		v, m, _ := genRun(rand.New(rand.NewSource(seed)))
+		before := m.Clone()
+		Evaluate(v, m, 99)
+		return markingsEqual(v, before, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptIsIdentityWithoutChange: adapting a marking against its own
+// unchanged schema reproduces the marking exactly.
+func TestAdaptIsIdentityWithoutChange(t *testing.T) {
+	f := func(seed int64) bool {
+		v, m, decisions := genRun(rand.New(rand.NewSource(seed)))
+		before := m.Clone()
+		Adapt(v, m, decisions, 100)
+		return markingsEqual(v, before, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarkingInvariants: structural sanity of every reachable marking —
+// an activated or started node has no false-signaled incoming control
+// edge; a skipped node never has started successors on dead edges that
+// carry true signals, and exactly one outgoing control edge of a
+// completed XOR split is true-signaled.
+func TestMarkingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		v, m, _ := genRun(rand.New(rand.NewSource(seed)))
+		for _, id := range v.NodeIDs() {
+			n, _ := v.Node(id)
+			st := m.Node(id)
+			if st == Activated || st == Running || st == Completed {
+				if n.Type != model.NodeXORJoin && n.Type != model.NodeStart {
+					for _, e := range model.InControlEdges(v, id) {
+						if m.Edge(e.Key()) == FalseSignaled {
+							return false
+						}
+					}
+				}
+			}
+			if n.Type == model.NodeXORSplit && st == Completed {
+				trueCnt := 0
+				for _, e := range model.OutControlEdges(v, id) {
+					if m.Edge(e.Key()) == TrueSignaled {
+						trueCnt++
+					}
+				}
+				if trueCnt != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func markingsEqual(v model.SchemaView, a, b *Marking) bool {
+	for _, id := range v.NodeIDs() {
+		if a.Node(id) != b.Node(id) {
+			return false
+		}
+	}
+	for _, e := range v.Edges() {
+		if a.Edge(e.Key()) != b.Edge(e.Key()) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,413 @@
+// Package state implements ADEPT2 instance markings and their evaluation
+// rules. A marking assigns every node a NodeState (NotActivated, Activated,
+// Running, Completed, Skipped) and every edge an EdgeState (NotSignaled,
+// TrueSignaled, FalseSignaled) — the state model visible in Fig. 1 of the
+// paper ("completed", "activated", "running", "TRUE signaled", and the
+// "Disabled" state which this implementation calls Skipped).
+//
+// Evaluate propagates markings to a fixpoint: it activates nodes whose
+// incoming edges are satisfied and skips nodes on dead (false-signaled)
+// paths. The same rules run during normal execution, after ad-hoc changes,
+// and during migration state adaptation, which is what makes automatic
+// state adaptation possible.
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"adept2/internal/model"
+)
+
+// NodeState is the execution state of a node within one instance.
+type NodeState uint8
+
+const (
+	// NotActivated: the node has not become executable yet.
+	NotActivated NodeState = iota
+	// Activated: all predecessors are satisfied; work items are offered.
+	Activated
+	// Running: a user or the system has started the node.
+	Running
+	// Completed: the node finished; outgoing edges are signaled.
+	Completed
+	// Skipped: the node lies on a dead path and will never execute
+	// (the paper's "Disabled").
+	Skipped
+)
+
+var nodeStateNames = [...]string{
+	NotActivated: "not-activated",
+	Activated:    "activated",
+	Running:      "running",
+	Completed:    "completed",
+	Skipped:      "skipped",
+}
+
+func (s NodeState) String() string {
+	if int(s) < len(nodeStateNames) {
+		return nodeStateNames[s]
+	}
+	return fmt.Sprintf("node-state(%d)", uint8(s))
+}
+
+// Started reports whether the node has entered execution (running or
+// completed). Fast compliance conditions are phrased in terms of this
+// predicate.
+func (s NodeState) Started() bool { return s == Running || s == Completed }
+
+// EdgeState is the signaling state of an edge within one instance.
+type EdgeState uint8
+
+const (
+	// NotSignaled: the source has not finished yet.
+	NotSignaled EdgeState = iota
+	// TrueSignaled: the source completed and selected this edge.
+	TrueSignaled
+	// FalseSignaled: the edge lies on a dead path.
+	FalseSignaled
+)
+
+var edgeStateNames = [...]string{
+	NotSignaled:   "not-signaled",
+	TrueSignaled:  "true-signaled",
+	FalseSignaled: "false-signaled",
+}
+
+func (s EdgeState) String() string {
+	if int(s) < len(edgeStateNames) {
+		return edgeStateNames[s]
+	}
+	return fmt.Sprintf("edge-state(%d)", uint8(s))
+}
+
+// Marking is the complete execution state of one process instance over its
+// schema view. The zero state of every node is NotActivated and of every
+// edge NotSignaled; the maps only hold non-zero entries, so an unbiased,
+// freshly created instance costs almost no memory (the redundancy-free
+// representation of Fig. 2).
+type Marking struct {
+	nodes map[string]NodeState
+	edges map[model.EdgeKey]EdgeState
+
+	// skipSeq records, per skipped node, the event sequence number of the
+	// action that caused the skip. The fast compliance condition for sync
+	// edge insertion needs it ("was the source definitely dead before the
+	// target started?").
+	skipSeq map[string]int
+}
+
+// NewMarking returns an empty marking (everything not activated).
+func NewMarking() *Marking {
+	return &Marking{
+		nodes:   make(map[string]NodeState),
+		edges:   make(map[model.EdgeKey]EdgeState),
+		skipSeq: make(map[string]int),
+	}
+}
+
+// Node returns the state of a node.
+func (m *Marking) Node(id string) NodeState { return m.nodes[id] }
+
+// Edge returns the state of an edge.
+func (m *Marking) Edge(k model.EdgeKey) EdgeState { return m.edges[k] }
+
+// SetNode sets a node state directly. Callers outside this package should
+// prefer the Start/Complete/Evaluate entry points.
+func (m *Marking) SetNode(id string, s NodeState) {
+	if s == NotActivated {
+		delete(m.nodes, id)
+		return
+	}
+	m.nodes[id] = s
+}
+
+// SetEdge sets an edge state directly.
+func (m *Marking) SetEdge(k model.EdgeKey, s EdgeState) {
+	if s == NotSignaled {
+		delete(m.edges, k)
+		return
+	}
+	m.edges[k] = s
+}
+
+// SkipSeq returns the event sequence number at which the node was skipped
+// (0 if the node is not skipped).
+func (m *Marking) SkipSeq(id string) int { return m.skipSeq[id] }
+
+// NodesInState returns the IDs of all nodes currently in the given state,
+// sorted for determinism. NotActivated is not enumerable (it is the
+// default state).
+func (m *Marking) NodesInState(s NodeState) []string {
+	var ids []string
+	for id, ns := range m.nodes {
+		if ns == s {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Clone returns a deep copy of the marking.
+func (m *Marking) Clone() *Marking {
+	c := NewMarking()
+	for id, s := range m.nodes {
+		c.nodes[id] = s
+	}
+	for k, s := range m.edges {
+		c.edges[k] = s
+	}
+	for id, q := range m.skipSeq {
+		c.skipSeq[id] = q
+	}
+	return c
+}
+
+// CountNodes returns the number of nodes holding a non-default state; it
+// feeds the storage footprint accounting of the Fig. 2 experiment.
+func (m *Marking) CountNodes() int { return len(m.nodes) }
+
+// ApproxBytes estimates the memory held by the marking.
+func (m *Marking) ApproxBytes() int {
+	total := 0
+	for id := range m.nodes {
+		total += len(id) + 17
+	}
+	for k := range m.edges {
+		total += len(k.From) + len(k.To) + 18
+	}
+	for id := range m.skipSeq {
+		total += len(id) + 24
+	}
+	return total
+}
+
+// Init marks the start node of the view completed and signals its outgoing
+// edges — the state of a freshly created instance before the first
+// Evaluate pass.
+func (m *Marking) Init(v model.SchemaView) {
+	start := v.StartID()
+	if start == "" {
+		return
+	}
+	m.SetNode(start, Completed)
+	for _, e := range v.OutEdges(start) {
+		if e.Type != model.EdgeLoop {
+			m.SetEdge(e.Key(), TrueSignaled)
+		}
+	}
+}
+
+// Start transitions an activated node to running.
+func (m *Marking) Start(id string) error {
+	if got := m.Node(id); got != Activated {
+		return fmt.Errorf("state: start %q: node is %s, not activated", id, got)
+	}
+	m.SetNode(id, Running)
+	return nil
+}
+
+// Complete transitions a running node to completed and signals its
+// outgoing control and sync edges. For an XOR split, decision selects the
+// outgoing control edge code; all other edges are false-signaled. Loop
+// edges are never signaled here: loop iteration is performed by ResetLoop.
+func (m *Marking) Complete(v model.SchemaView, id string, decision int) error {
+	if got := m.Node(id); got != Running {
+		return fmt.Errorf("state: complete %q: node is %s, not running", id, got)
+	}
+	n, ok := v.Node(id)
+	if !ok {
+		return fmt.Errorf("state: complete %q: node not in schema", id)
+	}
+	m.SetNode(id, Completed)
+	for _, e := range v.OutEdges(id) {
+		switch e.Type {
+		case model.EdgeLoop:
+			// handled by ResetLoop
+		case model.EdgeControl:
+			if n.Type == model.NodeXORSplit && e.Code != decision {
+				m.SetEdge(e.Key(), FalseSignaled)
+			} else {
+				m.SetEdge(e.Key(), TrueSignaled)
+			}
+		case model.EdgeSync:
+			m.SetEdge(e.Key(), TrueSignaled)
+		}
+	}
+	return nil
+}
+
+// skip marks a node dead and false-signals everything leaving it.
+func (m *Marking) skip(v model.SchemaView, id string, seq int) {
+	m.SetNode(id, Skipped)
+	if _, dup := m.skipSeq[id]; !dup {
+		m.skipSeq[id] = seq
+	}
+	for _, e := range v.OutEdges(id) {
+		if e.Type == model.EdgeLoop {
+			continue
+		}
+		m.SetEdge(e.Key(), FalseSignaled)
+	}
+}
+
+// Evaluate propagates the marking to a fixpoint: nodes whose incoming
+// control edges are all true-signaled and whose incoming sync edges are
+// all signaled become Activated; nodes on dead paths become Skipped. seq
+// stamps newly skipped nodes (see SkipSeq). It returns the IDs of newly
+// activated nodes in deterministic order.
+func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
+	var activated []string
+	for {
+		changed := false
+		for _, id := range v.NodeIDs() {
+			if m.Node(id) != NotActivated {
+				continue
+			}
+			n, _ := v.Node(id)
+			if n.Type == model.NodeStart {
+				continue
+			}
+			inC := model.InControlEdges(v, id)
+			if len(inC) == 0 {
+				continue // disconnected; verifier rejects such schemas
+			}
+			trueC, falseC := 0, 0
+			for _, e := range inC {
+				switch m.Edge(e.Key()) {
+				case TrueSignaled:
+					trueC++
+				case FalseSignaled:
+					falseC++
+				}
+			}
+			syncReady := true
+			for _, e := range v.InEdges(id) {
+				if e.Type == model.EdgeSync && m.Edge(e.Key()) == NotSignaled {
+					syncReady = false
+					break
+				}
+			}
+
+			switch n.Type {
+			case model.NodeXORJoin:
+				switch {
+				case trueC == 1 && trueC+falseC == len(inC) && syncReady:
+					m.SetNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC == len(inC):
+					m.skip(v, id, seq)
+					changed = true
+				}
+			case model.NodeANDJoin:
+				switch {
+				case trueC == len(inC) && syncReady:
+					m.SetNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC == len(inC):
+					m.skip(v, id, seq)
+					changed = true
+				}
+			default:
+				// Single incoming control edge (activities, splits, loop
+				// start/end, end node).
+				switch {
+				case trueC == len(inC) && syncReady:
+					m.SetNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC > 0:
+					m.skip(v, id, seq)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return activated
+}
+
+// Adapt recomputes the marking after the underlying schema view changed
+// (ad-hoc change or migration): the efficient state adaptation procedure
+// the paper refers to for migrating instances. States of started nodes
+// (Running, Completed) are preserved; everything derivable — activations,
+// skips, edge signals — is recomputed from the completed frontier.
+//
+// decisions supplies the selection code of every completed XOR split
+// (taken from the execution history) so dead paths re-derive identically.
+// Skip stamps of nodes that remain skipped are preserved. Returns the
+// nodes activated after adaptation, in deterministic order.
+func Adapt(v model.SchemaView, m *Marking, decisions map[string]int, seq int) []string {
+	// Demote derived states; keep started nodes.
+	for _, id := range v.NodeIDs() {
+		switch m.Node(id) {
+		case Activated, Skipped:
+			m.SetNode(id, NotActivated)
+		}
+	}
+	// Drop states of nodes no longer present in the view (deleted by the
+	// change; compliance guarantees they never started).
+	for id := range m.nodes {
+		if _, ok := v.Node(id); !ok {
+			delete(m.nodes, id)
+			delete(m.skipSeq, id)
+		}
+	}
+	// All edge signals are re-derived.
+	for k := range m.edges {
+		delete(m.edges, k)
+	}
+	m.Init(v)
+	for _, id := range v.NodeIDs() {
+		if m.Node(id) != Completed || id == v.StartID() {
+			continue
+		}
+		n, _ := v.Node(id)
+		for _, e := range v.OutEdges(id) {
+			switch e.Type {
+			case model.EdgeLoop:
+				// A completed loop end exited its loop; the loop edge
+				// stays unsignaled.
+			case model.EdgeControl:
+				if n.Type == model.NodeXORSplit && e.Code != decisions[id] {
+					m.SetEdge(e.Key(), FalseSignaled)
+				} else {
+					m.SetEdge(e.Key(), TrueSignaled)
+				}
+			case model.EdgeSync:
+				m.SetEdge(e.Key(), TrueSignaled)
+			}
+		}
+	}
+	activated := Evaluate(v, m, seq)
+	// Prune stale skip stamps (Evaluate preserved stamps of re-skipped
+	// nodes).
+	for id := range m.skipSeq {
+		if m.Node(id) != Skipped {
+			delete(m.skipSeq, id)
+		}
+	}
+	return activated
+}
+
+// ResetLoop rewinds a loop body for the next iteration: every node in the
+// region (including the loop start and loop end) returns to NotActivated
+// and every edge between region nodes to NotSignaled. The loop start's
+// incoming control edge from outside the region remains true-signaled, so
+// the next Evaluate pass re-activates the loop start.
+func ResetLoop(v model.SchemaView, m *Marking, region map[string]bool) {
+	for id := range region {
+		m.SetNode(id, NotActivated)
+		delete(m.skipSeq, id)
+	}
+	for _, e := range v.Edges() {
+		if region[e.From] && region[e.To] {
+			m.SetEdge(e.Key(), NotSignaled)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package storage_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/sim"
+	"adept2/internal/storage"
+)
+
+// TestStrategiesAreBehaviorallyEquivalent drives identically seeded biased
+// instances to completion under all three Fig. 2 representations: the
+// resulting execution histories must be event-for-event identical. The
+// representation is an implementation detail — that is the whole point of
+// the SchemaView seam.
+func TestStrategiesAreBehaviorallyEquivalent(t *testing.T) {
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		schemaRng := rand.New(rand.NewSource(int64(trial) + 500))
+		name := fmt.Sprintf("eq%d", trial)
+		schema := sim.RandomSchema(schemaRng, name, sim.DefaultSchemaOpts())
+
+		// Find an applicable random ad-hoc change for this trial (same
+		// proposal sequence for every strategy).
+		type runResult struct {
+			events []string
+			biased bool
+		}
+		var results []runResult
+		for _, strat := range storage.Strategies() {
+			e := engine.New(sim.Org())
+			e.SetStorageStrategy(strat)
+			if err := e.Deploy(schema.Clone()); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			inst, err := e.CreateInstance(name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runRng := rand.New(rand.NewSource(int64(trial)*31 + 7))
+			driver := sim.NewDriver(runRng, e)
+			if err := driver.Advance(inst, 5); err != nil {
+				t.Fatalf("trial %d/%s: advance: %v", trial, strat, err)
+			}
+			// Deterministic proposal sequence; apply the first accepted
+			// change.
+			opRng := rand.New(rand.NewSource(int64(trial)*17 + 3))
+			biased := false
+			for attempt := 0; attempt < 10 && !biased; attempt++ {
+				ops := sim.RandomAdHocOps(opRng, inst.View(), attempt)
+				if change.ApplyAdHoc(inst, ops...) == nil {
+					biased = true
+				}
+			}
+			if err := driver.RunToCompletion(inst); err != nil {
+				t.Fatalf("trial %d/%s: completion: %v", trial, strat, err)
+			}
+			var events []string
+			for _, ev := range inst.HistoryEvents() {
+				events = append(events, ev.String())
+			}
+			results = append(results, runResult{events: events, biased: biased})
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i].biased != results[0].biased {
+				t.Fatalf("trial %d: bias acceptance differs between strategies", trial)
+			}
+			if len(results[i].events) != len(results[0].events) {
+				t.Fatalf("trial %d: history lengths differ: %d vs %d",
+					trial, len(results[0].events), len(results[i].events))
+			}
+			for k := range results[i].events {
+				if results[i].events[k] != results[0].events[k] {
+					t.Fatalf("trial %d: event %d differs: %q vs %q",
+						trial, k, results[0].events[k], results[i].events[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,597 @@
+package storage
+
+import (
+	"fmt"
+
+	"adept2/internal/model"
+)
+
+// Overlay is the substitution block of one biased instance: the minimal
+// delta (added/removed nodes, edges, data elements, data edges) applied
+// over an immutable base schema. It implements model.SchemaView and
+// model.MutableView, so the engine, the verifier, and the compliance
+// checker operate on it exactly as on a plain schema — without ever
+// materializing a full copy.
+type Overlay struct {
+	base *model.Schema
+
+	addedNodes   map[string]*model.Node
+	addedNodeIDs []string
+	removedNodes map[string]bool
+
+	addedEdges    map[model.EdgeKey]*model.Edge
+	addedEdgeList []*model.Edge
+	removedEdges  map[model.EdgeKey]bool
+
+	addedData    map[string]*model.DataElement
+	addedDataIDs []string
+	removedData  map[string]bool
+
+	addedDataEdges    map[model.DataEdgeKey]*model.DataEdge
+	addedDataEdgeList []*model.DataEdge
+	removedDataEdges  map[model.DataEdgeKey]bool
+
+	// lazily rebuilt caches
+	dirty     bool
+	nodeIDs   []string
+	edgeList  []*model.Edge
+	outCache  map[string][]*model.Edge
+	inCache   map[string][]*model.Edge
+	deOfCache map[string][]*model.DataEdge
+}
+
+// NewOverlay creates an empty overlay over the base schema.
+func NewOverlay(base *model.Schema) *Overlay {
+	return &Overlay{
+		base:             base,
+		addedNodes:       make(map[string]*model.Node),
+		removedNodes:     make(map[string]bool),
+		addedEdges:       make(map[model.EdgeKey]*model.Edge),
+		removedEdges:     make(map[model.EdgeKey]bool),
+		addedData:        make(map[string]*model.DataElement),
+		removedData:      make(map[string]bool),
+		addedDataEdges:   make(map[model.DataEdgeKey]*model.DataEdge),
+		removedDataEdges: make(map[model.DataEdgeKey]bool),
+		dirty:            true,
+	}
+}
+
+// Base returns the base schema the overlay substitutes into.
+func (o *Overlay) Base() *model.Schema { return o.base }
+
+// Rebase re-attaches the overlay delta to a different base schema (used
+// when a biased instance migrates to a new schema version and its bias is
+// re-applied there). The delta is validated against the new base by the
+// caller (the migration manager re-applies the bias operations instead of
+// blindly rebasing when validation is needed).
+func (o *Overlay) Rebase(base *model.Schema) {
+	o.base = base
+	o.dirty = true
+}
+
+// IsEmpty reports whether the overlay holds no delta.
+func (o *Overlay) IsEmpty() bool {
+	return len(o.addedNodes) == 0 && len(o.removedNodes) == 0 &&
+		len(o.addedEdges) == 0 && len(o.removedEdges) == 0 &&
+		len(o.addedData) == 0 && len(o.removedData) == 0 &&
+		len(o.addedDataEdges) == 0 && len(o.removedDataEdges) == 0
+}
+
+// --- SchemaView ---
+
+// SchemaID implements model.SchemaView.
+func (o *Overlay) SchemaID() string { return o.base.SchemaID() + "+bias" }
+
+// TypeName implements model.SchemaView.
+func (o *Overlay) TypeName() string { return o.base.TypeName() }
+
+// Version implements model.SchemaView.
+func (o *Overlay) Version() int { return o.base.Version() }
+
+func (o *Overlay) refresh() {
+	if !o.dirty {
+		return
+	}
+	o.nodeIDs = o.nodeIDs[:0]
+	for _, id := range o.base.NodeIDs() {
+		if o.removedNodes[id] || o.addedNodes[id] != nil {
+			continue
+		}
+		o.nodeIDs = append(o.nodeIDs, id)
+	}
+	o.nodeIDs = append(o.nodeIDs, o.addedNodeIDs...)
+
+	o.edgeList = o.edgeList[:0]
+	o.outCache = make(map[string][]*model.Edge)
+	o.inCache = make(map[string][]*model.Edge)
+	for _, e := range o.base.Edges() {
+		k := e.Key()
+		if o.removedEdges[k] || o.addedEdges[k] != nil {
+			continue
+		}
+		o.edgeList = append(o.edgeList, e)
+	}
+	o.edgeList = append(o.edgeList, o.addedEdgeList...)
+	for _, e := range o.edgeList {
+		o.outCache[e.From] = append(o.outCache[e.From], e)
+		o.inCache[e.To] = append(o.inCache[e.To], e)
+	}
+
+	o.deOfCache = make(map[string][]*model.DataEdge)
+	for _, de := range o.allDataEdges() {
+		o.deOfCache[de.Activity] = append(o.deOfCache[de.Activity], de)
+	}
+	o.dirty = false
+}
+
+func (o *Overlay) allDataEdges() []*model.DataEdge {
+	var out []*model.DataEdge
+	for _, de := range o.base.DataEdges() {
+		k := de.Key()
+		if o.removedDataEdges[k] || o.addedDataEdges[k] != nil {
+			continue
+		}
+		out = append(out, de)
+	}
+	return append(out, o.addedDataEdgeList...)
+}
+
+// NodeIDs implements model.SchemaView.
+func (o *Overlay) NodeIDs() []string {
+	o.refresh()
+	return o.nodeIDs
+}
+
+// Node implements model.SchemaView.
+func (o *Overlay) Node(id string) (*model.Node, bool) {
+	if n, ok := o.addedNodes[id]; ok {
+		return n, true
+	}
+	if o.removedNodes[id] {
+		return nil, false
+	}
+	return o.base.Node(id)
+}
+
+// Edges implements model.SchemaView.
+func (o *Overlay) Edges() []*model.Edge {
+	o.refresh()
+	return o.edgeList
+}
+
+// OutEdges implements model.SchemaView.
+func (o *Overlay) OutEdges(id string) []*model.Edge {
+	o.refresh()
+	return o.outCache[id]
+}
+
+// InEdges implements model.SchemaView.
+func (o *Overlay) InEdges(id string) []*model.Edge {
+	o.refresh()
+	return o.inCache[id]
+}
+
+// HasEdge implements model.SchemaView.
+func (o *Overlay) HasEdge(k model.EdgeKey) bool {
+	if o.addedEdges[k] != nil {
+		return true
+	}
+	if o.removedEdges[k] {
+		return false
+	}
+	return o.base.HasEdge(k)
+}
+
+// StartID implements model.SchemaView.
+func (o *Overlay) StartID() string {
+	if id := o.base.StartID(); id != "" && !o.removedNodes[id] {
+		return id
+	}
+	for _, id := range o.addedNodeIDs {
+		if o.addedNodes[id].Type == model.NodeStart {
+			return id
+		}
+	}
+	return ""
+}
+
+// EndID implements model.SchemaView.
+func (o *Overlay) EndID() string {
+	if id := o.base.EndID(); id != "" && !o.removedNodes[id] {
+		return id
+	}
+	for _, id := range o.addedNodeIDs {
+		if o.addedNodes[id].Type == model.NodeEnd {
+			return id
+		}
+	}
+	return ""
+}
+
+// DataElements implements model.SchemaView.
+func (o *Overlay) DataElements() []*model.DataElement {
+	var out []*model.DataElement
+	for _, d := range o.base.DataElements() {
+		if o.removedData[d.ID] || o.addedData[d.ID] != nil {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, id := range o.addedDataIDs {
+		out = append(out, o.addedData[id])
+	}
+	return out
+}
+
+// DataElement implements model.SchemaView.
+func (o *Overlay) DataElement(id string) (*model.DataElement, bool) {
+	if d, ok := o.addedData[id]; ok {
+		return d, true
+	}
+	if o.removedData[id] {
+		return nil, false
+	}
+	return o.base.DataElement(id)
+}
+
+// DataEdges implements model.SchemaView.
+func (o *Overlay) DataEdges() []*model.DataEdge { return o.allDataEdges() }
+
+// DataEdgesOf implements model.SchemaView.
+func (o *Overlay) DataEdgesOf(activity string) []*model.DataEdge {
+	o.refresh()
+	return o.deOfCache[activity]
+}
+
+// --- MutableView ---
+
+// AddNode implements model.MutableView. Re-adding a node that was removed
+// from the base is allowed (a moved activity keeps its identity).
+func (o *Overlay) AddNode(n *model.Node) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("storage: overlay add node: empty node ID")
+	}
+	if _, visible := o.Node(n.ID); visible {
+		return fmt.Errorf("storage: overlay add node %q: duplicate ID", n.ID)
+	}
+	switch n.Type {
+	case model.NodeStart:
+		if o.StartID() != "" {
+			return fmt.Errorf("storage: overlay add node %q: start node already present", n.ID)
+		}
+	case model.NodeEnd:
+		if o.EndID() != "" {
+			return fmt.Errorf("storage: overlay add node %q: end node already present", n.ID)
+		}
+	}
+	o.addedNodes[n.ID] = n
+	o.addedNodeIDs = append(o.addedNodeIDs, n.ID)
+	o.dirty = true
+	return nil
+}
+
+// ReplaceNode implements model.MutableView: the replacement node shadows
+// the base node in the overlay.
+func (o *Overlay) ReplaceNode(n *model.Node) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("storage: overlay replace node: empty node ID")
+	}
+	old, ok := o.Node(n.ID)
+	if !ok {
+		return fmt.Errorf("storage: overlay replace node %q: not found", n.ID)
+	}
+	if old.Type != n.Type {
+		return fmt.Errorf("storage: overlay replace node %q: type change %s -> %s not allowed", n.ID, old.Type, n.Type)
+	}
+	if _, added := o.addedNodes[n.ID]; added {
+		o.addedNodes[n.ID] = n
+		return nil
+	}
+	o.addedNodes[n.ID] = n
+	o.addedNodeIDs = append(o.addedNodeIDs, n.ID)
+	o.dirty = true
+	return nil
+}
+
+// RemoveNode implements model.MutableView.
+func (o *Overlay) RemoveNode(id string) error {
+	if _, visible := o.Node(id); !visible {
+		return fmt.Errorf("storage: overlay remove node %q: not found", id)
+	}
+	if len(o.OutEdges(id)) > 0 || len(o.InEdges(id)) > 0 {
+		return fmt.Errorf("storage: overlay remove node %q: incident edges remain", id)
+	}
+	if len(o.DataEdgesOf(id)) > 0 {
+		return fmt.Errorf("storage: overlay remove node %q: data edges remain", id)
+	}
+	if _, added := o.addedNodes[id]; added {
+		delete(o.addedNodes, id)
+		o.addedNodeIDs = removeString(o.addedNodeIDs, id)
+		// If the base also has this node it must stay hidden.
+		if _, inBase := o.base.Node(id); inBase {
+			o.removedNodes[id] = true
+		}
+	} else {
+		o.removedNodes[id] = true
+	}
+	o.dirty = true
+	return nil
+}
+
+// AddEdge implements model.MutableView.
+func (o *Overlay) AddEdge(e *model.Edge) error {
+	if e == nil {
+		return fmt.Errorf("storage: overlay add edge: nil edge")
+	}
+	if e.From == e.To {
+		return fmt.Errorf("storage: overlay add edge %s: self edge", e)
+	}
+	if _, ok := o.Node(e.From); !ok {
+		return fmt.Errorf("storage: overlay add edge %s: unknown source node %q", e, e.From)
+	}
+	if _, ok := o.Node(e.To); !ok {
+		return fmt.Errorf("storage: overlay add edge %s: unknown target node %q", e, e.To)
+	}
+	if o.HasEdge(e.Key()) {
+		return fmt.Errorf("storage: overlay add edge %s: duplicate edge", e)
+	}
+	o.addedEdges[e.Key()] = e
+	o.addedEdgeList = append(o.addedEdgeList, e)
+	o.dirty = true
+	return nil
+}
+
+// RemoveEdge implements model.MutableView.
+func (o *Overlay) RemoveEdge(k model.EdgeKey) error {
+	if !o.HasEdge(k) {
+		return fmt.Errorf("storage: overlay remove edge %s: not found", k)
+	}
+	if e, added := o.addedEdges[k]; added {
+		delete(o.addedEdges, k)
+		o.addedEdgeList = removeEdge(o.addedEdgeList, e)
+		if o.base.HasEdge(k) {
+			o.removedEdges[k] = true
+		}
+	} else {
+		o.removedEdges[k] = true
+	}
+	o.dirty = true
+	return nil
+}
+
+// AddDataElement implements model.MutableView.
+func (o *Overlay) AddDataElement(d *model.DataElement) error {
+	if d == nil || d.ID == "" {
+		return fmt.Errorf("storage: overlay add data element: empty ID")
+	}
+	if _, visible := o.DataElement(d.ID); visible {
+		return fmt.Errorf("storage: overlay add data element %q: duplicate ID", d.ID)
+	}
+	o.addedData[d.ID] = d
+	o.addedDataIDs = append(o.addedDataIDs, d.ID)
+	return nil
+}
+
+// RemoveDataElement implements model.MutableView.
+func (o *Overlay) RemoveDataElement(id string) error {
+	if _, visible := o.DataElement(id); !visible {
+		return fmt.Errorf("storage: overlay remove data element %q: not found", id)
+	}
+	for _, de := range o.allDataEdges() {
+		if de.Element == id {
+			return fmt.Errorf("storage: overlay remove data element %q: data edge %s remains", id, de)
+		}
+	}
+	if _, added := o.addedData[id]; added {
+		delete(o.addedData, id)
+		o.addedDataIDs = removeString(o.addedDataIDs, id)
+		if _, inBase := o.base.DataElement(id); inBase {
+			o.removedData[id] = true
+		}
+	} else {
+		o.removedData[id] = true
+	}
+	return nil
+}
+
+// AddDataEdge implements model.MutableView.
+func (o *Overlay) AddDataEdge(d *model.DataEdge) error {
+	if d == nil {
+		return fmt.Errorf("storage: overlay add data edge: nil edge")
+	}
+	if d.Parameter == "" {
+		return fmt.Errorf("storage: overlay add data edge: empty parameter name")
+	}
+	if _, ok := o.Node(d.Activity); !ok {
+		return fmt.Errorf("storage: overlay add data edge %s: unknown activity %q", d, d.Activity)
+	}
+	if _, ok := o.DataElement(d.Element); !ok {
+		return fmt.Errorf("storage: overlay add data edge %s: unknown data element %q", d, d.Element)
+	}
+	k := d.Key()
+	if o.hasDataEdge(k) {
+		return fmt.Errorf("storage: overlay add data edge %s: duplicate edge", d)
+	}
+	o.addedDataEdges[k] = d
+	o.addedDataEdgeList = append(o.addedDataEdgeList, d)
+	o.dirty = true
+	return nil
+}
+
+// RemoveDataEdge implements model.MutableView.
+func (o *Overlay) RemoveDataEdge(k model.DataEdgeKey) error {
+	if !o.hasDataEdge(k) {
+		return fmt.Errorf("storage: overlay remove data edge %v: not found", k)
+	}
+	if de, added := o.addedDataEdges[k]; added {
+		delete(o.addedDataEdges, k)
+		o.addedDataEdgeList = removeDataEdge(o.addedDataEdgeList, de)
+		if baseHasDataEdge(o.base, k) {
+			o.removedDataEdges[k] = true
+		}
+	} else {
+		o.removedDataEdges[k] = true
+	}
+	o.dirty = true
+	return nil
+}
+
+func (o *Overlay) hasDataEdge(k model.DataEdgeKey) bool {
+	if o.addedDataEdges[k] != nil {
+		return true
+	}
+	if o.removedDataEdges[k] {
+		return false
+	}
+	return baseHasDataEdge(o.base, k)
+}
+
+func baseHasDataEdge(s *model.Schema, k model.DataEdgeKey) bool {
+	for _, de := range s.DataEdgesOf(k.Activity) {
+		if de.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Delta summarizes the substitution block for reports and storage
+// accounting.
+type Delta struct {
+	AddedNodes       int
+	RemovedNodes     int
+	AddedEdges       int
+	RemovedEdges     int
+	AddedData        int
+	RemovedData      int
+	AddedDataEdges   int
+	RemovedDataEdges int
+}
+
+// Delta returns the overlay's delta summary.
+func (o *Overlay) Delta() Delta {
+	return Delta{
+		AddedNodes:       len(o.addedNodes),
+		RemovedNodes:     len(o.removedNodes),
+		AddedEdges:       len(o.addedEdges),
+		RemovedEdges:     len(o.removedEdges),
+		AddedData:        len(o.addedData),
+		RemovedData:      len(o.removedData),
+		AddedDataEdges:   len(o.addedDataEdges),
+		RemovedDataEdges: len(o.removedDataEdges),
+	}
+}
+
+// TouchedNodes returns the IDs of all nodes the delta touches (added,
+// removed, or endpoints of added/removed edges); the minimal substitution
+// block reported to users is the smallest block containing them.
+func (o *Overlay) TouchedNodes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range o.addedNodeIDs {
+		add(id)
+	}
+	for id := range o.removedNodes {
+		add(id)
+	}
+	for k := range o.addedEdges {
+		add(k.From)
+		add(k.To)
+	}
+	for k := range o.removedEdges {
+		add(k.From)
+		add(k.To)
+	}
+	return out
+}
+
+// ApproxBytes estimates the memory held by the substitution block (the
+// delta only — the base schema is shared across all instances).
+func (o *Overlay) ApproxBytes() int {
+	total := 0
+	for _, n := range o.addedNodes {
+		total += 48 + len(n.ID) + len(n.Name) + len(n.Role) + len(n.Template) + len(n.DecisionElement)
+	}
+	for id := range o.removedNodes {
+		total += len(id) + 16
+	}
+	for _, e := range o.addedEdges {
+		total += 24 + len(e.From) + len(e.To)
+	}
+	for k := range o.removedEdges {
+		total += 24 + len(k.From) + len(k.To)
+	}
+	for _, d := range o.addedData {
+		total += 16 + len(d.ID) + len(d.Name)
+	}
+	for _, de := range o.addedDataEdges {
+		total += 24 + len(de.Activity) + len(de.Element) + len(de.Parameter)
+	}
+	return total
+}
+
+// Materialize builds a standalone schema equal to the overlaid view; the
+// FullCopy strategy and schema evolution use it.
+func Materialize(v model.SchemaView, id, typeName string, version int) (*model.Schema, error) {
+	s := model.NewSchema(id, typeName, version)
+	for _, nid := range v.NodeIDs() {
+		n, _ := v.Node(nid)
+		if err := s.AddNode(n.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range v.Edges() {
+		if err := s.AddEdge(e.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range v.DataElements() {
+		if err := s.AddDataElement(d.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for _, de := range v.DataEdges() {
+		if err := s.AddDataEdge(de.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func removeString(ss []string, s string) []string {
+	for i, v := range ss {
+		if v == s {
+			return append(ss[:i], ss[i+1:]...)
+		}
+	}
+	return ss
+}
+
+func removeEdge(es []*model.Edge, e *model.Edge) []*model.Edge {
+	for i, v := range es {
+		if v == e {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
+}
+
+func removeDataEdge(ds []*model.DataEdge, d *model.DataEdge) []*model.DataEdge {
+	for i, v := range ds {
+		if v == d {
+			return append(ds[:i], ds[i+1:]...)
+		}
+	}
+	return ds
+}
+
+var (
+	_ model.SchemaView  = (*Overlay)(nil)
+	_ model.MutableView = (*Overlay)(nil)
+)

@@ -1,0 +1,250 @@
+// Package worklist implements the ADEPT2 worklist manager. When an
+// activity becomes activated, a work item is offered to every user whose
+// role matches the activity's staff assignment; users claim, start, and
+// complete items. Items of skipped, completed, or migrated-away activities
+// are withdrawn automatically by the engine.
+package worklist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ItemState is the lifecycle state of a work item.
+type ItemState uint8
+
+const (
+	// Offered: visible in the worklists of all candidate users.
+	Offered ItemState = iota
+	// Claimed: one user reserved the item.
+	Claimed
+	// InProgress: the activity was started.
+	InProgress
+)
+
+var itemStateNames = [...]string{
+	Offered:    "offered",
+	Claimed:    "claimed",
+	InProgress: "in-progress",
+}
+
+func (s ItemState) String() string {
+	if int(s) < len(itemStateNames) {
+		return itemStateNames[s]
+	}
+	return fmt.Sprintf("item-state(%d)", uint8(s))
+}
+
+// Item is one unit of offered work.
+type Item struct {
+	ID        string
+	Instance  string
+	Node      string
+	Role      string
+	Offered   []string // candidate user IDs
+	ClaimedBy string
+	State     ItemState
+}
+
+func (i *Item) clone() *Item {
+	c := *i
+	c.Offered = append([]string(nil), i.Offered...)
+	return &c
+}
+
+// Manager is a thread-safe worklist registry.
+type Manager struct {
+	mu     sync.Mutex
+	seq    int
+	items  map[string]*Item           // item ID -> item
+	byNode map[[2]string]string       // (instance, node) -> item ID
+	byUser map[string]map[string]bool // user -> item IDs
+	byInst map[string]map[string]bool // instance -> item IDs
+}
+
+// NewManager returns an empty worklist manager.
+func NewManager() *Manager {
+	return &Manager{
+		items:  make(map[string]*Item),
+		byNode: make(map[[2]string]string),
+		byUser: make(map[string]map[string]bool),
+		byInst: make(map[string]map[string]bool),
+	}
+}
+
+// Offer creates a work item for an activated activity and offers it to the
+// candidate users. At most one item exists per (instance, node).
+func (m *Manager) Offer(instance, node, role string, users []string) (*Item, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]string{instance, node}
+	if _, dup := m.byNode[key]; dup {
+		return nil, fmt.Errorf("worklist: offer %s/%s: item already exists", instance, node)
+	}
+	m.seq++
+	it := &Item{
+		ID:       fmt.Sprintf("wi-%d", m.seq),
+		Instance: instance,
+		Node:     node,
+		Role:     role,
+		Offered:  append([]string(nil), users...),
+		State:    Offered,
+	}
+	sort.Strings(it.Offered)
+	m.items[it.ID] = it
+	m.byNode[key] = it.ID
+	for _, u := range it.Offered {
+		set := m.byUser[u]
+		if set == nil {
+			set = make(map[string]bool)
+			m.byUser[u] = set
+		}
+		set[it.ID] = true
+	}
+	inst := m.byInst[instance]
+	if inst == nil {
+		inst = make(map[string]bool)
+		m.byInst[instance] = inst
+	}
+	inst[it.ID] = true
+	return it.clone(), nil
+}
+
+// Claim reserves an offered item for one of its candidate users.
+func (m *Manager) Claim(itemID, user string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := m.items[itemID]
+	if !ok {
+		return fmt.Errorf("worklist: claim %q: no such item", itemID)
+	}
+	if it.State != Offered {
+		return fmt.Errorf("worklist: claim %q: item is %s", itemID, it.State)
+	}
+	if !contains(it.Offered, user) {
+		return fmt.Errorf("worklist: claim %q: user %q is not a candidate", itemID, user)
+	}
+	it.State = Claimed
+	it.ClaimedBy = user
+	return nil
+}
+
+// Release returns a claimed item to the offered state.
+func (m *Manager) Release(itemID, user string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := m.items[itemID]
+	if !ok {
+		return fmt.Errorf("worklist: release %q: no such item", itemID)
+	}
+	if it.State != Claimed || it.ClaimedBy != user {
+		return fmt.Errorf("worklist: release %q: not claimed by %q", itemID, user)
+	}
+	it.State = Offered
+	it.ClaimedBy = ""
+	return nil
+}
+
+// MarkStarted transitions the item of the given activity to InProgress.
+func (m *Manager) MarkStarted(instance, node, user string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byNode[[2]string{instance, node}]
+	if !ok {
+		return fmt.Errorf("worklist: start %s/%s: no work item", instance, node)
+	}
+	it := m.items[id]
+	if it.State == Claimed && it.ClaimedBy != user {
+		return fmt.Errorf("worklist: start %s/%s: claimed by %q, not %q", instance, node, it.ClaimedBy, user)
+	}
+	it.State = InProgress
+	it.ClaimedBy = user
+	return nil
+}
+
+// Withdraw removes the item of the given activity (completion, skip, or
+// migration made it obsolete). Withdrawing a non-existent item is a no-op
+// so callers can withdraw defensively.
+func (m *Manager) Withdraw(instance, node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]string{instance, node}
+	id, ok := m.byNode[key]
+	if !ok {
+		return
+	}
+	it := m.items[id]
+	delete(m.byNode, key)
+	delete(m.items, id)
+	for _, u := range it.Offered {
+		delete(m.byUser[u], id)
+	}
+	if set := m.byInst[instance]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m.byInst, instance)
+		}
+	}
+}
+
+// ItemsFor returns the items visible to a user (offered to or claimed by),
+// ordered by item ID.
+func (m *Manager) ItemsFor(user string) []*Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.byUser[user]))
+	for id := range m.byUser[user] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	items := make([]*Item, 0, len(ids))
+	for _, id := range ids {
+		it := m.items[id]
+		if it.State == Claimed && it.ClaimedBy != user {
+			continue // reserved by someone else
+		}
+		items = append(items, it.clone())
+	}
+	return items
+}
+
+// ItemsForInstance returns all items of one instance, ordered by item ID.
+// The engine uses it to reconcile worklists after markings change.
+func (m *Manager) ItemsForInstance(instance string) []*Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.byInst[instance]))
+	for id := range m.byInst[instance] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	items := make([]*Item, 0, len(ids))
+	for _, id := range ids {
+		items = append(items, m.items[id].clone())
+	}
+	return items
+}
+
+// ItemFor returns the item of the given activity, if any.
+func (m *Manager) ItemFor(instance, node string) (*Item, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byNode[[2]string{instance, node}]
+	if !ok {
+		return nil, false
+	}
+	return m.items[id].clone(), true
+}
+
+// Len returns the number of live items.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+func contains(ss []string, s string) bool {
+	i := sort.SearchStrings(ss, s)
+	return i < len(ss) && ss[i] == s
+}

@@ -1,0 +1,108 @@
+package worklist
+
+import "testing"
+
+func TestOfferClaimStartWithdraw(t *testing.T) {
+	m := NewManager()
+	it, err := m.Offer("i1", "a", "clerk", []string{"bob", "ann"})
+	if err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	if it.State != Offered || len(it.Offered) != 2 || it.Offered[0] != "ann" {
+		t.Fatalf("item = %+v", it)
+	}
+	if _, err := m.Offer("i1", "a", "clerk", nil); err == nil {
+		t.Fatal("duplicate offer must fail")
+	}
+	if err := m.Claim(it.ID, "zoe"); err == nil {
+		t.Fatal("claim by non-candidate must fail")
+	}
+	if err := m.Claim(it.ID, "ann"); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if err := m.Claim(it.ID, "bob"); err == nil {
+		t.Fatal("double claim must fail")
+	}
+	// Bob no longer sees the claimed item; Ann does.
+	if got := m.ItemsFor("bob"); len(got) != 0 {
+		t.Fatalf("bob sees %v", got)
+	}
+	if got := m.ItemsFor("ann"); len(got) != 1 {
+		t.Fatalf("ann sees %v", got)
+	}
+	if err := m.Release(it.ID, "bob"); err == nil {
+		t.Fatal("release by non-claimer must fail")
+	}
+	if err := m.Release(it.ID, "ann"); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := m.MarkStarted("i1", "a", "bob"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	got, ok := m.ItemFor("i1", "a")
+	if !ok || got.State != InProgress || got.ClaimedBy != "bob" {
+		t.Fatalf("ItemFor = %+v, %v", got, ok)
+	}
+	m.Withdraw("i1", "a")
+	if m.Len() != 0 {
+		t.Fatal("withdraw failed")
+	}
+	m.Withdraw("i1", "a") // no-op
+	if _, ok := m.ItemFor("i1", "a"); ok {
+		t.Fatal("item should be gone")
+	}
+}
+
+func TestClaimConflictsAndErrors(t *testing.T) {
+	m := NewManager()
+	if err := m.Claim("nope", "ann"); err == nil {
+		t.Fatal("claim unknown item")
+	}
+	if err := m.Release("nope", "ann"); err == nil {
+		t.Fatal("release unknown item")
+	}
+	if err := m.MarkStarted("i", "n", "u"); err == nil {
+		t.Fatal("start without item")
+	}
+	it, err := m.Offer("i1", "a", "clerk", []string{"ann"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Claim(it.ID, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MarkStarted("i1", "a", "zoe"); err == nil {
+		t.Fatal("start of claimed item by other user must fail")
+	}
+	if err := m.MarkStarted("i1", "a", "ann"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsForInstance(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Offer("i1", "a", "r", []string{"u"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Offer("i1", "b", "r", []string{"u"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Offer("i2", "a", "r", []string{"u"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ItemsForInstance("i1"); len(got) != 2 {
+		t.Fatalf("i1 items = %v", got)
+	}
+	if got := m.ItemsForInstance("i3"); len(got) != 0 {
+		t.Fatalf("i3 items = %v", got)
+	}
+}
+
+func TestItemStateString(t *testing.T) {
+	if Offered.String() != "offered" || Claimed.String() != "claimed" || InProgress.String() != "in-progress" {
+		t.Fatal("state strings")
+	}
+	if ItemState(9).String() == "" {
+		t.Fatal("out-of-range string")
+	}
+}

@@ -1,0 +1,419 @@
+package adept2
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/model"
+	"adept2/internal/org"
+	"adept2/internal/persist"
+	"adept2/internal/rollback"
+	"adept2/internal/storage"
+)
+
+// System bundles the engine with the migration manager and an optional
+// durable command journal. All state-changing methods are journaled before
+// they execute, so Open can rebuild the exact system state after a crash
+// by replaying the journal.
+type System struct {
+	eng     *engine.Engine
+	mgr     *evolution.Manager
+	journal *persist.Journal
+}
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	org      *org.Model
+	strategy storage.Strategy
+	journal  *persist.Journal
+}
+
+// WithOrg supplies a pre-populated organizational model.
+func WithOrg(m *OrgModel) Option { return func(c *config) { c.org = m } }
+
+// WithStorageStrategy selects the biased-instance representation.
+func WithStorageStrategy(s StorageStrategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithJournal attaches a command journal for durability.
+func WithJournal(j *persist.Journal) Option { return func(c *config) { c.journal = j } }
+
+// New creates a System.
+func New(opts ...Option) *System {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	e := engine.New(c.org)
+	e.SetStorageStrategy(c.strategy)
+	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal}
+}
+
+// Open creates a System backed by a file journal at path, replaying any
+// existing records first (crash recovery), then appending new commands.
+func Open(path string, opts ...Option) (*System, error) {
+	recs, err := persist.LoadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	sys := New(opts...)
+	if err := persist.Replay(recs, sys.apply); err != nil {
+		return nil, err
+	}
+	j, err := persist.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	sys.journal = j
+	return sys, nil
+}
+
+// Close releases the journal (if any).
+func (s *System) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// Engine exposes the underlying runtime (read paths, worklists).
+func (s *System) Engine() *Engine { return s.eng }
+
+// Org exposes the organizational model.
+func (s *System) Org() *OrgModel { return s.eng.Org() }
+
+// WorkItems returns the work items visible to a user.
+func (s *System) WorkItems(user string) []*WorkItem { return s.eng.WorkItems(user) }
+
+// Claim reserves a work item for a user.
+func (s *System) Claim(itemID, user string) error { return s.eng.Claim(itemID, user) }
+
+// Instance looks up an instance.
+func (s *System) Instance(id string) (*Instance, bool) { return s.eng.Instance(id) }
+
+// Instances returns all instances in creation order.
+func (s *System) Instances() []*Instance { return s.eng.Instances() }
+
+// --- journaled commands ---
+
+type userArgs struct {
+	User *org.User `json:"user"`
+}
+
+type deployArgs struct {
+	Schema json.RawMessage `json:"schema"`
+}
+
+type createArgs struct {
+	TypeName string `json:"type"`
+	Version  int    `json:"version"`
+}
+
+type startArgs struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	User     string `json:"user,omitempty"`
+}
+
+type completeArgs struct {
+	Instance string         `json:"instance"`
+	Node     string         `json:"node"`
+	User     string         `json:"user,omitempty"`
+	Outputs  map[string]any `json:"outputs,omitempty"`
+	Decision *int           `json:"decision,omitempty"`
+	Again    *bool          `json:"again,omitempty"`
+}
+
+type adHocArgs struct {
+	Instance string          `json:"instance"`
+	Ops      json.RawMessage `json:"ops"`
+}
+
+type evolveArgs struct {
+	TypeName string          `json:"type"`
+	Ops      json.RawMessage `json:"ops"`
+	Workers  int             `json:"workers,omitempty"`
+	Mode     uint8           `json:"mode,omitempty"`
+	Adapt    uint8           `json:"adapt,omitempty"`
+}
+
+func (s *System) log(op string, args any) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Append(op, args)
+}
+
+// AddUser registers a user in the organizational model (journaled, unlike
+// direct Org() mutation).
+func (s *System) AddUser(u *User) error {
+	if err := s.eng.Org().AddUser(u); err != nil {
+		return err
+	}
+	return s.log("user", userArgs{User: u})
+}
+
+// Deploy verifies and registers a schema version.
+func (s *System) Deploy(schema *Schema) error {
+	if err := s.eng.Deploy(schema); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(schema)
+	if err != nil {
+		return err
+	}
+	return s.log("deploy", deployArgs{Schema: blob})
+}
+
+// CreateInstance instantiates the latest version of a process type.
+func (s *System) CreateInstance(typeName string) (*Instance, error) {
+	return s.CreateInstanceVersion(typeName, 0)
+}
+
+// CreateInstanceVersion instantiates an explicit schema version (0 =
+// latest).
+func (s *System) CreateInstanceVersion(typeName string, version int) (*Instance, error) {
+	inst, err := s.eng.CreateInstance(typeName, version)
+	if err != nil {
+		return nil, err
+	}
+	return inst, s.log("create", createArgs{TypeName: typeName, Version: version})
+}
+
+// Start starts an activated activity on behalf of a user.
+func (s *System) Start(instID, node, user string) error {
+	if err := s.eng.StartActivity(instID, node, user); err != nil {
+		return err
+	}
+	return s.log("start", startArgs{Instance: instID, Node: node, User: user})
+}
+
+// Complete completes a node (starting it first when merely activated).
+func (s *System) Complete(instID, node, user string, outputs map[string]any) error {
+	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs})
+}
+
+// CompleteWithDecision completes an XOR split with an explicit routing
+// decision.
+func (s *System) CompleteWithDecision(instID, node, user string, outputs map[string]any, decision int) error {
+	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs, Decision: &decision})
+}
+
+// CompleteLoop completes a loop end with an explicit iteration decision.
+func (s *System) CompleteLoop(instID, node, user string, outputs map[string]any, again bool) error {
+	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs, Again: &again})
+}
+
+func (s *System) complete(a completeArgs) error {
+	var opts []engine.CompleteOption
+	if a.Decision != nil {
+		opts = append(opts, engine.WithDecision(*a.Decision))
+	}
+	if a.Again != nil {
+		opts = append(opts, engine.WithLoopAgain(*a.Again))
+	}
+	if err := s.eng.CompleteActivity(a.Instance, a.Node, a.User, a.Outputs, opts...); err != nil {
+		return err
+	}
+	return s.log("complete", a)
+}
+
+// AdHocChange applies an ad-hoc change to a single running instance (the
+// paper's instance-level change dimension).
+func (s *System) AdHocChange(instID string, ops ...Operation) error {
+	inst, ok := s.eng.Instance(instID)
+	if !ok {
+		return fmt.Errorf("adept2: unknown instance %q", instID)
+	}
+	if err := change.ApplyAdHoc(inst, ops...); err != nil {
+		return err
+	}
+	blob, err := change.MarshalOps(ops)
+	if err != nil {
+		return err
+	}
+	return s.log("adhoc", adHocArgs{Instance: instID, Ops: blob})
+}
+
+type undoArgs struct {
+	Instance string `json:"instance"`
+	All      bool   `json:"all,omitempty"`
+}
+
+type suspendArgs struct {
+	Instance string `json:"instance"`
+	Resume   bool   `json:"resume,omitempty"`
+}
+
+// Suspend blocks user operations on an instance; ad-hoc changes and
+// migration stay possible.
+func (s *System) Suspend(instID string) error {
+	if err := s.eng.Suspend(instID); err != nil {
+		return err
+	}
+	return s.log("suspend", suspendArgs{Instance: instID})
+}
+
+// Resume re-enables user operations on a suspended instance.
+func (s *System) Resume(instID string) error {
+	if err := s.eng.Resume(instID); err != nil {
+		return err
+	}
+	return s.log("suspend", suspendArgs{Instance: instID, Resume: true})
+}
+
+// UndoAdHocChange removes the most recent ad-hoc change of the instance,
+// provided it has not progressed into the changed region.
+func (s *System) UndoAdHocChange(instID string) error {
+	return s.undo(instID, false)
+}
+
+// UndoAllAdHocChanges returns the instance to its plain schema version.
+func (s *System) UndoAllAdHocChanges(instID string) error {
+	return s.undo(instID, true)
+}
+
+func (s *System) undo(instID string, all bool) error {
+	inst, ok := s.eng.Instance(instID)
+	if !ok {
+		return fmt.Errorf("adept2: unknown instance %q", instID)
+	}
+	var err error
+	if all {
+		err = rollback.UndoAll(inst)
+	} else {
+		err = rollback.UndoLast(inst)
+	}
+	if err != nil {
+		return err
+	}
+	return s.log("undo", undoArgs{Instance: instID, All: all})
+}
+
+// Evolve performs a schema evolution of the process type and migrates all
+// compliant instances on the fly (the paper's type-level change
+// dimension). The returned report classifies every instance.
+func (s *System) Evolve(typeName string, ops []Operation, opts EvolveOptions) (*MigrationReport, error) {
+	report, err := s.mgr.Evolve(typeName, ops, opts)
+	if err != nil {
+		return nil, err
+	}
+	blob, merr := change.MarshalOps(ops)
+	if merr != nil {
+		return report, merr
+	}
+	return report, s.log("evolve", evolveArgs{
+		TypeName: typeName,
+		Ops:      blob,
+		Workers:  opts.Workers,
+		Mode:     uint8(opts.Mode),
+		Adapt:    uint8(opts.Adapt),
+	})
+}
+
+// apply replays one journaled command (crash recovery).
+func (s *System) apply(op string, args json.RawMessage) error {
+	switch op {
+	case "user":
+		var a userArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		return s.eng.Org().AddUser(a.User)
+	case "deploy":
+		var a deployArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		var schema model.Schema
+		if err := json.Unmarshal(a.Schema, &schema); err != nil {
+			return err
+		}
+		return s.eng.Deploy(&schema)
+	case "create":
+		var a createArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		_, err := s.eng.CreateInstance(a.TypeName, a.Version)
+		return err
+	case "start":
+		var a startArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		return s.eng.StartActivity(a.Instance, a.Node, a.User)
+	case "complete":
+		var a completeArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		var opts []engine.CompleteOption
+		if a.Decision != nil {
+			opts = append(opts, engine.WithDecision(*a.Decision))
+		}
+		if a.Again != nil {
+			opts = append(opts, engine.WithLoopAgain(*a.Again))
+		}
+		return s.eng.CompleteActivity(a.Instance, a.Node, a.User, a.Outputs, opts...)
+	case "adhoc":
+		var a adHocArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		ops, err := change.UnmarshalOps(a.Ops)
+		if err != nil {
+			return err
+		}
+		inst, ok := s.eng.Instance(a.Instance)
+		if !ok {
+			return fmt.Errorf("adept2: replay adhoc: unknown instance %q", a.Instance)
+		}
+		return change.ApplyAdHoc(inst, ops...)
+	case "suspend":
+		var a suspendArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		if a.Resume {
+			return s.eng.Resume(a.Instance)
+		}
+		return s.eng.Suspend(a.Instance)
+	case "undo":
+		var a undoArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		inst, ok := s.eng.Instance(a.Instance)
+		if !ok {
+			return fmt.Errorf("adept2: replay undo: unknown instance %q", a.Instance)
+		}
+		if a.All {
+			return rollback.UndoAll(inst)
+		}
+		return rollback.UndoLast(inst)
+	case "evolve":
+		var a evolveArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		ops, err := change.UnmarshalOps(a.Ops)
+		if err != nil {
+			return err
+		}
+		_, err = s.mgr.Evolve(a.TypeName, ops, evolution.Options{
+			Workers: a.Workers,
+			Mode:    evolution.CheckMode(a.Mode),
+			Adapt:   evolution.AdaptMode(a.Adapt),
+		})
+		return err
+	default:
+		return fmt.Errorf("adept2: unknown journal op %q", op)
+	}
+}

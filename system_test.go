@@ -1,0 +1,213 @@
+package adept2_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adept2"
+	"adept2/internal/sim"
+	"adept2/internal/state"
+)
+
+func demoSystem(t *testing.T, opts ...adept2.Option) *adept2.System {
+	t.Helper()
+	opts = append([]adept2.Option{adept2.WithOrg(sim.Org())}, opts...)
+	sys := adept2.New(opts...)
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	return sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := demoSystem(t)
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := sys.WorkItems("ann")
+	if len(items) != 1 {
+		t.Fatalf("worklist = %v", items)
+	}
+	if err := sys.Claim(items[0].ID, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(inst.ID(), "get_order", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "get_order", "ann", map[string]any{"out": "o1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Ad-hoc change through the facade.
+	if err := sys.AdHocChange(inst.ID(), &adept2.InsertSyncEdge{From: "collect_data", To: "compose_order"}); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Biased() {
+		t.Fatal("instance should be biased")
+	}
+	// Evolution through the facade.
+	report, err := sys.Evolve("online_order", sim.OnlineOrderTypeChange(), adept2.EvolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Count(adept2.Migrated) != 1 {
+		t.Fatalf("report: %+v", report.Results)
+	}
+	if inst.Version() != 2 {
+		t.Fatalf("version = %d", inst.Version())
+	}
+	// Monitoring helpers produce content.
+	if !strings.Contains(adept2.RenderInstance(inst), "biased") {
+		t.Fatal("RenderInstance should mention bias")
+	}
+	if !strings.Contains(adept2.FormatReport(report), "migrated") {
+		t.Fatal("FormatReport should mention outcome")
+	}
+	if !strings.Contains(adept2.RenderSchema(inst.View()), "send_questions") {
+		t.Fatal("RenderSchema should include the inserted activity")
+	}
+}
+
+func TestSystemJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+
+	// Phase 1: run a scenario with a journal.
+	sys, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(i1.ID(), "get_order", "ann", map[string]any{"out": "o1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(i1.ID(), "collect_data", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(i1.ID(), "compose_order", "bob", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AdHocChange(i2.ID(), sim.OnlineOrderBiasI2()...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evolve("online_order", sim.OnlineOrderTypeChange(), adept2.EvolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: recover from the journal ("after the crash").
+	sys2, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer sys2.Close()
+
+	r1, ok := sys2.Instance(i1.ID())
+	if !ok {
+		t.Fatal("i1 missing after recovery")
+	}
+	r2, ok := sys2.Instance(i2.ID())
+	if !ok {
+		t.Fatal("i2 missing after recovery")
+	}
+	// i1 migrated to v2 with adapted state.
+	if r1.Version() != 2 {
+		t.Fatalf("recovered i1 version = %d", r1.Version())
+	}
+	if got := r1.NodeState("send_questions"); got != state.Activated {
+		t.Fatalf("recovered send_questions = %s", got)
+	}
+	// i2 kept its structural conflict on v1 with its bias.
+	if r2.Version() != 1 || !r2.Biased() {
+		t.Fatalf("recovered i2: version=%d biased=%v", r2.Version(), r2.Biased())
+	}
+	// Recovered histories match the originals.
+	if len(r1.HistoryEvents()) != len(i1.HistoryEvents()) {
+		t.Fatal("history length mismatch after recovery")
+	}
+	// Work continues seamlessly after recovery.
+	if err := sys2.Complete(r1.ID(), "send_questions", "ann", nil); err != nil {
+		t.Fatalf("continue after recovery: %v", err)
+	}
+}
+
+func TestSystemStorageStrategyOption(t *testing.T) {
+	sys := demoSystem(t, adept2.WithStorageStrategy(adept2.StorageFullCopy))
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Strategy() != adept2.StorageFullCopy {
+		t.Fatalf("strategy = %s", inst.Strategy())
+	}
+	if err := sys.AdHocChange("nope", &adept2.DeleteSyncEdge{From: "a", To: "b"}); err == nil {
+		t.Fatal("unknown instance must fail")
+	}
+}
+
+func TestSystemDecisionAndLoopCompletion(t *testing.T) {
+	b := adept2.NewBuilder("flow")
+	ch := b.Choice("",
+		b.Activity("x", "X", adept2.WithRole("worker")),
+		b.Activity("y", "Y", adept2.WithRole("worker")),
+	)
+	loop := b.Loop(b.Activity("w", "W", adept2.WithRole("worker")), "", 5)
+	schema, err := b.Build(b.Seq(ch, loop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var split, loopEnd string
+	for _, n := range schema.Nodes() {
+		switch n.Type {
+		case adept2.NodeXORSplit:
+			split = n.ID
+		case adept2.NodeLoopEnd:
+			loopEnd = n.ID
+		}
+	}
+	sys := adept2.New(adept2.WithOrg(sim.Org()))
+	if err := sys.Deploy(schema); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompleteWithDecision(inst.ID(), split, "", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "y", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "w", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompleteLoop(inst.ID(), loopEnd, "", nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "w", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompleteLoop(inst.ID(), loopEnd, "", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Done() {
+		t.Fatal("instance should be done")
+	}
+	if inst.LoopIterations(loopEnd) != 1 {
+		t.Fatalf("loop iterations = %d", inst.LoopIterations(loopEnd))
+	}
+}

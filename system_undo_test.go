@@ -1,0 +1,112 @@
+package adept2_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"adept2"
+	"adept2/internal/sim"
+)
+
+func TestSystemUndoAndSuspendJournaled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	sys, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ad-hoc changes, then undo one.
+	if err := sys.AdHocChange(inst.ID(), sim.OnlineOrderBiasI2()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.UndoAdHocChange(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.BiasOps()) != 1 {
+		t.Fatalf("bias ops = %d", len(inst.BiasOps()))
+	}
+	// Suspend, verify user ops blocked, resume.
+	if err := sys.Suspend(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err == nil {
+		t.Fatal("suspended instance must reject completion")
+	}
+	if err := sys.Resume(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Complete(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.UndoAllAdHocChanges(inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Biased() {
+		t.Fatal("instance should be unbiased")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays undo and suspend/resume to the identical state.
+	sys2, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer sys2.Close()
+	r, ok := sys2.Instance(inst.ID())
+	if !ok {
+		t.Fatal("instance missing")
+	}
+	if r.Biased() {
+		t.Fatal("recovered instance should be unbiased")
+	}
+	if r.Suspended() {
+		t.Fatal("recovered instance should not be suspended")
+	}
+	if len(r.HistoryEvents()) != len(inst.HistoryEvents()) {
+		t.Fatal("history mismatch after recovery")
+	}
+	// Error paths through the facade.
+	if err := sys2.UndoAdHocChange("nope"); err == nil {
+		t.Fatal("unknown instance undo must fail")
+	}
+	if err := sys2.Suspend("nope"); err == nil {
+		t.Fatal("unknown instance suspend must fail")
+	}
+}
+
+func TestSystemVersionPinning(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.Evolve("online_order", sim.OnlineOrderTypeChange(), adept2.EvolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// New instances default to V2; explicit V1 creation still works (the
+	// old version remains deployed for its running instances).
+	latest, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version() != 2 {
+		t.Fatalf("latest version = %d", latest.Version())
+	}
+	pinned, err := sys.CreateInstanceVersion("online_order", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Version() != 1 {
+		t.Fatalf("pinned version = %d", pinned.Version())
+	}
+	if sys.Engine().LatestVersion("online_order") != 2 {
+		t.Fatal("latest version bookkeeping")
+	}
+	if got := len(sys.Engine().InstancesOf("online_order", 1)); got != 1 {
+		t.Fatalf("v1 instances = %d", got)
+	}
+}
