@@ -1,0 +1,3 @@
+module adept2
+
+go 1.22

@@ -73,7 +73,19 @@ func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*
 	}
 
 	res := &ReplayResult{Marking: m, Store: store}
-	state.Evaluate(view, m, 0)
+	// One incremental evaluator is shared across all replayed events; the
+	// virtual-firing candidates are maintained from its activation output
+	// instead of rescanning the whole schema per blocked event.
+	r := &replayer{
+		view:      view,
+		topo:      view.Topology(),
+		ev:        state.NewEvaluator(view, m),
+		m:         m,
+		store:     store,
+		inHistory: inHistory,
+		res:       res,
+	}
+	r.observe(r.ev.Evaluate(0))
 
 	for _, e := range events {
 		n, ok := view.Node(e.Node)
@@ -83,10 +95,10 @@ func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*
 		switch e.Kind {
 		case history.Started:
 			for m.Node(e.Node) != state.Activated {
-				if !fireVirtual(view, info, m, store, inHistory, e.Seq, res) {
+				if !r.fireVirtual(e.Seq) {
 					return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s and cannot become activated", m.Node(e.Node))}
 				}
-				state.Evaluate(view, m, e.Seq)
+				r.observe(r.ev.Evaluate(e.Seq))
 			}
 			// Mandatory inputs must have been available.
 			for _, de := range view.DataEdgesOf(e.Node) {
@@ -142,52 +154,100 @@ func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*
 				}
 			}
 		}
-		state.Evaluate(view, m, e.Seq)
+		r.observe(r.ev.Evaluate(e.Seq))
 	}
 	return res, nil
+}
+
+// replayer carries the per-replay state shared across events: the
+// incremental evaluator and the candidate set for virtual firings.
+type replayer struct {
+	view      model.SchemaView
+	topo      *model.Topology
+	ev        *state.Evaluator
+	m         *state.Marking
+	store     *data.Store
+	inHistory map[string]bool
+	res       *ReplayResult
+
+	// candidates holds the activated auto-executable nodes without a
+	// history event, ordered by view position. It is fed by observe and
+	// consumed by fireVirtual, replacing the historical full-schema scan
+	// per blocked event.
+	candidates []string
+}
+
+// observe folds the newly activated nodes of one evaluation pass into the
+// virtual-firing candidate set.
+func (r *replayer) observe(activated []string) {
+	for _, id := range activated {
+		if r.inHistory[id] {
+			continue
+		}
+		nt := r.topo.Of(id)
+		if nt == nil || !nt.Node.CanAutoExecute() {
+			continue
+		}
+		r.insertCandidate(id, nt.Index)
+	}
+}
+
+// insertCandidate inserts the node into the candidate list, keeping it
+// sorted by view position so firings stay in deterministic schema order.
+func (r *replayer) insertCandidate(id string, index int) {
+	pos := len(r.candidates)
+	for i, c := range r.candidates {
+		if c == id {
+			return
+		}
+		if r.topo.Of(c).Index > index {
+			pos = i
+			break
+		}
+	}
+	r.candidates = append(r.candidates, "")
+	copy(r.candidates[pos+1:], r.candidates[pos:])
+	r.candidates[pos] = id
 }
 
 // fireVirtual starts and completes one newly inserted automatic node, in
 // deterministic schema order. It returns false when no such node is
 // enabled.
-func fireVirtual(view model.SchemaView, info *graph.Info, m *state.Marking, store *data.Store, inHistory map[string]bool, seq int, res *ReplayResult) bool {
-	for _, id := range view.NodeIDs() {
-		if m.Node(id) != state.Activated || inHistory[id] {
+func (r *replayer) fireVirtual(seq int) bool {
+	for i := 0; i < len(r.candidates); i++ {
+		id := r.candidates[i]
+		if r.m.Node(id) != state.Activated {
+			// Stale candidate (e.g. demoted by a loop reset): drop it.
+			r.candidates = append(r.candidates[:i], r.candidates[i+1:]...)
+			i--
 			continue
 		}
-		n, _ := view.Node(id)
-		if !n.CanAutoExecute() {
-			continue
-		}
-		if err := m.Start(id); err != nil {
+		n := r.topo.Of(id).Node
+		if err := r.m.Start(id); err != nil {
 			continue
 		}
 		decision := -1
 		if n.Type == model.NodeXORSplit {
-			decision = virtualDecision(view, store, n)
+			decision = virtualDecision(r.view, r.store, n)
 		}
 		// Virtual completions zero-fill their write edges, mirroring the
-		// engine's automatic execution.
-		for _, de := range view.DataEdgesOf(id) {
+		// engine's automatic execution. Virtual loop ends never iterate
+		// during replay (decision stays -1).
+		for _, de := range r.view.DataEdgesOf(id) {
 			if de.Access != model.Write {
 				continue
 			}
-			if elem, ok := view.DataElement(de.Element); ok {
-				store.Write(de.Element, elem.Type.ZeroValue(), id, seq)
+			if elem, ok := r.view.DataElement(de.Element); ok {
+				r.store.Write(de.Element, elem.Type.ZeroValue(), id, seq)
 			}
 		}
-		if n.Type == model.NodeLoopEnd {
-			// Virtual loops never iterate during replay.
-			if err := m.Complete(view, id, -1); err != nil {
-				continue
-			}
-		} else if err := m.Complete(view, id, decision); err != nil {
+		if err := r.m.Complete(r.view, id, decision); err != nil {
 			continue
 		}
-		res.VirtualFirings++
+		r.candidates = append(r.candidates[:i], r.candidates[i+1:]...)
+		r.res.VirtualFirings++
 		return true
 	}
-	_ = info
 	return false
 }
 

@@ -305,6 +305,7 @@ func (inst *Instance) cascadeLocked() error {
 	if err != nil {
 		return err
 	}
+	topo := v.Topology()
 	for {
 		state.Evaluate(v, inst.marking, inst.hist.NextSeq())
 
@@ -314,13 +315,11 @@ func (inst *Instance) cascadeLocked() error {
 			break
 		}
 
+		// Only auto-executable nodes can continue the cascade; the
+		// topology index enumerates them without scanning the schema.
 		next := ""
-		for _, id := range v.NodeIDs() {
-			if inst.marking.Node(id) != state.Activated {
-				continue
-			}
-			n, _ := v.Node(id)
-			if n.CanAutoExecute() {
+		for _, id := range topo.AutoExecutable() {
+			if inst.marking.Node(id) == state.Activated {
 				next = id
 				break
 			}
@@ -349,14 +348,11 @@ func (inst *Instance) syncWorklistLocked() {
 	if err != nil {
 		return
 	}
+	topo := v.Topology()
 	wanted := make(map[string]*model.Node)
-	for _, id := range v.NodeIDs() {
-		n, _ := v.Node(id)
-		if n.Type != model.NodeActivity || n.Auto {
-			continue
-		}
+	for _, id := range topo.ManualActivities() {
 		if s := inst.marking.Node(id); s == state.Activated || s == state.Running {
-			wanted[id] = n
+			wanted[id] = topo.Of(id).Node
 		}
 	}
 	for _, it := range inst.eng.wl.ItemsForInstance(inst.id) {

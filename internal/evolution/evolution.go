@@ -198,6 +198,28 @@ func (m *Manager) Evolve(typeName string, ops []change.Operation, opts Options) 
 	return report, nil
 }
 
+// targetIndex bundles the target schema with its derived indexes — block
+// analysis and topology — computed once per migration run and shared
+// (read-only) by every worker, instead of being re-derived per instance.
+type targetIndex struct {
+	schema  *model.Schema
+	info    *graph.Info
+	infoErr error
+}
+
+// indexTarget precomputes the shared derived indexes of the target schema.
+// Only the replay check consumes the block analysis, so it is skipped in
+// fast mode. Pre-warming Topology also keeps the workers from racing to
+// build the schema's cached index.
+func indexTarget(target *model.Schema, mode CheckMode) *targetIndex {
+	ti := &targetIndex{schema: target}
+	if mode == ReplayCheck {
+		ti.info, ti.infoErr = graph.Analyze(target)
+	}
+	target.Topology()
+	return ti
+}
+
 // MigrateAll migrates every instance of (typeName, fromVersion) towards
 // the already-deployed target schema and returns the report.
 func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Schema, ops []change.Operation, opts Options) *Report {
@@ -207,6 +229,7 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 	start := time.Now()
 	insts := m.eng.InstancesOf(typeName, fromVersion)
 	results := make([]InstanceResult, len(insts))
+	ti := indexTarget(target, opts.Mode)
 
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -215,7 +238,7 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = m.MigrateInstance(insts[i], target, ops, opts)
+				results[i] = m.migrateInstance(insts[i], ti, ops, opts)
 			}
 		}()
 	}
@@ -238,11 +261,15 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 // MigrateInstance decides and (if compliant) performs the migration of one
 // instance to the target schema.
 func (m *Manager) MigrateInstance(inst *engine.Instance, target *model.Schema, ops []change.Operation, opts Options) InstanceResult {
+	return m.migrateInstance(inst, indexTarget(target, opts.Mode), ops, opts)
+}
+
+func (m *Manager) migrateInstance(inst *engine.Instance, ti *targetIndex, ops []change.Operation, opts Options) InstanceResult {
 	res := InstanceResult{Instance: inst.ID()}
 	begin := time.Now()
 	err := inst.Mutate(func(mx *engine.Mutable) error {
 		res.Biased = len(mx.BiasOps()) > 0
-		res.Outcome, res.Detail = m.migrateLocked(mx, target, ops, opts)
+		res.Outcome, res.Detail = m.migrateLocked(mx, ti, ops, opts)
 		return nil
 	})
 	if err != nil {
@@ -253,7 +280,8 @@ func (m *Manager) MigrateInstance(inst *engine.Instance, target *model.Schema, o
 }
 
 // migrateLocked runs under the instance lock.
-func (m *Manager) migrateLocked(mx *engine.Mutable, target *model.Schema, ops []change.Operation, opts Options) (Outcome, string) {
+func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []change.Operation, opts Options) (Outcome, string) {
+	target := ti.schema
 	if mx.Done() {
 		return AlreadyFinished, ""
 	}
@@ -298,9 +326,14 @@ func (m *Manager) migrateLocked(mx *engine.Mutable, target *model.Schema, ops []
 			return Failed, err.Error()
 		}
 		reduced := history.Reduce(curBlocks, mx.History().Events())
-		info, err := graph.Analyze(targetView)
-		if err != nil {
-			return StructuralConflict, err.Error()
+		// Unbiased instances replay against the shared target index; only
+		// biased instances need a fresh analysis of their trial view.
+		info, infoErr := ti.info, ti.infoErr
+		if targetView != model.SchemaView(target) {
+			info, infoErr = graph.Analyze(targetView)
+		}
+		if infoErr != nil {
+			return StructuralConflict, infoErr.Error()
 		}
 		if _, err := compliance.Replay(targetView, info, reduced); err != nil {
 			return StateConflict, err.Error()

@@ -1,0 +1,107 @@
+package evolution_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/model"
+	"adept2/internal/sim"
+)
+
+// buildPopulatedEngine creates an engine with a deterministic population of
+// online-order instances (biased, conflicting, and plain ones).
+func buildPopulatedEngine(t *testing.T, n int) *engine.Engine {
+	t.Helper()
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	opts := sim.DefaultPopulationOpts(n)
+	opts.BiasedFrac = 0.3
+	opts.ConflictingBiasFrac = 0.2
+	if _, err := sim.BuildPopulation(e, rng, opts); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// outcomeCounts summarizes a report as outcome -> count.
+func outcomeCounts(r *evolution.Report) map[evolution.Outcome]int {
+	c := make(map[evolution.Outcome]int)
+	for _, res := range r.Results {
+		c[res.Outcome]++
+	}
+	return c
+}
+
+// TestConcurrentMigrationSharedIndex migrates a population with many
+// workers under both check modes. All workers share the target schema's
+// precomputed block analysis and topology index; run under -race this
+// asserts the sharing is sound, and the per-outcome counts must match a
+// single-worker run of the identically-seeded population.
+func TestConcurrentMigrationSharedIndex(t *testing.T) {
+	for _, mode := range []evolution.CheckMode{evolution.FastCheck, evolution.ReplayCheck} {
+		t.Run(fmt.Sprintf("mode=%s", mode), func(t *testing.T) {
+			serial := buildPopulatedEngine(t, 120)
+			serialReport, err := evolution.NewManager(serial).Evolve(
+				"online_order", sim.OnlineOrderTypeChange(),
+				evolution.Options{Mode: mode, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parallel := buildPopulatedEngine(t, 120)
+			parallelReport, err := evolution.NewManager(parallel).Evolve(
+				"online_order", sim.OnlineOrderTypeChange(),
+				evolution.Options{Mode: mode, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if parallelReport.Total() != serialReport.Total() {
+				t.Fatalf("totals differ: serial=%d parallel=%d", serialReport.Total(), parallelReport.Total())
+			}
+			sc, pc := outcomeCounts(serialReport), outcomeCounts(parallelReport)
+			for _, o := range evolution.Outcomes() {
+				if sc[o] != pc[o] {
+					t.Errorf("outcome %s: serial=%d parallel=%d", o, sc[o], pc[o])
+				}
+			}
+			if got := parallelReport.Count(evolution.Migrated); got == 0 {
+				t.Fatal("expected at least one migrated instance")
+			}
+			if got := parallelReport.Count(evolution.Failed); got != 0 {
+				t.Fatalf("unexpected failures: %d", got)
+			}
+		})
+	}
+}
+
+// TestMigrateAllReusesTargetIndexAcrossVersions runs two consecutive
+// evolutions with concurrent workers: the second migration starts from a
+// deployed version whose cached indexes were already shared by the first —
+// the long-lived-cache path a production engine exercises continuously.
+func TestMigrateAllReusesTargetIndexAcrossVersions(t *testing.T) {
+	e := buildPopulatedEngine(t, 60)
+	mgr := evolution.NewManager(e)
+	if _, err := mgr.Evolve("online_order", sim.OnlineOrderTypeChange(), evolution.Options{Workers: 6}); err != nil {
+		t.Fatal(err)
+	}
+	second := []change.Operation{&change.SerialInsert{
+		Node: &model.Node{ID: "register_delivery", Name: "Register Delivery", Type: model.NodeActivity, Role: "courier", Template: "register_delivery"},
+		Pred: "deliver_goods",
+		Succ: "end",
+	}}
+	report, err := mgr.Evolve("online_order", second, evolution.Options{Workers: 6, Mode: evolution.ReplayCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Count(evolution.Failed) != 0 {
+		t.Fatalf("unexpected failures in second evolution: %+v", report.Results)
+	}
+}

@@ -24,6 +24,11 @@ type Block struct {
 	// Inside is the union of all branches (strictly between split and
 	// join).
 	Inside map[string]bool
+
+	// region caches Inside ∪ {Split, Join}; Analyze precomputes it so the
+	// hot consumers of Region (history reduction, loop resets) pay no
+	// per-call allocation.
+	region map[string]bool
 }
 
 // Contains reports whether the node lies inside the block, including the
@@ -32,15 +37,19 @@ func (b *Block) Contains(id string) bool {
 	return id == b.Split || id == b.Join || b.Inside[id]
 }
 
-// Region returns the block's node set including split and join.
+// Region returns the block's node set including split and join. The
+// returned map is shared and cached — callers must treat it as read-only.
 func (b *Block) Region() map[string]bool {
-	r := make(map[string]bool, len(b.Inside)+2)
-	for id := range b.Inside {
-		r[id] = true
+	if b.region == nil {
+		r := make(map[string]bool, len(b.Inside)+2)
+		for id := range b.Inside {
+			r[id] = true
+		}
+		r[b.Split] = true
+		r[b.Join] = true
+		b.region = r
 	}
-	r[b.Split] = true
-	r[b.Join] = true
-	return r
+	return b.region
 }
 
 // BranchOf returns the index of the branch containing the node, or -1 if
@@ -124,6 +133,12 @@ func Analyze(v model.SchemaView) (*Info, error) {
 				return nil, fmt.Errorf("graph: join %q has no matching split", id)
 			}
 		}
+	}
+
+	// Precompute every block's region before the Info escapes: Region's
+	// cache fill must not race when migration workers share one Info.
+	for _, b := range info.blocks {
+		b.Region()
 	}
 
 	if err := checkNesting(info.blocks); err != nil {

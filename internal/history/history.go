@@ -156,10 +156,16 @@ func (l *Log) UnmarshalJSON(b []byte) error {
 // completion itself. The result is the history of the final iteration of
 // every loop — the paper's loop-tolerant compliance view.
 //
+// The retained slice is grown on demand: loop-heavy histories reduce to a
+// few events, so pre-sizing to the physical history length would allocate
+// orders of magnitude too much. Purges trim the retained slice in place,
+// which keeps it — and therefore every rescan — bounded by the live
+// (unpurged) event count rather than the history length.
+//
 // info must be the block analysis of the same schema view the events were
 // recorded on.
 func Reduce(info *graph.Info, events []*Event) []*Event {
-	out := make([]*Event, 0, len(events))
+	var out []*Event
 	for _, e := range events {
 		if e.Kind == Completed && e.Again {
 			if blk, ok := info.ByJoin(e.Node); ok && blk.Kind == model.NodeLoopStart {

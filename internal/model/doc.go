@@ -10,4 +10,33 @@
 // substitute an overlay view (see internal/storage) without materializing
 // a full per-instance schema copy — the hybrid representation of Fig. 2 of
 // the ADEPT2 paper.
+//
+// # Topology index invariants
+//
+// Every SchemaView exposes a precomputed Topology: per-node adjacency
+// slices split by edge type plus derived node lists (auto-executable
+// nodes, manual activities). The index obeys the following invariants,
+// which the marking evaluator (internal/state), the engine cascade, and
+// the compliance replayer rely on:
+//
+//   - Completeness: Topology().Of(id) is non-nil exactly for the IDs in
+//     NodeIDs(), and NodeTopology.Index equals the ID's position there.
+//     NodeTopology.Node is the same *Node that Node(id) returns.
+//   - Partition: the six edge slices of a node partition InEdges/OutEdges
+//     by EdgeType — every incident edge appears in exactly one slice, and
+//     the *Edge pointers are shared with Edges() (no copies).
+//   - Derived lists: AutoExecutable() holds exactly the nodes with
+//     CanAutoExecute() true, ManualActivities() exactly the non-Auto
+//     NodeActivity nodes, both in NodeIDs() order.
+//   - Coherence: the index is invalidated by every structural mutation
+//     (node/edge add, remove, replace). *Schema clears its cache slot on
+//     mutation and rebuilds on demand (safe under concurrent readers: the
+//     slot is atomic and the build idempotent); the storage overlay
+//     rebuilds the index together with its adjacency caches on refresh.
+//     A *Topology held across a mutation of its view is stale — re-fetch
+//     it instead. Data elements and data edges do not affect the index
+//     (the per-activity data-edge map is maintained separately by
+//     DataEdgesOf).
+//   - Immutability: callers must never mutate the returned slices; one
+//     Topology is shared by every concurrent reader of a deployed schema.
 package model

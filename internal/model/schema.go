@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Schema is a buildtime process schema: the template from which process
@@ -33,6 +34,15 @@ type Schema struct {
 
 	startID string
 	endID   string
+
+	// topo caches the topology index. Deployed schemas are immutable by
+	// convention but read from many goroutines (e.g. all instances of a
+	// version during migration), so the cache slot is atomic: concurrent
+	// readers may race to build the index, which is idempotent, and every
+	// structural mutation clears the slot. The slot lives behind a plain
+	// pointer so Schema values stay assignable (UnmarshalJSON replaces the
+	// whole struct).
+	topo *atomic.Pointer[Topology]
 }
 
 // NewSchema creates an empty schema for the given process type and version.
@@ -48,6 +58,7 @@ func NewSchema(id, typeName string, version int) *Schema {
 		data:        make(map[string]*DataElement),
 		dataEdgeSet: make(map[DataEdgeKey]*DataEdge),
 		edgesByAct:  make(map[string][]*DataEdge),
+		topo:        new(atomic.Pointer[Topology]),
 	}
 }
 
@@ -103,6 +114,21 @@ func (s *Schema) HasEdge(k EdgeKey) bool {
 	return ok
 }
 
+// Topology implements SchemaView: it returns the cached topology index,
+// building it on first use after a structural mutation.
+func (s *Schema) Topology() *Topology {
+	if t := s.topo.Load(); t != nil {
+		return t
+	}
+	t := BuildTopology(s)
+	s.topo.Store(t)
+	return t
+}
+
+// invalidateTopology drops the cached topology index; every structural
+// mutation calls it.
+func (s *Schema) invalidateTopology() { s.topo.Store(nil) }
+
 // StartID implements SchemaView.
 func (s *Schema) StartID() string { return s.startID }
 
@@ -154,6 +180,7 @@ func (s *Schema) AddNode(n *Node) error {
 	}
 	s.nodes[n.ID] = n
 	s.nodeOrder = append(s.nodeOrder, n.ID)
+	s.invalidateTopology()
 	return nil
 }
 
@@ -172,6 +199,7 @@ func (s *Schema) ReplaceNode(n *Node) error {
 		return fmt.Errorf("model: replace node %q: type change %s -> %s not allowed", n.ID, old.Type, n.Type)
 	}
 	s.nodes[n.ID] = n
+	s.invalidateTopology()
 	return nil
 }
 
@@ -199,6 +227,7 @@ func (s *Schema) RemoveNode(id string) error {
 	delete(s.outEdges, id)
 	delete(s.inEdges, id)
 	delete(s.edgesByAct, id)
+	s.invalidateTopology()
 	return nil
 }
 
@@ -225,6 +254,7 @@ func (s *Schema) AddEdge(e *Edge) error {
 	s.edgeSet[k] = e
 	s.outEdges[e.From] = append(s.outEdges[e.From], e)
 	s.inEdges[e.To] = append(s.inEdges[e.To], e)
+	s.invalidateTopology()
 	return nil
 }
 
@@ -238,6 +268,7 @@ func (s *Schema) RemoveEdge(k EdgeKey) error {
 	s.edges = removeEdge(s.edges, e)
 	s.outEdges[e.From] = removeEdge(s.outEdges[e.From], e)
 	s.inEdges[e.To] = removeEdge(s.inEdges[e.To], e)
+	s.invalidateTopology()
 	return nil
 }
 

@@ -1,0 +1,107 @@
+package model
+
+// NodeTopology is the precomputed adjacency record of one node: its
+// incident edges split by edge type, the node itself, and the node's
+// position in the view's enumeration order. The marking evaluator
+// (internal/state) consults these slices in its inner loop instead of
+// filtering InEdges/OutEdges on every visit, which removes all per-call
+// allocations from the hot path.
+//
+// The slices are owned by the Topology and must not be mutated.
+type NodeTopology struct {
+	// Index is the node's position in SchemaView.NodeIDs order; it gives
+	// consumers a deterministic, allocation-free ordering key.
+	Index int
+	// Node is the node record itself.
+	Node *Node
+
+	// InControl / OutControl are the incoming/outgoing control edges.
+	InControl  []*Edge
+	OutControl []*Edge
+	// InSync / OutSync are the incoming/outgoing sync edges.
+	InSync  []*Edge
+	OutSync []*Edge
+	// InLoop / OutLoop are the incoming/outgoing loop back edges.
+	InLoop  []*Edge
+	OutLoop []*Edge
+}
+
+// Topology is the precomputed topology index of a schema view: per-node
+// typed adjacency plus derived node lists the engine's hot paths scan
+// (auto-executable nodes for the execution cascade, manual activities for
+// worklist reconciliation).
+//
+// A Topology is an immutable snapshot of the view it was built from. Views
+// cache it (see Schema.Topology and the overlay refresh path in
+// internal/storage) and invalidate the cache on every structural mutation,
+// so holding a *Topology across a mutation observes stale data — re-fetch
+// it from the view instead.
+type Topology struct {
+	nodes  map[string]*NodeTopology
+	auto   []string // CanAutoExecute node IDs in view order
+	manual []string // manual (user-worked) activity IDs in view order
+}
+
+// BuildTopology computes the topology index of a view. Callers should
+// prefer SchemaView.Topology, which returns the view's cached index.
+func BuildTopology(v SchemaView) *Topology {
+	ids := v.NodeIDs()
+	t := &Topology{nodes: make(map[string]*NodeTopology, len(ids))}
+	for i, id := range ids {
+		n, ok := v.Node(id)
+		if !ok {
+			continue
+		}
+		t.nodes[id] = &NodeTopology{Index: i, Node: n}
+		if n.CanAutoExecute() {
+			t.auto = append(t.auto, id)
+		}
+		if n.Type == NodeActivity && !n.Auto {
+			t.manual = append(t.manual, id)
+		}
+	}
+	for _, e := range v.Edges() {
+		from, to := t.nodes[e.From], t.nodes[e.To]
+		switch e.Type {
+		case EdgeControl:
+			if from != nil {
+				from.OutControl = append(from.OutControl, e)
+			}
+			if to != nil {
+				to.InControl = append(to.InControl, e)
+			}
+		case EdgeSync:
+			if from != nil {
+				from.OutSync = append(from.OutSync, e)
+			}
+			if to != nil {
+				to.InSync = append(to.InSync, e)
+			}
+		case EdgeLoop:
+			if from != nil {
+				from.OutLoop = append(from.OutLoop, e)
+			}
+			if to != nil {
+				to.InLoop = append(to.InLoop, e)
+			}
+		}
+	}
+	return t
+}
+
+// Of returns the adjacency record of the node, or nil if the node is not
+// part of the indexed view.
+func (t *Topology) Of(id string) *NodeTopology { return t.nodes[id] }
+
+// NumNodes returns the number of indexed nodes.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// AutoExecutable returns the IDs of all nodes the engine may start and
+// complete without user interaction (Node.CanAutoExecute), in view order.
+// The execution cascade scans this list instead of all nodes.
+func (t *Topology) AutoExecutable() []string { return t.auto }
+
+// ManualActivities returns the IDs of all user-worked activity nodes in
+// view order; worklist reconciliation scans this list instead of all
+// nodes.
+func (t *Topology) ManualActivities() []string { return t.manual }

@@ -34,6 +34,12 @@ type SchemaView interface {
 	// EndID returns the ID of the unique end node ("" if absent).
 	EndID() string
 
+	// Topology returns the precomputed topology index of the view.
+	// Implementations cache the index and invalidate it on structural
+	// mutation; the returned value is immutable and must not be held
+	// across mutations of the view.
+	Topology() *Topology
+
 	// DataElements enumerates all data elements in a stable order.
 	DataElements() []*DataElement
 	// DataElement looks up a data element by ID.

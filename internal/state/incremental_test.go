@@ -1,0 +1,360 @@
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adept2/internal/graph"
+	"adept2/internal/model"
+	"adept2/internal/storage"
+)
+
+// The tests in this file pin the tentpole invariant of the incremental
+// evaluator: edge-driven propagation (Evaluate/Adapt) produces markings
+// identical — node states, edge signals, and skip stamps — to the retained
+// global fixpoint reference (evaluateFixpoint), on randomized schemas with
+// XOR/AND blocks, loops, and sync edges, across random event prefixes and
+// biased overlay views.
+
+// richFrag is a generated fragment plus the activity IDs inside it, so the
+// generator can attach sync edges across parallel branches.
+type richFrag struct {
+	frag model.Fragment
+	acts []string
+}
+
+// genRichSchema builds a random block-structured schema featuring
+// sequences, parallel and conditional blocks, do-while loops, and sync
+// edges between sibling parallel branches.
+func genRichSchema(rng *rand.Rand, name string) *model.Schema {
+	b := model.NewBuilder(name)
+	seq := 0
+	newAct := func() richFrag {
+		seq++
+		id := fmt.Sprintf("a%d", seq)
+		return richFrag{frag: b.Activity(id, "A", model.WithRole("r")), acts: []string{id}}
+	}
+	var gen func(depth int) richFrag
+	gen = func(depth int) richFrag {
+		if depth <= 0 {
+			return newAct()
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return newAct()
+		case 1: // sequence
+			l, r := gen(depth-1), gen(depth-1)
+			return richFrag{
+				frag: b.Seq(l.frag, r.frag),
+				acts: append(l.acts, r.acts...),
+			}
+		case 2: // parallel, optionally with one cross-branch sync edge
+			l, r := gen(depth-1), gen(depth-1)
+			f := b.Parallel(l.frag, r.frag)
+			if len(l.acts) > 0 && len(r.acts) > 0 && rng.Intn(2) == 0 {
+				from := l.acts[rng.Intn(len(l.acts))]
+				to := r.acts[rng.Intn(len(r.acts))]
+				b.Sync(from, to)
+			}
+			return richFrag{frag: f, acts: append(l.acts, r.acts...)}
+		case 3: // conditional
+			l, r := gen(depth-1), gen(depth-1)
+			return richFrag{
+				frag: b.Choice("", l.frag, r.frag),
+				acts: append(l.acts, r.acts...),
+			}
+		default: // do-while loop
+			body := gen(depth - 1)
+			return richFrag{frag: b.Loop(body.frag, "", 0), acts: body.acts}
+		}
+	}
+	root := gen(3)
+	s, err := b.Build(root.frag)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// markingsIdentical compares two markings exhaustively over a view: node
+// states, edge signals, and skip stamps.
+func markingsIdentical(v model.SchemaView, a, b *Marking) bool {
+	for _, id := range v.NodeIDs() {
+		if a.Node(id) != b.Node(id) || a.SkipSeq(id) != b.SkipSeq(id) {
+			return false
+		}
+	}
+	for _, e := range v.Edges() {
+		if a.Edge(e.Key()) != b.Edge(e.Key()) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(ids []string) []string {
+	c := append([]string(nil), ids...)
+	sort.Strings(c)
+	return c
+}
+
+func sameSet(a, b []string) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dualRun drives one random partial execution on two markings in lockstep:
+// mInc evolves through the incremental Evaluate, mRef through the global
+// fixpoint reference. It fails the test at the first divergence and
+// returns the final state plus the XOR decision record.
+func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info) (mInc, mRef *Marking, decisions map[string]int) {
+	t.Helper()
+	mInc, mRef = NewMarking(), NewMarking()
+	mInc.Init(v)
+	mRef.Init(v)
+	actInc := Evaluate(v, mInc, 1)
+	actRef := evaluateFixpoint(v, mRef, 1)
+	if !sameSet(actInc, actRef) {
+		t.Fatalf("init activation sets diverge: inc=%v ref=%v", actInc, actRef)
+	}
+	decisions = map[string]int{}
+	loopIters := map[string]int{}
+
+	for step := 0; step < 60; step++ {
+		enabled := mInc.NodesInState(Activated)
+		if !sameSet(enabled, mRef.NodesInState(Activated)) {
+			t.Fatalf("step %d: enabled sets diverge: inc=%v ref=%v", step, enabled, mRef.NodesInState(Activated))
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		id := enabled[rng.Intn(len(enabled))]
+		if err := mInc.Start(id); err != nil {
+			t.Fatalf("step %d: start inc: %v", step, err)
+		}
+		if err := mRef.Start(id); err != nil {
+			t.Fatalf("step %d: start ref: %v", step, err)
+		}
+		node, _ := v.Node(id)
+		dec := -1
+		if node.Type == model.NodeXORSplit {
+			outs := model.OutControlEdges(v, id)
+			dec = outs[rng.Intn(len(outs))].Code
+			decisions[id] = dec
+		}
+		seq := step + 2
+		if node.Type == model.NodeLoopEnd && loopIters[id] < 1 && rng.Intn(2) == 0 {
+			// Iterate the loop once: both markings are completed and reset
+			// identically, exercising the worklist seeding of ResetLoop.
+			loopIters[id]++
+			blk, ok := info.ByJoin(id)
+			if !ok {
+				t.Fatalf("loop end %s has no block", id)
+			}
+			// The engine resets without completing (the iterating
+			// completion only exists in the history); mirror that.
+			region := blk.Region()
+			ResetLoop(v, mInc, region)
+			ResetLoop(v, mRef, region)
+			for n := range region {
+				delete(decisions, n)
+			}
+		} else {
+			if err := mInc.Complete(v, id, dec); err != nil {
+				t.Fatalf("step %d: complete inc: %v", step, err)
+			}
+			if err := mRef.Complete(v, id, dec); err != nil {
+				t.Fatalf("step %d: complete ref: %v", step, err)
+			}
+		}
+		actInc = Evaluate(v, mInc, seq)
+		actRef = evaluateFixpoint(v, mRef, seq)
+		if !sameSet(actInc, actRef) {
+			t.Fatalf("step %d: activation sets diverge: inc=%v ref=%v", step, actInc, actRef)
+		}
+		if !markingsIdentical(v, mInc, mRef) {
+			t.Fatalf("step %d: markings diverge after completing %s", step, id)
+		}
+	}
+	return mInc, mRef, decisions
+}
+
+// TestIncrementalMatchesFixpoint: on random schemas and random event
+// prefixes, incremental propagation and the global fixpoint produce
+// identical markings after every single event.
+func TestIncrementalMatchesFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genRichSchema(rng, "p")
+		info, err := graph.Analyze(s)
+		if err != nil {
+			panic(err)
+		}
+		mInc, mRef, _ := dualRun(t, rng, s, info)
+		return markingsIdentical(s, mInc, mRef)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptMatchesFixpoint: state adaptation through the incremental
+// evaluator equals the adaptation closed by the fixpoint reference, on the
+// unchanged schema (identity adaptation) after a random prefix.
+func TestAdaptMatchesFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genRichSchema(rng, "p")
+		info, err := graph.Analyze(s)
+		if err != nil {
+			panic(err)
+		}
+		mInc, mRef, decisions := dualRun(t, rng, s, info)
+		before := mInc.Clone()
+
+		actInc := Adapt(s, mInc, decisions, 99)
+		adaptCore(s, mRef, decisions)
+		actRef := evaluateFixpoint(s, mRef, 99)
+		for id := range mRef.skipSeq {
+			if mRef.Node(id) != Skipped {
+				delete(mRef.skipSeq, id)
+			}
+		}
+		if !sameSet(actInc, actRef) {
+			t.Fatalf("adapt activation sets diverge: inc=%v ref=%v", actInc, actRef)
+		}
+		// Identity adaptation must also reproduce the pre-adapt marking
+		// (modulo skip stamps, which Adapt re-stamps with the adapt seq).
+		for _, id := range s.NodeIDs() {
+			if before.Node(id) != mInc.Node(id) {
+				t.Fatalf("identity adaptation changed node %s: %s -> %s", id, before.Node(id), mInc.Node(id))
+			}
+		}
+		return markingsIdentical(s, mInc, mRef)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptMatchesFixpointOnBiasedOverlay: after a random prefix, the view
+// is biased through a storage overlay (a serial insert of an automatic
+// activity splitting a random control edge, the canonical ad-hoc change),
+// and both adaptation paths must agree on the overlaid view.
+func TestAdaptMatchesFixpointOnBiasedOverlay(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := genRichSchema(rng, "p")
+		info, err := graph.Analyze(base)
+		if err != nil {
+			panic(err)
+		}
+		mInc, mRef, decisions := dualRun(t, rng, base, info)
+
+		ov := storage.NewOverlay(base)
+		var ctrl []*model.Edge
+		for _, e := range base.Edges() {
+			if e.Type == model.EdgeControl {
+				ctrl = append(ctrl, e)
+			}
+		}
+		split := ctrl[rng.Intn(len(ctrl))]
+		ins := &model.Node{ID: "bias_x", Name: "bias_x", Type: model.NodeActivity, Auto: true, Template: "bias_x"}
+		if err := ov.RemoveEdge(split.Key()); err != nil {
+			panic(err)
+		}
+		if err := ov.AddNode(ins); err != nil {
+			panic(err)
+		}
+		if err := ov.AddEdge(&model.Edge{From: split.From, To: ins.ID, Type: model.EdgeControl, Code: split.Code}); err != nil {
+			panic(err)
+		}
+		if err := ov.AddEdge(&model.Edge{From: ins.ID, To: split.To, Type: model.EdgeControl}); err != nil {
+			panic(err)
+		}
+
+		actInc := Adapt(ov, mInc, decisions, 99)
+		adaptCore(ov, mRef, decisions)
+		actRef := evaluateFixpoint(ov, mRef, 99)
+		for id := range mRef.skipSeq {
+			if mRef.Node(id) != Skipped {
+				delete(mRef.skipSeq, id)
+			}
+		}
+		if !sameSet(actInc, actRef) {
+			t.Fatalf("biased adapt activation sets diverge: inc=%v ref=%v", actInc, actRef)
+		}
+		return markingsIdentical(ov, mInc, mRef)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluateAfterManualStaging: hand-staged marking mutations through
+// SetNode/SetEdge (the way compliance tests stage scenarios: mark a node
+// completed and signal its outgoing edges) queue exactly the affected
+// nodes; the next Evaluate must agree with the fixpoint run on a clone.
+//
+// Note the staging must be *consistent* — a true-signaled edge implies a
+// completed source. On corrupted markings (e.g. a true signal from a node
+// that a cascade later skips) neither evaluator is order-independent; that
+// was equally true of the historical global fixpoint, whose outcome then
+// depended on the schema scan order.
+func TestEvaluateAfterManualStaging(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genRichSchema(rng, "p")
+		m := NewMarking()
+		m.Init(s)
+		Evaluate(s, m, 1)
+		ids := s.NodeIDs()
+		for i := 0; i < 2; i++ {
+			id := ids[rng.Intn(len(ids))]
+			if m.Node(id) != NotActivated {
+				continue
+			}
+			n, _ := s.Node(id)
+			if n.Type == model.NodeStart || n.Type == model.NodeEnd {
+				continue
+			}
+			m.SetNode(id, Completed)
+			outs := model.OutControlEdges(s, id)
+			pick := -1
+			if n.Type == model.NodeXORSplit && len(outs) > 0 {
+				pick = rng.Intn(len(outs))
+			}
+			for j, e := range outs {
+				if pick >= 0 && j != pick {
+					m.SetEdge(e.Key(), FalseSignaled)
+				} else {
+					m.SetEdge(e.Key(), TrueSignaled)
+				}
+			}
+			for _, e := range model.SyncSuccs(s, id) {
+				m.SetEdge(model.EdgeKey{From: id, To: e, Type: model.EdgeSync}, TrueSignaled)
+			}
+		}
+		ref := m.Clone()
+		incAct := Evaluate(s, m, 7)
+		refAct := evaluateFixpoint(s, ref, 7)
+		if !sameSet(incAct, refAct) {
+			return false
+		}
+		return markingsIdentical(s, m, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

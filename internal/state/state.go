@@ -5,11 +5,15 @@
 // paper ("completed", "activated", "running", "TRUE signaled", and the
 // "Disabled" state which this implementation calls Skipped).
 //
-// Evaluate propagates markings to a fixpoint: it activates nodes whose
-// incoming edges are satisfied and skips nodes on dead (false-signaled)
-// paths. The same rules run during normal execution, after ad-hoc changes,
-// and during migration state adaptation, which is what makes automatic
-// state adaptation possible.
+// Evaluate propagates markings by edge-driven incremental propagation: the
+// marking tracks which nodes had an incoming edge signaled (or were
+// themselves demoted) since the last evaluation, and Evaluate re-examines
+// only that affected region, cascading through skips — O(affected) per
+// event instead of a global fixpoint over all nodes. The same rules run
+// during normal execution, after ad-hoc changes, and during migration
+// state adaptation, which is what makes automatic state adaptation
+// possible. The historical global fixpoint is retained (unexported) as the
+// reference implementation that property tests compare against.
 package state
 
 import (
@@ -86,6 +90,12 @@ func (s EdgeState) String() string {
 // edge NotSignaled; the maps only hold non-zero entries, so an unbiased,
 // freshly created instance costs almost no memory (the redundancy-free
 // representation of Fig. 2).
+//
+// The marking additionally maintains the evaluation worklist: every edge
+// signal records its target node and every demotion to NotActivated
+// records the node itself as pending re-examination. Evaluate consumes the
+// worklist; between mutations and the next Evaluate call the marking is at
+// a fixpoint for all nodes NOT on the worklist.
 type Marking struct {
 	nodes map[string]NodeState
 	edges map[model.EdgeKey]EdgeState
@@ -95,15 +105,36 @@ type Marking struct {
 	// edge insertion needs it ("was the source definitely dead before the
 	// target started?").
 	skipSeq map[string]int
+
+	// pending is the evaluation worklist: nodes whose activation/skip
+	// question may have a new answer. pendingSet deduplicates it.
+	pending    []string
+	pendingSet map[string]bool
 }
 
 // NewMarking returns an empty marking (everything not activated).
 func NewMarking() *Marking {
 	return &Marking{
-		nodes:   make(map[string]NodeState),
-		edges:   make(map[model.EdgeKey]EdgeState),
-		skipSeq: make(map[string]int),
+		nodes:      make(map[string]NodeState),
+		edges:      make(map[model.EdgeKey]EdgeState),
+		skipSeq:    make(map[string]int),
+		pendingSet: make(map[string]bool),
 	}
+}
+
+// markPending queues a node for re-examination by the next Evaluate.
+func (m *Marking) markPending(id string) {
+	if !m.pendingSet[id] {
+		m.pendingSet[id] = true
+		m.pending = append(m.pending, id)
+	}
+}
+
+// clearPending empties the evaluation worklist (a full evaluation pass
+// answered every open question).
+func (m *Marking) clearPending() {
+	m.pending = m.pending[:0]
+	clear(m.pendingSet)
 }
 
 // Node returns the state of a node.
@@ -113,22 +144,32 @@ func (m *Marking) Node(id string) NodeState { return m.nodes[id] }
 func (m *Marking) Edge(k model.EdgeKey) EdgeState { return m.edges[k] }
 
 // SetNode sets a node state directly. Callers outside this package should
-// prefer the Start/Complete/Evaluate entry points.
+// prefer the Start/Complete/Evaluate entry points. Demoting a node to
+// NotActivated queues it for re-examination.
 func (m *Marking) SetNode(id string, s NodeState) {
+	if m.nodes[id] == s {
+		return
+	}
 	if s == NotActivated {
 		delete(m.nodes, id)
+		m.markPending(id)
 		return
 	}
 	m.nodes[id] = s
 }
 
-// SetEdge sets an edge state directly.
+// SetEdge sets an edge state directly. Any state change queues the edge's
+// target node for re-examination.
 func (m *Marking) SetEdge(k model.EdgeKey, s EdgeState) {
-	if s == NotSignaled {
-		delete(m.edges, k)
+	if m.edges[k] == s {
 		return
 	}
-	m.edges[k] = s
+	if s == NotSignaled {
+		delete(m.edges, k)
+	} else {
+		m.edges[k] = s
+	}
+	m.markPending(k.To)
 }
 
 // SkipSeq returns the event sequence number at which the node was skipped
@@ -149,7 +190,8 @@ func (m *Marking) NodesInState(s NodeState) []string {
 	return ids
 }
 
-// Clone returns a deep copy of the marking.
+// Clone returns a deep copy of the marking, including the pending
+// evaluation worklist.
 func (m *Marking) Clone() *Marking {
 	c := NewMarking()
 	for id, s := range m.nodes {
@@ -160,6 +202,10 @@ func (m *Marking) Clone() *Marking {
 	}
 	for id, q := range m.skipSeq {
 		c.skipSeq[id] = q
+	}
+	c.pending = append(c.pending, m.pending...)
+	for id := range m.pendingSet {
+		c.pendingSet[id] = true
 	}
 	return c
 }
@@ -216,48 +262,156 @@ func (m *Marking) Complete(v model.SchemaView, id string, decision int) error {
 	if got := m.Node(id); got != Running {
 		return fmt.Errorf("state: complete %q: node is %s, not running", id, got)
 	}
-	n, ok := v.Node(id)
-	if !ok {
+	topo := v.Topology()
+	nt := topo.Of(id)
+	if nt == nil {
 		return fmt.Errorf("state: complete %q: node not in schema", id)
 	}
 	m.SetNode(id, Completed)
-	for _, e := range v.OutEdges(id) {
-		switch e.Type {
-		case model.EdgeLoop:
-			// handled by ResetLoop
-		case model.EdgeControl:
-			if n.Type == model.NodeXORSplit && e.Code != decision {
-				m.SetEdge(e.Key(), FalseSignaled)
-			} else {
-				m.SetEdge(e.Key(), TrueSignaled)
-			}
-		case model.EdgeSync:
+	for _, e := range nt.OutControl {
+		if nt.Node.Type == model.NodeXORSplit && e.Code != decision {
+			m.SetEdge(e.Key(), FalseSignaled)
+		} else {
 			m.SetEdge(e.Key(), TrueSignaled)
 		}
+	}
+	for _, e := range nt.OutSync {
+		m.SetEdge(e.Key(), TrueSignaled)
 	}
 	return nil
 }
 
 // skip marks a node dead and false-signals everything leaving it.
-func (m *Marking) skip(v model.SchemaView, id string, seq int) {
+func (m *Marking) skip(nt *model.NodeTopology, id string, seq int) {
 	m.SetNode(id, Skipped)
 	if _, dup := m.skipSeq[id]; !dup {
 		m.skipSeq[id] = seq
 	}
-	for _, e := range v.OutEdges(id) {
-		if e.Type == model.EdgeLoop {
-			continue
-		}
+	for _, e := range nt.OutControl {
+		m.SetEdge(e.Key(), FalseSignaled)
+	}
+	for _, e := range nt.OutSync {
 		m.SetEdge(e.Key(), FalseSignaled)
 	}
 }
 
-// Evaluate propagates the marking to a fixpoint: nodes whose incoming
-// control edges are all true-signaled and whose incoming sync edges are
-// all signaled become Activated; nodes on dead paths become Skipped. seq
+// Evaluator propagates a marking over one fixed schema view. It snapshots
+// the view's topology index once, so repeated evaluations (e.g. one per
+// replayed history event) share the index without re-fetching it. An
+// Evaluator is invalidated by structural changes to the view — create a
+// new one after an ad-hoc change or migration.
+type Evaluator struct {
+	v    model.SchemaView
+	topo *model.Topology
+	m    *Marking
+}
+
+// NewEvaluator returns an incremental evaluator for the view/marking pair.
+func NewEvaluator(v model.SchemaView, m *Marking) *Evaluator {
+	return &Evaluator{v: v, topo: v.Topology(), m: m}
+}
+
+// Evaluate drains the marking's pending worklist (see Evaluate).
+func (ev *Evaluator) Evaluate(seq int) []string {
+	return propagate(ev.topo, ev.m, seq)
+}
+
+// Evaluate propagates the marking across the affected region: every node
+// with a newly signaled incoming edge (or demoted by ResetLoop/Adapt) is
+// re-examined; nodes whose incoming control edges are all true-signaled
+// and whose incoming sync edges are all signaled become Activated; nodes
+// on dead paths become Skipped, which cascades to their successors. seq
 // stamps newly skipped nodes (see SkipSeq). It returns the IDs of newly
-// activated nodes in deterministic order.
+// activated nodes in view order.
 func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
+	return propagate(v.Topology(), m, seq)
+}
+
+// propagate is the incremental evaluation core: it processes the marking's
+// pending worklist until empty. Skips triggered while draining re-queue
+// their successors, so the propagation covers exactly the affected region.
+func propagate(topo *model.Topology, m *Marking, seq int) []string {
+	var activated []string
+	for i := 0; i < len(m.pending); i++ {
+		id := m.pending[i]
+		delete(m.pendingSet, id) // a later signal must be able to re-queue
+		if m.Node(id) != NotActivated {
+			continue
+		}
+		nt := topo.Of(id)
+		if nt == nil {
+			continue // node not in this view (stale after a change)
+		}
+		n := nt.Node
+		if n.Type == model.NodeStart {
+			continue
+		}
+		inC := nt.InControl
+		if len(inC) == 0 {
+			continue // disconnected; verifier rejects such schemas
+		}
+		trueC, falseC := 0, 0
+		for _, e := range inC {
+			switch m.Edge(e.Key()) {
+			case TrueSignaled:
+				trueC++
+			case FalseSignaled:
+				falseC++
+			}
+		}
+		syncReady := true
+		for _, e := range nt.InSync {
+			if m.Edge(e.Key()) == NotSignaled {
+				syncReady = false
+				break
+			}
+		}
+
+		switch n.Type {
+		case model.NodeXORJoin:
+			switch {
+			case trueC == 1 && trueC+falseC == len(inC) && syncReady:
+				m.SetNode(id, Activated)
+				activated = append(activated, id)
+			case falseC == len(inC):
+				m.skip(nt, id, seq)
+			}
+		case model.NodeANDJoin:
+			switch {
+			case trueC == len(inC) && syncReady:
+				m.SetNode(id, Activated)
+				activated = append(activated, id)
+			case falseC == len(inC):
+				m.skip(nt, id, seq)
+			}
+		default:
+			// Single incoming control edge (activities, splits, loop
+			// start/end, end node).
+			switch {
+			case trueC == len(inC) && syncReady:
+				m.SetNode(id, Activated)
+				activated = append(activated, id)
+			case falseC > 0:
+				m.skip(nt, id, seq)
+			}
+		}
+	}
+	m.pending = m.pending[:0]
+	if len(activated) > 1 {
+		sort.Slice(activated, func(i, j int) bool {
+			return topo.Of(activated[i]).Index < topo.Of(activated[j]).Index
+		})
+	}
+	return activated
+}
+
+// evaluateFixpoint is the historical global-fixpoint evaluator: it rescans
+// every node of the view until quiescence. It is retained purely as the
+// reference implementation for property tests, which assert that the
+// incremental propagation produces marking-for-marking identical results.
+// A full pass answers every open question, so the pending worklist is
+// cleared afterwards.
+func evaluateFixpoint(v model.SchemaView, m *Marking, seq int) []string {
 	var activated []string
 	for {
 		changed := false
@@ -271,7 +425,7 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 			}
 			inC := model.InControlEdges(v, id)
 			if len(inC) == 0 {
-				continue // disconnected; verifier rejects such schemas
+				continue
 			}
 			trueC, falseC := 0, 0
 			for _, e := range inC {
@@ -290,6 +444,19 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 				}
 			}
 
+			skipRef := func() {
+				m.SetNode(id, Skipped)
+				if _, dup := m.skipSeq[id]; !dup {
+					m.skipSeq[id] = seq
+				}
+				for _, e := range v.OutEdges(id) {
+					if e.Type == model.EdgeLoop {
+						continue
+					}
+					m.SetEdge(e.Key(), FalseSignaled)
+				}
+			}
+
 			switch n.Type {
 			case model.NodeXORJoin:
 				switch {
@@ -298,7 +465,7 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 					activated = append(activated, id)
 					changed = true
 				case falseC == len(inC):
-					m.skip(v, id, seq)
+					skipRef()
 					changed = true
 				}
 			case model.NodeANDJoin:
@@ -308,19 +475,17 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 					activated = append(activated, id)
 					changed = true
 				case falseC == len(inC):
-					m.skip(v, id, seq)
+					skipRef()
 					changed = true
 				}
 			default:
-				// Single incoming control edge (activities, splits, loop
-				// start/end, end node).
 				switch {
 				case trueC == len(inC) && syncReady:
 					m.SetNode(id, Activated)
 					activated = append(activated, id)
 					changed = true
 				case falseC > 0:
-					m.skip(v, id, seq)
+					skipRef()
 					changed = true
 				}
 			}
@@ -329,7 +494,55 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 			break
 		}
 	}
+	m.clearPending()
 	return activated
+}
+
+// adaptCore rewinds the derivable parts of the marking against the (possibly
+// changed) view: derived node states are demoted, stale states of deleted
+// nodes dropped, and all edge signals re-derived from the completed
+// frontier. The subsequent evaluation pass — incremental in Adapt, the
+// global fixpoint in the test reference — turns the result back into a
+// complete marking.
+func adaptCore(v model.SchemaView, m *Marking, decisions map[string]int) {
+	topo := v.Topology()
+	// Demote derived states; keep started nodes. The demotions queue every
+	// affected node for re-examination.
+	for _, id := range v.NodeIDs() {
+		switch m.Node(id) {
+		case Activated, Skipped:
+			m.SetNode(id, NotActivated)
+		}
+	}
+	// Drop states of nodes no longer present in the view (deleted by the
+	// change; compliance guarantees they never started).
+	for id := range m.nodes {
+		if topo.Of(id) == nil {
+			delete(m.nodes, id)
+			delete(m.skipSeq, id)
+		}
+	}
+	// All edge signals are re-derived; the re-signaling below queues every
+	// target whose inputs change.
+	clear(m.edges)
+	m.Init(v)
+	start := v.StartID()
+	for _, id := range v.NodeIDs() {
+		if m.Node(id) != Completed || id == start {
+			continue
+		}
+		nt := topo.Of(id)
+		for _, e := range nt.OutControl {
+			if nt.Node.Type == model.NodeXORSplit && e.Code != decisions[id] {
+				m.SetEdge(e.Key(), FalseSignaled)
+			} else {
+				m.SetEdge(e.Key(), TrueSignaled)
+			}
+		}
+		for _, e := range nt.OutSync {
+			m.SetEdge(e.Key(), TrueSignaled)
+		}
+	}
 }
 
 // Adapt recomputes the marking after the underlying schema view changed
@@ -341,49 +554,9 @@ func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
 // decisions supplies the selection code of every completed XOR split
 // (taken from the execution history) so dead paths re-derive identically.
 // Skip stamps of nodes that remain skipped are preserved. Returns the
-// nodes activated after adaptation, in deterministic order.
+// nodes activated after adaptation, in view order.
 func Adapt(v model.SchemaView, m *Marking, decisions map[string]int, seq int) []string {
-	// Demote derived states; keep started nodes.
-	for _, id := range v.NodeIDs() {
-		switch m.Node(id) {
-		case Activated, Skipped:
-			m.SetNode(id, NotActivated)
-		}
-	}
-	// Drop states of nodes no longer present in the view (deleted by the
-	// change; compliance guarantees they never started).
-	for id := range m.nodes {
-		if _, ok := v.Node(id); !ok {
-			delete(m.nodes, id)
-			delete(m.skipSeq, id)
-		}
-	}
-	// All edge signals are re-derived.
-	for k := range m.edges {
-		delete(m.edges, k)
-	}
-	m.Init(v)
-	for _, id := range v.NodeIDs() {
-		if m.Node(id) != Completed || id == v.StartID() {
-			continue
-		}
-		n, _ := v.Node(id)
-		for _, e := range v.OutEdges(id) {
-			switch e.Type {
-			case model.EdgeLoop:
-				// A completed loop end exited its loop; the loop edge
-				// stays unsignaled.
-			case model.EdgeControl:
-				if n.Type == model.NodeXORSplit && e.Code != decisions[id] {
-					m.SetEdge(e.Key(), FalseSignaled)
-				} else {
-					m.SetEdge(e.Key(), TrueSignaled)
-				}
-			case model.EdgeSync:
-				m.SetEdge(e.Key(), TrueSignaled)
-			}
-		}
-	}
+	adaptCore(v, m, decisions)
 	activated := Evaluate(v, m, seq)
 	// Prune stale skip stamps (Evaluate preserved stamps of re-skipped
 	// nodes).
@@ -401,13 +574,28 @@ func Adapt(v model.SchemaView, m *Marking, decisions map[string]int, seq int) []
 // incoming control edge from outside the region remains true-signaled, so
 // the next Evaluate pass re-activates the loop start.
 func ResetLoop(v model.SchemaView, m *Marking, region map[string]bool) {
+	topo := v.Topology()
 	for id := range region {
 		m.SetNode(id, NotActivated)
 		delete(m.skipSeq, id)
-	}
-	for _, e := range v.Edges() {
-		if region[e.From] && region[e.To] {
-			m.SetEdge(e.Key(), NotSignaled)
+		nt := topo.Of(id)
+		if nt == nil {
+			continue
+		}
+		for _, e := range nt.OutControl {
+			if region[e.To] {
+				m.SetEdge(e.Key(), NotSignaled)
+			}
+		}
+		for _, e := range nt.OutSync {
+			if region[e.To] {
+				m.SetEdge(e.Key(), NotSignaled)
+			}
+		}
+		for _, e := range nt.OutLoop {
+			if region[e.To] {
+				m.SetEdge(e.Key(), NotSignaled)
+			}
 		}
 	}
 }

@@ -38,6 +38,7 @@ type Overlay struct {
 	outCache  map[string][]*model.Edge
 	inCache   map[string][]*model.Edge
 	deOfCache map[string][]*model.DataEdge
+	topo      *model.Topology
 }
 
 // NewOverlay creates an empty overlay over the base schema.
@@ -121,6 +122,7 @@ func (o *Overlay) refresh() {
 	for _, de := range o.allDataEdges() {
 		o.deOfCache[de.Activity] = append(o.deOfCache[de.Activity], de)
 	}
+	o.topo = nil // rebuilt lazily by Topology against the fresh caches
 	o.dirty = false
 }
 
@@ -234,6 +236,16 @@ func (o *Overlay) DataElement(id string) (*model.DataElement, bool) {
 	return o.base.DataElement(id)
 }
 
+// Topology implements model.SchemaView: the index is rebuilt together
+// with the overlay's adjacency caches whenever the delta changed.
+func (o *Overlay) Topology() *model.Topology {
+	o.refresh()
+	if o.topo == nil {
+		o.topo = model.BuildTopology(o)
+	}
+	return o.topo
+}
+
 // DataEdges implements model.SchemaView.
 func (o *Overlay) DataEdges() []*model.DataEdge { return o.allDataEdges() }
 
@@ -285,6 +297,7 @@ func (o *Overlay) ReplaceNode(n *model.Node) error {
 	}
 	if _, added := o.addedNodes[n.ID]; added {
 		o.addedNodes[n.ID] = n
+		o.topo = nil // node attributes feed the topology's derived lists
 		return nil
 	}
 	o.addedNodes[n.ID] = n

@@ -1,0 +1,129 @@
+package storage_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/model"
+	"adept2/internal/sim"
+	"adept2/internal/storage"
+)
+
+// topologyMatches asserts that the topology index of a view is coherent
+// with the view's own enumeration methods: same nodes, same per-type edge
+// partition, same derived lists.
+func topologyMatches(t *testing.T, ctx string, v model.SchemaView) {
+	t.Helper()
+	topo := v.Topology()
+	ids := v.NodeIDs()
+	if topo.NumNodes() != len(ids) {
+		t.Fatalf("%s: topology has %d nodes, view %d", ctx, topo.NumNodes(), len(ids))
+	}
+	var wantAuto, wantManual []string
+	for i, id := range ids {
+		n, ok := v.Node(id)
+		if !ok {
+			t.Fatalf("%s: view enumerates unknown node %q", ctx, id)
+		}
+		nt := topo.Of(id)
+		if nt == nil {
+			t.Fatalf("%s: node %q missing from topology", ctx, id)
+		}
+		if nt.Index != i || nt.Node != n {
+			t.Fatalf("%s: node %q: index/node mismatch", ctx, id)
+		}
+		checkPartition := func(kind string, got []*model.Edge, edges []*model.Edge, et model.EdgeType) {
+			var want []*model.Edge
+			for _, e := range edges {
+				if e.Type == et {
+					want = append(want, e)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: node %q: %s has %d edges, want %d", ctx, id, kind, len(got), len(want))
+			}
+			seen := make(map[model.EdgeKey]bool, len(want))
+			for _, e := range want {
+				seen[e.Key()] = true
+			}
+			for _, e := range got {
+				if !seen[e.Key()] {
+					t.Fatalf("%s: node %q: %s contains unexpected edge %s", ctx, id, kind, e)
+				}
+			}
+		}
+		checkPartition("in-control", nt.InControl, v.InEdges(id), model.EdgeControl)
+		checkPartition("in-sync", nt.InSync, v.InEdges(id), model.EdgeSync)
+		checkPartition("in-loop", nt.InLoop, v.InEdges(id), model.EdgeLoop)
+		checkPartition("out-control", nt.OutControl, v.OutEdges(id), model.EdgeControl)
+		checkPartition("out-sync", nt.OutSync, v.OutEdges(id), model.EdgeSync)
+		checkPartition("out-loop", nt.OutLoop, v.OutEdges(id), model.EdgeLoop)
+		if n.CanAutoExecute() {
+			wantAuto = append(wantAuto, id)
+		}
+		if n.Type == model.NodeActivity && !n.Auto {
+			wantManual = append(wantManual, id)
+		}
+	}
+	if got := topo.AutoExecutable(); fmt.Sprint(got) != fmt.Sprint(wantAuto) {
+		t.Fatalf("%s: auto list %v, want %v", ctx, got, wantAuto)
+	}
+	if got := topo.ManualActivities(); fmt.Sprint(got) != fmt.Sprint(wantManual) {
+		t.Fatalf("%s: manual list %v, want %v", ctx, got, wantManual)
+	}
+}
+
+// TestOverlayTopologyCoherence applies random accepted ad-hoc changes to
+// hybrid-represented instances and asserts after every change that the
+// overlay's cached topology index (refreshed by the overlay's dirty path)
+// matches both the overlay's enumeration and the topology of a freshly
+// materialized copy of the view.
+func TestOverlayTopologyCoherence(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		schemaRng := rand.New(rand.NewSource(int64(trial) + 900))
+		name := fmt.Sprintf("topo%d", trial)
+		schema := sim.RandomSchema(schemaRng, name, sim.DefaultSchemaOpts())
+
+		e := engine.New(sim.Org())
+		e.SetStorageStrategy(storage.Hybrid)
+		if err := e.Deploy(schema); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		inst, err := e.CreateInstance(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runRng := rand.New(rand.NewSource(int64(trial)*13 + 5))
+		driver := sim.NewDriver(runRng, e)
+		if err := driver.Advance(inst, 3); err != nil {
+			t.Fatalf("trial %d: advance: %v", trial, err)
+		}
+
+		opRng := rand.New(rand.NewSource(int64(trial)*7 + 1))
+		applied := 0
+		for attempt := 0; attempt < 12 && applied < 3; attempt++ {
+			ops := sim.RandomAdHocOps(opRng, inst.View(), attempt)
+			if change.ApplyAdHoc(inst, ops...) != nil {
+				continue
+			}
+			applied++
+			view := inst.View()
+			ctx := fmt.Sprintf("trial %d change %d", trial, applied)
+			topologyMatches(t, ctx, view)
+
+			// The overlay topology must equal the topology of a full
+			// materialization of the same view.
+			mat, err := storage.Materialize(view, "mat", "t", 1)
+			if err != nil {
+				t.Fatalf("%s: materialize: %v", ctx, err)
+			}
+			topologyMatches(t, ctx+" (materialized)", mat)
+			if !model.Equal(view, mat) {
+				t.Fatalf("%s: materialized view differs", ctx)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# bench.sh — run the perf-trajectory benchmark families (Fig. 1 compliance
+# replay, Fig. 3 population migration, E8 engine throughput) and emit
+# BENCH_baseline.json at the repo root, so successive PRs can compare
+# against a recorded baseline.
+#
+# Usage: scripts/bench.sh [output-file]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_baseline.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Fig1|Fig3|EngineComplete' -benchmem . | tee "$raw"
+
+{
+	printf '{\n'
+	printf '  "generated_by": "scripts/bench.sh",\n'
+	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+	printf '  "benchmarks": [\n'
+	awk '/^Benchmark/ {
+		name=$1; sub(/-[0-9]+$/, "", name)
+		nsop=""; bop=""; allocs=""; extra=""
+		for (i=2; i<NF; i++) {
+			if ($(i+1) == "ns/op")     nsop=$i
+			if ($(i+1) == "B/op")      bop=$i
+			if ($(i+1) == "allocs/op") allocs=$i
+			if ($(i+1) == "us/instance") extra=$i
+		}
+		line=sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+		if (nsop != "")   line=line sprintf(", \"ns_per_op\": %s", nsop)
+		if (bop != "")    line=line sprintf(", \"bytes_per_op\": %s", bop)
+		if (allocs != "") line=line sprintf(", \"allocs_per_op\": %s", allocs)
+		if (extra != "")  line=line sprintf(", \"us_per_instance\": %s", extra)
+		line=line "}"
+		if (seen) printf(",\n")
+		printf("%s", line)
+		seen=1
+	}
+	END { printf("\n") }' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out"
