@@ -1,0 +1,40 @@
+// Package bitset provides the fixed-size uint64 bitset the interned hot
+// paths share: the marking's pending-dedup set (internal/state), the
+// compliance replayer's in-history set, block region bitsets
+// (internal/graph), and the history reducer's active-region union all
+// index bits by a dense model.NodeIdx. The one-line accessors inline, so
+// the shared type costs nothing over the hand-rolled idiom.
+package bitset
+
+// Set is a fixed-size bitset. Index bounds are the caller's contract: a
+// Set sized with New(n) addresses bits [0, n).
+type Set []uint64
+
+// Words returns the number of uint64 words needed for n bits.
+func Words(n int) int { return (n + 63) / 64 }
+
+// New returns a zeroed bitset addressing n bits.
+func New(n int) Set { return make(Set, Words(n)) }
+
+// Has reports whether bit i is set.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (s Set) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s Set) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Union ORs o into s. The sets must be sized for the same bit range.
+func (s Set) Union(o Set) {
+	for w, bits := range o {
+		s[w] |= bits
+	}
+}
+
+// Reset clears all bits, keeping the allocation.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -30,7 +30,7 @@ import (
 type Context struct {
 	View    model.SchemaView
 	Marking *state.Marking
-	Stats   history.Stats
+	Stats   *history.Stats
 	Store   *data.Store
 }
 

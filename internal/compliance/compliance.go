@@ -5,16 +5,20 @@
 // nodes may be interleaved, entries of deleted nodes must not exist).
 //
 // Replay is the ground-truth checker: it re-executes the reduced history
-// on the target schema view event by event. The fast path — the
-// per-operation conditions of Fig. 1, implemented on each operation in
-// internal/change — answers the same question in O(affected nodes) using
-// the instance's marking and execution index; CheckFast evaluates it.
-// Property-based tests assert that both paths agree.
+// on the target schema view event by event. The event log is interned
+// against the target topology once up front, so the per-event loop runs on
+// dense node indices — array-indexed marking reads and writes, no
+// string-keyed map traffic. The fast path — the per-operation conditions
+// of Fig. 1, implemented on each operation in internal/change — answers
+// the same question in O(affected nodes) using the instance's marking and
+// execution index; CheckFast evaluates it. Property-based tests assert
+// that both paths agree.
 package compliance
 
 import (
 	"fmt"
 
+	"adept2/internal/bitset"
 	"adept2/internal/change"
 	"adept2/internal/data"
 	"adept2/internal/graph"
@@ -63,42 +67,89 @@ type ReplayResult struct {
 // Newly inserted manual activities are never fired virtually: if a
 // recorded event depends on one, the instance is not compliant.
 func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*ReplayResult, error) {
-	m := state.NewMarking()
+	var r Replayer
+	return r.Replay(view, info, events)
+}
+
+// Replayer holds the reusable scratch buffers of the replay checker: the
+// interned event log, the in-history bitset, the evaluator's activation
+// buffer, and the virtual-firing candidate list. The zero value is ready
+// to use; reusing one Replayer across many replays (e.g. the per-worker
+// loop of a population migration) avoids reallocating the scratch per
+// instance. A Replayer is not safe for concurrent use.
+type Replayer struct {
+	evIdx      []model.NodeIdx
+	inHistory  bitset.Set
+	evalBuf    []model.NodeIdx
+	candidates []model.NodeIdx
+}
+
+// replayRun carries the per-replay state shared across events.
+type replayRun struct {
+	view  model.SchemaView
+	topo  *model.Topology
+	m     *state.Marking
+	store *data.Store
+	res   *ReplayResult
+	sc    *Replayer
+}
+
+// evaluate runs one incremental evaluation pass through the scratch
+// activation buffer.
+func (r *replayRun) evaluate(seq int) []model.NodeIdx {
+	r.sc.evalBuf = state.EvaluateInto(r.view, r.m, seq, r.sc.evalBuf)
+	return r.sc.evalBuf
+}
+
+// Replay is the scratch-reusing form of the package-level Replay.
+func (sc *Replayer) Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*ReplayResult, error) {
+	topo := view.Topology()
+	m := state.NewMarking(view)
 	m.Init(view)
 	store := data.NewStore()
 
-	inHistory := make(map[string]bool, len(events))
+	// Intern the event log once: the per-event loop below never touches a
+	// string-keyed map. Missing nodes are detected here but reported at
+	// their event's replay position, preserving error ordering.
+	sc.evIdx = sc.evIdx[:0]
+	if words := bitset.Words(topo.NumNodes()); cap(sc.inHistory) < words {
+		sc.inHistory = make(bitset.Set, words)
+	} else {
+		sc.inHistory = sc.inHistory[:words]
+		sc.inHistory.Reset()
+	}
+	sc.candidates = sc.candidates[:0]
 	for _, e := range events {
-		inHistory[e.Node] = true
+		idx, ok := topo.Idx(e.Node)
+		if !ok {
+			idx = model.InvalidNode
+		} else {
+			sc.inHistory.Set(int(idx))
+		}
+		sc.evIdx = append(sc.evIdx, idx)
 	}
 
 	res := &ReplayResult{Marking: m, Store: store}
-	// One incremental evaluator is shared across all replayed events; the
+	// One shared evaluation scratch serves all replayed events; the
 	// virtual-firing candidates are maintained from its activation output
 	// instead of rescanning the whole schema per blocked event.
-	r := &replayer{
-		view:      view,
-		topo:      view.Topology(),
-		ev:        state.NewEvaluator(view, m),
-		m:         m,
-		store:     store,
-		inHistory: inHistory,
-		res:       res,
-	}
-	r.observe(r.ev.Evaluate(0))
+	r := replayRun{view: view, topo: topo, m: m, store: store, res: res, sc: sc}
+	r.observe(r.evaluate(0))
 
-	for _, e := range events {
-		n, ok := view.Node(e.Node)
-		if !ok {
+	for i, e := range events {
+		ni := sc.evIdx[i]
+		if ni == model.InvalidNode {
 			return nil, &Error{Event: e, Reason: "node no longer exists in the target schema"}
 		}
+		nt := topo.At(ni)
+		n := nt.Node
 		switch e.Kind {
 		case history.Started:
-			for m.Node(e.Node) != state.Activated {
+			for m.NodeAt(ni) != state.Activated {
 				if !r.fireVirtual(e.Seq) {
-					return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s and cannot become activated", m.Node(e.Node))}
+					return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s and cannot become activated", m.NodeAt(ni))}
 				}
-				r.observe(r.ev.Evaluate(e.Seq))
+				r.observe(r.evaluate(e.Seq))
 			}
 			// Mandatory inputs must have been available.
 			for _, de := range view.DataEdgesOf(e.Node) {
@@ -106,17 +157,17 @@ func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*
 					return nil, &Error{Event: e, Reason: fmt.Sprintf("mandatory input element %q had no value", de.Element)}
 				}
 			}
-			if err := m.Start(e.Node); err != nil {
+			if err := m.StartAt(ni); err != nil {
 				return nil, &Error{Event: e, Reason: err.Error()}
 			}
 		case history.Completed:
-			if m.Node(e.Node) != state.Running {
-				return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s, not running", m.Node(e.Node))}
+			if m.NodeAt(ni) != state.Running {
+				return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s, not running", m.NodeAt(ni))}
 			}
 			// The recorded routing decision must still be possible.
 			if n.Type == model.NodeXORSplit {
 				found := false
-				for _, edge := range model.OutControlEdges(view, e.Node) {
+				for _, edge := range nt.OutControl {
 					if edge.Code == e.Decision {
 						found = true
 						break
@@ -149,102 +200,89 @@ func Replay(view model.SchemaView, info *graph.Info, events []*history.Event) (*
 				}
 				state.ResetLoop(view, m, blk.Region())
 			} else {
-				if err := m.Complete(view, e.Node, e.Decision); err != nil {
+				if err := m.CompleteAt(ni, e.Decision); err != nil {
 					return nil, &Error{Event: e, Reason: err.Error()}
 				}
 			}
 		}
-		r.observe(r.ev.Evaluate(e.Seq))
+		r.observe(r.evaluate(e.Seq))
 	}
 	return res, nil
 }
 
-// replayer carries the per-replay state shared across events: the
-// incremental evaluator and the candidate set for virtual firings.
-type replayer struct {
-	view      model.SchemaView
-	topo      *model.Topology
-	ev        *state.Evaluator
-	m         *state.Marking
-	store     *data.Store
-	inHistory map[string]bool
-	res       *ReplayResult
-
-	// candidates holds the activated auto-executable nodes without a
-	// history event, ordered by view position. It is fed by observe and
-	// consumed by fireVirtual, replacing the historical full-schema scan
-	// per blocked event.
-	candidates []string
-}
-
 // observe folds the newly activated nodes of one evaluation pass into the
 // virtual-firing candidate set.
-func (r *replayer) observe(activated []string) {
-	for _, id := range activated {
-		if r.inHistory[id] {
+func (r *replayRun) observe(activated []model.NodeIdx) {
+	for _, ni := range activated {
+		if r.sc.inHistory.Has(int(ni)) {
 			continue
 		}
-		nt := r.topo.Of(id)
-		if nt == nil || !nt.Node.CanAutoExecute() {
+		if !r.topo.At(ni).Node.CanAutoExecute() {
 			continue
 		}
-		r.insertCandidate(id, nt.Index)
+		r.insertCandidate(ni)
 	}
 }
 
 // insertCandidate inserts the node into the candidate list, keeping it
-// sorted by view position so firings stay in deterministic schema order.
-func (r *replayer) insertCandidate(id string, index int) {
-	pos := len(r.candidates)
-	for i, c := range r.candidates {
-		if c == id {
+// sorted by interned index (= view position) so firings stay in
+// deterministic schema order.
+func (r *replayRun) insertCandidate(ni model.NodeIdx) {
+	cs := r.sc.candidates
+	pos := len(cs)
+	for i, c := range cs {
+		if c == ni {
 			return
 		}
-		if r.topo.Of(c).Index > index {
+		if c > ni {
 			pos = i
 			break
 		}
 	}
-	r.candidates = append(r.candidates, "")
-	copy(r.candidates[pos+1:], r.candidates[pos:])
-	r.candidates[pos] = id
+	cs = append(cs, 0)
+	copy(cs[pos+1:], cs[pos:])
+	cs[pos] = ni
+	r.sc.candidates = cs
 }
 
 // fireVirtual starts and completes one newly inserted automatic node, in
 // deterministic schema order. It returns false when no such node is
 // enabled.
-func (r *replayer) fireVirtual(seq int) bool {
-	for i := 0; i < len(r.candidates); i++ {
-		id := r.candidates[i]
-		if r.m.Node(id) != state.Activated {
+func (r *replayRun) fireVirtual(seq int) bool {
+	cs := r.sc.candidates
+	for i := 0; i < len(cs); i++ {
+		ni := cs[i]
+		if r.m.NodeAt(ni) != state.Activated {
 			// Stale candidate (e.g. demoted by a loop reset): drop it.
-			r.candidates = append(r.candidates[:i], r.candidates[i+1:]...)
+			cs = append(cs[:i], cs[i+1:]...)
+			r.sc.candidates = cs
 			i--
 			continue
 		}
-		n := r.topo.Of(id).Node
-		if err := r.m.Start(id); err != nil {
+		nt := r.topo.At(ni)
+		n := nt.Node
+		if err := r.m.StartAt(ni); err != nil {
 			continue
 		}
 		decision := -1
 		if n.Type == model.NodeXORSplit {
-			decision = virtualDecision(r.view, r.store, n)
+			decision = virtualDecision(r.store, nt)
 		}
 		// Virtual completions zero-fill their write edges, mirroring the
 		// engine's automatic execution. Virtual loop ends never iterate
 		// during replay (decision stays -1).
-		for _, de := range r.view.DataEdgesOf(id) {
+		for _, de := range r.view.DataEdgesOf(n.ID) {
 			if de.Access != model.Write {
 				continue
 			}
 			if elem, ok := r.view.DataElement(de.Element); ok {
-				r.store.Write(de.Element, elem.Type.ZeroValue(), id, seq)
+				r.store.Write(de.Element, elem.Type.ZeroValue(), n.ID, seq)
 			}
 		}
-		if err := r.m.Complete(r.view, id, decision); err != nil {
+		if err := r.m.CompleteAt(ni, decision); err != nil {
 			continue
 		}
-		r.candidates = append(r.candidates[:i], r.candidates[i+1:]...)
+		r.sc.candidates = append(cs[:i], cs[i+1:]...)
 		r.res.VirtualFirings++
 		return true
 	}
@@ -254,14 +292,15 @@ func (r *replayer) fireVirtual(seq int) bool {
 // virtualDecision resolves an XOR decision for a virtually fired split:
 // the decision element's current value, clamped to the lowest existing
 // code — identical to the engine's clamping rule.
-func virtualDecision(view model.SchemaView, store *data.Store, n *model.Node) int {
-	outs := model.OutControlEdges(view, n.ID)
+func virtualDecision(store *data.Store, nt *model.NodeTopology) int {
+	outs := nt.OutControl
 	min := outs[0].Code
 	for _, e := range outs {
 		if e.Code < min {
 			min = e.Code
 		}
 	}
+	n := nt.Node
 	if n.DecisionElement == "" {
 		return min
 	}

@@ -8,6 +8,7 @@ import (
 	"adept2/internal/history"
 	"adept2/internal/model"
 	"adept2/internal/state"
+	"adept2/internal/worklist"
 )
 
 // CompleteOption customizes activity completion.
@@ -306,31 +307,36 @@ func (inst *Instance) cascadeLocked() error {
 		return err
 	}
 	topo := v.Topology()
+	// The per-instance execution index follows every topology change the
+	// cascade observes (cheap no-op while the topology is unchanged).
+	inst.stats.Rebind(topo)
+	var evalBuf []model.NodeIdx
 	for {
-		state.Evaluate(v, inst.marking, inst.hist.NextSeq())
+		evalBuf = state.EvaluateInto(v, inst.marking, inst.hist.NextSeq(), evalBuf)
 
-		if end := v.EndID(); end != "" && inst.marking.Node(end) == state.Activated {
-			inst.marking.SetNode(end, state.Completed)
+		if end := topo.EndIdx(); end != model.InvalidNode && inst.marking.NodeAt(end) == state.Activated {
+			inst.marking.SetNodeAt(end, state.Completed)
 			inst.done = true
 			break
 		}
 
 		// Only auto-executable nodes can continue the cascade; the
 		// topology index enumerates them without scanning the schema.
-		next := ""
-		for _, id := range topo.AutoExecutable() {
-			if inst.marking.Node(id) == state.Activated {
-				next = id
+		next := model.InvalidNode
+		for _, ni := range topo.AutoExecutableIdx() {
+			if inst.marking.NodeAt(ni) == state.Activated {
+				next = ni
 				break
 			}
 		}
-		if next == "" {
+		if next == model.InvalidNode {
 			break
 		}
-		if err := inst.startLocked(next, ""); err != nil {
+		id := topo.ID(next)
+		if err := inst.startLocked(id, ""); err != nil {
 			return err
 		}
-		if err := inst.completeCoreLocked(next, "", nil, completeOpts{}); err != nil {
+		if err := inst.completeCoreLocked(id, "", nil, completeOpts{}); err != nil {
 			return err
 		}
 		// A loop reset may have changed nothing visible to Evaluate's
@@ -342,40 +348,24 @@ func (inst *Instance) cascadeLocked() error {
 
 // syncWorklistLocked reconciles the instance's work items with its
 // marking: activated manual activities get items; items of nodes that are
-// no longer activated or running are withdrawn.
+// no longer activated or running are withdrawn. The whole reconciliation
+// is one worklist.BatchUpdate — a single lock acquisition and at most one
+// org-model resolution per distinct role.
 func (inst *Instance) syncWorklistLocked() {
 	v, _, err := inst.viewLocked()
 	if err != nil {
 		return
 	}
 	topo := v.Topology()
-	wanted := make(map[string]*model.Node)
+	var wanted []worklist.Wanted
 	for _, id := range topo.ManualActivities() {
 		if s := inst.marking.Node(id); s == state.Activated || s == state.Running {
-			wanted[id] = topo.Of(id).Node
+			wanted = append(wanted, worklist.Wanted{
+				Node:    id,
+				Role:    topo.Of(id).Node.Role,
+				Running: s == state.Running,
+			})
 		}
 	}
-	for _, it := range inst.eng.wl.ItemsForInstance(inst.id) {
-		n, ok := wanted[it.Node]
-		// In-progress work is never disturbed; offered items whose staff
-		// assignment changed are withdrawn and re-offered to the new role.
-		if ok && (it.Role == n.Role || inst.marking.Node(it.Node) == state.Running) {
-			delete(wanted, it.Node) // keep existing item
-		} else {
-			inst.eng.wl.Withdraw(inst.id, it.Node)
-		}
-	}
-	ids := make([]string, 0, len(wanted))
-	for id := range wanted {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		n := wanted[id]
-		if inst.marking.Node(id) != state.Activated {
-			continue // running without item: user already started it
-		}
-		users := inst.eng.org.UsersInRole(n.Role)
-		_, _ = inst.eng.wl.Offer(inst.id, id, n.Role, users)
-	}
+	inst.eng.wl.BatchUpdate(inst.id, wanted, inst.eng.org.UsersInRole)
 }

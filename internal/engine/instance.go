@@ -32,7 +32,7 @@ type Instance struct {
 	blocks    *graph.Info // block analysis of the cached view (nil for on-the-fly biased instances)
 	marking   *state.Marking
 	hist      *history.Log
-	stats     history.Stats
+	stats     *history.Stats
 	store     *data.Store
 	loopIter  map[string]int // loop end ID -> completed iterations
 	done      bool
@@ -49,9 +49,9 @@ func newInstance(e *Engine, id string, base *model.Schema, strat storage.Strateg
 		version:  base.Version(),
 		base:     base,
 		strategy: strat,
-		marking:  state.NewMarking(),
+		marking:  state.NewMarking(base),
 		hist:     history.NewLog(),
-		stats:    history.NewStats(),
+		stats:    history.NewStatsFor(base.Topology()),
 		store:    data.NewStore(),
 		loopIter: make(map[string]int),
 	}
@@ -149,7 +149,7 @@ func (inst *Instance) HistoryEvents() []*history.Event {
 }
 
 // StatsSnapshot returns a copy of the per-node execution index.
-func (inst *Instance) StatsSnapshot() history.Stats {
+func (inst *Instance) StatsSnapshot() *history.Stats {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	return inst.stats.Clone()
@@ -185,7 +185,7 @@ func (inst *Instance) Footprint() StorageFootprint {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	f := StorageFootprint{
-		StateBytes: inst.marking.ApproxBytes() + inst.hist.ApproxBytes() + inst.store.ApproxBytes() + 24*len(inst.stats),
+		StateBytes: inst.marking.ApproxBytes() + inst.hist.ApproxBytes() + inst.store.ApproxBytes() + 24*inst.stats.Len(),
 	}
 	switch {
 	case inst.overlay != nil:
@@ -289,7 +289,7 @@ func (mx *Mutable) Blocks() (*graph.Info, error) {
 func (mx *Mutable) Marking() *state.Marking { return mx.inst.marking }
 
 // Stats exposes the live execution index.
-func (mx *Mutable) Stats() history.Stats { return mx.inst.stats }
+func (mx *Mutable) Stats() *history.Stats { return mx.inst.stats }
 
 // History exposes the live history log.
 func (mx *Mutable) History() *history.Log { return mx.inst.hist }

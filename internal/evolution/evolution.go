@@ -237,8 +237,12 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker reuses one replay scratch (interned event log,
+			// in-history bitset, candidate list) and one history-reduction
+			// buffer across all instances it migrates.
+			sc := &migrateScratch{}
 			for i := range work {
-				results[i] = m.migrateInstance(insts[i], ti, ops, opts)
+				results[i] = m.migrateInstance(insts[i], ti, ops, opts, sc)
 			}
 		}()
 	}
@@ -258,18 +262,25 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 	}
 }
 
+// migrateScratch bundles the per-worker reusable buffers of a migration
+// run: the replay checker's scratch and the history-reduction buffer.
+type migrateScratch struct {
+	rp      compliance.Replayer
+	reduced []*history.Event
+}
+
 // MigrateInstance decides and (if compliant) performs the migration of one
 // instance to the target schema.
 func (m *Manager) MigrateInstance(inst *engine.Instance, target *model.Schema, ops []change.Operation, opts Options) InstanceResult {
-	return m.migrateInstance(inst, indexTarget(target, opts.Mode), ops, opts)
+	return m.migrateInstance(inst, indexTarget(target, opts.Mode), ops, opts, &migrateScratch{})
 }
 
-func (m *Manager) migrateInstance(inst *engine.Instance, ti *targetIndex, ops []change.Operation, opts Options) InstanceResult {
+func (m *Manager) migrateInstance(inst *engine.Instance, ti *targetIndex, ops []change.Operation, opts Options, sc *migrateScratch) InstanceResult {
 	res := InstanceResult{Instance: inst.ID()}
 	begin := time.Now()
 	err := inst.Mutate(func(mx *engine.Mutable) error {
 		res.Biased = len(mx.BiasOps()) > 0
-		res.Outcome, res.Detail = m.migrateLocked(mx, ti, ops, opts)
+		res.Outcome, res.Detail = m.migrateLocked(mx, ti, ops, opts, sc)
 		return nil
 	})
 	if err != nil {
@@ -280,7 +291,7 @@ func (m *Manager) migrateInstance(inst *engine.Instance, ti *targetIndex, ops []
 }
 
 // migrateLocked runs under the instance lock.
-func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []change.Operation, opts Options) (Outcome, string) {
+func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []change.Operation, opts Options, sc *migrateScratch) (Outcome, string) {
 	target := ti.schema
 	if mx.Done() {
 		return AlreadyFinished, ""
@@ -325,7 +336,7 @@ func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []chang
 		if err != nil {
 			return Failed, err.Error()
 		}
-		reduced := history.Reduce(curBlocks, mx.History().Events())
+		sc.reduced = history.ReduceInto(curBlocks, mx.History().Events(), sc.reduced)
 		// Unbiased instances replay against the shared target index; only
 		// biased instances need a fresh analysis of their trial view.
 		info, infoErr := ti.info, ti.infoErr
@@ -335,7 +346,7 @@ func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []chang
 		if infoErr != nil {
 			return StructuralConflict, infoErr.Error()
 		}
-		if _, err := compliance.Replay(targetView, info, reduced); err != nil {
+		if _, err := sc.rp.Replay(targetView, info, sc.reduced); err != nil {
 			return StateConflict, err.Error()
 		}
 	default:
@@ -367,8 +378,8 @@ func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []chang
 		if err != nil {
 			return Failed, err.Error()
 		}
-		reduced := history.Reduce(info, mx.History().Events())
-		rr, err := compliance.Replay(view, info, reduced)
+		sc.reduced = history.ReduceInto(info, mx.History().Events(), sc.reduced)
+		rr, err := sc.rp.Replay(view, info, sc.reduced)
 		if err != nil {
 			return Failed, "replay adaptation after successful check: " + err.Error()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"adept2/internal/bitset"
 	"adept2/internal/model"
 )
 
@@ -29,6 +30,11 @@ type Block struct {
 	// hot consumers of Region (history reduction, loop resets) pay no
 	// per-call allocation.
 	region map[string]bool
+	// regionBits is the interned form of region: a bitset over the
+	// analyzed view's NodeIdx space (see Info.Topology). Analyze
+	// precomputes it; history reduction tests membership with one bit
+	// probe instead of a string-map lookup per event.
+	regionBits bitset.Set
 }
 
 // Contains reports whether the node lies inside the block, including the
@@ -69,7 +75,22 @@ type Info struct {
 	bySplit map[string]*Block
 	byJoin  map[string]*Block
 	pos     map[string]int // topological position over control edges
+
+	// topo is the topology index of the analyzed view, captured so
+	// consumers of the analysis (history reduction) can intern node IDs
+	// against the same snapshot the block regions were computed on.
+	topo *model.Topology
 }
+
+// Topology returns the topology index of the analyzed view. Block region
+// bitsets (Block.RegionBits) are expressed in its NodeIdx space.
+func (i *Info) Topology() *model.Topology { return i.topo }
+
+// RegionBits returns the block's region as a bitset over the analyzed
+// view's NodeIdx space: bit n is set iff the node with NodeIdx n lies in
+// Region(). The returned slice is shared and precomputed — callers must
+// treat it as read-only.
+func (b *Block) RegionBits() bitset.Set { return b.regionBits }
 
 // Analyze matches every split with its join, computes branch membership,
 // and checks proper nesting. It fails if the control-edge graph is cyclic,
@@ -135,10 +156,18 @@ func Analyze(v model.SchemaView) (*Info, error) {
 		}
 	}
 
-	// Precompute every block's region before the Info escapes: Region's
-	// cache fill must not race when migration workers share one Info.
+	// Precompute every block's region — and its interned bitset — before
+	// the Info escapes: the cache fills must not race when migration
+	// workers share one Info.
+	info.topo = v.Topology()
 	for _, b := range info.blocks {
-		b.Region()
+		bits := bitset.New(info.topo.NumNodes())
+		for id := range b.Region() {
+			if n, ok := info.topo.Idx(id); ok {
+				bits.Set(int(n))
+			}
+		}
+		b.regionBits = bits
 	}
 
 	if err := checkNesting(info.blocks); err != nil {

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"adept2/internal/bitset"
 	"adept2/internal/graph"
 	"adept2/internal/model"
 )
@@ -50,6 +51,16 @@ type Event struct {
 	Reads map[string]any `json:"reads,omitempty"`
 	// Writes holds element values written on completion (element -> value).
 	Writes map[string]any `json:"writes,omitempty"`
+
+	// Intern memo: idx is Node's dense index in the topology identified by
+	// itopo. ReduceInto fills it lazily, so repeated reductions of the
+	// same events against the same topology snapshot (every compliance
+	// decision of an instance, each bench iteration) intern each event
+	// once instead of once per call. Events are owned by one goroutine at
+	// a time (the engine reduces under the instance lock; snapshots are
+	// per-caller clones), so the two-word memo needs no synchronization.
+	itopo *model.Topology
+	idx   model.NodeIdx
 }
 
 func (e *Event) String() string {
@@ -156,16 +167,76 @@ func (l *Log) UnmarshalJSON(b []byte) error {
 // completion itself. The result is the history of the final iteration of
 // every loop — the paper's loop-tolerant compliance view.
 //
-// The retained slice is grown on demand: loop-heavy histories reduce to a
-// few events, so pre-sizing to the physical history length would allocate
-// orders of magnitude too much. Purges trim the retained slice in place,
-// which keeps it — and therefore every rescan — bounded by the live
-// (unpurged) event count rather than the history length.
-//
 // info must be the block analysis of the same schema view the events were
 // recorded on.
 func Reduce(info *graph.Info, events []*Event) []*Event {
-	var out []*Event
+	return ReduceInto(info, events, nil)
+}
+
+// ReduceInto is Reduce with a caller-provided result buffer: the reduction
+// appends into buf[:0] and returns the (possibly re-grown) slice, so loops
+// that reduce many histories (population migration workers) reuse one
+// allocation instead of growing a fresh slice per instance.
+//
+// The reduction is a single backward pass over interned indices: scanning
+// from the youngest event, an iterating loop-end completion activates its
+// block's region bitset (Block.RegionBits), and every older event whose
+// interned node lies in the active union is dropped. Properly nested loop
+// blocks make this equivalent to the forward purge-on-Again formulation
+// (retained as reduceForward for differential tests): an older Again
+// inside an active region is itself dropped, and its region is a subset of
+// the active one. Per event the pass costs one intern plus one bit probe —
+// no per-purge rescans of the retained slice.
+func ReduceInto(info *graph.Info, events []*Event, buf []*Event) []*Event {
+	topo := info.Topology()
+	if topo == nil {
+		return reduceForward(info, events, buf)
+	}
+	if buf == nil {
+		buf = make([]*Event, 0, 16)
+	}
+	out := buf[:0]
+	var active bitset.Set // lazily sized union of activated region bitsets
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if active != nil {
+			n := e.idx
+			if e.itopo != topo {
+				if j, ok := topo.Idx(e.Node); ok {
+					n = j
+				} else {
+					n = model.InvalidNode
+				}
+				e.itopo, e.idx = topo, n
+			}
+			if n != model.InvalidNode && active.Has(int(n)) {
+				continue // inside an iterated loop's region: purged
+			}
+		}
+		if e.Kind == Completed && e.Again {
+			if blk, ok := info.ByJoin(e.Node); ok && blk.Kind == model.NodeLoopStart {
+				if active == nil {
+					active = bitset.New(topo.NumNodes())
+				}
+				active.Union(blk.RegionBits())
+				continue // the iterating completion itself is purged
+			}
+		}
+		out = append(out, e)
+	}
+	// The backward pass collected survivors youngest-first; restore order.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// reduceForward is the historical forward formulation: purge the retained
+// slice whenever a loop end iterates. It remains as the fallback for block
+// analyses without a topology snapshot and as the reference for the
+// differential test pinning the backward pass.
+func reduceForward(info *graph.Info, events []*Event, buf []*Event) []*Event {
+	out := buf[:0]
 	for _, e := range events {
 		if e.Kind == Completed && e.Again {
 			if blk, ok := info.ByJoin(e.Node); ok && blk.Kind == model.NodeLoopStart {
@@ -189,7 +260,17 @@ func Reduce(info *graph.Info, events []*Event) []*Event {
 // its physical history. The fast compliance conditions consult it instead
 // of scanning the history: "has this node started?", "when did it
 // complete?", "which branch did this split choose?" all answer in O(1).
-type Stats map[string]*NodeStat
+//
+// The index is array-backed: when bound to a topology (NewStatsFor /
+// Rebind), records live in a dense slice indexed by the interned
+// model.NodeIdx. Nodes unknown to the bound topology (e.g. inserted by an
+// ad-hoc change before the next rebind) spill into an overflow map, so the
+// index stays correct even when a rebind is deferred.
+type Stats struct {
+	topo     *model.Topology
+	recs     []NodeStat // dense by NodeIdx; live iff StartSeq or CompleteSeq > 0
+	overflow map[string]*NodeStat
+}
 
 // NodeStat is the execution record of one node in the *current* loop
 // iteration (stats of purged iterations are removed, mirroring Reduce).
@@ -205,20 +286,117 @@ type NodeStat struct {
 	Decision int
 }
 
-// NewStats returns an empty index.
-func NewStats() Stats { return make(Stats) }
+func (st *NodeStat) live() bool { return st.StartSeq > 0 || st.CompleteSeq > 0 }
+
+// NewStats returns an empty, unbound index (all records overflow-kept).
+func NewStats() *Stats { return &Stats{} }
+
+// NewStatsFor returns an empty index bound to the topology, so records of
+// its nodes are array-indexed.
+func NewStatsFor(topo *model.Topology) *Stats {
+	return &Stats{topo: topo, recs: make([]NodeStat, topo.NumNodes())}
+}
+
+// Rebind re-indexes the stats against a new topology (after an ad-hoc
+// change, bias refresh, or migration changed the node set): dense and
+// overflow records resolvable in the new topology move into the new dense
+// array, the rest stay in overflow. Rebinding to the already-bound
+// topology is a cheap no-op; a fresh topology with an identical node
+// sequence (the on-the-fly strategy re-materializes one per access) only
+// swaps the binding.
+func (s *Stats) Rebind(topo *model.Topology) {
+	if s.topo == topo || topo == nil {
+		return
+	}
+	if s.topo != nil && sameNodeSeq(s.topo, topo) {
+		s.topo = topo
+		return
+	}
+	recs := make([]NodeStat, topo.NumNodes())
+	var overflow map[string]*NodeStat
+	keep := func(id string, st NodeStat) {
+		if i, ok := topo.Idx(id); ok {
+			recs[i] = st
+			return
+		}
+		if overflow == nil {
+			overflow = make(map[string]*NodeStat)
+		}
+		cp := st
+		overflow[id] = &cp
+	}
+	for i := range s.recs {
+		if s.recs[i].live() {
+			keep(s.topo.ID(model.NodeIdx(i)), s.recs[i])
+		}
+	}
+	for id, st := range s.overflow {
+		keep(id, *st)
+	}
+	s.topo, s.recs, s.overflow = topo, recs, overflow
+}
+
+// sameNodeSeq reports whether two topologies intern the identical node
+// sequence (cheap: clones share ID string backing, so equality
+// short-circuits on the data pointer).
+func sameNodeSeq(a, b *model.Topology) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for i, n := 0, a.NumNodes(); i < n; i++ {
+		if a.ID(model.NodeIdx(i)) != b.ID(model.NodeIdx(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// slot returns a writable record for the node, creating the overflow entry
+// if the node is unknown to the bound topology.
+func (s *Stats) slot(node string) *NodeStat {
+	if s.topo != nil {
+		if i, ok := s.topo.Idx(node); ok {
+			return &s.recs[i]
+		}
+	}
+	st, ok := s.overflow[node]
+	if !ok {
+		st = &NodeStat{}
+		if s.overflow == nil {
+			s.overflow = make(map[string]*NodeStat)
+		}
+		s.overflow[node] = st
+	}
+	return st
+}
+
+// get returns the node's record, or nil if the node never executed in the
+// current iteration.
+func (s *Stats) get(node string) *NodeStat {
+	if s.topo != nil {
+		if i, ok := s.topo.Idx(node); ok {
+			if s.recs[i].live() {
+				return &s.recs[i]
+			}
+			return nil
+		}
+	}
+	if st, ok := s.overflow[node]; ok && st.live() {
+		return st
+	}
+	return nil
+}
 
 // OnStart records a start event.
-func (s Stats) OnStart(node string, seq int) {
-	s[node] = &NodeStat{StartSeq: seq, Decision: -1}
+func (s *Stats) OnStart(node string, seq int) {
+	*s.slot(node) = NodeStat{StartSeq: seq, Decision: -1}
 }
 
 // OnComplete records a completion event.
-func (s Stats) OnComplete(node string, seq, decision int) {
-	st, ok := s[node]
-	if !ok {
-		st = &NodeStat{Decision: -1}
-		s[node] = st
+func (s *Stats) OnComplete(node string, seq, decision int) {
+	st := s.slot(node)
+	if !st.live() {
+		*st = NodeStat{Decision: -1}
 	}
 	st.CompleteSeq = seq
 	st.Decision = decision
@@ -226,29 +404,35 @@ func (s Stats) OnComplete(node string, seq, decision int) {
 
 // PurgeRegion removes the stats of all nodes in a loop region, called when
 // the loop iterates (mirrors Reduce).
-func (s Stats) PurgeRegion(region map[string]bool) {
+func (s *Stats) PurgeRegion(region map[string]bool) {
 	for id := range region {
-		delete(s, id)
+		if s.topo != nil {
+			if i, ok := s.topo.Idx(id); ok {
+				s.recs[i] = NodeStat{}
+				continue
+			}
+		}
+		delete(s.overflow, id)
 	}
 }
 
 // Started reports whether the node started in the current iteration.
-func (s Stats) Started(node string) bool {
-	st, ok := s[node]
-	return ok && st.StartSeq > 0
+func (s *Stats) Started(node string) bool {
+	st := s.get(node)
+	return st != nil && st.StartSeq > 0
 }
 
 // StartSeq returns the node's start sequence (0 if not started).
-func (s Stats) StartSeq(node string) int {
-	if st, ok := s[node]; ok {
+func (s *Stats) StartSeq(node string) int {
+	if st := s.get(node); st != nil {
 		return st.StartSeq
 	}
 	return 0
 }
 
 // CompleteSeq returns the node's completion sequence (0 if not completed).
-func (s Stats) CompleteSeq(node string) int {
-	if st, ok := s[node]; ok {
+func (s *Stats) CompleteSeq(node string) int {
+	if st := s.get(node); st != nil {
 		return st.CompleteSeq
 	}
 	return 0
@@ -256,9 +440,14 @@ func (s Stats) CompleteSeq(node string) int {
 
 // Decisions extracts the selection codes of all completed XOR splits,
 // keyed by node ID; state.Adapt consumes this to re-derive dead paths.
-func (s Stats) Decisions() map[string]int {
+func (s *Stats) Decisions() map[string]int {
 	d := make(map[string]int)
-	for id, st := range s {
+	for i := range s.recs {
+		if st := &s.recs[i]; st.CompleteSeq > 0 && st.Decision >= 0 {
+			d[s.topo.ID(model.NodeIdx(i))] = st.Decision
+		}
+	}
+	for id, st := range s.overflow {
 		if st.CompleteSeq > 0 && st.Decision >= 0 {
 			d[id] = st.Decision
 		}
@@ -266,12 +455,32 @@ func (s Stats) Decisions() map[string]int {
 	return d
 }
 
+// Len returns the number of live records (nodes that executed in the
+// current iteration); the storage footprint accounting uses it.
+func (s *Stats) Len() int {
+	n := 0
+	for i := range s.recs {
+		if s.recs[i].live() {
+			n++
+		}
+	}
+	for _, st := range s.overflow {
+		if st.live() {
+			n++
+		}
+	}
+	return n
+}
+
 // Clone returns a deep copy of the stats index.
-func (s Stats) Clone() Stats {
-	c := make(Stats, len(s))
-	for id, st := range s {
-		cp := *st
-		c[id] = &cp
+func (s *Stats) Clone() *Stats {
+	c := &Stats{topo: s.topo, recs: append([]NodeStat(nil), s.recs...)}
+	if len(s.overflow) > 0 {
+		c.overflow = make(map[string]*NodeStat, len(s.overflow))
+		for id, st := range s.overflow {
+			cp := *st
+			c.overflow[id] = &cp
+		}
 	}
 	return c
 }

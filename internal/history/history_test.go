@@ -2,7 +2,9 @@ package history
 
 import (
 	"encoding/json"
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"adept2/internal/graph"
 	"adept2/internal/model"
@@ -124,6 +126,111 @@ func TestReduceKeepsNonLoopHistory(t *testing.T) {
 	red := Reduce(info, l.Events())
 	if len(red) != 2 {
 		t.Fatalf("reduce must keep all non-loop events, got %d", len(red))
+	}
+}
+
+// nestedLoopSchema: pre -> outer loop( w -> inner loop(x) -> v ) -> post.
+func nestedLoopSchema(t *testing.T) (*model.Schema, *graph.Info, []string) {
+	t.Helper()
+	b := model.NewBuilder("nested")
+	inner := b.Loop(b.Activity("x", "X"), "", 0)
+	outer := b.Loop(b.Seq(b.Activity("w", "W"), inner, b.Activity("v", "V")), "", 0)
+	s, err := b.Build(b.Seq(b.Activity("pre", "Pre"), outer, b.Activity("post", "Post")))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	info, err := graph.Analyze(s)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return s, info, s.NodeIDs()
+}
+
+// TestReduceBackwardMatchesForward: the backward interned single-pass
+// reduction is stream-for-stream identical to the forward purge-on-Again
+// formulation, on randomized event streams over a schema with nested
+// loops (including streams that are not valid executions — both
+// formulations only inspect Kind/Again/Node).
+func TestReduceBackwardMatchesForward(t *testing.T) {
+	_, info, ids := nestedLoopSchema(t)
+	if info.Topology() == nil {
+		t.Fatal("analysis must capture the topology snapshot")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80)
+		events := make([]*Event, n)
+		for i := range events {
+			e := &Event{Seq: i + 1, Node: ids[rng.Intn(len(ids))]}
+			if rng.Intn(2) == 0 {
+				e.Kind = Completed
+				e.Again = rng.Intn(3) == 0
+			}
+			events[i] = e
+		}
+		got := ReduceInto(info, events, nil)
+		want := reduceForward(info, events, nil)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: backward %d events, forward %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d differs: %v vs %v", seed, i, got[i], want[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceIntoReusesBuffer: the result lives in the caller's buffer when
+// it has capacity.
+func TestReduceIntoReusesBuffer(t *testing.T) {
+	_, info, _, _ := loopSchema(t)
+	events := []*Event{
+		{Seq: 1, Kind: Started, Node: "pre"},
+		{Seq: 2, Kind: Completed, Node: "pre"},
+	}
+	buf := make([]*Event, 0, 32)
+	out := ReduceInto(info, events, buf)
+	if len(out) != 2 || cap(out) != cap(buf) || &out[0] != &buf[:1][0] {
+		t.Fatalf("buffer not reused: len=%d cap=%d", len(out), cap(out))
+	}
+}
+
+// TestStatsRebind: dense records survive a rebind to a mutated topology,
+// records of unknown nodes spill into the overflow and fold back in on the
+// next rebind.
+func TestStatsRebind(t *testing.T) {
+	s, _, _, _ := loopSchema(t)
+	st := NewStatsFor(s.Topology())
+	st.OnStart("pre", 1)
+	st.OnComplete("pre", 2, -1)
+	st.OnStart("ghost", 3) // unknown to the topology: overflow-kept
+	if !st.Started("pre") || !st.Started("ghost") {
+		t.Fatal("records lost before rebind")
+	}
+
+	// Mutate the schema (adds a node, invalidates the topology cache).
+	if err := s.AddNode(&model.Node{ID: "ghost", Type: model.NodeActivity}); err != nil {
+		t.Fatal(err)
+	}
+	topo2 := s.Topology()
+	st.Rebind(topo2)
+	if st.StartSeq("pre") != 1 || st.CompleteSeq("pre") != 2 {
+		t.Fatal("dense record lost across rebind")
+	}
+	if st.StartSeq("ghost") != 3 {
+		t.Fatal("overflow record not folded into the new topology")
+	}
+	st.Rebind(topo2) // same-topology rebind is a no-op
+	if st.StartSeq("pre") != 1 {
+		t.Fatal("no-op rebind corrupted records")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
 	}
 }
 

@@ -39,4 +39,39 @@
 //     DataEdgesOf).
 //   - Immutability: callers must never mutate the returned slices; one
 //     Topology is shared by every concurrent reader of a deployed schema.
+//
+// # Interning invariants
+//
+// The Topology doubles as the view's node/edge interner: every node owns a
+// dense NodeIdx equal to its position in NodeIDs() (contiguous in
+// [0, NumNodes())), every edge a dense EdgeIdx equal to its position in
+// Edges(). Consumers that index per-instance state by these indices
+// (internal/state.Marking, internal/history.Stats, the compliance
+// replayer's scratch) rely on:
+//
+//   - Index validity window: a NodeIdx/EdgeIdx is meaningful only for the
+//     exact *Topology value that assigned it. The window opens when the
+//     index is obtained from a Topology and closes when the view's
+//     Topology() returns a different pointer — i.e. at the next structural
+//     mutation (Schema cache invalidation) or overlay bias refresh.
+//     Indices must never be mixed across Topology values, not even for
+//     views with identical node sets: only the string IDs are stable
+//     identity.
+//   - Remap-on-refresh: state keyed by interned indices must be remapped
+//     through the string IDs when the topology pointer changes. The
+//     marking does this transparently — every view-taking entry point of
+//     internal/state compares the bound topology pointer against
+//     v.Topology() and translates node states, skip stamps, edge signals,
+//     and the pending worklist by identity; states of nodes/edges absent
+//     from the new topology are dropped, new ones start in their zero
+//     state. history.Stats follows the same rule via Rebind (with an
+//     overflow map as a correctness net for deferred rebinds). The
+//     overlay's bias refresh path (internal/storage) triggers this by
+//     rebuilding its Topology together with its adjacency caches, so a
+//     bias that alters the node set re-interns and every bound consumer
+//     remaps on next contact.
+//   - Order preservation: interned indices order exactly like view order
+//     (NodeIdx ascending == NodeIDs order), so sorting activation sets by
+//     index reproduces the deterministic schema order the string API
+//     promised.
 package model

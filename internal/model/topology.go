@@ -1,5 +1,25 @@
 package model
 
+// NodeIdx is the dense interned index of a node within one Topology. The
+// index of a node is its position in SchemaView.NodeIDs order, so indices
+// are contiguous in [0, NumNodes()) and array lookups replace string-keyed
+// map traffic in every per-event hot loop (marking evaluation, compliance
+// replay, state adaptation).
+//
+// A NodeIdx is only meaningful relative to the Topology that assigned it.
+// Structural mutations produce a new Topology with a fresh assignment —
+// consumers that hold state indexed by NodeIdx (internal/state.Marking)
+// must remap when the topology pointer changes.
+type NodeIdx int32
+
+// InvalidNode is the sentinel for "not part of the indexed view".
+const InvalidNode NodeIdx = -1
+
+// EdgeIdx is the dense interned index of an edge within one Topology: the
+// edge's position in SchemaView.Edges order. Like NodeIdx it is valid only
+// for the Topology that assigned it.
+type EdgeIdx int32
+
 // NodeTopology is the precomputed adjacency record of one node: its
 // incident edges split by edge type, the node itself, and the node's
 // position in the view's enumeration order. The marking evaluator
@@ -7,10 +27,15 @@ package model
 // filtering InEdges/OutEdges on every visit, which removes all per-call
 // allocations from the hot path.
 //
+// The *Edge slices carry the full edge records (selection codes, endpoint
+// IDs); the parallel EdgeIdx slices carry the same edges as dense indices
+// into the topology's edge enumeration, aligned element-for-element, so
+// int-indexed consumers never touch an edge-key map.
+//
 // The slices are owned by the Topology and must not be mutated.
 type NodeTopology struct {
-	// Index is the node's position in SchemaView.NodeIDs order; it gives
-	// consumers a deterministic, allocation-free ordering key.
+	// Index is the node's position in SchemaView.NodeIDs order — the
+	// node's interned NodeIdx as a plain int.
 	Index int
 	// Node is the node record itself.
 	Node *Node
@@ -24,65 +49,128 @@ type NodeTopology struct {
 	// InLoop / OutLoop are the incoming/outgoing loop back edges.
 	InLoop  []*Edge
 	OutLoop []*Edge
+
+	// Interned adjacency, aligned with the slices above: XxxIdx[i] is the
+	// EdgeIdx of Xxx[i].
+	InControlIdx  []EdgeIdx
+	OutControlIdx []EdgeIdx
+	InSyncIdx     []EdgeIdx
+	OutSyncIdx    []EdgeIdx
+	OutLoopIdx    []EdgeIdx
 }
 
 // Topology is the precomputed topology index of a schema view: per-node
 // typed adjacency plus derived node lists the engine's hot paths scan
 // (auto-executable nodes for the execution cascade, manual activities for
-// worklist reconciliation).
+// worklist reconciliation). It doubles as the view's node/edge interner:
+// every node receives a dense NodeIdx and every edge a dense EdgeIdx, and
+// the int-indexed accessors (At, EdgeTarget, EdgeStateAt consumers) let
+// the replay stack run map-free between package boundaries.
 //
 // A Topology is an immutable snapshot of the view it was built from. Views
 // cache it (see Schema.Topology and the overlay refresh path in
 // internal/storage) and invalidate the cache on every structural mutation,
 // so holding a *Topology across a mutation observes stale data — re-fetch
-// it from the view instead.
+// it from the view instead. Indices assigned by different Topology values
+// are unrelated; remap through the string IDs.
 type Topology struct {
-	nodes  map[string]*NodeTopology
-	auto   []string // CanAutoExecute node IDs in view order
-	manual []string // manual (user-worked) activity IDs in view order
+	byID map[string]NodeIdx
+	recs []NodeTopology // dense by NodeIdx
+	ids  []string       // dense by NodeIdx (NodeIDs order)
+
+	edges   []*Edge             // dense by EdgeIdx (Edges order)
+	edgeIdx map[EdgeKey]EdgeIdx // boundary interner for keyed access
+	edgeTo  []NodeIdx           // dense by EdgeIdx: interned target node
+
+	auto    []string // CanAutoExecute node IDs in view order
+	autoIdx []NodeIdx
+	manual  []string // manual (user-worked) activity IDs in view order
+
+	start NodeIdx
+	end   NodeIdx
 }
 
 // BuildTopology computes the topology index of a view. Callers should
 // prefer SchemaView.Topology, which returns the view's cached index.
 func BuildTopology(v SchemaView) *Topology {
 	ids := v.NodeIDs()
-	t := &Topology{nodes: make(map[string]*NodeTopology, len(ids))}
-	for i, id := range ids {
+	t := &Topology{
+		byID:  make(map[string]NodeIdx, len(ids)),
+		start: InvalidNode,
+		end:   InvalidNode,
+	}
+	t.recs = make([]NodeTopology, 0, len(ids))
+	t.ids = make([]string, 0, len(ids))
+	for _, id := range ids {
 		n, ok := v.Node(id)
 		if !ok {
 			continue
 		}
-		t.nodes[id] = &NodeTopology{Index: i, Node: n}
+		idx := NodeIdx(len(t.recs))
+		t.byID[id] = idx
+		t.ids = append(t.ids, id)
+		t.recs = append(t.recs, NodeTopology{Index: int(idx), Node: n})
 		if n.CanAutoExecute() {
 			t.auto = append(t.auto, id)
+			t.autoIdx = append(t.autoIdx, idx)
 		}
 		if n.Type == NodeActivity && !n.Auto {
 			t.manual = append(t.manual, id)
 		}
+		switch n.Type {
+		case NodeStart:
+			t.start = idx
+		case NodeEnd:
+			t.end = idx
+		}
 	}
-	for _, e := range v.Edges() {
-		from, to := t.nodes[e.From], t.nodes[e.To]
+
+	all := v.Edges()
+	t.edges = make([]*Edge, 0, len(all))
+	t.edgeIdx = make(map[EdgeKey]EdgeIdx, len(all))
+	t.edgeTo = make([]NodeIdx, 0, len(all))
+	rec := func(id string) *NodeTopology {
+		if i, ok := t.byID[id]; ok {
+			return &t.recs[i]
+		}
+		return nil
+	}
+	for _, e := range all {
+		ei := EdgeIdx(len(t.edges))
+		t.edges = append(t.edges, e)
+		t.edgeIdx[e.Key()] = ei
+		to := InvalidNode
+		if i, ok := t.byID[e.To]; ok {
+			to = i
+		}
+		t.edgeTo = append(t.edgeTo, to)
+		from, target := rec(e.From), rec(e.To)
 		switch e.Type {
 		case EdgeControl:
 			if from != nil {
 				from.OutControl = append(from.OutControl, e)
+				from.OutControlIdx = append(from.OutControlIdx, ei)
 			}
-			if to != nil {
-				to.InControl = append(to.InControl, e)
+			if target != nil {
+				target.InControl = append(target.InControl, e)
+				target.InControlIdx = append(target.InControlIdx, ei)
 			}
 		case EdgeSync:
 			if from != nil {
 				from.OutSync = append(from.OutSync, e)
+				from.OutSyncIdx = append(from.OutSyncIdx, ei)
 			}
-			if to != nil {
-				to.InSync = append(to.InSync, e)
+			if target != nil {
+				target.InSync = append(target.InSync, e)
+				target.InSyncIdx = append(target.InSyncIdx, ei)
 			}
 		case EdgeLoop:
 			if from != nil {
 				from.OutLoop = append(from.OutLoop, e)
+				from.OutLoopIdx = append(from.OutLoopIdx, ei)
 			}
-			if to != nil {
-				to.InLoop = append(to.InLoop, e)
+			if target != nil {
+				target.InLoop = append(target.InLoop, e)
 			}
 		}
 	}
@@ -91,15 +179,60 @@ func BuildTopology(v SchemaView) *Topology {
 
 // Of returns the adjacency record of the node, or nil if the node is not
 // part of the indexed view.
-func (t *Topology) Of(id string) *NodeTopology { return t.nodes[id] }
+func (t *Topology) Of(id string) *NodeTopology {
+	if i, ok := t.byID[id]; ok {
+		return &t.recs[i]
+	}
+	return nil
+}
+
+// Idx interns a node ID to its dense index.
+func (t *Topology) Idx(id string) (NodeIdx, bool) {
+	i, ok := t.byID[id]
+	return i, ok
+}
+
+// ID returns the node ID of a dense index. The index must be valid for
+// this topology.
+func (t *Topology) ID(i NodeIdx) string { return t.ids[i] }
+
+// At returns the adjacency record of a dense index. The index must be
+// valid for this topology.
+func (t *Topology) At(i NodeIdx) *NodeTopology { return &t.recs[i] }
 
 // NumNodes returns the number of indexed nodes.
-func (t *Topology) NumNodes() int { return len(t.nodes) }
+func (t *Topology) NumNodes() int { return len(t.recs) }
+
+// NumEdges returns the number of indexed edges.
+func (t *Topology) NumEdges() int { return len(t.edges) }
+
+// EdgeIdxOf interns an edge key to its dense index.
+func (t *Topology) EdgeIdxOf(k EdgeKey) (EdgeIdx, bool) {
+	i, ok := t.edgeIdx[k]
+	return i, ok
+}
+
+// EdgeAt returns the edge record of a dense edge index.
+func (t *Topology) EdgeAt(i EdgeIdx) *Edge { return t.edges[i] }
+
+// EdgeTarget returns the interned target node of a dense edge index
+// (InvalidNode if the target is not part of the view).
+func (t *Topology) EdgeTarget(i EdgeIdx) NodeIdx { return t.edgeTo[i] }
+
+// StartIdx returns the interned start node (InvalidNode if absent).
+func (t *Topology) StartIdx() NodeIdx { return t.start }
+
+// EndIdx returns the interned end node (InvalidNode if absent).
+func (t *Topology) EndIdx() NodeIdx { return t.end }
 
 // AutoExecutable returns the IDs of all nodes the engine may start and
 // complete without user interaction (Node.CanAutoExecute), in view order.
 // The execution cascade scans this list instead of all nodes.
 func (t *Topology) AutoExecutable() []string { return t.auto }
+
+// AutoExecutableIdx returns the interned indices of AutoExecutable, in
+// view order.
+func (t *Topology) AutoExecutableIdx() []NodeIdx { return t.autoIdx }
 
 // ManualActivities returns the IDs of all user-worked activity nodes in
 // view order; worklist reconciliation scans this list instead of all

@@ -34,6 +34,14 @@ type Journal struct {
 	file *os.File // non-nil when backed by a file
 	seq  int
 	sync bool
+
+	// Append serializes into per-journal buffers (guarded by mu) instead
+	// of allocating fresh ones per record; the encoders are lazily bound
+	// to the buffers on first use.
+	lineBuf bytes.Buffer
+	argsBuf bytes.Buffer
+	lineEnc *json.Encoder
+	argsEnc *json.Encoder
 }
 
 // NewJournal wraps an arbitrary writer (tests use a bytes.Buffer).
@@ -69,20 +77,27 @@ func (j *Journal) SetSync(on bool) {
 
 // Append journals one command.
 func (j *Journal) Append(op string, args any) error {
-	blob, err := json.Marshal(args)
-	if err != nil {
-		return fmt.Errorf("persist: marshal %s args: %w", op, err)
-	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.lineEnc == nil {
+		j.lineEnc = json.NewEncoder(&j.lineBuf)
+		j.argsEnc = json.NewEncoder(&j.argsBuf)
+	}
+	j.argsBuf.Reset()
+	if err := j.argsEnc.Encode(args); err != nil {
+		return fmt.Errorf("persist: marshal %s args: %w", op, err)
+	}
+	blob := j.argsBuf.Bytes()
+	blob = blob[:len(blob)-1] // drop the encoder's trailing newline
 	j.seq++
 	rec := Record{Seq: j.seq, Op: op, Args: blob}
-	line, err := json.Marshal(rec)
-	if err != nil {
+	j.lineBuf.Reset()
+	// Encode appends the newline record terminator itself.
+	if err := j.lineEnc.Encode(rec); err != nil {
+		j.seq--
 		return fmt.Errorf("persist: marshal record: %w", err)
 	}
-	line = append(line, '\n')
-	if _, err := j.w.Write(line); err != nil {
+	if _, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
 		return fmt.Errorf("persist: append: %w", err)
 	}
 	if j.file != nil && j.sync {

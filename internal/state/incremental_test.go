@@ -12,12 +12,250 @@ import (
 	"adept2/internal/storage"
 )
 
-// The tests in this file pin the tentpole invariant of the incremental
-// evaluator: edge-driven propagation (Evaluate/Adapt) produces markings
-// identical — node states, edge signals, and skip stamps — to the retained
-// global fixpoint reference (evaluateFixpoint), on randomized schemas with
-// XOR/AND blocks, loops, and sync edges, across random event prefixes and
-// biased overlay views.
+// The tests in this file pin the tentpole invariant of the interned
+// incremental evaluator: array-indexed edge-driven propagation
+// (Evaluate/Adapt on the dense Marking) produces markings identical —
+// node states, edge signals, and skip stamps — to the retained
+// string-keyed global-fixpoint reference (refMarking/refFixpoint below),
+// event for event, on randomized schemas with XOR/AND blocks, loops, and
+// sync edges, across random event prefixes and biased overlay views.
+
+// --- string-keyed reference implementation -------------------------------
+//
+// refMarking is the historical map-based marking with the global fixpoint
+// evaluator — the implementation the interned marking replaced. It is
+// retained here, in full, as the semantic ground truth.
+
+type refMarking struct {
+	nodes   map[string]NodeState
+	edges   map[model.EdgeKey]EdgeState
+	skipSeq map[string]int
+}
+
+func newRefMarking() *refMarking {
+	return &refMarking{
+		nodes:   make(map[string]NodeState),
+		edges:   make(map[model.EdgeKey]EdgeState),
+		skipSeq: make(map[string]int),
+	}
+}
+
+func (m *refMarking) node(id string) NodeState         { return m.nodes[id] }
+func (m *refMarking) edge(k model.EdgeKey) EdgeState   { return m.edges[k] }
+
+func (m *refMarking) setNode(id string, s NodeState) {
+	if s == NotActivated {
+		delete(m.nodes, id)
+		return
+	}
+	m.nodes[id] = s
+}
+
+func (m *refMarking) setEdge(k model.EdgeKey, s EdgeState) {
+	if s == NotSignaled {
+		delete(m.edges, k)
+		return
+	}
+	m.edges[k] = s
+}
+
+func (m *refMarking) init(v model.SchemaView) {
+	start := v.StartID()
+	if start == "" {
+		return
+	}
+	m.setNode(start, Completed)
+	for _, e := range v.OutEdges(start) {
+		if e.Type != model.EdgeLoop {
+			m.setEdge(e.Key(), TrueSignaled)
+		}
+	}
+}
+
+func (m *refMarking) start(id string) error {
+	if got := m.node(id); got != Activated {
+		return fmt.Errorf("ref: start %q: node is %s", id, got)
+	}
+	m.setNode(id, Running)
+	return nil
+}
+
+func (m *refMarking) complete(v model.SchemaView, id string, decision int) error {
+	if got := m.node(id); got != Running {
+		return fmt.Errorf("ref: complete %q: node is %s", id, got)
+	}
+	n, ok := v.Node(id)
+	if !ok {
+		return fmt.Errorf("ref: complete %q: not in schema", id)
+	}
+	m.setNode(id, Completed)
+	for _, e := range v.OutEdges(id) {
+		switch e.Type {
+		case model.EdgeControl:
+			if n.Type == model.NodeXORSplit && e.Code != decision {
+				m.setEdge(e.Key(), FalseSignaled)
+			} else {
+				m.setEdge(e.Key(), TrueSignaled)
+			}
+		case model.EdgeSync:
+			m.setEdge(e.Key(), TrueSignaled)
+		}
+	}
+	return nil
+}
+
+func (m *refMarking) skip(v model.SchemaView, id string, seq int) {
+	m.setNode(id, Skipped)
+	if _, dup := m.skipSeq[id]; !dup {
+		m.skipSeq[id] = seq
+	}
+	for _, e := range v.OutEdges(id) {
+		if e.Type == model.EdgeLoop {
+			continue
+		}
+		m.setEdge(e.Key(), FalseSignaled)
+	}
+}
+
+// refFixpoint rescans every node of the view until quiescence — the
+// historical global fixpoint evaluation.
+func refFixpoint(v model.SchemaView, m *refMarking, seq int) []string {
+	var activated []string
+	for {
+		changed := false
+		for _, id := range v.NodeIDs() {
+			if m.node(id) != NotActivated {
+				continue
+			}
+			n, _ := v.Node(id)
+			if n.Type == model.NodeStart {
+				continue
+			}
+			inC := model.InControlEdges(v, id)
+			if len(inC) == 0 {
+				continue
+			}
+			trueC, falseC := 0, 0
+			for _, e := range inC {
+				switch m.edge(e.Key()) {
+				case TrueSignaled:
+					trueC++
+				case FalseSignaled:
+					falseC++
+				}
+			}
+			syncReady := true
+			for _, e := range v.InEdges(id) {
+				if e.Type == model.EdgeSync && m.edge(e.Key()) == NotSignaled {
+					syncReady = false
+					break
+				}
+			}
+
+			switch n.Type {
+			case model.NodeXORJoin:
+				switch {
+				case trueC == 1 && trueC+falseC == len(inC) && syncReady:
+					m.setNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC == len(inC):
+					m.skip(v, id, seq)
+					changed = true
+				}
+			case model.NodeANDJoin:
+				switch {
+				case trueC == len(inC) && syncReady:
+					m.setNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC == len(inC):
+					m.skip(v, id, seq)
+					changed = true
+				}
+			default:
+				switch {
+				case trueC == len(inC) && syncReady:
+					m.setNode(id, Activated)
+					activated = append(activated, id)
+					changed = true
+				case falseC > 0:
+					m.skip(v, id, seq)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return activated
+}
+
+// refAdaptCore mirrors adaptCore on the string-keyed marking.
+func refAdaptCore(v model.SchemaView, m *refMarking, decisions map[string]int) {
+	for _, id := range v.NodeIDs() {
+		switch m.node(id) {
+		case Activated, Skipped:
+			m.setNode(id, NotActivated)
+		}
+	}
+	for id := range m.nodes {
+		if _, ok := v.Node(id); !ok {
+			delete(m.nodes, id)
+			delete(m.skipSeq, id)
+		}
+	}
+	clear(m.edges)
+	m.init(v)
+	start := v.StartID()
+	for _, id := range v.NodeIDs() {
+		if m.node(id) != Completed || id == start {
+			continue
+		}
+		n, _ := v.Node(id)
+		for _, e := range v.OutEdges(id) {
+			switch e.Type {
+			case model.EdgeControl:
+				if n.Type == model.NodeXORSplit && e.Code != decisions[id] {
+					m.setEdge(e.Key(), FalseSignaled)
+				} else {
+					m.setEdge(e.Key(), TrueSignaled)
+				}
+			case model.EdgeSync:
+				m.setEdge(e.Key(), TrueSignaled)
+			}
+		}
+	}
+}
+
+// refAdapt composes refAdaptCore with the fixpoint and the skip-stamp
+// pruning, mirroring Adapt.
+func refAdapt(v model.SchemaView, m *refMarking, decisions map[string]int, seq int) []string {
+	refAdaptCore(v, m, decisions)
+	activated := refFixpoint(v, m, seq)
+	for id := range m.skipSeq {
+		if m.node(id) != Skipped {
+			delete(m.skipSeq, id)
+		}
+	}
+	return activated
+}
+
+// refResetLoop mirrors ResetLoop on the string-keyed marking.
+func refResetLoop(v model.SchemaView, m *refMarking, region map[string]bool) {
+	for id := range region {
+		m.setNode(id, NotActivated)
+		delete(m.skipSeq, id)
+		for _, e := range v.OutEdges(id) {
+			if region[e.To] {
+				m.setEdge(e.Key(), NotSignaled)
+			}
+		}
+	}
+}
+
+// --- generator and harness ----------------------------------------------
 
 // richFrag is a generated fragment plus the activity IDs inside it, so the
 // generator can attach sync edges across parallel branches.
@@ -79,20 +317,33 @@ func genRichSchema(rng *rand.Rand, name string) *model.Schema {
 	return s
 }
 
-// markingsIdentical compares two markings exhaustively over a view: node
-// states, edge signals, and skip stamps.
-func markingsIdentical(v model.SchemaView, a, b *Marking) bool {
+// markingsIdentical compares the interned marking against the string-keyed
+// reference exhaustively over a view: node states, edge signals, and skip
+// stamps.
+func markingsIdentical(v model.SchemaView, a *Marking, b *refMarking) bool {
 	for _, id := range v.NodeIDs() {
-		if a.Node(id) != b.Node(id) || a.SkipSeq(id) != b.SkipSeq(id) {
+		if a.Node(id) != b.node(id) || a.SkipSeq(id) != b.skipSeq[id] {
 			return false
 		}
 	}
 	for _, e := range v.Edges() {
-		if a.Edge(e.Key()) != b.Edge(e.Key()) {
+		if a.Edge(e.Key()) != b.edge(e.Key()) {
 			return false
 		}
 	}
 	return true
+}
+
+// refNodesInState mirrors Marking.NodesInState for the reference.
+func refNodesInState(m *refMarking, s NodeState) []string {
+	var ids []string
+	for id, ns := range m.nodes {
+		if ns == s {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 func sortedCopy(ids []string) []string {
@@ -115,16 +366,17 @@ func sameSet(a, b []string) bool {
 }
 
 // dualRun drives one random partial execution on two markings in lockstep:
-// mInc evolves through the incremental Evaluate, mRef through the global
-// fixpoint reference. It fails the test at the first divergence and
-// returns the final state plus the XOR decision record.
-func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info) (mInc, mRef *Marking, decisions map[string]int) {
+// mInc (interned, array-indexed) evolves through the incremental Evaluate,
+// mRef (string-keyed) through the global fixpoint reference. It fails the
+// test at the first divergence and returns the final state plus the XOR
+// decision record.
+func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info) (mInc *Marking, mRef *refMarking, decisions map[string]int) {
 	t.Helper()
-	mInc, mRef = NewMarking(), NewMarking()
+	mInc, mRef = NewMarking(v), newRefMarking()
 	mInc.Init(v)
-	mRef.Init(v)
+	mRef.init(v)
 	actInc := Evaluate(v, mInc, 1)
-	actRef := evaluateFixpoint(v, mRef, 1)
+	actRef := refFixpoint(v, mRef, 1)
 	if !sameSet(actInc, actRef) {
 		t.Fatalf("init activation sets diverge: inc=%v ref=%v", actInc, actRef)
 	}
@@ -133,8 +385,8 @@ func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info)
 
 	for step := 0; step < 60; step++ {
 		enabled := mInc.NodesInState(Activated)
-		if !sameSet(enabled, mRef.NodesInState(Activated)) {
-			t.Fatalf("step %d: enabled sets diverge: inc=%v ref=%v", step, enabled, mRef.NodesInState(Activated))
+		if !sameSet(enabled, refNodesInState(mRef, Activated)) {
+			t.Fatalf("step %d: enabled sets diverge: inc=%v ref=%v", step, enabled, refNodesInState(mRef, Activated))
 		}
 		if len(enabled) == 0 {
 			break
@@ -143,7 +395,7 @@ func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info)
 		if err := mInc.Start(id); err != nil {
 			t.Fatalf("step %d: start inc: %v", step, err)
 		}
-		if err := mRef.Start(id); err != nil {
+		if err := mRef.start(id); err != nil {
 			t.Fatalf("step %d: start ref: %v", step, err)
 		}
 		node, _ := v.Node(id)
@@ -166,7 +418,7 @@ func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info)
 			// completion only exists in the history); mirror that.
 			region := blk.Region()
 			ResetLoop(v, mInc, region)
-			ResetLoop(v, mRef, region)
+			refResetLoop(v, mRef, region)
 			for n := range region {
 				delete(decisions, n)
 			}
@@ -174,12 +426,12 @@ func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info)
 			if err := mInc.Complete(v, id, dec); err != nil {
 				t.Fatalf("step %d: complete inc: %v", step, err)
 			}
-			if err := mRef.Complete(v, id, dec); err != nil {
+			if err := mRef.complete(v, id, dec); err != nil {
 				t.Fatalf("step %d: complete ref: %v", step, err)
 			}
 		}
 		actInc = Evaluate(v, mInc, seq)
-		actRef = evaluateFixpoint(v, mRef, seq)
+		actRef = refFixpoint(v, mRef, seq)
 		if !sameSet(actInc, actRef) {
 			t.Fatalf("step %d: activation sets diverge: inc=%v ref=%v", step, actInc, actRef)
 		}
@@ -191,8 +443,8 @@ func dualRun(t *testing.T, rng *rand.Rand, v model.SchemaView, info *graph.Info)
 }
 
 // TestIncrementalMatchesFixpoint: on random schemas and random event
-// prefixes, incremental propagation and the global fixpoint produce
-// identical markings after every single event.
+// prefixes, the interned incremental propagation and the string-keyed
+// global fixpoint produce identical markings after every single event.
 func TestIncrementalMatchesFixpoint(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -209,9 +461,10 @@ func TestIncrementalMatchesFixpoint(t *testing.T) {
 	}
 }
 
-// TestAdaptMatchesFixpoint: state adaptation through the incremental
-// evaluator equals the adaptation closed by the fixpoint reference, on the
-// unchanged schema (identity adaptation) after a random prefix.
+// TestAdaptMatchesFixpoint: state adaptation through the interned
+// incremental evaluator equals the adaptation closed by the string-keyed
+// fixpoint reference, on the unchanged schema (identity adaptation) after
+// a random prefix.
 func TestAdaptMatchesFixpoint(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -224,13 +477,7 @@ func TestAdaptMatchesFixpoint(t *testing.T) {
 		before := mInc.Clone()
 
 		actInc := Adapt(s, mInc, decisions, 99)
-		adaptCore(s, mRef, decisions)
-		actRef := evaluateFixpoint(s, mRef, 99)
-		for id := range mRef.skipSeq {
-			if mRef.Node(id) != Skipped {
-				delete(mRef.skipSeq, id)
-			}
-		}
+		actRef := refAdapt(s, mRef, decisions, 99)
 		if !sameSet(actInc, actRef) {
 			t.Fatalf("adapt activation sets diverge: inc=%v ref=%v", actInc, actRef)
 		}
@@ -248,10 +495,46 @@ func TestAdaptMatchesFixpoint(t *testing.T) {
 	}
 }
 
+// biasOverlay applies the canonical ad-hoc change — a serial insert of an
+// automatic activity splitting a random control edge — to a fresh overlay
+// over the base schema.
+func biasOverlay(rng *rand.Rand, base *model.Schema, nodeID string) *storage.Overlay {
+	ov := storage.NewOverlay(base)
+	biasInto(rng, ov, nodeID)
+	return ov
+}
+
+// biasInto performs the same serial insert on an existing mutable view.
+func biasInto(rng *rand.Rand, ov model.MutableView, nodeID string) {
+	var ctrl []*model.Edge
+	for _, e := range ov.Edges() {
+		if e.Type == model.EdgeControl {
+			ctrl = append(ctrl, e)
+		}
+	}
+	split := ctrl[rng.Intn(len(ctrl))]
+	ins := &model.Node{ID: nodeID, Name: nodeID, Type: model.NodeActivity, Auto: true, Template: nodeID}
+	if err := ov.RemoveEdge(split.Key()); err != nil {
+		panic(err)
+	}
+	if err := ov.AddNode(ins); err != nil {
+		panic(err)
+	}
+	if err := ov.AddEdge(&model.Edge{From: split.From, To: ins.ID, Type: model.EdgeControl, Code: split.Code}); err != nil {
+		panic(err)
+	}
+	if err := ov.AddEdge(&model.Edge{From: ins.ID, To: split.To, Type: model.EdgeControl}); err != nil {
+		panic(err)
+	}
+}
+
 // TestAdaptMatchesFixpointOnBiasedOverlay: after a random prefix, the view
 // is biased through a storage overlay (a serial insert of an automatic
 // activity splitting a random control edge, the canonical ad-hoc change),
-// and both adaptation paths must agree on the overlaid view.
+// and both adaptation paths must agree on the overlaid view. For the
+// interned marking this exercises the index remap across the bias refresh:
+// the marking was bound to the base topology and must carry its state onto
+// the overlay's re-interned node set.
 func TestAdaptMatchesFixpointOnBiasedOverlay(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -262,36 +545,10 @@ func TestAdaptMatchesFixpointOnBiasedOverlay(t *testing.T) {
 		}
 		mInc, mRef, decisions := dualRun(t, rng, base, info)
 
-		ov := storage.NewOverlay(base)
-		var ctrl []*model.Edge
-		for _, e := range base.Edges() {
-			if e.Type == model.EdgeControl {
-				ctrl = append(ctrl, e)
-			}
-		}
-		split := ctrl[rng.Intn(len(ctrl))]
-		ins := &model.Node{ID: "bias_x", Name: "bias_x", Type: model.NodeActivity, Auto: true, Template: "bias_x"}
-		if err := ov.RemoveEdge(split.Key()); err != nil {
-			panic(err)
-		}
-		if err := ov.AddNode(ins); err != nil {
-			panic(err)
-		}
-		if err := ov.AddEdge(&model.Edge{From: split.From, To: ins.ID, Type: model.EdgeControl, Code: split.Code}); err != nil {
-			panic(err)
-		}
-		if err := ov.AddEdge(&model.Edge{From: ins.ID, To: split.To, Type: model.EdgeControl}); err != nil {
-			panic(err)
-		}
+		ov := biasOverlay(rng, base, "bias_x")
 
 		actInc := Adapt(ov, mInc, decisions, 99)
-		adaptCore(ov, mRef, decisions)
-		actRef := evaluateFixpoint(ov, mRef, 99)
-		for id := range mRef.skipSeq {
-			if mRef.Node(id) != Skipped {
-				delete(mRef.skipSeq, id)
-			}
-		}
+		actRef := refAdapt(ov, mRef, decisions, 99)
 		if !sameSet(actInc, actRef) {
 			t.Fatalf("biased adapt activation sets diverge: inc=%v ref=%v", actInc, actRef)
 		}
@@ -302,10 +559,94 @@ func TestAdaptMatchesFixpointOnBiasedOverlay(t *testing.T) {
 	}
 }
 
+// TestOverlayRemapStability: bias refreshes re-intern the node set, and
+// the marking must remap so that all per-ID states (node states, skip
+// stamps, edge signals) survive unchanged across one — and a second —
+// refresh, while the bound topology follows the view. This pins the
+// index-validity-window rule documented in internal/model/doc.go.
+func TestOverlayRemapStability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := genRichSchema(rng, "p")
+		info, err := graph.Analyze(base)
+		if err != nil {
+			panic(err)
+		}
+		m, _, _ := dualRun(t, rng, base, info)
+
+		// Snapshot the pre-refresh state by identity.
+		type snap struct {
+			state NodeState
+			skip  int
+		}
+		nodeSnap := make(map[string]snap)
+		for _, id := range base.NodeIDs() {
+			nodeSnap[id] = snap{m.Node(id), m.SkipSeq(id)}
+		}
+		edgeSnap := make(map[model.EdgeKey]EdgeState)
+		for _, e := range base.Edges() {
+			edgeSnap[e.Key()] = m.Edge(e.Key())
+		}
+
+		ov := biasOverlay(rng, base, "bias_x")
+		topo1 := ov.Topology()
+		// The first view-taking entry point re-binds the marking. The
+		// pending worklist is empty (dualRun left a fixpoint), so this
+		// Evaluate changes nothing — it only triggers the remap.
+		Evaluate(ov, m, 99)
+		if m.Topology() != topo1 {
+			t.Fatalf("marking not rebound to overlay topology")
+		}
+		for id, want := range nodeSnap {
+			if m.Node(id) != want.state || m.SkipSeq(id) != want.skip {
+				t.Fatalf("node %s changed across remap: %s/%d -> %s/%d",
+					id, want.state, want.skip, m.Node(id), m.SkipSeq(id))
+			}
+		}
+		for k, want := range edgeSnap {
+			if _, ok := topo1.EdgeIdxOf(k); !ok {
+				continue // edge split away by the insert
+			}
+			if m.Edge(k) != want {
+				t.Fatalf("edge %s changed across remap: %s -> %s", k, want, m.Edge(k))
+			}
+		}
+		// The inserted node is interned and addressable after the refresh.
+		if _, ok := topo1.Idx("bias_x"); !ok {
+			t.Fatalf("inserted node not interned")
+		}
+		if m.Node("bias_x") != NotActivated {
+			t.Fatalf("inserted node should start not-activated, is %s", m.Node("bias_x"))
+		}
+
+		// A second refresh (another insert) must remap again and still
+		// preserve everything, including any state on the first insert.
+		biasInto(rng, ov, "bias_y")
+		topo2 := ov.Topology()
+		if topo2 == topo1 {
+			t.Fatalf("bias refresh did not re-intern the topology")
+		}
+		Evaluate(ov, m, 100) // binds to topo2
+		if m.Topology() != topo2 {
+			t.Fatalf("marking not rebound after second refresh")
+		}
+		for id, want := range nodeSnap {
+			if m.Node(id) != want.state || m.SkipSeq(id) != want.skip {
+				t.Fatalf("node %s changed across second remap", id)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestEvaluateAfterManualStaging: hand-staged marking mutations through
 // SetNode/SetEdge (the way compliance tests stage scenarios: mark a node
 // completed and signal its outgoing edges) queue exactly the affected
-// nodes; the next Evaluate must agree with the fixpoint run on a clone.
+// nodes; the next Evaluate must agree with the fixpoint run on the
+// identically staged string-keyed reference.
 //
 // Note the staging must be *consistent* — a true-signaled edge implies a
 // completed source. On corrupted markings (e.g. a true signal from a node
@@ -316,9 +657,12 @@ func TestEvaluateAfterManualStaging(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s := genRichSchema(rng, "p")
-		m := NewMarking()
+		m := NewMarking(s)
+		ref := newRefMarking()
 		m.Init(s)
+		ref.init(s)
 		Evaluate(s, m, 1)
+		refFixpoint(s, ref, 1)
 		ids := s.NodeIDs()
 		for i := 0; i < 2; i++ {
 			id := ids[rng.Intn(len(ids))]
@@ -330,25 +674,28 @@ func TestEvaluateAfterManualStaging(t *testing.T) {
 				continue
 			}
 			m.SetNode(id, Completed)
+			ref.setNode(id, Completed)
 			outs := model.OutControlEdges(s, id)
 			pick := -1
 			if n.Type == model.NodeXORSplit && len(outs) > 0 {
 				pick = rng.Intn(len(outs))
 			}
 			for j, e := range outs {
+				es := TrueSignaled
 				if pick >= 0 && j != pick {
-					m.SetEdge(e.Key(), FalseSignaled)
-				} else {
-					m.SetEdge(e.Key(), TrueSignaled)
+					es = FalseSignaled
 				}
+				m.SetEdge(e.Key(), es)
+				ref.setEdge(e.Key(), es)
 			}
-			for _, e := range model.SyncSuccs(s, id) {
-				m.SetEdge(model.EdgeKey{From: id, To: e, Type: model.EdgeSync}, TrueSignaled)
+			for _, to := range model.SyncSuccs(s, id) {
+				k := model.EdgeKey{From: id, To: to, Type: model.EdgeSync}
+				m.SetEdge(k, TrueSignaled)
+				ref.setEdge(k, TrueSignaled)
 			}
 		}
-		ref := m.Clone()
 		incAct := Evaluate(s, m, 7)
-		refAct := evaluateFixpoint(s, ref, 7)
+		refAct := refFixpoint(s, ref, 7)
 		if !sameSet(incAct, refAct) {
 			return false
 		}

@@ -28,7 +28,7 @@ func genRun(rng *rand.Rand) (model.SchemaView, *Marking, map[string]int) {
 	if err != nil {
 		panic(err)
 	}
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	decisions := map[string]int{}

@@ -5,6 +5,16 @@
 // paper ("completed", "activated", "running", "TRUE signaled", and the
 // "Disabled" state which this implementation calls Skipped).
 //
+// A Marking is array-backed: node and edge states live in dense slices
+// indexed by the interned model.NodeIdx/model.EdgeIdx of the view's
+// Topology, so the per-event hot loops (evaluation, replay, adaptation)
+// perform pure array indexing — no string-keyed map traffic. The string
+// API (Node, SetNode, Edge, ...) remains at the package boundary and
+// interns on entry. When the underlying view changes structurally (ad-hoc
+// change, migration, overlay bias refresh) the marking transparently
+// remaps its state onto the new topology by node/edge identity — see
+// ensure.
+//
 // Evaluate propagates markings by edge-driven incremental propagation: the
 // marking tracks which nodes had an incoming edge signaled (or were
 // themselves demoted) since the last evaluation, and Evaluate re-examines
@@ -12,14 +22,16 @@
 // event instead of a global fixpoint over all nodes. The same rules run
 // during normal execution, after ad-hoc changes, and during migration
 // state adaptation, which is what makes automatic state adaptation
-// possible. The historical global fixpoint is retained (unexported) as the
-// reference implementation that property tests compare against.
+// possible. Property tests (incremental_test.go) compare the interned
+// evaluator against a retained string-keyed fixpoint reference.
 package state
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"adept2/internal/bitset"
 	"adept2/internal/model"
 )
 
@@ -86,104 +98,219 @@ func (s EdgeState) String() string {
 }
 
 // Marking is the complete execution state of one process instance over its
-// schema view. The zero state of every node is NotActivated and of every
-// edge NotSignaled; the maps only hold non-zero entries, so an unbiased,
-// freshly created instance costs almost no memory (the redundancy-free
-// representation of Fig. 2).
+// schema view. Node states, skip stamps, and edge signals are dense arrays
+// indexed by the interned indices of the bound topology; the zero state of
+// every node is NotActivated and of every edge NotSignaled.
 //
 // The marking additionally maintains the evaluation worklist: every edge
 // signal records its target node and every demotion to NotActivated
 // records the node itself as pending re-examination. Evaluate consumes the
 // worklist; between mutations and the next Evaluate call the marking is at
 // a fixpoint for all nodes NOT on the worklist.
+//
+// A marking is bound to the topology of the view it was created on. Every
+// entry point that receives a view re-binds automatically when the view's
+// topology changed (remapping state by node/edge identity), so markings
+// survive ad-hoc changes, overlay bias refreshes, and migrations without
+// caller-side bookkeeping.
 type Marking struct {
-	nodes map[string]NodeState
-	edges map[model.EdgeKey]EdgeState
-
-	// skipSeq records, per skipped node, the event sequence number of the
-	// action that caused the skip. The fast compliance condition for sync
-	// edge insertion needs it ("was the source definitely dead before the
-	// target started?").
-	skipSeq map[string]int
+	topo    *model.Topology
+	nodes   []NodeState // dense by NodeIdx
+	skipSeq []int32     // dense by NodeIdx; see SkipSeq
+	edges   []EdgeState // dense by EdgeIdx
 
 	// pending is the evaluation worklist: nodes whose activation/skip
-	// question may have a new answer. pendingSet deduplicates it.
-	pending    []string
-	pendingSet map[string]bool
+	// question may have a new answer. pendingSet is a bitset (sized by the
+	// view's node count) deduplicating it.
+	pending    []model.NodeIdx
+	pendingSet bitset.Set
 }
 
-// NewMarking returns an empty marking (everything not activated).
-func NewMarking() *Marking {
+// NewMarking returns an empty marking (everything not activated) bound to
+// the view's topology.
+func NewMarking(v model.SchemaView) *Marking {
+	t := v.Topology()
 	return &Marking{
-		nodes:      make(map[string]NodeState),
-		edges:      make(map[model.EdgeKey]EdgeState),
-		skipSeq:    make(map[string]int),
-		pendingSet: make(map[string]bool),
+		topo:       t,
+		nodes:      make([]NodeState, t.NumNodes()),
+		skipSeq:    make([]int32, t.NumNodes()),
+		edges:      make([]EdgeState, t.NumEdges()),
+		pendingSet: bitset.New(t.NumNodes()),
 	}
 }
 
-// markPending queues a node for re-examination by the next Evaluate.
-func (m *Marking) markPending(id string) {
-	if !m.pendingSet[id] {
-		m.pendingSet[id] = true
-		m.pending = append(m.pending, id)
+// Topology returns the topology the marking is currently bound to.
+func (m *Marking) Topology() *model.Topology { return m.topo }
+
+// ensure re-binds the marking to the given topology if it changed,
+// remapping all state by node/edge identity. States of nodes and edges no
+// longer present are dropped (compliance guarantees deleted nodes never
+// started); newly added nodes and edges start in their zero state.
+func (m *Marking) ensure(t *model.Topology) {
+	if m.topo == t {
+		return
+	}
+	m.remap(t)
+}
+
+// sameShape reports whether two topologies intern identical node and edge
+// sequences, so indices carry over one-to-one. The on-the-fly storage
+// strategy materializes a fresh schema (and thus a fresh topology pointer)
+// per access — this check turns those re-binds into a pointer swap
+// instead of a full remap copy. The ID comparisons are cheap: clones share
+// their ID string backing, so equality short-circuits on the data pointer.
+func sameShape(a, b *model.Topology) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i, n := 0, a.NumNodes(); i < n; i++ {
+		if a.ID(model.NodeIdx(i)) != b.ID(model.NodeIdx(i)) {
+			return false
+		}
+	}
+	for i, n := 0, a.NumEdges(); i < n; i++ {
+		if a.EdgeAt(model.EdgeIdx(i)).Key() != b.EdgeAt(model.EdgeIdx(i)).Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Marking) remap(t *model.Topology) {
+	old := m.topo
+	if sameShape(old, t) {
+		m.topo = t
+		return
+	}
+	nodes := make([]NodeState, t.NumNodes())
+	skip := make([]int32, t.NumNodes())
+	edges := make([]EdgeState, t.NumEdges())
+	for i := range m.nodes {
+		if m.nodes[i] == NotActivated && m.skipSeq[i] == 0 {
+			continue
+		}
+		if j, ok := t.Idx(old.ID(model.NodeIdx(i))); ok {
+			nodes[j] = m.nodes[i]
+			skip[j] = m.skipSeq[i]
+		}
+	}
+	for i := range m.edges {
+		if m.edges[i] == NotSignaled {
+			continue
+		}
+		if j, ok := t.EdgeIdxOf(old.EdgeAt(model.EdgeIdx(i)).Key()); ok {
+			edges[j] = m.edges[i]
+		}
+	}
+	pendingSet := bitset.New(t.NumNodes())
+	var pending []model.NodeIdx
+	for _, pi := range m.pending {
+		j, ok := t.Idx(old.ID(pi))
+		if !ok {
+			continue
+		}
+		if !pendingSet.Has(int(j)) {
+			pendingSet.Set(int(j))
+			pending = append(pending, j)
+		}
+	}
+	m.topo = t
+	m.nodes, m.skipSeq, m.edges = nodes, skip, edges
+	m.pending, m.pendingSet = pending, pendingSet
+}
+
+// markPendingAt queues a node for re-examination by the next Evaluate.
+func (m *Marking) markPendingAt(i model.NodeIdx) {
+	if !m.pendingSet.Has(int(i)) {
+		m.pendingSet.Set(int(i))
+		m.pending = append(m.pending, i)
 	}
 }
 
-// clearPending empties the evaluation worklist (a full evaluation pass
-// answered every open question).
-func (m *Marking) clearPending() {
-	m.pending = m.pending[:0]
-	clear(m.pendingSet)
+// Node returns the state of a node (NotActivated for nodes unknown to the
+// bound topology).
+func (m *Marking) Node(id string) NodeState {
+	if i, ok := m.topo.Idx(id); ok {
+		return m.nodes[i]
+	}
+	return NotActivated
 }
 
-// Node returns the state of a node.
-func (m *Marking) Node(id string) NodeState { return m.nodes[id] }
+// NodeAt returns the state of an interned node.
+func (m *Marking) NodeAt(i model.NodeIdx) NodeState { return m.nodes[i] }
 
 // Edge returns the state of an edge.
-func (m *Marking) Edge(k model.EdgeKey) EdgeState { return m.edges[k] }
+func (m *Marking) Edge(k model.EdgeKey) EdgeState {
+	if i, ok := m.topo.EdgeIdxOf(k); ok {
+		return m.edges[i]
+	}
+	return NotSignaled
+}
+
+// EdgeAt returns the state of an interned edge.
+func (m *Marking) EdgeAt(i model.EdgeIdx) EdgeState { return m.edges[i] }
 
 // SetNode sets a node state directly. Callers outside this package should
 // prefer the Start/Complete/Evaluate entry points. Demoting a node to
-// NotActivated queues it for re-examination.
+// NotActivated queues it for re-examination. Setting a node unknown to the
+// bound topology is a no-op (states exist only for view nodes).
 func (m *Marking) SetNode(id string, s NodeState) {
-	if m.nodes[id] == s {
+	if i, ok := m.topo.Idx(id); ok {
+		m.SetNodeAt(i, s)
+	}
+}
+
+// SetNodeAt sets the state of an interned node (see SetNode).
+func (m *Marking) SetNodeAt(i model.NodeIdx, s NodeState) {
+	if m.nodes[i] == s {
 		return
 	}
+	m.nodes[i] = s
 	if s == NotActivated {
-		delete(m.nodes, id)
-		m.markPending(id)
-		return
+		m.markPendingAt(i)
 	}
-	m.nodes[id] = s
 }
 
 // SetEdge sets an edge state directly. Any state change queues the edge's
-// target node for re-examination.
+// target node for re-examination. Setting an edge unknown to the bound
+// topology is a no-op.
 func (m *Marking) SetEdge(k model.EdgeKey, s EdgeState) {
-	if m.edges[k] == s {
+	if i, ok := m.topo.EdgeIdxOf(k); ok {
+		m.SetEdgeAt(i, s)
+	}
+}
+
+// SetEdgeAt sets the state of an interned edge (see SetEdge).
+func (m *Marking) SetEdgeAt(i model.EdgeIdx, s EdgeState) {
+	if m.edges[i] == s {
 		return
 	}
-	if s == NotSignaled {
-		delete(m.edges, k)
-	} else {
-		m.edges[k] = s
+	m.edges[i] = s
+	if to := m.topo.EdgeTarget(i); to != model.InvalidNode {
+		m.markPendingAt(to)
 	}
-	m.markPending(k.To)
 }
 
 // SkipSeq returns the event sequence number at which the node was skipped
 // (0 if the node is not skipped).
-func (m *Marking) SkipSeq(id string) int { return m.skipSeq[id] }
+func (m *Marking) SkipSeq(id string) int {
+	if i, ok := m.topo.Idx(id); ok {
+		return int(m.skipSeq[i])
+	}
+	return 0
+}
 
 // NodesInState returns the IDs of all nodes currently in the given state,
 // sorted for determinism. NotActivated is not enumerable (it is the
 // default state).
 func (m *Marking) NodesInState(s NodeState) []string {
+	if s == NotActivated {
+		return nil
+	}
 	var ids []string
-	for id, ns := range m.nodes {
+	for i, ns := range m.nodes {
 		if ns == s {
-			ids = append(ids, id)
+			ids = append(ids, m.topo.ID(model.NodeIdx(i)))
 		}
 	}
 	sort.Strings(ids)
@@ -191,66 +318,71 @@ func (m *Marking) NodesInState(s NodeState) []string {
 }
 
 // Clone returns a deep copy of the marking, including the pending
-// evaluation worklist.
+// evaluation worklist. The clone shares the (immutable) topology binding.
 func (m *Marking) Clone() *Marking {
-	c := NewMarking()
-	for id, s := range m.nodes {
-		c.nodes[id] = s
+	return &Marking{
+		topo:       m.topo,
+		nodes:      slices.Clone(m.nodes),
+		skipSeq:    slices.Clone(m.skipSeq),
+		edges:      slices.Clone(m.edges),
+		pending:    slices.Clone(m.pending),
+		pendingSet: slices.Clone(m.pendingSet),
 	}
-	for k, s := range m.edges {
-		c.edges[k] = s
-	}
-	for id, q := range m.skipSeq {
-		c.skipSeq[id] = q
-	}
-	c.pending = append(c.pending, m.pending...)
-	for id := range m.pendingSet {
-		c.pendingSet[id] = true
-	}
-	return c
 }
 
 // CountNodes returns the number of nodes holding a non-default state; it
 // feeds the storage footprint accounting of the Fig. 2 experiment.
-func (m *Marking) CountNodes() int { return len(m.nodes) }
+func (m *Marking) CountNodes() int {
+	n := 0
+	for _, s := range m.nodes {
+		if s != NotActivated {
+			n++
+		}
+	}
+	return n
+}
 
-// ApproxBytes estimates the memory held by the marking.
+// ApproxBytes estimates the memory held by the marking: the dense state
+// arrays scale with the view size (a byte per node/edge state plus the
+// skip stamps), not with the number of non-default entries.
 func (m *Marking) ApproxBytes() int {
-	total := 0
-	for id := range m.nodes {
-		total += len(id) + 17
-	}
-	for k := range m.edges {
-		total += len(k.From) + len(k.To) + 18
-	}
-	for id := range m.skipSeq {
-		total += len(id) + 24
-	}
-	return total
+	return len(m.nodes)*5 + len(m.edges) + 8*len(m.pendingSet) + 4*cap(m.pending)
 }
 
 // Init marks the start node of the view completed and signals its outgoing
 // edges — the state of a freshly created instance before the first
 // Evaluate pass.
 func (m *Marking) Init(v model.SchemaView) {
-	start := v.StartID()
-	if start == "" {
+	m.ensure(v.Topology())
+	start := m.topo.StartIdx()
+	if start == model.InvalidNode {
 		return
 	}
-	m.SetNode(start, Completed)
-	for _, e := range v.OutEdges(start) {
-		if e.Type != model.EdgeLoop {
-			m.SetEdge(e.Key(), TrueSignaled)
-		}
+	m.SetNodeAt(start, Completed)
+	nt := m.topo.At(start)
+	for _, ei := range nt.OutControlIdx {
+		m.SetEdgeAt(ei, TrueSignaled)
+	}
+	for _, ei := range nt.OutSyncIdx {
+		m.SetEdgeAt(ei, TrueSignaled)
 	}
 }
 
 // Start transitions an activated node to running.
 func (m *Marking) Start(id string) error {
-	if got := m.Node(id); got != Activated {
-		return fmt.Errorf("state: start %q: node is %s, not activated", id, got)
+	i, ok := m.topo.Idx(id)
+	if !ok {
+		return fmt.Errorf("state: start %q: node not in schema", id)
 	}
-	m.SetNode(id, Running)
+	return m.StartAt(i)
+}
+
+// StartAt transitions an activated interned node to running.
+func (m *Marking) StartAt(i model.NodeIdx) error {
+	if got := m.nodes[i]; got != Activated {
+		return fmt.Errorf("state: start %q: node is %s, not activated", m.topo.ID(i), got)
+	}
+	m.nodes[i] = Running
 	return nil
 }
 
@@ -259,61 +391,48 @@ func (m *Marking) Start(id string) error {
 // outgoing control edge code; all other edges are false-signaled. Loop
 // edges are never signaled here: loop iteration is performed by ResetLoop.
 func (m *Marking) Complete(v model.SchemaView, id string, decision int) error {
-	if got := m.Node(id); got != Running {
-		return fmt.Errorf("state: complete %q: node is %s, not running", id, got)
-	}
-	topo := v.Topology()
-	nt := topo.Of(id)
-	if nt == nil {
+	m.ensure(v.Topology())
+	i, ok := m.topo.Idx(id)
+	if !ok {
 		return fmt.Errorf("state: complete %q: node not in schema", id)
 	}
-	m.SetNode(id, Completed)
-	for _, e := range nt.OutControl {
+	return m.CompleteAt(i, decision)
+}
+
+// CompleteAt transitions a running interned node to completed (see
+// Complete).
+func (m *Marking) CompleteAt(i model.NodeIdx, decision int) error {
+	if got := m.nodes[i]; got != Running {
+		return fmt.Errorf("state: complete %q: node is %s, not running", m.topo.ID(i), got)
+	}
+	nt := m.topo.At(i)
+	m.nodes[i] = Completed
+	for k, e := range nt.OutControl {
 		if nt.Node.Type == model.NodeXORSplit && e.Code != decision {
-			m.SetEdge(e.Key(), FalseSignaled)
+			m.SetEdgeAt(nt.OutControlIdx[k], FalseSignaled)
 		} else {
-			m.SetEdge(e.Key(), TrueSignaled)
+			m.SetEdgeAt(nt.OutControlIdx[k], TrueSignaled)
 		}
 	}
-	for _, e := range nt.OutSync {
-		m.SetEdge(e.Key(), TrueSignaled)
+	for _, ei := range nt.OutSyncIdx {
+		m.SetEdgeAt(ei, TrueSignaled)
 	}
 	return nil
 }
 
-// skip marks a node dead and false-signals everything leaving it.
-func (m *Marking) skip(nt *model.NodeTopology, id string, seq int) {
-	m.SetNode(id, Skipped)
-	if _, dup := m.skipSeq[id]; !dup {
-		m.skipSeq[id] = seq
+// skipAt marks a node dead and false-signals everything leaving it. A node
+// skipped earlier (non-zero stamp) keeps its original stamp.
+func (m *Marking) skipAt(nt *model.NodeTopology, i model.NodeIdx, seq int) {
+	m.nodes[i] = Skipped
+	if m.skipSeq[i] == 0 {
+		m.skipSeq[i] = int32(seq)
 	}
-	for _, e := range nt.OutControl {
-		m.SetEdge(e.Key(), FalseSignaled)
+	for _, ei := range nt.OutControlIdx {
+		m.SetEdgeAt(ei, FalseSignaled)
 	}
-	for _, e := range nt.OutSync {
-		m.SetEdge(e.Key(), FalseSignaled)
+	for _, ei := range nt.OutSyncIdx {
+		m.SetEdgeAt(ei, FalseSignaled)
 	}
-}
-
-// Evaluator propagates a marking over one fixed schema view. It snapshots
-// the view's topology index once, so repeated evaluations (e.g. one per
-// replayed history event) share the index without re-fetching it. An
-// Evaluator is invalidated by structural changes to the view — create a
-// new one after an ad-hoc change or migration.
-type Evaluator struct {
-	v    model.SchemaView
-	topo *model.Topology
-	m    *Marking
-}
-
-// NewEvaluator returns an incremental evaluator for the view/marking pair.
-func NewEvaluator(v model.SchemaView, m *Marking) *Evaluator {
-	return &Evaluator{v: v, topo: v.Topology(), m: m}
-}
-
-// Evaluate drains the marking's pending worklist (see Evaluate).
-func (ev *Evaluator) Evaluate(seq int) []string {
-	return propagate(ev.topo, ev.m, seq)
 }
 
 // Evaluate propagates the marking across the affected region: every node
@@ -324,35 +443,56 @@ func (ev *Evaluator) Evaluate(seq int) []string {
 // stamps newly skipped nodes (see SkipSeq). It returns the IDs of newly
 // activated nodes in view order.
 func Evaluate(v model.SchemaView, m *Marking, seq int) []string {
-	return propagate(v.Topology(), m, seq)
+	t := v.Topology()
+	m.ensure(t)
+	return idsOf(t, propagate(t, m, seq, nil))
+}
+
+// EvaluateInto is Evaluate with a caller-owned activation buffer: newly
+// activated nodes are appended to buf[:0] as interned indices and the
+// (possibly re-grown) buffer is returned, so per-event loops (compliance
+// replay) reuse one allocation across all evaluations.
+func EvaluateInto(v model.SchemaView, m *Marking, seq int, buf []model.NodeIdx) []model.NodeIdx {
+	t := v.Topology()
+	m.ensure(t)
+	return propagate(t, m, seq, buf[:0])
+}
+
+func idsOf(t *model.Topology, idxs []model.NodeIdx) []string {
+	if len(idxs) == 0 {
+		return nil
+	}
+	ids := make([]string, len(idxs))
+	for i, n := range idxs {
+		ids[i] = t.ID(n)
+	}
+	return ids
 }
 
 // propagate is the incremental evaluation core: it processes the marking's
 // pending worklist until empty. Skips triggered while draining re-queue
 // their successors, so the propagation covers exactly the affected region.
-func propagate(topo *model.Topology, m *Marking, seq int) []string {
-	var activated []string
+// Newly activated nodes are appended to the provided buffer, which is
+// returned sorted by view order.
+func propagate(topo *model.Topology, m *Marking, seq int, activated []model.NodeIdx) []model.NodeIdx {
 	for i := 0; i < len(m.pending); i++ {
-		id := m.pending[i]
-		delete(m.pendingSet, id) // a later signal must be able to re-queue
-		if m.Node(id) != NotActivated {
+		ni := m.pending[i]
+		m.pendingSet.Clear(int(ni)) // a later signal must be able to re-queue
+		if m.nodes[ni] != NotActivated {
 			continue
 		}
-		nt := topo.Of(id)
-		if nt == nil {
-			continue // node not in this view (stale after a change)
-		}
+		nt := topo.At(ni)
 		n := nt.Node
 		if n.Type == model.NodeStart {
 			continue
 		}
-		inC := nt.InControl
+		inC := nt.InControlIdx
 		if len(inC) == 0 {
 			continue // disconnected; verifier rejects such schemas
 		}
 		trueC, falseC := 0, 0
-		for _, e := range inC {
-			switch m.Edge(e.Key()) {
+		for _, ei := range inC {
+			switch m.edges[ei] {
 			case TrueSignaled:
 				trueC++
 			case FalseSignaled:
@@ -360,8 +500,8 @@ func propagate(topo *model.Topology, m *Marking, seq int) []string {
 			}
 		}
 		syncReady := true
-		for _, e := range nt.InSync {
-			if m.Edge(e.Key()) == NotSignaled {
+		for _, ei := range nt.InSyncIdx {
+			if m.edges[ei] == NotSignaled {
 				syncReady = false
 				break
 			}
@@ -371,176 +511,82 @@ func propagate(topo *model.Topology, m *Marking, seq int) []string {
 		case model.NodeXORJoin:
 			switch {
 			case trueC == 1 && trueC+falseC == len(inC) && syncReady:
-				m.SetNode(id, Activated)
-				activated = append(activated, id)
+				m.nodes[ni] = Activated
+				activated = append(activated, ni)
 			case falseC == len(inC):
-				m.skip(nt, id, seq)
+				m.skipAt(nt, ni, seq)
 			}
 		case model.NodeANDJoin:
 			switch {
 			case trueC == len(inC) && syncReady:
-				m.SetNode(id, Activated)
-				activated = append(activated, id)
+				m.nodes[ni] = Activated
+				activated = append(activated, ni)
 			case falseC == len(inC):
-				m.skip(nt, id, seq)
+				m.skipAt(nt, ni, seq)
 			}
 		default:
 			// Single incoming control edge (activities, splits, loop
 			// start/end, end node).
 			switch {
 			case trueC == len(inC) && syncReady:
-				m.SetNode(id, Activated)
-				activated = append(activated, id)
+				m.nodes[ni] = Activated
+				activated = append(activated, ni)
 			case falseC > 0:
-				m.skip(nt, id, seq)
+				m.skipAt(nt, ni, seq)
 			}
 		}
 	}
 	m.pending = m.pending[:0]
 	if len(activated) > 1 {
-		sort.Slice(activated, func(i, j int) bool {
-			return topo.Of(activated[i]).Index < topo.Of(activated[j]).Index
-		})
+		slices.Sort(activated)
 	}
-	return activated
-}
-
-// evaluateFixpoint is the historical global-fixpoint evaluator: it rescans
-// every node of the view until quiescence. It is retained purely as the
-// reference implementation for property tests, which assert that the
-// incremental propagation produces marking-for-marking identical results.
-// A full pass answers every open question, so the pending worklist is
-// cleared afterwards.
-func evaluateFixpoint(v model.SchemaView, m *Marking, seq int) []string {
-	var activated []string
-	for {
-		changed := false
-		for _, id := range v.NodeIDs() {
-			if m.Node(id) != NotActivated {
-				continue
-			}
-			n, _ := v.Node(id)
-			if n.Type == model.NodeStart {
-				continue
-			}
-			inC := model.InControlEdges(v, id)
-			if len(inC) == 0 {
-				continue
-			}
-			trueC, falseC := 0, 0
-			for _, e := range inC {
-				switch m.Edge(e.Key()) {
-				case TrueSignaled:
-					trueC++
-				case FalseSignaled:
-					falseC++
-				}
-			}
-			syncReady := true
-			for _, e := range v.InEdges(id) {
-				if e.Type == model.EdgeSync && m.Edge(e.Key()) == NotSignaled {
-					syncReady = false
-					break
-				}
-			}
-
-			skipRef := func() {
-				m.SetNode(id, Skipped)
-				if _, dup := m.skipSeq[id]; !dup {
-					m.skipSeq[id] = seq
-				}
-				for _, e := range v.OutEdges(id) {
-					if e.Type == model.EdgeLoop {
-						continue
-					}
-					m.SetEdge(e.Key(), FalseSignaled)
-				}
-			}
-
-			switch n.Type {
-			case model.NodeXORJoin:
-				switch {
-				case trueC == 1 && trueC+falseC == len(inC) && syncReady:
-					m.SetNode(id, Activated)
-					activated = append(activated, id)
-					changed = true
-				case falseC == len(inC):
-					skipRef()
-					changed = true
-				}
-			case model.NodeANDJoin:
-				switch {
-				case trueC == len(inC) && syncReady:
-					m.SetNode(id, Activated)
-					activated = append(activated, id)
-					changed = true
-				case falseC == len(inC):
-					skipRef()
-					changed = true
-				}
-			default:
-				switch {
-				case trueC == len(inC) && syncReady:
-					m.SetNode(id, Activated)
-					activated = append(activated, id)
-					changed = true
-				case falseC > 0:
-					skipRef()
-					changed = true
-				}
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	m.clearPending()
 	return activated
 }
 
 // adaptCore rewinds the derivable parts of the marking against the (possibly
-// changed) view: derived node states are demoted, stale states of deleted
-// nodes dropped, and all edge signals re-derived from the completed
-// frontier. The subsequent evaluation pass — incremental in Adapt, the
-// global fixpoint in the test reference — turns the result back into a
-// complete marking.
+// changed) view: the marking is remapped onto the view's topology (dropping
+// states of deleted nodes), derived node states are demoted, and all edge
+// signals re-derived from the completed frontier. The subsequent evaluation
+// pass — incremental in Adapt, the fixpoint in the test reference — turns
+// the result back into a complete marking.
 func adaptCore(v model.SchemaView, m *Marking, decisions map[string]int) {
 	topo := v.Topology()
+	m.ensure(topo)
 	// Demote derived states; keep started nodes. The demotions queue every
 	// affected node for re-examination.
-	for _, id := range v.NodeIDs() {
-		switch m.Node(id) {
+	for i := range m.nodes {
+		switch m.nodes[i] {
 		case Activated, Skipped:
-			m.SetNode(id, NotActivated)
-		}
-	}
-	// Drop states of nodes no longer present in the view (deleted by the
-	// change; compliance guarantees they never started).
-	for id := range m.nodes {
-		if topo.Of(id) == nil {
-			delete(m.nodes, id)
-			delete(m.skipSeq, id)
+			m.SetNodeAt(model.NodeIdx(i), NotActivated)
 		}
 	}
 	// All edge signals are re-derived; the re-signaling below queues every
 	// target whose inputs change.
-	clear(m.edges)
+	for i := range m.edges {
+		m.edges[i] = NotSignaled
+	}
 	m.Init(v)
-	start := v.StartID()
-	for _, id := range v.NodeIDs() {
-		if m.Node(id) != Completed || id == start {
+	start := topo.StartIdx()
+	for i := range m.nodes {
+		ni := model.NodeIdx(i)
+		if m.nodes[i] != Completed || ni == start {
 			continue
 		}
-		nt := topo.Of(id)
-		for _, e := range nt.OutControl {
-			if nt.Node.Type == model.NodeXORSplit && e.Code != decisions[id] {
-				m.SetEdge(e.Key(), FalseSignaled)
+		nt := topo.At(ni)
+		isXOR := nt.Node.Type == model.NodeXORSplit
+		var dec int
+		if isXOR {
+			dec = decisions[topo.ID(ni)]
+		}
+		for k, e := range nt.OutControl {
+			if isXOR && e.Code != dec {
+				m.SetEdgeAt(nt.OutControlIdx[k], FalseSignaled)
 			} else {
-				m.SetEdge(e.Key(), TrueSignaled)
+				m.SetEdgeAt(nt.OutControlIdx[k], TrueSignaled)
 			}
 		}
-		for _, e := range nt.OutSync {
-			m.SetEdge(e.Key(), TrueSignaled)
+		for _, ei := range nt.OutSyncIdx {
+			m.SetEdgeAt(ei, TrueSignaled)
 		}
 	}
 }
@@ -560,9 +606,9 @@ func Adapt(v model.SchemaView, m *Marking, decisions map[string]int, seq int) []
 	activated := Evaluate(v, m, seq)
 	// Prune stale skip stamps (Evaluate preserved stamps of re-skipped
 	// nodes).
-	for id := range m.skipSeq {
-		if m.Node(id) != Skipped {
-			delete(m.skipSeq, id)
+	for i := range m.skipSeq {
+		if m.skipSeq[i] != 0 && m.nodes[i] != Skipped {
+			m.skipSeq[i] = 0
 		}
 	}
 	return activated
@@ -575,26 +621,28 @@ func Adapt(v model.SchemaView, m *Marking, decisions map[string]int, seq int) []
 // the next Evaluate pass re-activates the loop start.
 func ResetLoop(v model.SchemaView, m *Marking, region map[string]bool) {
 	topo := v.Topology()
+	m.ensure(topo)
 	for id := range region {
-		m.SetNode(id, NotActivated)
-		delete(m.skipSeq, id)
-		nt := topo.Of(id)
-		if nt == nil {
+		i, ok := topo.Idx(id)
+		if !ok {
 			continue
 		}
-		for _, e := range nt.OutControl {
+		m.SetNodeAt(i, NotActivated)
+		m.skipSeq[i] = 0
+		nt := topo.At(i)
+		for k, e := range nt.OutControl {
 			if region[e.To] {
-				m.SetEdge(e.Key(), NotSignaled)
+				m.SetEdgeAt(nt.OutControlIdx[k], NotSignaled)
 			}
 		}
-		for _, e := range nt.OutSync {
+		for k, e := range nt.OutSync {
 			if region[e.To] {
-				m.SetEdge(e.Key(), NotSignaled)
+				m.SetEdgeAt(nt.OutSyncIdx[k], NotSignaled)
 			}
 		}
-		for _, e := range nt.OutLoop {
+		for k, e := range nt.OutLoop {
 			if region[e.To] {
-				m.SetEdge(e.Key(), NotSignaled)
+				m.SetEdgeAt(nt.OutLoopIdx[k], NotSignaled)
 			}
 		}
 	}

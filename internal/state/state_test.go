@@ -62,7 +62,7 @@ func run(t *testing.T, v model.SchemaView, m *Marking, id string, decision int) 
 
 func TestMarkingLifecycleBasics(t *testing.T) {
 	s := parSchema(t)
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 
@@ -99,7 +99,7 @@ func TestMarkingLifecycleBasics(t *testing.T) {
 
 func TestMarkingTransitionErrors(t *testing.T) {
 	s := parSchema(t)
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	if err := m.Start("a1"); err == nil {
@@ -122,7 +122,7 @@ func TestMarkingTransitionErrors(t *testing.T) {
 
 func TestXORSkipPropagation(t *testing.T) {
 	s := xorSchema(t)
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	split := findNode(t, s, model.NodeXORSplit)
@@ -160,7 +160,7 @@ func TestXORSkipPropagation(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	s := xorSchema(t)
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	c := m.Clone()
@@ -190,7 +190,7 @@ func TestResetLoop(t *testing.T) {
 	ls := findNode(t, s, model.NodeLoopStart)
 	le := findNode(t, s, model.NodeLoopEnd)
 
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	run(t, s, m, ls, -1)
@@ -216,7 +216,7 @@ func TestResetLoop(t *testing.T) {
 
 func TestAdaptPreservesStartedWorkAndRederivesSkips(t *testing.T) {
 	s := xorSchema(t)
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	split := findNode(t, s, model.NodeXORSplit)
@@ -261,7 +261,7 @@ func TestAdaptAfterSerialInsertionDemotesActivatedSuccessor(t *testing.T) {
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	run(t, s, m, "a", -1)
@@ -299,7 +299,7 @@ func TestAdaptDropsDeletedNodes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	m := NewMarking()
+	m := NewMarking(s)
 	m.Init(s)
 	Evaluate(s, m, 1)
 	run(t, s, m, "a", -1)

@@ -74,6 +74,48 @@ func topologyMatches(t *testing.T, ctx string, v model.SchemaView) {
 	if got := topo.ManualActivities(); fmt.Sprint(got) != fmt.Sprint(wantManual) {
 		t.Fatalf("%s: manual list %v, want %v", ctx, got, wantManual)
 	}
+
+	// Interner invariants: dense contiguous node indices round-trip
+	// through Idx/ID/At in NodeIDs order; every edge interns to a dense
+	// EdgeIdx whose record and target agree with the edge itself, and the
+	// per-node idx slices align element-for-element with the edge slices.
+	for i, id := range ids {
+		n, ok := topo.Idx(id)
+		if !ok || int(n) != i || topo.ID(n) != id || topo.At(n) != topo.Of(id) {
+			t.Fatalf("%s: node %q does not intern round-trip (idx %d, ok %v)", ctx, id, n, ok)
+		}
+	}
+	if topo.NumEdges() != len(v.Edges()) {
+		t.Fatalf("%s: topology has %d edges, view %d", ctx, topo.NumEdges(), len(v.Edges()))
+	}
+	for i, e := range v.Edges() {
+		ei, ok := topo.EdgeIdxOf(e.Key())
+		if !ok || int(ei) != i || topo.EdgeAt(ei) != e {
+			t.Fatalf("%s: edge %s does not intern round-trip", ctx, e)
+		}
+		to, _ := topo.Idx(e.To)
+		if topo.EdgeTarget(ei) != to {
+			t.Fatalf("%s: edge %s target interned wrong", ctx, e)
+		}
+	}
+	for _, id := range ids {
+		nt := topo.Of(id)
+		aligned := func(kind string, edges []*model.Edge, idxs []model.EdgeIdx) {
+			if len(edges) != len(idxs) {
+				t.Fatalf("%s: node %q: %s idx slice misaligned", ctx, id, kind)
+			}
+			for k := range edges {
+				if topo.EdgeAt(idxs[k]) != edges[k] {
+					t.Fatalf("%s: node %q: %s[%d] idx points at wrong edge", ctx, id, kind, k)
+				}
+			}
+		}
+		aligned("in-control", nt.InControl, nt.InControlIdx)
+		aligned("in-sync", nt.InSync, nt.InSyncIdx)
+		aligned("out-control", nt.OutControl, nt.OutControlIdx)
+		aligned("out-sync", nt.OutSync, nt.OutSyncIdx)
+		aligned("out-loop", nt.OutLoop, nt.OutLoopIdx)
+	}
 }
 
 // TestOverlayTopologyCoherence applies random accepted ad-hoc changes to

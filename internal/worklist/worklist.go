@@ -78,9 +78,19 @@ func NewManager() *Manager {
 func (m *Manager) Offer(instance, node, role string, users []string) (*Item, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	it := m.offerLocked(instance, node, role, users)
+	if it == nil {
+		return nil, fmt.Errorf("worklist: offer %s/%s: item already exists", instance, node)
+	}
+	return it.clone(), nil
+}
+
+// offerLocked creates and indexes a new item; it returns nil if one
+// already exists for (instance, node).
+func (m *Manager) offerLocked(instance, node, role string, users []string) *Item {
 	key := [2]string{instance, node}
 	if _, dup := m.byNode[key]; dup {
-		return nil, fmt.Errorf("worklist: offer %s/%s: item already exists", instance, node)
+		return nil
 	}
 	m.seq++
 	it := &Item{
@@ -108,7 +118,7 @@ func (m *Manager) Offer(instance, node, role string, users []string) (*Item, err
 		m.byInst[instance] = inst
 	}
 	inst[it.ID] = true
-	return it.clone(), nil
+	return it
 }
 
 // Claim reserves an offered item for one of its candidate users.
@@ -169,6 +179,10 @@ func (m *Manager) MarkStarted(instance, node, user string) error {
 func (m *Manager) Withdraw(instance, node string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.withdrawLocked(instance, node)
+}
+
+func (m *Manager) withdrawLocked(instance, node string) {
 	key := [2]string{instance, node}
 	id, ok := m.byNode[key]
 	if !ok {
@@ -186,6 +200,82 @@ func (m *Manager) Withdraw(instance, node string) {
 			delete(m.byInst, instance)
 		}
 	}
+}
+
+// Wanted describes the desired work item of one node for BatchUpdate.
+type Wanted struct {
+	// Node is the activity the item belongs to.
+	Node string
+	// Role is the activity's current staff assignment.
+	Role string
+	// Running marks in-progress work: its item (if any) is never
+	// disturbed, and no new item is offered for it (the user already
+	// started the activity).
+	Running bool
+}
+
+// BatchUpdate reconciles all items of one instance against the desired
+// state under a single lock: items of nodes not listed (or whose staff
+// assignment changed while merely offered) are withdrawn, and missing
+// items for non-running entries are offered. usersInRole resolves the
+// candidate users of a role; it is consulted at most once per distinct
+// role in the batch, so a cascade touching many nodes of one role costs a
+// single org-model resolution instead of one per operation.
+func (m *Manager) BatchUpdate(instance string, wanted []Wanted, usersInRole func(role string) []string) {
+	// Phase 1 (locked): withdraw obsolete items, decide which offers are
+	// missing. In-progress work is never disturbed; offered items whose
+	// staff assignment changed are withdrawn and re-offered to the new
+	// role below.
+	m.mu.Lock()
+	byNode := make(map[string]*Wanted, len(wanted))
+	for i := range wanted {
+		byNode[wanted[i].Node] = &wanted[i]
+	}
+	var stale []string
+	for id := range m.byInst[instance] {
+		it := m.items[id]
+		if w, ok := byNode[it.Node]; ok && (it.Role == w.Role || w.Running) {
+			delete(byNode, it.Node) // keep existing item
+		} else {
+			stale = append(stale, it.Node)
+		}
+	}
+	for _, node := range stale {
+		m.withdrawLocked(instance, node)
+	}
+	var nodes []string
+	for node, w := range byNode {
+		if !w.Running {
+			nodes = append(nodes, node)
+		}
+	}
+	m.mu.Unlock()
+	if len(nodes) == 0 {
+		return
+	}
+
+	// Phase 2 (unlocked): resolve candidate users, once per distinct role
+	// — the org model must not be consulted while every other worklist
+	// operation is blocked on the manager lock.
+	sort.Strings(nodes) // deterministic item IDs
+	roleUsers := make(map[string][]string)
+	for _, node := range nodes {
+		role := byNode[node].Role
+		if _, done := roleUsers[role]; !done {
+			roleUsers[role] = usersInRole(role)
+		}
+	}
+
+	// Phase 3 (locked): create the missing items. An item that appeared
+	// in the unlocked window is kept (offerLocked refuses duplicates) —
+	// only the instance's own reconciliation creates items, and that runs
+	// under the instance lock.
+	m.mu.Lock()
+	for _, node := range nodes {
+		w := byNode[node]
+		m.offerLocked(instance, node, w.Role, roleUsers[w.Role])
+	}
+	m.mu.Unlock()
 }
 
 // ItemsFor returns the items visible to a user (offered to or claimed by),

@@ -98,6 +98,91 @@ func TestItemsForInstance(t *testing.T) {
 	}
 }
 
+func TestBatchUpdateReconciles(t *testing.T) {
+	m := NewManager()
+	resolutions := 0
+	users := func(role string) []string {
+		resolutions++
+		return []string{"ann", "bob"}
+	}
+
+	// Initial batch: two activated nodes of one role — one org resolution.
+	m.BatchUpdate("i1", []Wanted{
+		{Node: "a", Role: "clerk"},
+		{Node: "b", Role: "clerk"},
+	}, users)
+	if m.Len() != 2 || resolutions != 1 {
+		t.Fatalf("after initial batch: len=%d resolutions=%d", m.Len(), resolutions)
+	}
+	itA, ok := m.ItemFor("i1", "a")
+	if !ok || itA.Role != "clerk" || itA.State != Offered {
+		t.Fatalf("item a = %+v", itA)
+	}
+
+	// Re-running the same batch keeps the existing items untouched.
+	m.BatchUpdate("i1", []Wanted{
+		{Node: "a", Role: "clerk"},
+		{Node: "b", Role: "clerk"},
+	}, users)
+	if again, _ := m.ItemFor("i1", "a"); again.ID != itA.ID {
+		t.Fatal("unchanged batch replaced an existing item")
+	}
+
+	// b leaves the wanted set; c joins with a different role.
+	m.BatchUpdate("i1", []Wanted{
+		{Node: "a", Role: "clerk"},
+		{Node: "c", Role: "sales"},
+	}, users)
+	if _, ok := m.ItemFor("i1", "b"); ok {
+		t.Fatal("obsolete item not withdrawn")
+	}
+	if _, ok := m.ItemFor("i1", "c"); !ok {
+		t.Fatal("new item not offered")
+	}
+
+	// A role change on an offered item withdraws and re-offers it.
+	m.BatchUpdate("i1", []Wanted{
+		{Node: "a", Role: "sales"},
+		{Node: "c", Role: "sales"},
+	}, users)
+	reoffered, ok := m.ItemFor("i1", "a")
+	if !ok || reoffered.Role != "sales" || reoffered.ID == itA.ID {
+		t.Fatalf("role change not re-offered: %+v", reoffered)
+	}
+
+	// Running work is never disturbed, even across a role change, and no
+	// item is created for running nodes without one.
+	if err := m.MarkStarted("i1", "a", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	m.BatchUpdate("i1", []Wanted{
+		{Node: "a", Role: "clerk", Running: true},
+		{Node: "d", Role: "sales", Running: true},
+	}, users)
+	kept, ok := m.ItemFor("i1", "a")
+	if !ok || kept.State != InProgress || kept.ID != reoffered.ID {
+		t.Fatalf("running item disturbed: %+v", kept)
+	}
+	if _, ok := m.ItemFor("i1", "d"); ok {
+		t.Fatal("item offered for running node without one")
+	}
+	if _, ok := m.ItemFor("i1", "c"); ok {
+		t.Fatal("item c should have been withdrawn")
+	}
+
+	// Other instances are untouched throughout.
+	if _, err := m.Offer("i2", "a", "clerk", []string{"zoe"}); err != nil {
+		t.Fatal(err)
+	}
+	m.BatchUpdate("i1", nil, users)
+	if _, ok := m.ItemFor("i2", "a"); !ok {
+		t.Fatal("batch update leaked into other instance")
+	}
+	if _, ok := m.ItemFor("i1", "a"); ok {
+		t.Fatal("empty batch must withdraw everything of the instance")
+	}
+}
+
 func TestItemStateString(t *testing.T) {
 	if Offered.String() != "offered" || Claimed.String() != "claimed" || InProgress.String() != "in-progress" {
 		t.Fatal("state strings")

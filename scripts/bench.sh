@@ -1,14 +1,20 @@
 #!/usr/bin/env sh
 # bench.sh — run the perf-trajectory benchmark families (Fig. 1 compliance
-# replay, Fig. 3 population migration, E8 engine throughput) and emit
-# BENCH_baseline.json at the repo root, so successive PRs can compare
-# against a recorded baseline.
+# replay, Fig. 3 population migration, E8 engine throughput) and emit a
+# JSON snapshot at the repo root, so successive PRs can compare against the
+# recorded baseline.
 #
 # Usage: scripts/bench.sh [output-file]
+#
+# The default output is BENCH_pr2.json (the current PR's snapshot); pass
+# BENCH_baseline.json explicitly to re-record the baseline. When
+# BENCH_baseline.json exists and differs from the output file, a
+# baseline-vs-current delta table is printed after the run.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_baseline.json}"
+out="${1:-BENCH_pr2.json}"
+baseline="BENCH_baseline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -44,3 +50,36 @@ go test -run '^$' -bench 'Fig1|Fig3|EngineComplete' -benchmem . | tee "$raw"
 } >"$out"
 
 echo "wrote $out"
+
+# Baseline-vs-current delta table (skipped when re-recording the baseline).
+if [ -f "$baseline" ] && [ "$out" != "$baseline" ]; then
+	echo
+	echo "delta vs $baseline:"
+	awk '
+	function field(line, key,    re, v) {
+		re = "\"" key "\": [0-9.+-]+"
+		if (match(line, re)) {
+			v = substr(line, RSTART, RLENGTH)
+			sub(/^.*: /, "", v)
+			return v
+		}
+		return ""
+	}
+	/"name":/ {
+		name = line = $0
+		sub(/^.*"name": "/, "", name); sub(/".*$/, "", name)
+		ns = field(line, "ns_per_op"); al = field(line, "allocs_per_op")
+		if (FILENAME == base) { bns[name] = ns; bal[name] = al; order[n++] = name }
+		else { cns[name] = ns; cal[name] = al; seen[name] = 1 }
+	}
+	END {
+		printf "  %-45s %12s %12s %8s %9s %9s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ns d%", "base al", "cur al", "al d%"
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			if (!seen[name]) continue
+			dn = (bns[name] != "" && bns[name]+0 > 0) ? sprintf("%+.1f", 100*(cns[name]-bns[name])/bns[name]) : "-"
+			da = (bal[name] != "" && bal[name]+0 > 0) ? sprintf("%+.1f", 100*(cal[name]-bal[name])/bal[name]) : "-"
+			printf "  %-45s %12s %12s %8s %9s %9s %8s\n", name, bns[name], cns[name], dn, bal[name], cal[name], da
+		}
+	}' base="$baseline" "$baseline" "$out"
+fi
