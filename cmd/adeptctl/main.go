@@ -1,11 +1,15 @@
 // Command adeptctl is the interactive face of the ADEPT2 reproduction: it
 // replays the paper's demo (Section 3) on the terminal — schema rendering,
 // worklists, an ad-hoc instance change, a schema evolution with migration
-// report — and can render schemas and run quick migration drills.
+// report — renders schemas, runs quick migration drills, and administers
+// the durability subsystem (journal seeding, checkpoints, compaction).
 //
 //	adeptctl demo                 # the paper's Fig. 1 / Fig. 3 walkthrough
 //	adeptctl schema [-version N]  # render the online-order schema
 //	adeptctl drill -n 5000        # migrate a synthetic population
+//	adeptctl seed -journal wal    # build a small journaled workload
+//	adeptctl snapshot -journal wal# write a checkpoint of the journal state
+//	adeptctl compact -journal wal # checkpoint, then drop the covered prefix
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"math/rand"
 	"os"
 
+	"adept2"
 	"adept2/internal/change"
+	"adept2/internal/durable"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/monitor"
@@ -34,13 +40,24 @@ func main() {
 		schemaCmd(os.Args[2:])
 	case "drill":
 		drill(os.Args[2:])
+	case "seed":
+		seed(os.Args[2:])
+	case "snapshot":
+		snapshot(os.Args[2:])
+	case "compact":
+		compact(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adeptctl demo | schema [-version N] | drill [-n N] [-mode fast|replay]")
+	fmt.Fprintln(os.Stderr, `usage: adeptctl demo
+       adeptctl schema [-version N]
+       adeptctl drill [-n N] [-mode fast|replay]
+       adeptctl seed -journal PATH [-n N]
+       adeptctl snapshot -journal PATH [-dir DIR]
+       adeptctl compact -journal PATH [-dir DIR]`)
 	os.Exit(2)
 }
 
@@ -130,4 +147,98 @@ func drill(args []string) {
 			fmt.Printf("  %-20s %d\n", o.String()+":", c)
 		}
 	}
+}
+
+// seed builds a small self-contained journaled workload (users journaled
+// too, so recovery needs no out-of-band org model): the quickstart input
+// for snapshot/compact smoke runs.
+func seed(args []string) {
+	fs := flag.NewFlagSet("seed", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file to create (required)")
+	n := fs.Int("n", 8, "instances to create")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+
+	sys, err := adept2.Open(*journal)
+	must(err)
+	for _, u := range []*adept2.User{
+		{ID: "ann", Name: "Ann", Roles: []string{"clerk", "sales"}},
+		{ID: "bob", Name: "Bob", Roles: []string{"warehouse", "finance"}},
+	} {
+		must(sys.AddUser(u))
+	}
+	must(sys.Deploy(sim.OnlineOrder()))
+	for i := 0; i < *n; i++ {
+		inst, err := sys.CreateInstance("online_order")
+		must(err)
+		must(sys.Complete(inst.ID(), "get_order", "ann", map[string]any{"out": fmt.Sprintf("order-%d", i)}))
+		if i == 0 {
+			must(sys.AdHocChange(inst.ID(), sim.OnlineOrderBiasI2()...))
+		}
+	}
+	_, err = sys.Evolve("online_order", sim.OnlineOrderTypeChange(), adept2.EvolveOptions{})
+	must(err)
+	seq := sys.JournalSeq()
+	must(sys.Close())
+	fmt.Printf("seeded %s: %d instances, journal seq %d\n", *journal, *n, seq)
+}
+
+// openDurable opens a journal-backed system with checkpointing for the
+// admin commands (automatic snapshots off — they snapshot explicitly).
+func openDurable(journal, dir string) *adept2.System {
+	sys, err := adept2.Open(journal, adept2.WithCheckpointing(adept2.CheckpointConfig{
+		Dir:   dir,
+		Every: -1,
+	}))
+	must(err)
+	info := sys.Recovery()
+	switch {
+	case info.FullReplay:
+		fmt.Printf("recovered by full replay: %d records\n", info.Replayed)
+	default:
+		fmt.Printf("recovered from snapshot seq %d + %d-record suffix\n", info.SnapshotSeq, info.Replayed)
+	}
+	for _, fb := range info.Fallbacks {
+		fmt.Printf("  fallback: %s\n", fb)
+	}
+	return sys
+}
+
+// snapshot checkpoints the full state of a journal into the snapshot
+// store.
+func snapshot(args []string) {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required)")
+	dir := fs.String("dir", "", "snapshot directory (default JOURNAL.snapshots)")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+	sys := openDurable(*journal, *dir)
+	file, seq, err := sys.Checkpoint()
+	must(err)
+	must(sys.Close())
+	fmt.Printf("snapshot %s covering journal seq %d\n", file, seq)
+}
+
+// compact checkpoints, then rewrites the journal without the records the
+// snapshot covers (the journal is closed before the rewrite — compaction
+// is an offline operation).
+func compact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required)")
+	dir := fs.String("dir", "", "snapshot directory (default JOURNAL.snapshots)")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+	sys := openDurable(*journal, *dir)
+	file, seq, err := sys.Checkpoint()
+	must(err)
+	must(sys.Close())
+	dropped, err := durable.CompactJournal(*journal, seq)
+	must(err)
+	fmt.Printf("snapshot %s; dropped %d journal records covered by seq %d\n", file, dropped, seq)
 }

@@ -1,0 +1,19 @@
+// Package arena provides the block-carve allocation pooling the dense
+// remap paths share: loops that hand a fresh fixed-size array to each of
+// many consumers (marking remaps, stats rebinds during migration) carve
+// the arrays out of block allocations instead of paying one make per
+// consumer.
+package arena
+
+// Carve returns a zeroed full-capacity chunk of n elements, refilling the
+// arena with a block sized for ~16 such chunks when it runs dry. Chunks
+// are handed off for good — the arena only moves forward — so the make's
+// zeroing suffices and no ownership tracking is needed.
+func Carve[T any](arena *[]T, n int) []T {
+	if len(*arena) < n {
+		*arena = make([]T, 16*n)
+	}
+	s := (*arena)[:n:n]
+	*arena = (*arena)[n:]
+	return s
+}

@@ -27,16 +27,58 @@ import (
 // Context carries the instance facets a fast compliance condition
 // consults: the current schema view, the marking, the per-node execution
 // index, and the data store. All reads are O(1) per queried node.
+//
+// The conditions intern each referenced node ID once against the marking's
+// bound topology and then consult markings and stats through dense
+// index-based accessors — one map lookup per distinct node instead of one
+// per facet read (the string-keyed path remains as the fallback for nodes
+// outside the binding).
 type Context struct {
 	View    model.SchemaView
 	Marking *state.Marking
 	Stats   *history.Stats
 	Store   *data.Store
+
+	topo *model.Topology // interning domain, lazily bound (see topology)
 }
 
+// topology returns the interning domain of the fast conditions: the
+// topology the instance marking is bound to. Using the marking's binding
+// (not View.Topology()) keeps dense reads exact even when the view
+// materializes a fresh topology pointer per access (on-the-fly storage).
+func (c *Context) topology() *model.Topology {
+	if c.topo == nil {
+		c.topo = c.Marking.Topology()
+	}
+	return c.topo
+}
+
+// node interns a node ID against the marking's topology.
+func (c *Context) node(id string) (model.NodeIdx, bool) { return c.topology().Idx(id) }
+
+// startedAt reports whether the interned node entered execution in the
+// current loop iteration.
+func (c *Context) startedAt(i model.NodeIdx) bool { return c.Stats.StartedAt(c.topology(), i) }
+
 // started reports whether the node entered execution in the current loop
-// iteration.
-func (c *Context) started(node string) bool { return c.Stats.Started(node) }
+// iteration (string fallback for nodes outside the marking's topology).
+func (c *Context) started(node string) bool {
+	if i, ok := c.node(node); ok {
+		return c.startedAt(i)
+	}
+	return c.Stats.Started(node)
+}
+
+// startSeqAt returns the interned node's start sequence (0 if never
+// started).
+func (c *Context) startSeqAt(i model.NodeIdx) int { return c.Stats.StartSeqAt(c.topology(), i) }
+
+// completeSeqAt returns the interned node's completion sequence (0 if not
+// completed).
+func (c *Context) completeSeqAt(i model.NodeIdx) int { return c.Stats.CompleteSeqAt(c.topology(), i) }
+
+// stateAt returns the marking state of the interned node.
+func (c *Context) stateAt(i model.NodeIdx) state.NodeState { return c.Marking.NodeAt(i) }
 
 // ComplianceError describes a state-related conflict: the instance has
 // progressed beyond the point the operation touches.

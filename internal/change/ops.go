@@ -73,10 +73,11 @@ func (o *SerialInsert) FastCompliance(ctx *Context) error {
 	if o.Node.CanAutoExecute() {
 		return nil
 	}
-	if !ctx.started(o.Succ) {
+	succ, ok := ctx.node(o.Succ)
+	if !ok || !ctx.startedAt(succ) {
 		return nil
 	}
-	if ctx.Marking.Node(o.Pred) == state.Skipped {
+	if pred, ok := ctx.node(o.Pred); ok && ctx.stateAt(pred) == state.Skipped {
 		return nil
 	}
 	return stateConflict(o.String(), "successor %q already started", o.Succ)
@@ -219,9 +220,22 @@ func (o *ParallelInsert) FastCompliance(ctx *Context) error {
 	if o.Node.CanAutoExecute() {
 		return nil
 	}
-	for _, s := range model.ControlSuccs(ctx.View, o.To) {
-		if ctx.started(s) && ctx.Marking.Node(o.To) != state.Skipped {
-			return stateConflict(o.String(), "node %q behind the region already started", s)
+	to, ok := ctx.node(o.To)
+	if !ok {
+		// Outside the marking's binding: fall back to the view walk.
+		for _, s := range model.ControlSuccs(ctx.View, o.To) {
+			if ctx.started(s) && ctx.Marking.Node(o.To) != state.Skipped {
+				return stateConflict(o.String(), "node %q behind the region already started", s)
+			}
+		}
+		return nil
+	}
+	topo := ctx.topology()
+	nt := topo.At(to)
+	for k, ei := range nt.OutControlIdx {
+		s := topo.EdgeTarget(ei)
+		if s != model.InvalidNode && ctx.startedAt(s) && ctx.stateAt(to) != state.Skipped {
+			return stateConflict(o.String(), "node %q behind the region already started", nt.OutControl[k].To)
 		}
 	}
 	return nil
@@ -314,13 +328,14 @@ func (o *ConditionalInsert) FastCompliance(ctx *Context) error {
 	if o.Node.CanAutoExecute() {
 		return nil
 	}
-	if !ctx.started(o.Succ) {
+	succ, ok := ctx.node(o.Succ)
+	if !ok || !ctx.startedAt(succ) {
 		return nil
 	}
-	if ctx.Marking.Node(o.Pred) == state.Skipped {
+	if pred, ok := ctx.node(o.Pred); ok && ctx.stateAt(pred) == state.Skipped {
 		return nil
 	}
-	val, ok := ctx.Store.ReadAt(o.DecisionElement, ctx.Stats.StartSeq(o.Succ))
+	val, ok := ctx.Store.ReadAt(o.DecisionElement, ctx.startSeqAt(succ))
 	if !ok {
 		return nil // no value: the split clamps to the empty branch (code 0)
 	}
@@ -510,28 +525,37 @@ func (o *MoveActivity) ApplyTo(v model.MutableView) error {
 // new predecessor completed before the activity started, and the activity
 // completed before the new successor started.
 func (o *MoveActivity) FastCompliance(ctx *Context) error {
-	n, _ := ctx.View.Node(o.ID)
+	id, idOK := ctx.node(o.ID)
+	pred, predOK := ctx.node(o.NewPred)
+	succ, succOK := ctx.node(o.NewSucc)
+	var n *model.Node
+	if idOK {
+		n = ctx.topology().At(id).Node
+	} else {
+		n, _ = ctx.View.Node(o.ID)
+	}
 	auto := n != nil && n.CanAutoExecute()
-	if !ctx.started(o.ID) {
+	started := idOK && ctx.startedAt(id)
+	if !started {
 		if auto {
 			return nil
 		}
-		if !ctx.started(o.NewSucc) {
+		if !succOK || !ctx.startedAt(succ) {
 			return nil
 		}
-		if ctx.Marking.Node(o.NewPred) == state.Skipped {
+		if predOK && ctx.stateAt(pred) == state.Skipped {
 			return nil
 		}
 		return stateConflict(o.String(), "new successor %q already started", o.NewSucc)
 	}
 	// Started activity: its recorded events must replay at the new
 	// position.
-	if ctx.Marking.Node(o.NewPred) != state.Completed || ctx.Stats.CompleteSeq(o.NewPred) > ctx.Stats.StartSeq(o.ID) {
+	if !predOK || ctx.stateAt(pred) != state.Completed || ctx.completeSeqAt(pred) > ctx.startSeqAt(id) {
 		return stateConflict(o.String(), "activity %q started before new predecessor %q completed", o.ID, o.NewPred)
 	}
-	if ctx.started(o.NewSucc) {
-		cs := ctx.Stats.CompleteSeq(o.ID)
-		if cs == 0 || cs > ctx.Stats.StartSeq(o.NewSucc) {
+	if succOK && ctx.startedAt(succ) {
+		cs := ctx.completeSeqAt(id)
+		if cs == 0 || cs > ctx.startSeqAt(succ) {
 			return stateConflict(o.String(), "new successor %q started before activity %q completed", o.NewSucc, o.ID)
 		}
 	}
@@ -584,18 +608,21 @@ func (o *InsertSyncEdge) ApplyTo(v model.MutableView) error {
 // target started; otherwise the recorded history could not have happened
 // under the new constraint.
 func (o *InsertSyncEdge) FastCompliance(ctx *Context) error {
-	if !ctx.started(o.To) {
+	to, ok := ctx.node(o.To)
+	if !ok || !ctx.startedAt(to) {
 		return nil
 	}
-	startSeq := ctx.Stats.StartSeq(o.To)
-	switch ctx.Marking.Node(o.From) {
-	case state.Completed:
-		if ctx.Stats.CompleteSeq(o.From) <= startSeq {
-			return nil
-		}
-	case state.Skipped:
-		if ctx.Marking.SkipSeq(o.From) <= startSeq {
-			return nil
+	startSeq := ctx.startSeqAt(to)
+	if from, ok := ctx.node(o.From); ok {
+		switch ctx.stateAt(from) {
+		case state.Completed:
+			if ctx.completeSeqAt(from) <= startSeq {
+				return nil
+			}
+		case state.Skipped:
+			if ctx.Marking.SkipSeqAt(from) <= startSeq {
+				return nil
+			}
 		}
 	}
 	return stateConflict(o.String(), "target %q started before source %q was finished or skipped", o.To, o.From)
@@ -765,16 +792,17 @@ func (o *AddDataEdge) ApplyTo(v model.MutableView) error {
 // a mandatory read edge requires that the element already held a value
 // when a started activity started.
 func (o *AddDataEdge) FastCompliance(ctx *Context) error {
+	act, actOK := ctx.node(o.Edge.Activity)
 	if o.Edge.Access == model.Write {
-		if ctx.Stats.CompleteSeq(o.Edge.Activity) > 0 {
+		if actOK && ctx.completeSeqAt(act) > 0 {
 			return stateConflict(o.String(), "activity %q already completed without writing the new parameter", o.Edge.Activity)
 		}
 		return nil
 	}
-	if !ctx.started(o.Edge.Activity) || !o.Edge.Mandatory {
+	if !actOK || !ctx.startedAt(act) || !o.Edge.Mandatory {
 		return nil
 	}
-	if _, ok := ctx.Store.ReadAt(o.Edge.Element, ctx.Stats.StartSeq(o.Edge.Activity)); ok {
+	if _, ok := ctx.Store.ReadAt(o.Edge.Element, ctx.startSeqAt(act)); ok {
 		return nil
 	}
 	return stateConflict(o.String(), "activity %q started before element %q held a value", o.Edge.Activity, o.Edge.Element)
@@ -817,7 +845,10 @@ func (o *DeleteDataEdge) ApplyTo(v model.MutableView) error {
 
 // FastCompliance implements Operation.
 func (o *DeleteDataEdge) FastCompliance(ctx *Context) error {
-	if o.Key.Access == model.Write && ctx.Stats.CompleteSeq(o.Key.Activity) > 0 {
+	if o.Key.Access != model.Write {
+		return nil
+	}
+	if i, ok := ctx.node(o.Key.Activity); ok && ctx.completeSeqAt(i) > 0 {
 		return stateConflict(o.String(), "activity %q already completed and wrote element %q", o.Key.Activity, o.Key.Element)
 	}
 	return nil

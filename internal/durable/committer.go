@@ -1,0 +1,244 @@
+package durable
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"adept2/internal/persist"
+)
+
+// CommitterOptions tunes the group-commit flush window.
+type CommitterOptions struct {
+	// FlushWindow optionally delays each flush so more callers join the
+	// batch. The default (0) uses natural batching instead: the duration
+	// of the in-flight fsync is the gather window — appends arriving
+	// while a flush runs form the next batch, so batch size adapts to
+	// load without added latency. Set a positive window only when fsyncs
+	// are so fast that batches stay degenerate under real concurrency.
+	FlushWindow time.Duration
+	// MaxBatch short-circuits a positive FlushWindow: when at least
+	// MaxBatch appends are pending, the flusher skips the wait (default
+	// 64). Ignored with natural batching.
+	MaxBatch int
+}
+
+func (o *CommitterOptions) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+}
+
+// Committer groups concurrent journal appends into shared flushes: each
+// Append writes its record into the journal's user-space buffer and blocks
+// until one buffered write + one fsync covering it completed (see the
+// package documentation for the batching and error semantics). It is safe
+// for concurrent use.
+type Committer struct {
+	j    *persist.Journal
+	opts CommitterOptions
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	flushed int   // highest seq covered by a successful flush
+	err     error // sticky: set on the first flush failure
+	closed  bool
+	stopped bool // flusher goroutine exited; stragglers flush inline
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+// NewCommitter starts a group-commit pipeline over the journal. The
+// journal should be opened with persist.OpenJournalBuffered; a sync-per-
+// append journal works but double-pays fsyncs.
+func NewCommitter(j *persist.Journal, opts CommitterOptions) *Committer {
+	opts.defaults()
+	c := &Committer{
+		j:    j,
+		opts: opts,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// Journal returns the underlying journal (read-side accessors like Seq).
+func (c *Committer) Journal() *persist.Journal { return c.j }
+
+// Append journals one command and blocks until it is durable (its batch
+// was written and fsynced) or the committer failed or closed. The returned
+// sequence number is valid iff err is nil.
+func (c *Committer) Append(op string, args any) (int, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("durable: committer closed")
+	}
+	c.mu.Unlock()
+
+	// The journal's own lock serializes the record into the shared buffer
+	// and assigns the sequence number; holding c.mu here would serialize
+	// the JSON encoding too.
+	seq, err := c.j.AppendSeq(op, args)
+	if err != nil {
+		return 0, err
+	}
+
+	// Publish-then-wake: the record (and its seq) is visible in the
+	// journal before the wake token lands, so the flusher can never go
+	// idle with uncovered work — any token it consumes after this point
+	// observes a journal tail that includes the record.
+	c.mu.Lock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	for c.flushed < seq && c.err == nil && !c.stopped {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	if err := c.settle(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// settle resolves a waiter's outcome after its wait loop broke: success
+// when a flush covered the sequence, the sticky error when one is set,
+// and otherwise — the flusher exited during shutdown before covering a
+// straggler that slipped past the closed check — an inline flush.
+func (c *Committer) settle(seq int) error {
+	c.mu.Lock()
+	flushed, err, stopped := c.flushed, c.err, c.stopped
+	c.mu.Unlock()
+	if flushed >= seq {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if !stopped {
+		return nil // unreachable: the wait loop only breaks on one of the three
+	}
+	ferr := c.j.Flush()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ferr != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("durable: group commit: %w", ferr)
+		}
+		c.cond.Broadcast()
+		return c.err
+	}
+	if seq > c.flushed {
+		c.flushed = seq
+	}
+	c.cond.Broadcast()
+	return nil
+}
+
+// Sync blocks until everything appended so far is durable.
+func (c *Committer) Sync() error {
+	target := c.j.Seq()
+	c.mu.Lock()
+	if c.flushed >= target {
+		c.mu.Unlock()
+		return nil
+	}
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	for c.flushed < target && c.err == nil && !c.stopped {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	return c.settle(target)
+}
+
+// Close flushes any remaining appends, stops the flusher, and leaves the
+// journal open (the owner closes it).
+func (c *Committer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.err
+	}
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// run is the flusher goroutine. Each inner iteration turns every append
+// accumulated so far into one buffered write + one fsync and wakes the
+// covered callers; appends arriving during the fsync form the next batch
+// (natural batching — the fsync latency is the gather window).
+func (c *Committer) run() {
+	defer func() {
+		// Wake any straggler that enqueued after the exit decision; it
+		// self-serves its flush in settle.
+		c.mu.Lock()
+		c.stopped = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		close(c.done)
+	}()
+	for {
+		<-c.wake
+		for {
+			// Yield once so appenders woken by the previous broadcast (or
+			// freshly unblocked callers) can enqueue before this batch is
+			// cut — essential on few-core hosts where the flusher would
+			// otherwise outrun every producer and degrade to batch size 1.
+			runtime.Gosched()
+			c.mu.Lock()
+			flushed, closed, broken := c.flushed, c.closed, c.err != nil
+			c.mu.Unlock()
+			// The journal tail itself is the work signal: comparing it
+			// against flushed can never lose an append the way a separate
+			// pending counter could (an append landing mid-flush must not
+			// be wiped by the post-flush bookkeeping).
+			target := c.j.Seq()
+			if target <= flushed || broken {
+				if closed {
+					return
+				}
+				break // idle (or sticky-broken): wait for the next wake
+			}
+			if w := c.opts.FlushWindow; w > 0 && !closed && target-flushed < c.opts.MaxBatch {
+				time.Sleep(w)
+				target = c.j.Seq() // the window let more appends land
+			}
+
+			// Everything appended up to target is covered by this flush.
+			err := c.j.Flush()
+
+			c.mu.Lock()
+			if err != nil {
+				// Sticky failure: see the package doc (fsync-gate). Waiters
+				// on this and all later batches observe the error.
+				c.err = fmt.Errorf("durable: group commit: %w", err)
+			} else if target > c.flushed {
+				c.flushed = target
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package durable
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"adept2/internal/persist"
+)
+
+func TestCommitterConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(j, CommitterOptions{})
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := c.Append("op", map[string]int{"w": w, "i": i}); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := persist.LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*each {
+		t.Fatalf("journal holds %d records, want %d", len(recs), writers*each)
+	}
+	for i, rec := range recs {
+		if rec.Seq != i+1 {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+}
+
+// TestCommitterDurableOnReturn crashes (abandons the committer without
+// Close) right after Append returned: the record must already be on disk.
+func TestCommitterDurableOnReturn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(j, CommitterOptions{})
+	seq, err := c.Append("op", 42)
+	if err != nil || seq != 1 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+	// No Close, no Flush: simulated crash. The journal file must already
+	// hold the record because Append only returns after the group fsync.
+	recs, err := persist.LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("record not durable at Append return: %+v", recs)
+	}
+	c.Close()
+	j.Close()
+}
+
+func TestCommitterErrorBroadcast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(j, CommitterOptions{})
+	if _, err := c.Append("op", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Close the backing file out from under the committer: the next flush
+	// must fail, the failure must reach the waiting appender, and the
+	// committer must stay sticky-broken.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append("op", 2); err == nil {
+		t.Fatal("append after backing-file failure must error")
+	}
+	if _, err := c.Append("op", 3); err == nil {
+		t.Fatal("committer must stay broken after a flush failure")
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("Close must report the sticky error")
+	}
+}
+
+func TestCommitterSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(j, CommitterOptions{})
+	defer j.Close()
+	defer c.Close()
+	if err := c.Sync(); err != nil { // nothing pending
+		t.Fatal(err)
+	}
+	if _, err := c.Append("op", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Journal().Seq(); got != 1 {
+		t.Fatalf("seq = %d", got)
+	}
+}
+
+// TestCommitterNoLostWakeStress hammers the append/flush handoff: an
+// append landing while a flush is in flight must never be forgotten (the
+// regression was a pending counter wiped by post-flush bookkeeping,
+// stranding its waiter forever).
+func TestCommitterNoLostWakeStress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c := NewCommitter(j, CommitterOptions{})
+	defer c.Close()
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 2000; i++ {
+				if _, err := c.Append("op", i); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	timeout := time.After(60 * time.Second)
+	for w := 0; w < 8; w++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("append stranded: lost wake in the group-commit handoff")
+		}
+	}
+}

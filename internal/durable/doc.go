@@ -1,0 +1,63 @@
+// Package durable is the checkpointed durability subsystem layered on top
+// of the command journal in internal/persist: it turns persistence from
+// "append-one-fsync-one, replay-everything" into a write-ahead pipeline
+// with group commit, background state snapshots, and snapshot + journal-
+// suffix recovery. It is the substitute for the ADEPT2 prototype's
+// RDBMS-backed storage layer at the scale the ROADMAP targets: bounded-
+// time recovery is a precondition for adaptivity at scale (compare
+// SmartPM's recovery-by-adaptation and the PMS robustness requirements in
+// de Leoni's pervasive-scenario work).
+//
+// # Group commit
+//
+// Committer batches concurrent Append callers into one buffered write plus
+// one fsync. Appends land in the journal's user-space buffer immediately
+// (serialized by the journal lock, preserving sequence order); each caller
+// then blocks until a flush covering its record completed. A single
+// background flusher drains the batch: it waits up to the configured flush
+// window (FlushWindow) for more callers to join — unless the pending batch
+// already reached MaxBatch — then issues exactly one buffered write + one
+// fsync for the whole batch and wakes every covered caller.
+//
+// Error semantics: a flush error is broadcast to every caller waiting on
+// that batch, and the committer becomes sticky-broken — after a failed
+// fsync the kernel may have dropped dirty pages, so no later fsync can
+// retroactively guarantee earlier records (the classic fsync-gate
+// problem); callers must treat the journal as lost past the last
+// successful flush. A record is durable if and only if its Append returned
+// nil.
+//
+// # Snapshots
+//
+// SnapshotStore persists point-in-time captures of the full engine state
+// (deployed schemas, per-instance markings/stats/histories/data/bias,
+// worklists, org model — see Capture) as versioned, checksummed files in a
+// snapshot directory, plus a MANIFEST.json tying each snapshot to the
+// journal sequence number it covers. Snapshot files are written atomically:
+// payload to a temporary file, fsync, rename into place, directory fsync,
+// then the manifest is rewritten the same way. A torn snapshot or torn
+// manifest therefore never destroys an older good one.
+//
+// Snapshot file layout (snap-<seq>.json):
+//
+//	{"format":1,"seq":N,"len":L,"crc32":C}\n   <- header line
+//	<L bytes of SystemState JSON>              <- payload, CRC-32 (IEEE) = C
+//
+// # Recovery
+//
+// Recover loads the newest manifest-listed snapshot that (a) parses, (b)
+// carries the supported format version, and (c) passes the length and
+// checksum validation, restores it, and replays only the journal records
+// past its sequence number. Invalid snapshots (torn tail, checksum
+// mismatch, version skew, missing file) fall back to the next older one,
+// and finally to a full journal replay — corruption degrades recovery
+// time, never correctness. Two cases are hard errors instead of fallbacks:
+// a snapshot sequence number ahead of the journal tail (the journal lost
+// committed records — silently truncating history would forge state), and
+// a compacted journal whose first record is past every usable snapshot
+// (the prefix needed for replay is gone).
+//
+// Journal compaction (CompactJournal) rewrites the journal to the suffix
+// not covered by a given snapshot; the persist readers accept journals
+// starting past sequence 1, and recovery then requires that snapshot.
+package durable

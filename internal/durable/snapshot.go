@@ -1,0 +1,348 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adept2/internal/persist"
+)
+
+// snapHeader is the first line of a snapshot file; the payload follows as
+// exactly Len bytes of SystemState JSON with CRC-32 (IEEE) checksum CRC32.
+type snapHeader struct {
+	Format int    `json:"format"`
+	Seq    int    `json:"seq"`
+	Len    int    `json:"len"`
+	CRC32  uint32 `json:"crc32"`
+}
+
+// ManifestEntry ties one snapshot file to the journal sequence number it
+// covers.
+type ManifestEntry struct {
+	File string `json:"file"`
+	Seq  int    `json:"seq"`
+}
+
+// Manifest lists the snapshots of a store, ascending by sequence number.
+// It is advisory: recovery enumerates the directory (so a crash between
+// snapshot rename and manifest rewrite — a stale manifest — costs
+// nothing), and validates every snapshot header independently.
+type Manifest struct {
+	Format    int             `json:"format"`
+	Snapshots []ManifestEntry `json:"snapshots"`
+}
+
+// SnapshotStore reads and writes checkpoint files in one directory.
+type SnapshotStore struct {
+	dir string
+}
+
+// ManifestName is the file name of the snapshot manifest.
+const ManifestName = "MANIFEST.json"
+
+const snapPrefix, snapSuffix = "snap-", ".json"
+
+// OpenStore opens (creating if needed) a snapshot directory. Orphaned
+// temp files left by a crash mid-write are swept; the store assumes a
+// single owning process (as the facade guarantees).
+func OpenStore(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open snapshot store: %w", err)
+	}
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			if !de.IsDir() && strings.Contains(de.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (st *SnapshotStore) Dir() string { return st.dir }
+
+// fileFor returns the snapshot file name covering seq.
+func fileFor(seq int) string { return fmt.Sprintf("%s%012d%s", snapPrefix, seq, snapSuffix) }
+
+// seqOf parses the sequence number out of a snapshot file name.
+func seqOf(name string) (int, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Write persists the state as a new snapshot: payload to a temp file,
+// fsync, atomic rename, directory fsync, then the manifest is rewritten
+// the same way. A crash at any point leaves older snapshots untouched.
+func (st *SnapshotStore) Write(state *SystemState) (string, error) {
+	file, err := st.write(state)
+	if err != nil {
+		return "", err
+	}
+	return file, st.writeManifest()
+}
+
+// WriteAndPrune is Write followed by Prune with a single manifest rewrite
+// (the steady-state checkpoint path would otherwise pay two temp-file +
+// fsync + rename passes for the manifest per snapshot).
+func (st *SnapshotStore) WriteAndPrune(state *SystemState, keep int) (string, error) {
+	file, err := st.write(state)
+	if err != nil {
+		return "", err
+	}
+	if err := st.prune(keep); err != nil {
+		return file, err
+	}
+	return file, st.writeManifest()
+}
+
+// write persists the snapshot file without touching the manifest.
+func (st *SnapshotStore) write(state *SystemState) (string, error) {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return "", fmt.Errorf("durable: marshal snapshot: %w", err)
+	}
+	hdr, err := json.Marshal(snapHeader{
+		Format: state.Format,
+		Seq:    state.Seq,
+		Len:    len(payload),
+		CRC32:  crc32.ChecksumIEEE(payload),
+	})
+	if err != nil {
+		return "", fmt.Errorf("durable: marshal snapshot header: %w", err)
+	}
+	name := fileFor(state.Seq)
+	var buf bytes.Buffer
+	buf.Grow(len(hdr) + 1 + len(payload))
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	if err := atomicWrite(st.dir, name, buf.Bytes()); err != nil {
+		return "", err
+	}
+	return filepath.Join(st.dir, name), nil
+}
+
+// atomicWrite writes name in dir via temp file + fsync + rename + dir
+// fsync.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: write %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: write %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: fsync %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: rename %s: %w", name, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Entries lists the snapshots present in the store, ascending by sequence
+// number. The listing comes from the directory, not the manifest, so a
+// stale or missing manifest never hides a durable snapshot.
+func (st *SnapshotStore) Entries() ([]ManifestEntry, error) {
+	des, err := os.ReadDir(st.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: list snapshots: %w", err)
+	}
+	var out []ManifestEntry
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if seq, ok := seqOf(de.Name()); ok {
+			out = append(out, ManifestEntry{File: de.Name(), Seq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// writeManifest atomically rewrites the manifest from the directory
+// listing.
+func (st *SnapshotStore) writeManifest() error {
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(&Manifest{Format: FormatVersion, Snapshots: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: marshal manifest: %w", err)
+	}
+	return atomicWrite(st.dir, ManifestName, blob)
+}
+
+// ReadManifest parses the manifest (advisory; see Manifest).
+func (st *SnapshotStore) ReadManifest() (*Manifest, error) {
+	blob, err := os.ReadFile(filepath.Join(st.dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// Load reads and fully validates one snapshot: header format, length, and
+// checksum. Any mismatch (torn tail, corruption, version skew) returns an
+// error; the caller falls back to an older snapshot or a full replay.
+func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
+	f, err := os.Open(filepath.Join(st.dir, entry.File))
+	if err != nil {
+		return nil, fmt.Errorf("durable: open snapshot %s: %w", entry.File, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdrLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: torn header: %w", entry.File, err)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: corrupt header: %w", entry.File, err)
+	}
+	if hdr.Format != FormatVersion {
+		return nil, fmt.Errorf("durable: snapshot %s: format %d, want %d", entry.File, hdr.Format, FormatVersion)
+	}
+	if hdr.Seq != entry.Seq {
+		return nil, fmt.Errorf("durable: snapshot %s: header seq %d does not match file name", entry.File, hdr.Seq)
+	}
+	payload := make([]byte, hdr.Len)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: torn payload: %w", entry.File, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("durable: snapshot %s: trailing data after payload", entry.File)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC32 {
+		return nil, fmt.Errorf("durable: snapshot %s: checksum mismatch (%08x != %08x)", entry.File, crc, hdr.CRC32)
+	}
+	var state SystemState
+	if err := json.Unmarshal(payload, &state); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: corrupt payload: %w", entry.File, err)
+	}
+	if state.Seq != hdr.Seq {
+		return nil, fmt.Errorf("durable: snapshot %s: payload seq %d != header seq %d", entry.File, state.Seq, hdr.Seq)
+	}
+	return &state, nil
+}
+
+// Prune removes all but the newest keep snapshots and rewrites the
+// manifest.
+func (st *SnapshotStore) Prune(keep int) error {
+	if err := st.prune(keep); err != nil {
+		return err
+	}
+	return st.writeManifest()
+}
+
+// prune removes the stale snapshot files without touching the manifest.
+func (st *SnapshotStore) prune(keep int) error {
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if len(entries) <= keep {
+		return nil
+	}
+	for _, e := range entries[:len(entries)-keep] {
+		// A concurrent pruner may have removed the file already (explicit
+		// Checkpoint overlapping a background one): not an error.
+		if err := os.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("durable: prune %s: %w", e.File, err)
+		}
+	}
+	return nil
+}
+
+// CompactJournal rewrites the journal at path to only the records past
+// keepSeq (the sequence number a durable snapshot covers), atomically.
+// It returns how many records were dropped. The newest record is always
+// retained even when the snapshot covers it: a journal emptied completely
+// would be indistinguishable from a brand-new one, silently disabling the
+// compacted-journal-requires-snapshot guard if the snapshots are ever
+// lost. The resulting journal starts past seq 1; recovering it requires a
+// snapshot reaching its first record.
+func CompactJournal(path string, keepSeq int) (int, error) {
+	// Only the kept suffix needs decoding; the dropped prefix is
+	// integrity-scanned by the cheap sequence probe.
+	recs, tail, err := persist.LoadJournalSuffix(path, keepSeq)
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 && tail.LastSeq > 0 {
+		// Keep the final record as the compaction tombstone.
+		keepSeq = tail.LastSeq - 1
+		recs, tail, err = persist.LoadJournalSuffix(path, keepSeq)
+		if err != nil {
+			return 0, err
+		}
+	}
+	dropped := 0
+	if tail.FirstSeq > 0 && tail.FirstSeq <= keepSeq {
+		end := tail.LastSeq
+		if end > keepSeq {
+			end = keepSeq
+		}
+		dropped = end - tail.FirstSeq + 1
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return 0, fmt.Errorf("durable: compact: %w", err)
+		}
+	}
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	if err := atomicWrite(dir, name, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return dropped, nil
+}

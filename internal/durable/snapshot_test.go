@@ -1,0 +1,268 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/persist"
+	"adept2/internal/sim"
+)
+
+// populate builds a small engine: two instances of the online-order
+// process, one advanced and one biased, with claimed work items.
+func populate(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := e.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AdvanceOnlineOrderToI1(e, i1); err != nil {
+		t.Fatal(err)
+	}
+	i2, err := e.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompleteActivity(i2.ID(), "get_order", "ann", map[string]any{"out": "order-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if it, ok := e.Worklist().ItemFor(i2.ID(), "collect_data"); ok {
+		if err := e.Claim(it.ID, "ann"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	e := populate(t)
+	insts := e.Instances()
+	st, err := Capture(e, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 42 || len(st.Instances) != 2 || len(st.Schemas) != 1 {
+		t.Fatalf("capture: %+v", st)
+	}
+
+	e2 := engine.New(nil)
+	if err := Restore(e2, st); err != nil {
+		t.Fatal(err)
+	}
+	for _, orig := range insts {
+		re, ok := e2.Instance(orig.ID())
+		if !ok {
+			t.Fatalf("instance %s missing after restore", orig.ID())
+		}
+		if re.Version() != orig.Version() || re.Done() != orig.Done() {
+			t.Fatalf("instance %s flags differ", orig.ID())
+		}
+		for _, n := range []string{"get_order", "collect_data", "compose_order", "pay"} {
+			if got, want := re.NodeState(n), orig.NodeState(n); got != want {
+				t.Fatalf("%s/%s: %s != %s", orig.ID(), n, got, want)
+			}
+		}
+		if len(re.HistoryEvents()) != len(orig.HistoryEvents()) {
+			t.Fatalf("%s history length differs", orig.ID())
+		}
+	}
+	// Worklist items (and the claim) survived with their IDs.
+	origItems := e.Worklist().ItemsFor("ann")
+	restItems := e2.Worklist().ItemsFor("ann")
+	if len(origItems) != len(restItems) {
+		t.Fatalf("worklist items: %d != %d", len(origItems), len(restItems))
+	}
+	for i := range origItems {
+		if origItems[i].ID != restItems[i].ID || origItems[i].State != restItems[i].State {
+			t.Fatalf("item %d differs: %+v vs %+v", i, origItems[i], restItems[i])
+		}
+	}
+	// Instance numbering continues, not restarts.
+	i3, err := e2.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3.ID() != "inst-000003" {
+		t.Fatalf("counter not restored: %s", i3.ID())
+	}
+}
+
+func TestCaptureRestoreBiasedInstance(t *testing.T) {
+	e := engine.New(sim.Org())
+	if err := e.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("online_order", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompleteActivity(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := change.ApplyAdHoc(inst, sim.OnlineOrderBiasI2()...); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(nil)
+	if err := Restore(e2, st); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := e2.Instance(inst.ID())
+	if !re.Biased() || len(re.BiasOps()) != len(inst.BiasOps()) {
+		t.Fatalf("bias lost: %v", re.BiasOps())
+	}
+	if re.NodeState("confirm_order") != inst.NodeState("confirm_order") {
+		t.Fatal("bias-inserted node state differs")
+	}
+}
+
+func TestSnapshotStoreWriteLoad(t *testing.T) {
+	st := &SystemState{Format: FormatVersion, Seq: 7, InstanceCounter: 3}
+	store, err := OpenStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write(st); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := store.Entries()
+	if err != nil || len(entries) != 1 || entries[0].Seq != 7 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+	got, err := store.Load(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.InstanceCounter != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+	m, err := store.ReadManifest()
+	if err != nil || len(m.Snapshots) != 1 || m.Snapshots[0].Seq != 7 {
+		t.Fatalf("manifest=%v err=%v", m, err)
+	}
+}
+
+func TestSnapshotStoreDetectsCorruption(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := store.Write(&SystemState{Format: FormatVersion, Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := store.Entries()
+
+	blob, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"torn tail":     blob[:len(blob)-2],
+		"flipped byte":  append(append([]byte{}, blob[:len(blob)-2]...), blob[len(blob)-2]^0xff, blob[len(blob)-1]),
+		"trailing junk": append(append([]byte{}, blob...), 'x'),
+		"empty":         nil,
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load(entries[0]); err == nil {
+			t.Fatalf("%s: corruption not detected", name)
+		}
+	}
+	// Version skew is rejected too.
+	if err := os.WriteFile(file, []byte(`{"format":99,"seq":3,"len":2,"crc32":0}`+"\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(entries[0]); err == nil {
+		t.Fatal("format skew not detected")
+	}
+}
+
+func TestSnapshotStorePrune(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 5; seq++ {
+		if _, err := store.Write(&SystemState{Format: FormatVersion, Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := store.Entries()
+	if len(entries) != 2 || entries[0].Seq != 4 || entries[1].Seq != 5 {
+		t.Fatalf("entries after prune: %v", entries)
+	}
+}
+
+func TestCompactJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := persist.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	for i := 1; i <= 10; i++ {
+		if err := j.Append("op", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := CompactJournal(path, 6)
+	if err != nil || dropped != 6 {
+		t.Fatalf("dropped=%d err=%v", dropped, err)
+	}
+	recs, err := persist.LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].Seq != 7 || recs[3].Seq != 10 {
+		t.Fatalf("records after compact: %+v", recs)
+	}
+	// The compacted journal accepts further appends continuing the seq.
+	j2, err := persist.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.SetSync(false)
+	if err := j2.Append("op", 11); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Seq() != 11 {
+		t.Fatalf("seq after reopen = %d", j2.Seq())
+	}
+	j2.Close()
+}
+
+func TestOpenStoreSweepsOrphanedTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "snap-000000000009.json.tmp-123456")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file not swept: %v", err)
+	}
+}

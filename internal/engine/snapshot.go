@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"adept2/internal/data"
+	"adept2/internal/history"
+	"adept2/internal/model"
+	"adept2/internal/state"
+	"adept2/internal/storage"
+)
+
+// InstanceSnapshot is the engine-level serialized state of one instance:
+// everything needed to rebuild it without replaying its command history.
+// Markings and stats are exported in their stable ID-keyed form, so the
+// snapshot survives the topology rebuild that deserializing the schema
+// implies. The instance bias is opaque to the engine (layering: the change
+// package owns the operation codec) — Snapshot hands the recorded ops back
+// to the caller, which serializes them into Bias; RestoreInstance receives
+// them decoded again.
+type InstanceSnapshot struct {
+	ID         string               `json:"id"`
+	TypeName   string               `json:"type"`
+	Version    int                  `json:"version"`
+	Strategy   storage.Strategy     `json:"strategy"`
+	Done       bool                 `json:"done,omitempty"`
+	Suspended  bool                 `json:"suspended,omitempty"`
+	Migrations int                  `json:"migrations,omitempty"`
+	LoopIter   map[string]int       `json:"loopIter,omitempty"`
+	Marking    *state.MarkingExport `json:"marking"`
+	Stats      []history.StatExport `json:"stats,omitempty"`
+	History    *history.Log         `json:"history"`
+	Store      *data.Store          `json:"data"`
+	// Bias is the change.MarshalOps payload of the instance's recorded
+	// operations; the engine never interprets it.
+	Bias json.RawMessage `json:"bias,omitempty"`
+}
+
+// Snapshot exports the instance state under its lock. The recorded bias
+// operations are returned separately for the caller to serialize (see
+// InstanceSnapshot.Bias).
+func (inst *Instance) Snapshot() (*InstanceSnapshot, []BiasOp) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	var li map[string]int
+	if len(inst.loopIter) > 0 {
+		li = make(map[string]int, len(inst.loopIter))
+		for k, v := range inst.loopIter {
+			li[k] = v
+		}
+	}
+	return &InstanceSnapshot{
+		ID:         inst.id,
+		TypeName:   inst.typeName,
+		Version:    inst.version,
+		Strategy:   inst.strategy,
+		Done:       inst.done,
+		Suspended:  inst.suspended,
+		Migrations: inst.migrations,
+		LoopIter:   li,
+		Marking:    inst.marking.Export(),
+		Stats:      inst.stats.Export(),
+		History:    inst.hist.Clone(),
+		Store:      inst.store.Clone(),
+	}, append([]BiasOp(nil), inst.biasOps...)
+}
+
+// RestoreInstance rebuilds an instance from a snapshot: the referenced
+// schema version must already be deployed, the decoded bias is re-applied
+// to a fresh representation, and markings, stats, history, data, and flags
+// are installed verbatim. The worklist is NOT reconciled — callers restore
+// worklist items wholesale so pre-crash item IDs survive.
+func (e *Engine) RestoreInstance(snap *InstanceSnapshot, bias []BiasOp) error {
+	e.mu.Lock()
+	s, ok := e.schemas[schemaKey{snap.TypeName, snap.Version}]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: restore %s: no schema %s v%d", snap.ID, snap.TypeName, snap.Version)
+	}
+	if _, dup := e.insts[snap.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: restore %s: instance already exists", snap.ID)
+	}
+	inst := newInstance(e, snap.ID, s, snap.Strategy)
+	e.insts[snap.ID] = inst
+	e.order = append(e.order, snap.ID)
+	e.mu.Unlock()
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if len(bias) > 0 {
+		if err := (&Mutable{inst: inst}).RebuildBias(bias); err != nil {
+			return fmt.Errorf("engine: restore %s: %w", snap.ID, err)
+		}
+	}
+	v, _, err := inst.viewLocked()
+	if err != nil {
+		return fmt.Errorf("engine: restore %s: %w", snap.ID, err)
+	}
+	m, err := state.ImportMarking(v, snap.Marking)
+	if err != nil {
+		return fmt.Errorf("engine: restore %s: %w", snap.ID, err)
+	}
+	inst.marking = m
+	inst.stats = history.ImportStats(v.Topology(), snap.Stats)
+	if snap.History != nil {
+		inst.hist = snap.History
+	}
+	if snap.Store != nil {
+		inst.store = snap.Store
+	}
+	if snap.LoopIter != nil {
+		inst.loopIter = snap.LoopIter
+	}
+	inst.done = snap.Done
+	inst.suspended = snap.Suspended
+	inst.migrations = snap.Migrations
+	inst.version = snap.Version
+	return nil
+}
+
+// AllSchemas returns every deployed schema, ordered by type name then
+// version — the deterministic deploy order a snapshot records.
+func (e *Engine) AllSchemas() []*model.Schema {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*model.Schema, 0, len(e.schemas))
+	for _, s := range e.schemas {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TypeName() != out[j].TypeName() {
+			return out[i].TypeName() < out[j].TypeName()
+		}
+		return out[i].Version() < out[j].Version()
+	})
+	return out
+}
+
+// InstanceCounter returns the instance-ID counter (the numeric suffix of
+// the most recently created instance).
+func (e *Engine) InstanceCounter() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nextID
+}
+
+// SetInstanceCounter restores the instance-ID counter so instances created
+// after recovery continue the pre-crash numbering.
+func (e *Engine) SetInstanceCounter(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > e.nextID {
+		e.nextID = n
+	}
+}

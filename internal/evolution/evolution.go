@@ -18,6 +18,7 @@ import (
 	"adept2/internal/graph"
 	"adept2/internal/history"
 	"adept2/internal/model"
+	"adept2/internal/state"
 	"adept2/internal/verify"
 )
 
@@ -263,10 +264,15 @@ func (m *Manager) MigrateAll(typeName string, fromVersion int, target *model.Sch
 }
 
 // migrateScratch bundles the per-worker reusable buffers of a migration
-// run: the replay checker's scratch and the history-reduction buffer.
+// run: the replay checker's scratch, the history-reduction buffer, and the
+// marking/stats remap pools (fast-mode state adaptation recycles the
+// previous instance's discarded dense arrays instead of allocating four
+// fresh ones per migrated instance).
 type migrateScratch struct {
 	rp      compliance.Replayer
 	reduced []*history.Event
+	remap   state.RemapScratch
+	rebind  history.RebindScratch
 }
 
 // MigrateInstance decides and (if compliant) performs the migration of one
@@ -388,6 +394,14 @@ func (m *Manager) migrateLocked(mx *engine.Mutable, ti *targetIndex, ops []chang
 			return Failed, err.Error()
 		}
 	default:
+		// Pre-bind marking and stats onto the target topology through the
+		// worker's pooled scratch; the adaptation's own ensure/rebind then
+		// degenerates to a pointer check instead of an allocating remap.
+		if view, verr := mx.View(); verr == nil {
+			topo := view.Topology()
+			mx.Marking().RebindTo(topo, &sc.remap)
+			mx.Stats().RebindPooled(topo, &sc.rebind)
+		}
 		if _, err := mx.AdaptState(); err != nil {
 			return Failed, err.Error()
 		}

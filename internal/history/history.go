@@ -8,7 +8,9 @@ package history
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
+	"adept2/internal/arena"
 	"adept2/internal/bitset"
 	"adept2/internal/graph"
 	"adept2/internal/model"
@@ -297,6 +299,14 @@ func NewStatsFor(topo *model.Topology) *Stats {
 	return &Stats{topo: topo, recs: make([]NodeStat, topo.NumNodes())}
 }
 
+// RebindScratch amortizes the dense record-array allocation of stats
+// rebinds, mirroring state.RemapScratch: migration workers carve each
+// instance's target array out of a block-allocated arena instead of
+// allocating per instance. The zero value is ready; not goroutine-safe.
+type RebindScratch struct {
+	recs []NodeStat
+}
+
 // Rebind re-indexes the stats against a new topology (after an ad-hoc
 // change, bias refresh, or migration changed the node set): dense and
 // overflow records resolvable in the new topology move into the new dense
@@ -304,7 +314,11 @@ func NewStatsFor(topo *model.Topology) *Stats {
 // topology is a cheap no-op; a fresh topology with an identical node
 // sequence (the on-the-fly strategy re-materializes one per access) only
 // swaps the binding.
-func (s *Stats) Rebind(topo *model.Topology) {
+func (s *Stats) Rebind(topo *model.Topology) { s.RebindPooled(topo, nil) }
+
+// RebindPooled is Rebind drawing the target record array from — and
+// releasing the replaced array into — the scratch (nil scratch allocates).
+func (s *Stats) RebindPooled(topo *model.Topology, sc *RebindScratch) {
 	if s.topo == topo || topo == nil {
 		return
 	}
@@ -312,7 +326,12 @@ func (s *Stats) Rebind(topo *model.Topology) {
 		s.topo = topo
 		return
 	}
-	recs := make([]NodeStat, topo.NumNodes())
+	var recs []NodeStat
+	if sc != nil {
+		recs = arena.Carve(&sc.recs, topo.NumNodes())
+	} else {
+		recs = make([]NodeStat, topo.NumNodes())
+	}
 	var overflow map[string]*NodeStat
 	keep := func(id string, st NodeStat) {
 		if i, ok := topo.Idx(id); ok {
@@ -436,6 +455,75 @@ func (s *Stats) CompleteSeq(node string) int {
 		return st.CompleteSeq
 	}
 	return 0
+}
+
+// StartedAt is Started for an interned node of topo. When the stats are
+// bound to exactly that topology the answer is a single array probe; any
+// other binding falls back to the string path (correct, just slower).
+func (s *Stats) StartedAt(topo *model.Topology, i model.NodeIdx) bool {
+	if s.topo == topo {
+		return s.recs[i].StartSeq > 0
+	}
+	return s.Started(topo.ID(i))
+}
+
+// StartSeqAt is StartSeq for an interned node of topo (see StartedAt).
+func (s *Stats) StartSeqAt(topo *model.Topology, i model.NodeIdx) int {
+	if s.topo == topo {
+		return s.recs[i].StartSeq
+	}
+	return s.StartSeq(topo.ID(i))
+}
+
+// CompleteSeqAt is CompleteSeq for an interned node of topo (see
+// StartedAt).
+func (s *Stats) CompleteSeqAt(topo *model.Topology, i model.NodeIdx) int {
+	if s.topo == topo {
+		return s.recs[i].CompleteSeq
+	}
+	return s.CompleteSeq(topo.ID(i))
+}
+
+// StatExport is the stable, ID-keyed serialized record of one node's
+// execution — the dense index does not survive a topology rebuild, the ID
+// does.
+type StatExport struct {
+	ID          string `json:"id"`
+	StartSeq    int    `json:"start,omitempty"`
+	CompleteSeq int    `json:"complete,omitempty"`
+	Decision    int    `json:"decision"`
+}
+
+// Export serializes all live records (dense and overflow), sorted by node
+// ID for determinism.
+func (s *Stats) Export() []StatExport {
+	var out []StatExport
+	add := func(id string, st *NodeStat) {
+		out = append(out, StatExport{ID: id, StartSeq: st.StartSeq, CompleteSeq: st.CompleteSeq, Decision: st.Decision})
+	}
+	for i := range s.recs {
+		if s.recs[i].live() {
+			add(s.topo.ID(model.NodeIdx(i)), &s.recs[i])
+		}
+	}
+	for id, st := range s.overflow {
+		if st.live() {
+			add(id, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ImportStats rebuilds a stats index bound to topo from exported records.
+// Records of nodes unknown to topo land in the overflow map, exactly as a
+// live index would keep them across a rebind.
+func ImportStats(topo *model.Topology, recs []StatExport) *Stats {
+	s := NewStatsFor(topo)
+	for _, r := range recs {
+		*s.slot(r.ID) = NodeStat{StartSeq: r.StartSeq, CompleteSeq: r.CompleteSeq, Decision: r.Decision}
+	}
+	return s
 }
 
 // Decisions extracts the selection codes of all completed XOR splits,

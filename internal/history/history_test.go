@@ -283,3 +283,101 @@ func TestEventStringsAndKind(t *testing.T) {
 		t.Fatal("kind strings")
 	}
 }
+
+func TestStatsExportImportRoundTrip(t *testing.T) {
+	s := model.NewSchema("s", "t", 1)
+	for _, n := range []*model.Node{
+		{ID: "start", Name: "start", Type: model.NodeStart, Auto: true},
+		{ID: "a", Name: "a", Type: model.NodeActivity},
+		{ID: "end", Name: "end", Type: model.NodeEnd, Auto: true},
+	} {
+		if err := s.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := NewStatsFor(s.Topology())
+	st.OnStart("a", 1)
+	st.OnComplete("a", 2, 3)
+	st.OnStart("ghost", 4) // overflow record (node unknown to the topology)
+
+	ex := st.Export()
+	re := ImportStats(s.Topology(), ex)
+	if !re.Started("a") || re.CompleteSeq("a") != 2 || re.Decisions()["a"] != 3 {
+		t.Fatalf("dense record lost: %+v", ex)
+	}
+	if !re.Started("ghost") || re.StartSeq("ghost") != 4 {
+		t.Fatalf("overflow record lost: %+v", ex)
+	}
+}
+
+func TestStatsDenseAccessorsMatchStringPath(t *testing.T) {
+	s := model.NewSchema("s", "t", 1)
+	for _, n := range []*model.Node{
+		{ID: "start", Name: "start", Type: model.NodeStart, Auto: true},
+		{ID: "a", Name: "a", Type: model.NodeActivity},
+		{ID: "end", Name: "end", Type: model.NodeEnd, Auto: true},
+	} {
+		if err := s.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo := s.Topology()
+	st := NewStatsFor(topo)
+	st.OnStart("a", 1)
+	st.OnComplete("a", 2, -1)
+	ai, _ := topo.Idx("a")
+	if st.StartedAt(topo, ai) != st.Started("a") ||
+		st.StartSeqAt(topo, ai) != st.StartSeq("a") ||
+		st.CompleteSeqAt(topo, ai) != st.CompleteSeq("a") {
+		t.Fatal("dense accessors diverge from string path")
+	}
+	// Foreign topology binding falls back to the string path.
+	other := model.NewSchema("o", "t", 1)
+	for _, n := range []*model.Node{
+		{ID: "start", Name: "s", Type: model.NodeStart, Auto: true},
+		{ID: "a", Name: "a", Type: model.NodeActivity},
+		{ID: "end", Name: "e", Type: model.NodeEnd, Auto: true},
+	} {
+		if err := other.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oi, _ := other.Topology().Idx("a")
+	if !st.StartedAt(other.Topology(), oi) {
+		t.Fatal("fallback path broken")
+	}
+}
+
+func TestStatsRebindPooledMatchesRebind(t *testing.T) {
+	mk := func() (*model.Schema, *model.Schema) {
+		a := model.NewSchema("a", "t", 1)
+		b := model.NewSchema("b", "t", 2)
+		for _, s := range []*model.Schema{a, b} {
+			for _, n := range []*model.Node{
+				{ID: "start", Name: "s", Type: model.NodeStart, Auto: true},
+				{ID: "x", Name: "x", Type: model.NodeActivity},
+				{ID: "end", Name: "e", Type: model.NodeEnd, Auto: true},
+			} {
+				if err := s.AddNode(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := b.AddNode(&model.Node{ID: "y", Name: "y", Type: model.NodeActivity}); err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	a, b := mk()
+	sc := &RebindScratch{}
+	for iter := 0; iter < 3; iter++ {
+		pooled := NewStatsFor(a.Topology())
+		pooled.OnStart("x", 1)
+		plain := pooled.Clone()
+		pooled.RebindPooled(b.Topology(), sc)
+		plain.Rebind(b.Topology())
+		if pooled.StartSeq("x") != plain.StartSeq("x") || pooled.Len() != plain.Len() {
+			t.Fatalf("iter %d: pooled rebind diverged", iter)
+		}
+	}
+}

@@ -94,6 +94,32 @@ func (m *Model) Roles() []string {
 	return rs
 }
 
+// Clone returns a deep copy of the model. Recovery restores snapshots
+// into a clone so a failed attempt cannot leak users into the model the
+// fallback attempt starts from.
+func (m *Model) Clone() *Model {
+	c := NewModel()
+	for _, u := range m.AllUsers() {
+		_ = c.AddUser(u) // users from a valid model re-add cleanly
+	}
+	return c
+}
+
+// AllUsers returns deep copies of all users, sorted by ID — the stable
+// serialized form snapshots record.
+func (m *Model) AllUsers() []*User {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*User, 0, len(m.users))
+	for _, u := range m.users {
+		cp := *u
+		cp.Roles = append([]string(nil), u.Roles...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Users returns all user IDs, sorted.
 func (m *Model) Users() []string {
 	m.mu.RLock()

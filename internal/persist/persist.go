@@ -5,6 +5,22 @@
 // through the public API, reconstructing the exact engine state — the
 // substitution for the paper prototype's RDBMS-backed storage layer (see
 // DESIGN.md).
+//
+// Durability modes. A file-backed journal opened with OpenJournal fsyncs
+// after every Append (one record = one write + one fsync). The group-commit
+// path in internal/durable instead opens the journal with
+// OpenJournalBuffered — appends land in a user-space buffer and callers
+// coordinate a shared Flush (one buffered write + one fsync per *batch* of
+// concurrent appends). In both modes a record is only considered durable
+// after the fsync covering it returned.
+//
+// Compaction. A journal normally starts at sequence number 1. After
+// checkpointing (internal/durable), the prefix already covered by a
+// snapshot may be dropped: a compacted journal starts at an arbitrary
+// sequence number and must stay contiguous from its first record. Readers
+// accept such journals; recovery is then only possible through a snapshot
+// whose sequence number reaches the record before the journal's first (the
+// facade enforces this — see adept2.Open).
 package persist
 
 import (
@@ -29,11 +45,14 @@ type Record struct {
 
 // Journal is an append-only command log. It is safe for concurrent use.
 type Journal struct {
-	mu   sync.Mutex
-	w    io.Writer
-	file *os.File // non-nil when backed by a file
-	seq  int
-	sync bool
+	mu     sync.Mutex
+	w      io.Writer
+	file   *os.File      // non-nil when backed by a file
+	bw     *bufio.Writer // non-nil for buffered (group-commit) journals
+	seq    int
+	size   int64 // bytes of durable-intent records (file-backed, unbuffered)
+	sync   bool
+	failed bool // a write error left the journal in an unknown physical state
 
 	// Append serializes into per-journal buffers (guarded by mu) instead
 	// of allocating fresh ones per record; the encoders are lazily bound
@@ -51,20 +70,70 @@ func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 // the file already holds records, new sequence numbers continue after the
 // highest existing one.
 func OpenJournal(path string) (*Journal, error) {
+	return openJournal(path, false)
+}
+
+// OpenJournalBuffered opens a file-backed journal whose appends land in a
+// user-space buffer and are NOT individually fsynced: records become
+// durable only when Flush is called. The group-commit committer
+// (internal/durable) uses this mode to turn many concurrent appends into
+// one buffered write plus one fsync per batch.
+func OpenJournalBuffered(path string) (*Journal, error) {
+	return openJournal(path, true)
+}
+
+func openJournal(path string, buffered bool) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open journal: %w", err)
 	}
-	recs, err := readAll(f)
+	// Only the sequence numbers are needed here; skip decoding records.
+	_, tail, err := scanRecords(f, int(^uint(0)>>1))
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	j := &Journal{w: f, file: f, sync: true}
-	if n := len(recs); n > 0 {
-		j.seq = recs[n-1].Seq
+	if err := repairTail(f, tail); err != nil {
+		f.Close()
+		return nil, err
 	}
-	return j, nil
+	return newFileJournal(f, buffered, tail.LastSeq), nil
+}
+
+// newFileJournal wires a Journal over an already-positioned append fd.
+func newFileJournal(f *os.File, buffered bool, lastSeq int) *Journal {
+	j := &Journal{w: f, file: f, sync: !buffered, seq: lastSeq}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	if buffered {
+		j.bw = bufio.NewWriterSize(f, 1<<16)
+		j.w = j.bw
+	}
+	return j
+}
+
+// repairTail makes the physical end of the journal append-safe: torn or
+// corrupt trailing bytes past the last intact record are truncated, and a
+// final record that lost its newline terminator gets one, so the next
+// append can never concatenate onto damaged data (which would turn a
+// tolerated torn tail into unrecoverable mid-file corruption).
+func repairTail(f *os.File, tail TailInfo) error {
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("persist: repair tail: %w", err)
+	}
+	if st.Size() > tail.ValidSize {
+		if err := f.Truncate(tail.ValidSize); err != nil {
+			return fmt.Errorf("persist: truncate torn tail: %w", err)
+		}
+	}
+	if tail.OpenTail {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("persist: terminate open tail: %w", err)
+		}
+	}
+	return nil
 }
 
 // SetSync toggles fsync after every append (default true for file-backed
@@ -75,32 +144,84 @@ func (j *Journal) SetSync(on bool) {
 	j.sync = on
 }
 
-// Append journals one command.
+// Append journals one command. For sync-enabled file journals the record
+// is durable when Append returns; buffered journals require a Flush. A
+// failed append leaves the journal's sequence counter unchanged, and for
+// unbuffered file journals any partially written bytes are truncated
+// away, so the caller can retry without leaving a gap or corrupting the
+// file. When that self-repair is impossible (buffered journal, or the
+// truncate itself failed) the journal refuses all further appends instead
+// of concatenating onto damaged data.
 func (j *Journal) Append(op string, args any) error {
+	_, err := j.AppendSeq(op, args)
+	return err
+}
+
+// AppendSeq is Append returning the sequence number the record received.
+func (j *Journal) AppendSeq(op string, args any) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.failed {
+		return 0, fmt.Errorf("persist: journal failed: a previous append left it in an unknown state")
+	}
 	if j.lineEnc == nil {
 		j.lineEnc = json.NewEncoder(&j.lineBuf)
 		j.argsEnc = json.NewEncoder(&j.argsBuf)
 	}
 	j.argsBuf.Reset()
 	if err := j.argsEnc.Encode(args); err != nil {
-		return fmt.Errorf("persist: marshal %s args: %w", op, err)
+		return 0, fmt.Errorf("persist: marshal %s args: %w", op, err)
 	}
 	blob := j.argsBuf.Bytes()
 	blob = blob[:len(blob)-1] // drop the encoder's trailing newline
-	j.seq++
-	rec := Record{Seq: j.seq, Op: op, Args: blob}
+	rec := Record{Seq: j.seq + 1, Op: op, Args: blob}
 	j.lineBuf.Reset()
 	// Encode appends the newline record terminator itself.
 	if err := j.lineEnc.Encode(rec); err != nil {
-		j.seq--
-		return fmt.Errorf("persist: marshal record: %w", err)
+		return 0, fmt.Errorf("persist: marshal record: %w", err)
 	}
-	if _, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
-		return fmt.Errorf("persist: append: %w", err)
+	if n, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
+		// The sequence counter only advances on success: a failed write
+		// must not leave a numbering gap for the next append. Roll back
+		// any partial bytes so a retried append cannot concatenate onto
+		// the fragment and corrupt the journal mid-file.
+		switch {
+		case j.file != nil && j.bw == nil:
+			if terr := j.file.Truncate(j.size); terr != nil {
+				j.failed = true
+			}
+		case j.bw != nil:
+			// The bufio layer's state after a flush-through error is
+			// unknowable; stop before damage spreads.
+			j.failed = true
+		case n > 0:
+			// Plain writer with partial bytes emitted: unrepairable.
+			j.failed = true
+		}
+		return 0, fmt.Errorf("persist: append: %w", err)
 	}
+	j.seq = rec.Seq
+	j.size += int64(j.lineBuf.Len())
 	if j.file != nil && j.sync {
+		if err := j.file.Sync(); err != nil {
+			return 0, fmt.Errorf("persist: fsync: %w", err)
+		}
+	}
+	return rec.Seq, nil
+}
+
+// Flush drains the user-space buffer of a buffered journal and fsyncs the
+// backing file, making every previously appended record durable. On a
+// sync-enabled journal it degenerates to a plain fsync.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.bw != nil {
+		if err := j.bw.Flush(); err != nil {
+			return fmt.Errorf("persist: flush: %w", err)
+		}
+	}
+	if j.file != nil {
 		if err := j.file.Sync(); err != nil {
 			return fmt.Errorf("persist: fsync: %w", err)
 		}
@@ -115,10 +236,15 @@ func (j *Journal) Seq() int {
 	return j.seq
 }
 
-// Close closes a file-backed journal.
+// Close flushes (if buffered) and closes a file-backed journal.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.bw != nil {
+		if err := j.bw.Flush(); err != nil {
+			return fmt.Errorf("persist: flush on close: %w", err)
+		}
+	}
 	if j.file != nil {
 		return j.file.Close()
 	}
@@ -127,7 +253,8 @@ func (j *Journal) Close() error {
 
 // ReadJournal parses all records from a reader. A trailing partial line
 // (torn write after a crash) is tolerated and discarded; corruption in the
-// middle of the journal is an error.
+// middle of the journal is an error. A compacted journal (first record's
+// sequence number > 1) is accepted as long as it stays contiguous.
 func ReadJournal(r io.Reader) ([]Record, error) {
 	return readAll(r)
 }
@@ -146,38 +273,165 @@ func LoadJournal(path string) ([]Record, error) {
 	return readAll(f)
 }
 
+// TailInfo describes the boundaries and physical integrity of a scanned
+// journal: the first and last intact sequence numbers (0, 0 when empty or
+// missing), how many leading bytes hold intact records (a torn or corrupt
+// tail lies beyond ValidSize), and whether the final intact record lost
+// its newline terminator.
+type TailInfo struct {
+	FirstSeq  int
+	LastSeq   int
+	ValidSize int64
+	OpenTail  bool
+}
+
+// ResumeJournal opens a file journal whose scan result the caller already
+// holds (from LoadJournalSuffix), skipping the re-read OpenJournal would
+// perform and repairing the physical tail exactly like OpenJournal does.
+// buffered selects the group-commit mode of OpenJournalBuffered.
+func ResumeJournal(path string, tail TailInfo, buffered bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open journal: %w", err)
+	}
+	if err := repairTail(f, tail); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newFileJournal(f, buffered, tail.LastSeq), nil
+}
+
+// LoadJournalSuffix scans the journal once and fully decodes only the
+// records with Seq > afterSeq — the suffix a snapshot recovery replays.
+// Records at or before afterSeq are verified for contiguity via a fast
+// sequence-number probe but never materialized, so recovering a long
+// journal from a recent snapshot does not pay for decoding its history.
+// Torn trailing lines are tolerated exactly like ReadJournal; the
+// returned TailInfo feeds ResumeJournal's tail repair.
+func LoadJournalSuffix(path string, afterSeq int) ([]Record, TailInfo, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, TailInfo{}, nil
+	}
+	if err != nil {
+		return nil, TailInfo{}, fmt.Errorf("persist: load journal: %w", err)
+	}
+	defer f.Close()
+	return scanRecords(f, afterSeq)
+}
+
+// quickSeq extracts the sequence number from a journal line without a
+// full decode. The encoder always emits {"seq":N,... first (fixed struct
+// field order), so a miss only happens on hand-edited or torn lines —
+// those fall back to the full decoder.
+func quickSeq(line []byte) (int, bool) {
+	const prefix = `{"seq":`
+	if !bytes.HasPrefix(line, []byte(prefix)) {
+		return 0, false
+	}
+	n, i, digits := 0, len(prefix), false
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		n = n*10 + int(line[i]-'0')
+		digits = true
+		i++
+	}
+	if !digits || i >= len(line) || (line[i] != ',' && line[i] != '}') {
+		return 0, false
+	}
+	return n, true
+}
+
 func readAll(r io.Reader) ([]Record, error) {
-	var recs []Record
+	recs, _, err := scanRecords(r, 0)
+	return recs, err
+}
+
+// scanRecords is the shared journal scanner: it validates sequence
+// contiguity for every line, materializes only records with Seq >
+// afterSeq (the fast quickSeq probe skips decoding the rest), tolerates a
+// torn or corrupt final line, and tracks the physical extent of the
+// intact prefix for tail repair.
+func scanRecords(r io.Reader, afterSeq int) ([]Record, TailInfo, error) {
+	var (
+		recs    []Record
+		tail    TailInfo
+		lineErr error // candidate torn-tail error, fatal if more data follows
+		offset  int64 // bytes consumed including the current line
+		advance int   // bytes the splitter consumed for the current token
+	)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		adv, tok, err := bufio.ScanLines(data, atEOF)
+		advance = adv
+		return adv, tok, err
+	})
 	lineNo := 0
-	var pendingErr error
 	for sc.Scan() {
 		lineNo++
-		line := bytes.TrimSpace(sc.Bytes())
+		raw := sc.Bytes()
+		terminated := advance > len(raw) // newline (or \r\n) was consumed
+		offset += int64(advance)
+		line := bytes.TrimSpace(raw)
 		if len(line) == 0 {
+			// A blank line extends the intact prefix only while no corrupt
+			// line is pending: past a torn record, everything belongs to
+			// the damage and must fall to the tail repair's truncation.
+			if terminated && lineErr == nil {
+				tail.ValidSize = offset
+			}
 			continue
 		}
-		if pendingErr != nil {
+		if lineErr != nil {
 			// A malformed line followed by more data is real corruption.
-			return nil, pendingErr
+			return nil, TailInfo{}, lineErr
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// Possibly a torn final write; decide when we see whether more
-			// lines follow.
-			pendingErr = fmt.Errorf("persist: corrupt record at line %d: %w", lineNo, err)
-			continue
+		seq, quick := quickSeq(line)
+		// An unterminated line is a torn-tail candidate: the sequence
+		// probe alone cannot tell a complete record from a truncated one,
+		// so it always takes the full decode.
+		if !quick || !terminated || seq > afterSeq {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// Possibly a torn final write; decide when we see whether
+				// more lines follow.
+				lineErr = fmt.Errorf("persist: corrupt record at line %d: %w", lineNo, err)
+				continue
+			}
+			seq = rec.Seq
+			if err := checkSeq(seq, tail.LastSeq, lineNo); err != nil {
+				return nil, TailInfo{}, err
+			}
+			if seq > afterSeq {
+				recs = append(recs, rec)
+			}
+		} else if err := checkSeq(seq, tail.LastSeq, lineNo); err != nil {
+			return nil, TailInfo{}, err
 		}
-		if want := len(recs) + 1; rec.Seq != want {
-			return nil, fmt.Errorf("persist: journal gap at line %d: seq %d, want %d", lineNo, rec.Seq, want)
+		if tail.FirstSeq == 0 {
+			tail.FirstSeq = seq
 		}
-		recs = append(recs, rec)
+		tail.LastSeq = seq
+		tail.ValidSize = offset
+		tail.OpenTail = !terminated
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("persist: read journal: %w", err)
+		return nil, TailInfo{}, fmt.Errorf("persist: read journal: %w", err)
 	}
-	return recs, nil
+	return recs, tail, nil
+}
+
+// checkSeq enforces contiguity relative to the previous record: a
+// compacted journal starts past 1 but must not skip within itself.
+func checkSeq(seq, last, lineNo int) error {
+	if last > 0 {
+		if want := last + 1; seq != want {
+			return fmt.Errorf("persist: journal gap at line %d: seq %d, want %d", lineNo, seq, want)
+		}
+	} else if seq < 1 {
+		return fmt.Errorf("persist: invalid seq %d at line %d", seq, lineNo)
+	}
+	return nil
 }
 
 // Applier replays one journaled command; the facade implements it.

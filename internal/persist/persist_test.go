@@ -3,6 +3,7 @@ package persist
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +132,369 @@ func TestAppendMarshalsErrors(t *testing.T) {
 	j := NewJournal(&bytes.Buffer{})
 	if err := j.Append("bad", func() {}); err == nil {
 		t.Fatal("unmarshalable args must fail")
+	}
+}
+
+// failNWriter fails every write once armed, without consuming any bytes.
+type failNWriter struct {
+	w      io.Writer
+	failed bool
+	arm    bool
+}
+
+func (f *failNWriter) Write(p []byte) (int, error) {
+	if f.arm {
+		f.failed = true
+		return 0, os.ErrClosed
+	}
+	return f.w.Write(p)
+}
+
+func TestFailedAppendLeavesSeqAndJournalIntact(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &failNWriter{w: &buf}
+	j := NewJournal(fw)
+	if err := j.Append("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	fw.arm = true
+	if err := j.Append("b", 2); err == nil {
+		t.Fatal("append through failing writer must error")
+	}
+	if !fw.failed {
+		t.Fatal("writer was not exercised")
+	}
+	if j.Seq() != 1 {
+		t.Fatalf("failed append changed Seq: %d", j.Seq())
+	}
+	// The journal stays readable and the next append continues densely.
+	fw.arm = false
+	if err := j.Append("c", 3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal unreadable after failed append: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Op != "a" || recs[1].Op != "c" || recs[1].Seq != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestCompactedJournalAccepted(t *testing.T) {
+	data := `{"seq":5,"op":"a","args":null}
+{"seq":6,"op":"b","args":null}
+`
+	recs, err := ReadJournal(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("compacted journal must be readable: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 5 {
+		t.Fatalf("records = %+v", recs)
+	}
+	// Gaps within a compacted journal are still rejected.
+	bad := `{"seq":5,"op":"a","args":null}
+{"seq":7,"op":"b","args":null}
+`
+	if _, err := ReadJournal(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("expected gap error, got %v", err)
+	}
+}
+
+func TestBufferedJournalFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := OpenJournalBuffered(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.AppendSeq("a", 1)
+	if err != nil || seq != 1 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+	// Before the flush the record sits in the user-space buffer.
+	if recs, _ := LoadJournal(path); len(recs) != 0 {
+		t.Fatalf("buffered record visible before flush: %+v", recs)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	// Close flushes any remainder.
+	if _, err := j.AppendSeq("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := LoadJournal(path); len(recs) != 2 {
+		t.Fatalf("close must flush, got %+v", recs)
+	}
+}
+
+func TestLoadJournalSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	for i := 1; i <= 9; i++ {
+		if err := j.Append("op", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, tail, err := LoadJournalSuffix(path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.FirstSeq != 1 || tail.LastSeq != 9 || len(recs) != 3 || recs[0].Seq != 7 || recs[2].Seq != 9 {
+		t.Fatalf("suffix: tail=%+v recs=%+v", tail, recs)
+	}
+	if st, _ := os.Stat(path); tail.ValidSize != st.Size() || tail.OpenTail {
+		t.Fatalf("intact journal: tail=%+v size=%d", tail, st.Size())
+	}
+	// afterSeq 0 decodes everything; afterSeq past the tail decodes nothing.
+	if recs, _, _ := LoadJournalSuffix(path, 0); len(recs) != 9 {
+		t.Fatalf("full suffix: %d", len(recs))
+	}
+	if recs, tail, _ := LoadJournalSuffix(path, 99); len(recs) != 0 || tail.LastSeq != 9 {
+		t.Fatalf("empty suffix: %d tail=%+v", len(recs), tail)
+	}
+	// Missing file: all zeros.
+	if recs, tail, err := LoadJournalSuffix(filepath.Join(t.TempDir(), "absent"), 0); err != nil || recs != nil || tail != (TailInfo{}) {
+		t.Fatalf("missing: %v %v %+v", recs, err, tail)
+	}
+
+	// Torn tail is tolerated and reported as ending before the garbage;
+	// gaps in the skipped prefix are still caught.
+	intact, _ := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":10,"op":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, tail, err = LoadJournalSuffix(path, 6)
+	if err != nil || tail.LastSeq != 9 || len(recs) != 3 {
+		t.Fatalf("torn tail: recs=%d tail=%+v err=%v", len(recs), tail, err)
+	}
+	if tail.ValidSize != intact.Size() {
+		t.Fatalf("valid size %d should end before the torn bytes (%d)", tail.ValidSize, intact.Size())
+	}
+	gap := `{"seq":1,"op":"a","args":null}
+{"seq":3,"op":"b","args":null}
+`
+	gapPath := filepath.Join(t.TempDir(), "gap.ndjson")
+	if err := os.WriteFile(gapPath, []byte(gap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadJournalSuffix(gapPath, 5); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("prefix gap not detected: %v", err)
+	}
+}
+
+func TestResumeJournalContinuesSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := ResumeJournal(path, TailInfo{LastSeq: 41}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	seq, err := j.AppendSeq("op", nil)
+	if err != nil || seq != 42 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailRepairedBeforeAppend is the crash shape that used to be
+// fatal: a torn trailing line survives recovery, and the next append must
+// NOT concatenate onto it. Both OpenJournal and ResumeJournal truncate
+// the damage (and terminate an unterminated final record) before
+// appending.
+func TestTornTailRepairedBeforeAppend(t *testing.T) {
+	mk := func(t *testing.T, tornTail string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "wal.ndjson")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.SetSync(false)
+		if err := j.Append("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(tornTail); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	check := func(t *testing.T, path string) {
+		t.Helper()
+		recs, err := LoadJournal(path)
+		if err != nil {
+			t.Fatalf("journal corrupt after repaired append: %v", err)
+		}
+		if len(recs) != 2 || recs[1].Seq != 2 || recs[1].Op != "b" {
+			t.Fatalf("records: %+v", recs)
+		}
+	}
+
+	for name, torn := range map[string]string{
+		"unterminated":       `{"seq":2,"op":"torn`,
+		"terminated-garbage": "garbage-line\n",
+	} {
+		t.Run("open/"+name, func(t *testing.T) {
+			path := mk(t, torn)
+			j, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.SetSync(false)
+			if err := j.Append("b", 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check(t, path)
+		})
+		t.Run("resume/"+name, func(t *testing.T) {
+			path := mk(t, torn)
+			_, tail, err := LoadJournalSuffix(path, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := ResumeJournal(path, tail, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.SetSync(false)
+			if err := j.Append("b", 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check(t, path)
+		})
+	}
+}
+
+// TestOpenTailGetsNewline: a crash can persist a complete final record
+// whose newline never reached the disk; the record must be kept (it was
+// replayed) and the next append must start on a fresh line.
+func TestOpenTailGetsNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	if err := os.WriteFile(path, []byte(`{"seq":1,"op":"a","args":null}`), 0o644); err != nil {
+		t.Fatal(err) // note: no trailing newline
+	}
+	_, tail, err := LoadJournalSuffix(path, 0)
+	if err != nil || tail.LastSeq != 1 || !tail.OpenTail {
+		t.Fatalf("tail=%+v err=%v", tail, err)
+	}
+	j, err := ResumeJournal(path, tail, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	if err := j.Append("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil || len(recs) != 2 || recs[0].Op != "a" || recs[1].Op != "b" {
+		t.Fatalf("recs=%+v err=%v", recs, err)
+	}
+}
+
+// TestFailedAppendTruncatesPartialWrite: a short write on a file journal
+// must not leave fragment bytes for the next append to collide with.
+func TestFailedAppendTruncatesPartialWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	if err := j.Append("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a partial write failure: swap the writer for one that
+	// writes half the bytes to the real file and then errors.
+	real := j.w
+	j.w = &halfWriter{w: real}
+	if err := j.Append("b", 2); err == nil {
+		t.Fatal("partial write must error")
+	}
+	j.w = real
+	if err := j.Append("c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupt after partial write: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Op != "c" || recs[1].Seq != 2 {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+type halfWriter struct{ w io.Writer }
+
+func (h *halfWriter) Write(p []byte) (int, error) {
+	n, _ := h.w.Write(p[:len(p)/2])
+	return n, os.ErrClosed
+}
+
+// TestTornTailFollowedByBlankLineRepaired: a corrupt terminated line plus
+// a trailing blank line must be truncated entirely — the blank line must
+// not extend the "intact" prefix past the corruption.
+func TestTornTailFollowedByBlankLineRepaired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	if err := os.WriteFile(path, []byte("{\"seq\":1,\"op\":\"a\",\"args\":null}\ngarbage\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	if err := j.Append("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupt after repair: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Op != "b" || recs[1].Seq != 2 {
+		t.Fatalf("records: %+v", recs)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"slices"
 	"sort"
 
+	"adept2/internal/arena"
 	"adept2/internal/bitset"
 	"adept2/internal/model"
 )
@@ -176,15 +177,55 @@ func sameShape(a, b *model.Topology) bool {
 	return true
 }
 
+// RemapScratch amortizes the dense-array allocations of marking remaps:
+// loops that rebind many markings onto one target topology (the fast-mode
+// migration workers) carve each instance's four target arrays out of
+// block-allocated arenas instead of making four fresh allocations per
+// instance. Carved chunks are owned by their marking for good (remaps
+// replace, never grow, the arrays), so the arena only ever moves forward.
+// The zero value is ready to use; a scratch must not be shared between
+// goroutines.
+type RemapScratch struct {
+	nodes   []NodeState
+	skip    []int32
+	edges   []EdgeState
+	pendSet []uint64
+}
+
+// RebindTo re-binds the marking to the topology like ensure, drawing the
+// target arrays from the scratch arenas. Passing a nil scratch degrades to
+// the allocating remap.
+func (m *Marking) RebindTo(t *model.Topology, sc *RemapScratch) {
+	if m.topo == t {
+		return
+	}
+	if sc == nil || sameShape(m.topo, t) {
+		m.remap(t)
+		return
+	}
+	m.remapInto(t,
+		arena.Carve(&sc.nodes, t.NumNodes()),
+		arena.Carve(&sc.skip, t.NumNodes()),
+		arena.Carve(&sc.edges, t.NumEdges()),
+		arena.Carve(&sc.pendSet, bitset.Words(t.NumNodes())))
+}
+
 func (m *Marking) remap(t *model.Topology) {
-	old := m.topo
-	if sameShape(old, t) {
+	if sameShape(m.topo, t) {
 		m.topo = t
 		return
 	}
-	nodes := make([]NodeState, t.NumNodes())
-	skip := make([]int32, t.NumNodes())
-	edges := make([]EdgeState, t.NumEdges())
+	m.remapInto(t,
+		make([]NodeState, t.NumNodes()),
+		make([]int32, t.NumNodes()),
+		make([]EdgeState, t.NumEdges()),
+		bitset.New(t.NumNodes()))
+}
+
+// remapInto moves the marking's state onto topology t using the provided
+// (zeroed, correctly sized) target arrays.
+func (m *Marking) remapInto(t *model.Topology, nodes []NodeState, skip []int32, edges []EdgeState, pendingSet bitset.Set) {
+	old := m.topo
 	for i := range m.nodes {
 		if m.nodes[i] == NotActivated && m.skipSeq[i] == 0 {
 			continue
@@ -202,8 +243,9 @@ func (m *Marking) remap(t *model.Topology) {
 			edges[j] = m.edges[i]
 		}
 	}
-	pendingSet := bitset.New(t.NumNodes())
-	var pending []model.NodeIdx
+	// The retained pending entries shrink or keep their count, so the old
+	// slice can be compacted in place (reads stay ahead of writes).
+	pending := m.pending[:0]
 	for _, pi := range m.pending {
 		j, ok := t.Idx(old.ID(pi))
 		if !ok {
@@ -299,6 +341,9 @@ func (m *Marking) SkipSeq(id string) int {
 	}
 	return 0
 }
+
+// SkipSeqAt returns the skip stamp of an interned node (see SkipSeq).
+func (m *Marking) SkipSeqAt(i model.NodeIdx) int { return int(m.skipSeq[i]) }
 
 // NodesInState returns the IDs of all nodes currently in the given state,
 // sorted for determinism. NotActivated is not enumerable (it is the

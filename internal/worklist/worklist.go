@@ -278,6 +278,69 @@ func (m *Manager) BatchUpdate(instance string, wanted []Wanted, usersInRole func
 	m.mu.Unlock()
 }
 
+// ManagerExport is the serialized state of a worklist manager: the item-ID
+// counter and every live item. Restoring it wholesale (instead of
+// re-offering from markings) preserves pre-crash item IDs and claims.
+type ManagerExport struct {
+	Seq   int     `json:"seq"`
+	Items []*Item `json:"items,omitempty"`
+}
+
+// Export serializes the manager state, items ordered by ID.
+func (m *Manager) Export() *ManagerExport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ex := &ManagerExport{Seq: m.seq, Items: make([]*Item, 0, len(m.items))}
+	for _, it := range m.items {
+		ex.Items = append(ex.Items, it.clone())
+	}
+	sort.Slice(ex.Items, func(i, j int) bool { return ex.Items[i].ID < ex.Items[j].ID })
+	return ex
+}
+
+// Import replaces the manager state with the exported one, rebuilding all
+// indexes. Pre-existing items are dropped.
+func (m *Manager) Import(ex *ManagerExport) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	items := make(map[string]*Item, len(ex.Items))
+	byNode := make(map[[2]string]string, len(ex.Items))
+	byUser := make(map[string]map[string]bool)
+	byInst := make(map[string]map[string]bool)
+	for _, src := range ex.Items {
+		it := src.clone()
+		if _, dup := items[it.ID]; dup {
+			return fmt.Errorf("worklist: import: duplicate item ID %q", it.ID)
+		}
+		key := [2]string{it.Instance, it.Node}
+		if _, dup := byNode[key]; dup {
+			return fmt.Errorf("worklist: import: duplicate item for %s/%s", it.Instance, it.Node)
+		}
+		items[it.ID] = it
+		byNode[key] = it.ID
+		for _, u := range it.Offered {
+			set := byUser[u]
+			if set == nil {
+				set = make(map[string]bool)
+				byUser[u] = set
+			}
+			set[it.ID] = true
+		}
+		inst := byInst[it.Instance]
+		if inst == nil {
+			inst = make(map[string]bool)
+			byInst[it.Instance] = inst
+		}
+		inst[it.ID] = true
+	}
+	m.seq = ex.Seq
+	m.items = items
+	m.byNode = byNode
+	m.byUser = byUser
+	m.byInst = byInst
+	return nil
+}
+
 // ItemsFor returns the items visible to a user (offered to or claimed by),
 // ordered by item ID.
 func (m *Manager) ItemsFor(user string) []*Item {

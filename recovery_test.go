@@ -1,0 +1,633 @@
+package adept2_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"adept2"
+	"adept2/internal/durable"
+	"adept2/internal/persist"
+	"adept2/internal/sim"
+)
+
+// runPrefix drives a deterministic scenario through the facade: deploy,
+// two instances, progress on the first, a bias on the second, an
+// evolution. Returns the IDs of the created instances.
+func runPrefix(t *testing.T, sys *adept2.System) (string, string) {
+	t.Helper()
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []struct{ node, user string }{
+		{"get_order", "ann"}, {"collect_data", "ann"}, {"compose_order", "bob"},
+	} {
+		var out map[string]any
+		if step.node == "get_order" {
+			out = map[string]any{"out": "o1"}
+		}
+		if err := sys.Complete(i1.ID(), step.node, step.user, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AdHocChange(i2.ID(), sim.OnlineOrderBiasI2()...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evolve("online_order", sim.OnlineOrderTypeChange(), adept2.EvolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return i1.ID(), i2.ID()
+}
+
+// runSuffix appends a few more commands past a checkpoint.
+func runSuffix(t *testing.T, sys *adept2.System, i1 string) {
+	t.Helper()
+	if err := sys.Complete(i1, "send_questions", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Suspend(i1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Resume(i1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertSameState compares the externally observable state of two systems.
+func assertSameState(t *testing.T, want, got *adept2.System) {
+	t.Helper()
+	wi, gi := want.Instances(), got.Instances()
+	if len(wi) != len(gi) {
+		t.Fatalf("instance count: %d != %d", len(wi), len(gi))
+	}
+	for i := range wi {
+		w, g := wi[i], gi[i]
+		if w.ID() != g.ID() || w.Version() != g.Version() || w.Done() != g.Done() ||
+			w.Biased() != g.Biased() || w.Suspended() != g.Suspended() {
+			t.Fatalf("instance %s flags differ (%d/%d, done %v/%v)", w.ID(), w.Version(), g.Version(), w.Done(), g.Done())
+		}
+		wv, gv := w.View(), g.View()
+		for _, id := range wv.NodeIDs() {
+			if ws, gs := w.NodeState(id), g.NodeState(id); ws != gs {
+				t.Fatalf("instance %s node %s: %s != %s", w.ID(), id, ws, gs)
+			}
+		}
+		if len(wv.NodeIDs()) != len(gv.NodeIDs()) {
+			t.Fatalf("instance %s view size differs", w.ID())
+		}
+		if len(w.HistoryEvents()) != len(g.HistoryEvents()) {
+			t.Fatalf("instance %s history differs", w.ID())
+		}
+	}
+	for _, user := range []string{"ann", "bob"} {
+		if len(want.WorkItems(user)) != len(got.WorkItems(user)) {
+			t.Fatalf("worklist of %s differs", user)
+		}
+	}
+}
+
+func openCheckpointed(t *testing.T, path string, cfg adept2.CheckpointConfig) *adept2.System {
+	t.Helper()
+	sys, err := adept2.Open(path, adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSnapshotRecoveryReplaysOnlySuffix is the core acceptance test: with
+// a checkpoint present, recovery restores the snapshot and applies exactly
+// the records past its sequence number — counted, not assumed.
+func TestSnapshotRecoveryReplaysOnlySuffix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1} // manual checkpoints only
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	_, snapSeq, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapSeq != sys.JournalSeq() {
+		t.Fatalf("checkpoint seq %d != journal seq %d", snapSeq, sys.JournalSeq())
+	}
+	runSuffix(t, sys, i1)
+	tail := sys.JournalSeq()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover via snapshot + suffix.
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	info := rec.Recovery()
+	if info.FullReplay || info.SnapshotSeq != snapSeq {
+		t.Fatalf("recovery did not use the snapshot: %+v", info)
+	}
+	if want := tail - snapSeq; info.Replayed != want {
+		t.Fatalf("replayed %d records, want only the %d-record suffix", info.Replayed, want)
+	}
+
+	// The state must be identical to a full replay of the same journal.
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if !full.Recovery().FullReplay {
+		t.Fatal("plain Open must fully replay")
+	}
+	assertSameState(t, full, rec)
+
+	// Work continues seamlessly on the recovered system.
+	if err := rec.Complete(i1, "confirm_order", "ann", nil); err != nil {
+		t.Fatalf("continue after snapshot recovery: %v", err)
+	}
+}
+
+func TestRecoveryFallsBackOnTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1, Keep: 10}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	if _, _, err := sys.Checkpoint(); err != nil { // older, intact snapshot
+		t.Fatal(err)
+	}
+	runSuffix(t, sys, i1)
+	file2, snapSeq2, err := sys.Checkpoint() // newest snapshot, about to be torn
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(file2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file2, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	info := rec.Recovery()
+	if info.SnapshotSeq == 0 || info.SnapshotSeq >= snapSeq2 {
+		t.Fatalf("expected fallback to the older snapshot, got %+v", info)
+	}
+	if len(info.Fallbacks) == 0 || !strings.Contains(strings.Join(info.Fallbacks, ";"), "torn") {
+		t.Fatalf("torn snapshot not diagnosed: %v", info.Fallbacks)
+	}
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	assertSameState(t, full, rec)
+}
+
+func TestRecoveryFallsBackToFullReplayWhenAllSnapshotsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	file, _, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSuffix(t, sys, i1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	if !rec.Recovery().FullReplay || len(rec.Recovery().Fallbacks) == 0 {
+		t.Fatalf("expected full-replay fallback: %+v", rec.Recovery())
+	}
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	assertSameState(t, full, rec)
+}
+
+// TestRecoveryTornJournalTailPastSnapshot crashes mid-append after the
+// checkpoint: the torn trailing record is discarded, the rest of the
+// suffix replays.
+func TestRecoveryTornJournalTailPastSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	_, snapSeq, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSuffix(t, sys, i1)
+	tail := sys.JournalSeq()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(fmt.Sprintf(`{"seq":%d,"op":"comple`, tail+1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	info := rec.Recovery()
+	if info.SnapshotSeq != snapSeq || info.Replayed != tail-snapSeq {
+		t.Fatalf("torn tail broke suffix replay: %+v", info)
+	}
+}
+
+// TestRecoverySurvivesStaleManifest simulates a crash between the
+// snapshot rename and the manifest rewrite: the manifest does not mention
+// the newest snapshot, which must still be found and used.
+func TestRecoverySurvivesStaleManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1, Dir: filepath.Join(dir, "snaps")}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	_, snapSeq, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSuffix(t, sys, i1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash shapes: manifest deleted entirely, and manifest replaced
+	// by an empty (older) listing.
+	manifest := filepath.Join(cfg.Dir, durable.ManifestName)
+	for _, corrupt := range []func() error{
+		func() error { return os.Remove(manifest) },
+		func() error { return os.WriteFile(manifest, []byte(`{"format":1,"snapshots":[]}`), 0o644) },
+	} {
+		if err := corrupt(); err != nil {
+			t.Fatal(err)
+		}
+		rec := openCheckpointed(t, path, cfg)
+		if info := rec.Recovery(); info.SnapshotSeq != snapSeq {
+			t.Fatalf("stale manifest hid the snapshot: %+v", info)
+		}
+		rec.Close()
+	}
+}
+
+// TestRecoveryEmptyJournalWithSnapshot covers full compaction (every
+// record folded into the snapshot — one tombstone record remains so the
+// journal stays recognizably compacted) and the genuinely empty journal
+// (e.g. freshly rotated) next to a valid snapshot.
+func TestRecoveryEmptyJournalWithSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	runSuffix(t, sys, i1)
+	_, snapSeq, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+
+	if _, err := durable.CompactJournal(path, snapSeq); err != nil {
+		t.Fatal(err)
+	}
+	// Full compaction keeps the newest record as a tombstone, so a later
+	// plain Open can still detect the missing prefix instead of silently
+	// coming up empty.
+	recs, err := persist.LoadJournal(path)
+	if err != nil || len(recs) != 1 || recs[0].Seq != snapSeq {
+		t.Fatalf("tombstone: recs=%+v err=%v", recs, err)
+	}
+	if _, err := adept2.Open(path, adept2.WithOrg(sim.Org())); err == nil || !strings.Contains(err.Error(), "compacted") {
+		t.Fatalf("fully compacted journal without snapshot must refuse, got %v", err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	info := rec.Recovery()
+	if info.SnapshotSeq != snapSeq || info.Replayed != 0 {
+		t.Fatalf("compacted journal + snapshot: %+v", info)
+	}
+	assertSameState(t, full, rec)
+
+	// Work continues and journal seq numbers continue past the snapshot.
+	if err := rec.Complete(i1, "confirm_order", "ann", nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.JournalSeq() != snapSeq+1 {
+		t.Fatalf("journal seq after compacted recovery = %d, want %d", rec.JournalSeq(), snapSeq+1)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A genuinely empty journal next to a valid snapshot (rotation, or a
+	// pre-tombstone layout) restores the snapshot and replays nothing.
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	empty := openCheckpointed(t, path, cfg)
+	defer empty.Close()
+	info = empty.Recovery()
+	if info.FullReplay || info.SnapshotSeq != snapSeq || info.Replayed != 0 {
+		t.Fatalf("empty journal + snapshot: %+v", info)
+	}
+	if got, ok := empty.Instance(i1); !ok || got.NodeState("confirm_order") == 0 {
+		t.Fatalf("state lost across empty-journal recovery")
+	}
+}
+
+// TestRecoveryRejectsSnapshotNewerThanJournal: a snapshot claiming a
+// sequence number past the journal tail means the journal lost committed
+// records — recovery must refuse, not silently truncate history.
+func TestRecoveryRejectsSnapshotNewerThanJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	runSuffix(t, sys, i1)
+	if _, _, err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the journal to half its records (simulated tail loss).
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(blob), "\n"), "\n")
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:len(lines)/2], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = adept2.Open(path, adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("snapshot newer than journal tail must refuse recovery, got %v", err)
+	}
+}
+
+// TestCompactedJournalRequiresSnapshot: once compacted, a plain full
+// replay is impossible and Open must say so rather than rebuild wrong
+// state.
+func TestCompactedJournalRequiresSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	_, snapSeq, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSuffix(t, sys, i1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durable.CompactJournal(path, snapSeq); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the snapshot: suffix recovery works.
+	rec := openCheckpointed(t, path, cfg)
+	if info := rec.Recovery(); info.SnapshotSeq != snapSeq {
+		t.Fatalf("recovery after compaction: %+v", info)
+	}
+	rec.Close()
+
+	// Without it (plain Open, no checkpointing): hard error.
+	if _, err := adept2.Open(path, adept2.WithOrg(sim.Org())); err == nil || !strings.Contains(err.Error(), "compacted") {
+		t.Fatalf("compacted journal without snapshot must fail, got %v", err)
+	}
+}
+
+// TestConcurrentAppendDuringBackgroundSnapshot hammers journaled commands
+// from several goroutines with a tiny snapshot threshold and group commit
+// enabled, then recovers and cross-checks against a full replay. Run under
+// -race in CI.
+func TestConcurrentAppendDuringBackgroundSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: 8, Keep: 2, GroupCommit: true}
+
+	sys := openCheckpointed(t, path, cfg)
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 4, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*each)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				inst, err := sys.CreateInstance("online_order")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sys.Complete(inst.ID(), "get_order", "ann", map[string]any{"out": "o"}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := sys.WaitCheckpoints(); err != nil {
+		t.Fatalf("background snapshot failed: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	info := rec.Recovery()
+	if info.SnapshotSeq == 0 {
+		t.Fatalf("no background snapshot was used: %+v", info)
+	}
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if len(rec.Instances()) != workers*each || len(full.Instances()) != workers*each {
+		t.Fatalf("instances: rec=%d full=%d", len(rec.Instances()), len(full.Instances()))
+	}
+	assertSameState(t, full, rec)
+}
+
+// TestGroupCommitEndToEnd drives the facade with group commit (no
+// snapshots) and verifies every command survives recovery.
+func TestGroupCommitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1, GroupCommit: true}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys)
+	runSuffix(t, sys, i1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := adept2.Open(path, adept2.WithOrg(sim.Org()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	assertSameState(t, full, rec)
+}
+
+// TestClaimsSurviveSnapshotRecovery: work-item claims are not journaled
+// (full replay loses them) but a snapshot preserves them — the recovered
+// worklist keeps pre-crash item IDs and reservations.
+func TestClaimsSurviveSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1}
+
+	sys := openCheckpointed(t, path, cfg)
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := sys.WorkItems("ann")
+	if len(items) == 0 {
+		t.Fatal("no work items")
+	}
+	if err := sys.Claim(items[0].ID, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	got := rec.WorkItems("ann")
+	if len(got) != 1 || got[0].ID != items[0].ID || got[0].ClaimedBy != "ann" {
+		t.Fatalf("claim lost: %+v", got)
+	}
+	_ = inst
+}
+
+// TestFailedRestoreDoesNotPoisonFallback: a snapshot that passes checksum
+// validation but fails mid-restore (corrupt bias payload) must fall back
+// to full replay with a clean slate — earlier the half-restored users
+// leaked into the shared org model and made the fallback fail with
+// duplicate-ID errors.
+func TestFailedRestoreDoesNotPoisonFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	cfg := adept2.CheckpointConfig{Every: -1, Dir: filepath.Join(dir, "snaps")}
+
+	sys := openCheckpointed(t, path, cfg)
+	i1, _ := runPrefix(t, sys) // includes a biased instance
+	if _, _, err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge a checksum-valid snapshot whose restore fails: corrupt the
+	// biased instance's ops payload and rewrite through the store (which
+	// recomputes the CRC).
+	store, err := durable.OpenStore(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := store.Entries()
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+	st, err := store.Load(entries[len(entries)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := false
+	for _, inst := range st.Instances {
+		if len(inst.Bias) > 0 {
+			inst.Bias = []byte(`[{"op":"no-such-op","args":{}}]`)
+			poisoned = true
+		}
+	}
+	if !poisoned {
+		t.Fatal("scenario needs a biased instance")
+	}
+	if _, err := store.Write(st); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openCheckpointed(t, path, cfg)
+	defer rec.Close()
+	info := rec.Recovery()
+	if !info.FullReplay || len(info.Fallbacks) == 0 {
+		t.Fatalf("expected clean full-replay fallback, got %+v", info)
+	}
+	if _, ok := rec.Instance(i1); !ok {
+		t.Fatal("state missing after fallback")
+	}
+}

@@ -3,8 +3,11 @@ package adept2
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
+	"time"
 
 	"adept2/internal/change"
+	"adept2/internal/durable"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/model"
@@ -15,13 +18,108 @@ import (
 )
 
 // System bundles the engine with the migration manager and an optional
-// durable command journal. All state-changing methods are journaled before
-// they execute, so Open can rebuild the exact system state after a crash
-// by replaying the journal.
+// durable command journal. All state-changing methods are journaled, so
+// Open can rebuild the exact system state after a crash. With
+// checkpointing enabled (WithCheckpointing), the journal is augmented by
+// background state snapshots and recovery replays only the journal suffix
+// past the newest valid snapshot; with group commit, concurrent commands
+// share one buffered write + one fsync per batch.
 type System struct {
-	eng     *engine.Engine
-	mgr     *evolution.Manager
-	journal *persist.Journal
+	eng       *engine.Engine
+	mgr       *evolution.Manager
+	journal   *persist.Journal
+	committer *durable.Committer
+
+	// snapMu is the snapshot barrier: every journaled command holds it
+	// shared across "engine mutation + journal append", and a snapshot
+	// capture holds it exclusively — so captures always observe command-
+	// boundary-consistent state tied to an exact journal sequence number.
+	snapMu sync.RWMutex
+
+	ckpt     *checkpointer
+	recovery *RecoveryInfo
+}
+
+// checkpointer tracks automatic background snapshots.
+type checkpointer struct {
+	store *durable.SnapshotStore
+	every int // journal growth (records) that triggers a snapshot; <=0 disables
+	keep  int // snapshots retained after a write
+
+	mu       sync.Mutex
+	idle     *sync.Cond // signaled when an in-flight snapshot finishes
+	lastSeq  int        // journal seq covered by the newest snapshot
+	tried    int        // journal seq at the last attempt (backoff base on failure)
+	inflight bool
+	err      error // last background snapshot failure (diagnosed, not fatal)
+}
+
+func newCheckpointer(store *durable.SnapshotStore, cfg *CheckpointConfig, lastSeq int) *checkpointer {
+	ck := &checkpointer{store: store, every: cfg.Every, keep: cfg.Keep, lastSeq: lastSeq}
+	ck.idle = sync.NewCond(&ck.mu)
+	return ck
+}
+
+// wait blocks until no background snapshot is in flight and returns the
+// most recent background snapshot error.
+func (ck *checkpointer) wait() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	for ck.inflight {
+		ck.idle.Wait()
+	}
+	return ck.err
+}
+
+// CheckpointConfig tunes the checkpointed durability pipeline (see
+// WithCheckpointing). The zero value of every field selects a default.
+type CheckpointConfig struct {
+	// Dir is the snapshot directory. Default: <journal path>.snapshots.
+	Dir string
+	// Every triggers a background snapshot when the journal grew by this
+	// many records since the last one. Default 1024; negative disables
+	// automatic snapshots (Checkpoint can still be called explicitly).
+	Every int
+	// Keep bounds the snapshots retained after a successful write
+	// (older ones are pruned). Default 3.
+	Keep int
+	// GroupCommit batches concurrent command appends into one buffered
+	// write + one fsync (durable.Committer) instead of fsyncing per
+	// record.
+	GroupCommit bool
+	// FlushWindow and MaxBatch tune the group-commit flush window; zero
+	// values take the committer defaults.
+	FlushWindow time.Duration
+	MaxBatch    int
+}
+
+func (c *CheckpointConfig) defaults(journalPath string) {
+	if c.Dir == "" {
+		c.Dir = journalPath + ".snapshots"
+	}
+	if c.Every == 0 {
+		c.Every = 1024
+	}
+	if c.Keep <= 0 {
+		c.Keep = 3
+	}
+}
+
+// RecoveryInfo describes how Open rebuilt the system state.
+type RecoveryInfo struct {
+	// SnapshotSeq is the journal sequence number of the snapshot the
+	// recovery started from (0 when recovering by full replay).
+	SnapshotSeq int
+	// SnapshotFile is the path of that snapshot ("" for full replay).
+	SnapshotFile string
+	// Replayed counts the journal records applied on top of the snapshot
+	// (the whole journal for a full replay).
+	Replayed int
+	// FullReplay reports that no snapshot was used.
+	FullReplay bool
+	// Fallbacks diagnoses snapshots that were present but rejected
+	// (checksum mismatch, version skew, torn file, failed restore).
+	Fallbacks []string
 }
 
 // Option configures a System.
@@ -31,6 +129,7 @@ type config struct {
 	org      *org.Model
 	strategy storage.Strategy
 	journal  *persist.Journal
+	ckpt     *CheckpointConfig
 }
 
 // WithOrg supplies a pre-populated organizational model.
@@ -44,42 +143,191 @@ func WithStorageStrategy(s StorageStrategy) Option {
 // WithJournal attaches a command journal for durability.
 func WithJournal(j *persist.Journal) Option { return func(c *config) { c.journal = j } }
 
+// WithCheckpointing enables the checkpointed durability pipeline for Open:
+// state snapshots written in the background at journal-growth thresholds,
+// snapshot + journal-suffix recovery, and (optionally) group commit. It
+// only takes effect together with a file journal opened through Open.
+func WithCheckpointing(cfg CheckpointConfig) Option {
+	return func(c *config) { c.ckpt = &cfg }
+}
+
 // New creates a System.
 func New(opts ...Option) *System {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
+	return newSystem(&c)
+}
+
+func newSystem(c *config) *System {
 	e := engine.New(c.org)
 	e.SetStorageStrategy(c.strategy)
 	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal}
 }
 
-// Open creates a System backed by a file journal at path, replaying any
-// existing records first (crash recovery), then appending new commands.
+// Open creates a System backed by a file journal at path, recovering any
+// existing state first, then appending new commands. Without
+// checkpointing, recovery replays the entire journal. With
+// WithCheckpointing, recovery restores the newest valid snapshot and
+// replays only the journal suffix past it, falling back to older
+// snapshots and finally to a full replay when snapshots are torn,
+// corrupt, or version-skewed; Recovery reports what happened.
 func Open(path string, opts ...Option) (*System, error) {
-	recs, err := persist.LoadJournal(path)
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	var store *durable.SnapshotStore
+	var err error
+	if c.ckpt != nil {
+		c.ckpt.defaults(path)
+		store, err = durable.OpenStore(c.ckpt.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sys, info, tail, err := recoverSystem(&c, store, path)
 	if err != nil {
 		return nil, err
 	}
-	sys := New(opts...)
-	if err := persist.Replay(recs, sys.apply); err != nil {
-		return nil, err
+
+	// The recovery pass already established the journal's boundaries, so
+	// the journal resumes (repairing any torn tail) without a second full
+	// read. A journal compacted past its last record continues the
+	// snapshot's numbering.
+	if info.SnapshotSeq > tail.LastSeq {
+		tail.LastSeq = info.SnapshotSeq
 	}
-	j, err := persist.OpenJournal(path)
+	groupCommit := c.ckpt != nil && c.ckpt.GroupCommit
+	j, err := persist.ResumeJournal(path, tail, groupCommit)
 	if err != nil {
 		return nil, err
+	}
+	if groupCommit {
+		sys.committer = durable.NewCommitter(j, durable.CommitterOptions{
+			FlushWindow: c.ckpt.FlushWindow,
+			MaxBatch:    c.ckpt.MaxBatch,
+		})
 	}
 	sys.journal = j
+	sys.recovery = info
+	if c.ckpt != nil {
+		sys.ckpt = newCheckpointer(store, c.ckpt, info.SnapshotSeq)
+	}
 	return sys, nil
 }
 
-// Close releases the journal (if any).
-func (s *System) Close() error {
-	if s.journal != nil {
-		return s.journal.Close()
+// recoverSystem rebuilds the system state from the snapshot store (when
+// present) and the journal. Each snapshot attempt starts from a fresh
+// system so a half-restored failure cannot leak into the fallback, and
+// only the journal suffix past the chosen snapshot is decoded — the
+// prefix is integrity-scanned without materializing records. Returns the
+// recovered system, what happened, and the journal's scanned tail info.
+func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*System, *RecoveryInfo, persist.TailInfo, error) {
+	info := &RecoveryInfo{}
+	none := persist.TailInfo{}
+
+	if store != nil {
+		entries, err := store.Entries()
+		if err != nil {
+			return nil, nil, none, err
+		}
+		for i := len(entries) - 1; i >= 0; i-- {
+			entry := entries[i]
+			st, err := store.Load(entry)
+			if err != nil {
+				info.Fallbacks = append(info.Fallbacks, err.Error())
+				continue
+			}
+			recs, tail, err := persist.LoadJournalSuffix(path, st.Seq)
+			if err != nil {
+				return nil, nil, none, err
+			}
+			// A snapshot ahead of the journal tail means the journal lost
+			// committed records: recovering would silently forge history.
+			// (An empty journal is fine — compaction may have folded every
+			// record into the snapshot.)
+			if tail.LastSeq > 0 && st.Seq > tail.LastSeq {
+				return nil, nil, none, fmt.Errorf(
+					"adept2: snapshot %s covers seq %d but the journal ends at %d: journal truncated, refusing to recover",
+					entry.File, st.Seq, tail.LastSeq)
+			}
+			// A compacted journal needs a snapshot reaching its first
+			// record; older snapshots cannot bridge the gap.
+			if tail.FirstSeq > 1 && st.Seq < tail.FirstSeq-1 {
+				info.Fallbacks = append(info.Fallbacks, fmt.Sprintf(
+					"durable: snapshot %s (seq %d) predates the compacted journal start %d", entry.File, st.Seq, tail.FirstSeq))
+				continue
+			}
+			// Each attempt gets its own copy of any caller-supplied org
+			// model: a half-restored failure must not leak users into the
+			// model the next attempt (or the full-replay fallback) starts
+			// from.
+			attempt := *c
+			if c.org != nil {
+				attempt.org = c.org.Clone()
+			}
+			sys := newSystem(&attempt)
+			if err := durable.Restore(sys.eng, st); err != nil {
+				info.Fallbacks = append(info.Fallbacks, err.Error())
+				continue
+			}
+			for _, rec := range recs {
+				if err := sys.apply(rec.Op, rec.Args); err != nil {
+					return nil, nil, none, fmt.Errorf("persist: replay record %d (%s): %w", rec.Seq, rec.Op, err)
+				}
+			}
+			info.SnapshotSeq = st.Seq
+			info.SnapshotFile = entry.File
+			info.Replayed = len(recs)
+			return sys, info, tail, nil
+		}
 	}
-	return nil
+
+	// Full replay — impossible once the journal was compacted.
+	recs, tail, err := persist.LoadJournalSuffix(path, 0)
+	if err != nil {
+		return nil, nil, none, err
+	}
+	if tail.FirstSeq > 1 {
+		return nil, nil, none, fmt.Errorf(
+			"adept2: journal starts at seq %d (compacted) and no usable snapshot reaches seq %d: %v",
+			tail.FirstSeq, tail.FirstSeq-1, info.Fallbacks)
+	}
+	sys := newSystem(c)
+	if err := persist.Replay(recs, sys.apply); err != nil {
+		return nil, nil, none, err
+	}
+	info.FullReplay = true
+	info.Replayed = len(recs)
+	return sys, info, tail, nil
+}
+
+// Recovery reports how Open rebuilt the state (nil for systems created
+// with New).
+func (s *System) Recovery() *RecoveryInfo { return s.recovery }
+
+// Close drains the group-commit pipeline, waits for an in-flight
+// background snapshot, and releases the journal.
+func (s *System) Close() error {
+	var firstErr error
+	if s.committer != nil {
+		if err := s.committer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Engine exposes the underlying runtime (read paths, worklists).
@@ -144,15 +392,125 @@ type evolveArgs struct {
 }
 
 func (s *System) log(op string, args any) error {
-	if s.journal == nil {
+	var err error
+	switch {
+	case s.committer != nil:
+		_, err = s.committer.Append(op, args)
+	case s.journal != nil:
+		err = s.journal.Append(op, args)
+	default:
 		return nil
 	}
-	return s.journal.Append(op, args)
+	if err == nil {
+		s.maybeCheckpoint()
+	}
+	return err
+}
+
+// Checkpoint synchronously captures the engine state at the current
+// journal position and writes a snapshot, returning its path and the
+// journal sequence number it covers. The capture quiesces commands for
+// the (in-memory, fast) state export; serialization and the file write
+// happen outside the barrier.
+func (s *System) Checkpoint() (string, int, error) {
+	if s.ckpt == nil {
+		return "", 0, fmt.Errorf("adept2: checkpointing is not enabled (use WithCheckpointing)")
+	}
+	st, err := s.captureState()
+	if err != nil {
+		return "", 0, err
+	}
+	file, err := s.ckpt.store.WriteAndPrune(st, s.ckpt.keep)
+	if err != nil {
+		return file, st.Seq, err
+	}
+	s.ckpt.mu.Lock()
+	if st.Seq > s.ckpt.lastSeq {
+		s.ckpt.lastSeq = st.Seq
+	}
+	s.ckpt.mu.Unlock()
+	return file, st.Seq, nil
+}
+
+// captureState stages the engine state under the exclusive snapshot
+// barrier (cheap clones only — serialization happens after the barrier is
+// released), tied to a fully durable journal sequence number: with group
+// commit the pipeline is synced first, so the snapshot never covers
+// records that could still be lost by a crash.
+func (s *System) captureState() (*durable.SystemState, error) {
+	s.snapMu.Lock()
+	if s.committer != nil {
+		if err := s.committer.Sync(); err != nil {
+			s.snapMu.Unlock()
+			return nil, err
+		}
+	}
+	seq := 0
+	if s.journal != nil {
+		seq = s.journal.Seq()
+	}
+	staged := durable.Stage(s.eng, seq)
+	s.snapMu.Unlock()
+	return staged.Encode()
+}
+
+// maybeCheckpoint spawns a background snapshot when the journal grew past
+// the configured threshold since the last one (at most one in flight).
+func (s *System) maybeCheckpoint() {
+	ck := s.ckpt
+	if ck == nil || ck.every <= 0 || s.journal == nil {
+		return
+	}
+	seq := s.journal.Seq()
+	ck.mu.Lock()
+	// The trigger base is the newest snapshot OR the last (possibly
+	// failed) attempt: a persistently failing snapshot store retries only
+	// once per Every records instead of stalling every command behind the
+	// capture barrier.
+	base := ck.lastSeq
+	if ck.tried > base {
+		base = ck.tried
+	}
+	if ck.inflight || seq-base < ck.every {
+		ck.mu.Unlock()
+		return
+	}
+	ck.inflight = true
+	ck.tried = seq
+	ck.mu.Unlock()
+	go func() {
+		_, _, err := s.Checkpoint()
+		ck.mu.Lock()
+		ck.inflight = false
+		ck.err = err
+		ck.idle.Broadcast()
+		ck.mu.Unlock()
+	}()
+}
+
+// WaitCheckpoints blocks until no background snapshot is in flight and
+// returns the most recent background snapshot error, if any.
+func (s *System) WaitCheckpoints() error {
+	if s.ckpt == nil {
+		return nil
+	}
+	return s.ckpt.wait()
+}
+
+// JournalSeq returns the sequence number of the last journaled command (0
+// without a journal).
+func (s *System) JournalSeq() int {
+	if s.journal == nil {
+		return 0
+	}
+	return s.journal.Seq()
 }
 
 // AddUser registers a user in the organizational model (journaled, unlike
 // direct Org() mutation).
 func (s *System) AddUser(u *User) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	if err := s.eng.Org().AddUser(u); err != nil {
 		return err
 	}
@@ -161,6 +519,8 @@ func (s *System) AddUser(u *User) error {
 
 // Deploy verifies and registers a schema version.
 func (s *System) Deploy(schema *Schema) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	if err := s.eng.Deploy(schema); err != nil {
 		return err
 	}
@@ -179,6 +539,8 @@ func (s *System) CreateInstance(typeName string) (*Instance, error) {
 // CreateInstanceVersion instantiates an explicit schema version (0 =
 // latest).
 func (s *System) CreateInstanceVersion(typeName string, version int) (*Instance, error) {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	inst, err := s.eng.CreateInstance(typeName, version)
 	if err != nil {
 		return nil, err
@@ -188,6 +550,8 @@ func (s *System) CreateInstanceVersion(typeName string, version int) (*Instance,
 
 // Start starts an activated activity on behalf of a user.
 func (s *System) Start(instID, node, user string) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	if err := s.eng.StartActivity(instID, node, user); err != nil {
 		return err
 	}
@@ -211,6 +575,8 @@ func (s *System) CompleteLoop(instID, node, user string, outputs map[string]any,
 }
 
 func (s *System) complete(a completeArgs) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	var opts []engine.CompleteOption
 	if a.Decision != nil {
 		opts = append(opts, engine.WithDecision(*a.Decision))
@@ -227,6 +593,8 @@ func (s *System) complete(a completeArgs) error {
 // AdHocChange applies an ad-hoc change to a single running instance (the
 // paper's instance-level change dimension).
 func (s *System) AdHocChange(instID string, ops ...Operation) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	inst, ok := s.eng.Instance(instID)
 	if !ok {
 		return fmt.Errorf("adept2: unknown instance %q", instID)
@@ -254,6 +622,8 @@ type suspendArgs struct {
 // Suspend blocks user operations on an instance; ad-hoc changes and
 // migration stay possible.
 func (s *System) Suspend(instID string) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	if err := s.eng.Suspend(instID); err != nil {
 		return err
 	}
@@ -262,6 +632,8 @@ func (s *System) Suspend(instID string) error {
 
 // Resume re-enables user operations on a suspended instance.
 func (s *System) Resume(instID string) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	if err := s.eng.Resume(instID); err != nil {
 		return err
 	}
@@ -280,6 +652,8 @@ func (s *System) UndoAllAdHocChanges(instID string) error {
 }
 
 func (s *System) undo(instID string, all bool) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	inst, ok := s.eng.Instance(instID)
 	if !ok {
 		return fmt.Errorf("adept2: unknown instance %q", instID)
@@ -300,6 +674,8 @@ func (s *System) undo(instID string, all bool) error {
 // compliant instances on the fly (the paper's type-level change
 // dimension). The returned report classifies every instance.
 func (s *System) Evolve(typeName string, ops []Operation, opts EvolveOptions) (*MigrationReport, error) {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	report, err := s.mgr.Evolve(typeName, ops, opts)
 	if err != nil {
 		return nil, err
