@@ -10,6 +10,7 @@
 //	adeptctl seed -journal wal    # build a small journaled workload
 //	adeptctl snapshot -journal wal# write a checkpoint of the journal state
 //	adeptctl compact -journal wal # checkpoint, then drop the covered prefix
+//	adeptctl reshard -journal wal -shards 4  # repartition offline
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"adept2"
 	"adept2/internal/change"
 	"adept2/internal/durable"
+	"adept2/internal/durable/sharded"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/monitor"
@@ -46,6 +48,8 @@ func main() {
 		snapshot(os.Args[2:])
 	case "compact":
 		compact(os.Args[2:])
+	case "reshard":
+		reshard(os.Args[2:])
 	default:
 		usage()
 	}
@@ -55,9 +59,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: adeptctl demo
        adeptctl schema [-version N]
        adeptctl drill [-n N] [-mode fast|replay]
-       adeptctl seed -journal PATH [-n N]
+       adeptctl seed -journal PATH [-n N] [-shards N]
        adeptctl snapshot -journal PATH [-dir DIR]
-       adeptctl compact -journal PATH [-dir DIR]`)
+       adeptctl compact -journal PATH [-dir DIR]
+       adeptctl reshard -journal PATH -shards N [-dir DIR]`)
 	os.Exit(2)
 }
 
@@ -156,12 +161,17 @@ func seed(args []string) {
 	fs := flag.NewFlagSet("seed", flag.ExitOnError)
 	journal := fs.String("journal", "", "journal file to create (required)")
 	n := fs.Int("n", 8, "instances to create")
+	shards := fs.Int("shards", 0, "create a sharded layout with N shards (0 = single journal)")
 	must(fs.Parse(args))
 	if *journal == "" {
 		usage()
 	}
 
-	sys, err := adept2.Open(*journal)
+	var opts []adept2.Option
+	if *shards > 1 {
+		opts = append(opts, adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1, Shards: *shards}))
+	}
+	sys, err := adept2.Open(*journal, opts...)
 	must(err)
 	for _, u := range []*adept2.User{
 		{ID: "ann", Name: "Ann", Roles: []string{"clerk", "sales"}},
@@ -200,6 +210,13 @@ func openDurable(journal, dir string) *adept2.System {
 	default:
 		fmt.Printf("recovered from snapshot seq %d + %d-record suffix\n", info.SnapshotSeq, info.Replayed)
 	}
+	if info.Shards > 1 {
+		fmt.Printf("  sharded layout: %d shards", info.Shards)
+		for _, sr := range info.PerShard {
+			fmt.Printf("  [%d: snap %d +%d]", sr.Shard, sr.SnapshotSeq, sr.Replayed)
+		}
+		fmt.Println()
+	}
 	for _, fb := range info.Fallbacks {
 		fmt.Printf("  fallback: %s\n", fb)
 	}
@@ -220,12 +237,18 @@ func snapshot(args []string) {
 	file, seq, err := sys.Checkpoint()
 	must(err)
 	must(sys.Close())
-	fmt.Printf("snapshot %s covering journal seq %d\n", file, seq)
+	if info, err := durable.ReadSnapshotInfo(file); err == nil && info.Compressed {
+		fmt.Printf("snapshot %s covering journal seq %d (%d B payload, %d B compressed, %.1fx)\n",
+			file, seq, info.RawLen, info.StoredLen, float64(info.RawLen)/float64(info.StoredLen))
+	} else {
+		fmt.Printf("snapshot %s covering journal seq %d\n", file, seq)
+	}
 }
 
 // compact checkpoints, then rewrites the journal without the records the
 // snapshot covers (the journal is closed before the rewrite — compaction
-// is an offline operation).
+// is an offline operation). On a sharded layout every shard journal is
+// compacted against the newest generation.
 func compact(args []string) {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	journal := fs.String("journal", "", "journal file (required)")
@@ -238,7 +261,33 @@ func compact(args []string) {
 	file, seq, err := sys.Checkpoint()
 	must(err)
 	must(sys.Close())
+	if man, merr := sharded.LoadManifest(sharded.ManifestPath(*journal)); merr == nil && man != nil {
+		dropped, err := sharded.CompactAll(*journal)
+		must(err)
+		fmt.Printf("snapshot generation at %s; dropped %d records across %d shard journals\n", file, dropped, man.Shards)
+		return
+	}
 	dropped, err := durable.CompactJournal(*journal, seq)
 	must(err)
 	fmt.Printf("snapshot %s; dropped %d journal records covered by seq %d\n", file, dropped, seq)
+}
+
+// reshard repartitions a durability layout offline: snapshot-all under
+// the new instance-to-shard hash, commit the new global manifest, sweep
+// the obsolete artifacts.
+func reshard(args []string) {
+	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required)")
+	shards := fs.Int("shards", 0, "target shard count (required)")
+	dir := fs.String("dir", "", "snapshot directory root (default sibling directories per shard)")
+	must(fs.Parse(args))
+	if *journal == "" || *shards < 1 {
+		usage()
+	}
+	var opts []adept2.Option
+	if *dir != "" {
+		opts = append(opts, adept2.WithCheckpointing(adept2.CheckpointConfig{Dir: *dir}))
+	}
+	must(adept2.Reshard(*journal, *shards, opts...))
+	fmt.Printf("resharded %s to %d shards\n", *journal, *shards)
 }

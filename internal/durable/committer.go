@@ -73,6 +73,13 @@ func (c *Committer) Journal() *persist.Journal { return c.j }
 // was written and fsynced) or the committer failed or closed. The returned
 // sequence number is valid iff err is nil.
 func (c *Committer) Append(op string, args any) (int, error) {
+	return c.AppendEpoch(op, 0, args)
+}
+
+// AppendEpoch is Append with an explicit epoch reference on the record
+// (sharded data journals tag commands with the control-log position they
+// were issued under; see internal/durable/sharded).
+func (c *Committer) AppendEpoch(op string, epoch int, args any) (int, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -88,7 +95,7 @@ func (c *Committer) Append(op string, args any) (int, error) {
 	// The journal's own lock serializes the record into the shared buffer
 	// and assigns the sequence number; holding c.mu here would serialize
 	// the JSON encoding too.
-	seq, err := c.j.AppendSeq(op, args)
+	seq, err := c.j.AppendRecord(op, epoch, args)
 	if err != nil {
 		return 0, err
 	}
@@ -144,6 +151,16 @@ func (c *Committer) settle(seq int) error {
 	}
 	c.cond.Broadcast()
 	return nil
+}
+
+// Err returns the sticky flush error without blocking: nil while the
+// committer is healthy, the first fsync-gate failure once it is wedged.
+// Health surfacing (System.Health) polls this instead of waiting for the
+// next append to observe the failure.
+func (c *Committer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // Sync blocks until everything appended so far is durable.

@@ -60,4 +60,47 @@
 // Journal compaction (CompactJournal) rewrites the journal to the suffix
 // not covered by a given snapshot; the persist readers accept journals
 // starting past sequence 1, and recovery then requires that snapshot.
+//
+// # Sharding (internal/durable/sharded)
+//
+// The sharded subpackage partitions this pipeline across N journals:
+// instances are hashed by instance ID onto shards (FNV-1a, baked into the
+// layout), each shard owning its own journal, group-commit committer, and
+// snapshot series. Its invariants:
+//
+//   - Control log. Shard 0 is the control log: schema deploys, org/user
+//     records, and schema evolutions append there. The epoch — the shard-0
+//     sequence number of the newest durable control record — is stamped
+//     onto every data-shard record. The facade holds its snapshot barrier
+//     EXCLUSIVELY around control commands, so a data record stamped with
+//     epoch e provably executed after control record e and before the
+//     first control record past e; recovery replays it in exactly that
+//     window (data shards concurrently between control-record barriers).
+//
+//   - Epoch cut. A checkpoint captures every shard under one exclusive
+//     barrier: one generation = one consistent cut at one epoch, recorded
+//     in the global MANIFEST.json (written only after every part is
+//     durable — it supersedes the advisory per-store manifests). Recovery
+//     restores all parts of ONE generation, never mixing cuts: a control
+//     change (an evolution migrates instances without touching their
+//     shards' journals) between two cuts would otherwise be double- or
+//     un-applied. A rejected part therefore degrades recovery to the
+//     previous generation for every shard, and finally to a full merged
+//     replay. Part files are epoch-qualified (snap-<seq>.e<epoch>.json)
+//     so a quiescent shard's parts are not overwritten across cuts.
+//
+//   - Refusals. The single-journal hard errors hold per shard: a snapshot
+//     past the journal tail (truncation), and a compacted shard journal
+//     no usable generation reaches. Two sharded-specific conditions are
+//     also hard refusals: a data record whose epoch lies past the control
+//     log's tail (the control journal lost committed records), and shard
+//     journals past the manifest's declared count holding records (shard
+//     count mismatch — the partitioning function is authoritative).
+//
+//   - Single-shard compatibility. Shard 0's journal is the base path and
+//     its snapshot directory the base's sibling, so a 1-shard layout is
+//     byte-compatible with the pre-sharding layout; epoch stamps are
+//     omitted there. Changing the shard count is an offline reshard
+//     (adept2.Reshard): snapshot-all under the new hash, commit the new
+//     global manifest, sweep the obsolete artifacts.
 package durable

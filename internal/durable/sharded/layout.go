@@ -1,0 +1,201 @@
+// Package sharded partitions the durability pipeline of internal/durable
+// across N journals: instances are hashed by instance ID onto shards,
+// each shard owns its own journal file, its own group-commit committer,
+// and its own snapshot series, and recovery opens all shards in parallel.
+// Shard 0 doubles as the control log: schema deploys, org/user changes,
+// and schema evolutions are appended there, and the sequence number of
+// the last control record — the epoch — is stamped onto every data-shard
+// record so cross-shard recovery can re-establish a consistent order.
+// See the package documentation of internal/durable for the invariants.
+package sharded
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"adept2/internal/durable"
+)
+
+// Layout names the on-disk artifacts of a sharded journal set rooted at a
+// base journal path. Shard 0's journal is the base path itself, so a
+// single-shard layout is byte-compatible with the pre-sharding (PR 3)
+// single-journal layout; shard k > 0 lives in sibling files.
+type Layout struct {
+	// Base is the shard-0 journal path (the path handed to adept2.Open).
+	Base string
+	// Shards is the shard count (>= 1).
+	Shards int
+	// SnapBase optionally overrides the snapshot directory root: shard
+	// k's store becomes SnapBase/shard-k. Empty selects the default
+	// sibling-directory scheme (<journal>.snapshots per shard).
+	SnapBase string
+}
+
+// JournalPath returns shard k's journal file path.
+func (l Layout) JournalPath(k int) string {
+	if k == 0 {
+		return l.Base
+	}
+	return fmt.Sprintf("%s.shard-%d", l.Base, k)
+}
+
+// SnapDir returns shard k's snapshot directory.
+func (l Layout) SnapDir(k int) string {
+	if l.SnapBase != "" {
+		return filepath.Join(l.SnapBase, fmt.Sprintf("shard-%d", k))
+	}
+	return l.JournalPath(k) + ".snapshots"
+}
+
+// ManifestPath returns the global manifest path for a base journal path.
+func ManifestPath(base string) string { return base + ".MANIFEST.json" }
+
+// ShardOf hashes an instance ID onto one of n shards. The hash must stay
+// stable across processes (it is baked into the on-disk partitioning):
+// FNV-1a over the ID bytes.
+func ShardOf(instID string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(instID))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ManifestFormat versions the global manifest schema.
+const ManifestFormat = 1
+
+// Part ties one shard's snapshot file to the journal sequence number it
+// covers within a generation.
+type Part struct {
+	File string `json:"file"`
+	Seq  int    `json:"seq"`
+}
+
+// Generation records one checkpoint cut: every shard's snapshot was
+// captured under the same exclusive barrier, at the same control epoch,
+// so restoring all parts of one generation yields a consistent state.
+type Generation struct {
+	// Epoch is the control-log (shard 0) sequence number of the last
+	// control record folded into the cut.
+	Epoch int    `json:"epoch"`
+	Parts []Part `json:"parts"`
+}
+
+// Manifest is the global sharded-layout manifest. Unlike the advisory
+// per-store manifests, it is authoritative: it declares the shard count
+// (the partitioning function), and its generation list is the unit of
+// recovery fallback — a generation is only usable when every part of it
+// validates, so the manifest is written after all parts are durable.
+type Manifest struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+	// Heads records each shard's journal head sequence number as of the
+	// newest generation (diagnostic; recovery trusts the journals).
+	Heads []int `json:"heads,omitempty"`
+	// Generations lists checkpoint cuts, ascending (newest last).
+	Generations []Generation `json:"generations,omitempty"`
+	// ReplayFloors marks, per shard, the journal position of the last
+	// reshard cut: records at or below the floor were partitioned under
+	// a DIFFERENT shard count, so a full merged replay — which orders
+	// data shards only by epoch — could interleave one instance's
+	// records from two shards. Recovery refuses full replay for a data
+	// shard whose journal still reaches its floor (a generation snapshot
+	// is required instead). Shard 0 is exempt: its pre-reshard records
+	// are totally ordered and epoch-gate every later data record.
+	ReplayFloors []int `json:"replayFloors,omitempty"`
+}
+
+// NewManifest initializes an empty manifest for n shards.
+func NewManifest(n int) *Manifest {
+	return &Manifest{Format: ManifestFormat, Shards: n}
+}
+
+// LoadManifest reads the global manifest; a missing file returns (nil,
+// nil) — the caller treats that as "not a sharded layout".
+func LoadManifest(path string) (*Manifest, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sharded: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("sharded: parse manifest %s: %w", path, err)
+	}
+	if m.Format != ManifestFormat {
+		return nil, fmt.Errorf("sharded: manifest %s: format %d, want %d", path, m.Format, ManifestFormat)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("sharded: manifest %s: invalid shard count %d", path, m.Shards)
+	}
+	return &m, nil
+}
+
+// WriteManifest atomically rewrites the global manifest (temp file +
+// fsync + rename + directory fsync, like snapshot files).
+func WriteManifest(base string, m *Manifest) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sharded: marshal manifest: %w", err)
+	}
+	dir, name := filepath.Split(ManifestPath(base))
+	if dir == "" {
+		dir = "."
+	}
+	return durable.AtomicWrite(dir, name, blob)
+}
+
+// StrayShards lists the indexes of shard journals past the declared
+// shard count that hold data.
+func StrayShards(base string, shards int) ([]int, error) {
+	dir, name := filepath.Split(base)
+	if dir == "" {
+		dir = "."
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: scan layout: %w", err)
+	}
+	prefix := name + ".shard-"
+	var stray []int
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), prefix) {
+			continue
+		}
+		k, err := strconv.Atoi(strings.TrimPrefix(de.Name(), prefix))
+		if err != nil || k < shards {
+			continue
+		}
+		if info, err := de.Info(); err == nil && info.Size() > 0 {
+			stray = append(stray, k)
+		}
+	}
+	return stray, nil
+}
+
+// CheckStrayShards refuses when the directory holds shard journals past
+// the manifest's shard count with records in them: silently ignoring a
+// populated shard journal would drop its instances' history. Resharding
+// (which rewrites the layout offline, and sweeps these up when rerun
+// after an interrupted shrink) is the only legitimate way the shard
+// count changes.
+func CheckStrayShards(base string, shards int) error {
+	stray, err := StrayShards(base, shards)
+	if err != nil {
+		return err
+	}
+	if len(stray) > 0 {
+		return fmt.Errorf(
+			"sharded: journal shard %d exists with data but the manifest declares %d shards: shard count mismatch, refusing to recover (rerun adeptctl reshard)",
+			stray[0], shards)
+	}
+	return nil
+}

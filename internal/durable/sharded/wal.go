@@ -1,0 +1,179 @@
+package sharded
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"adept2/internal/durable"
+	"adept2/internal/persist"
+)
+
+// WAL routes journal appends across the shards of a layout: control
+// records (schema deploys, users, evolutions) to shard 0, data records to
+// the shard their instance hashes onto, stamped with the current epoch.
+// Each shard owns its own journal and (with group commit) its own
+// committer, so concurrent appends to different shards serialize, encode,
+// and fsync independently — the append path scales past a single fsync
+// queue.
+//
+// The epoch is the shard-0 sequence number of the newest *durable*
+// control record. The facade serializes control commands against all data
+// commands (exclusive snapshot barrier), so by the time the epoch
+// advances, every concurrently issued data record carried the previous
+// epoch — which is exactly the order recovery re-establishes.
+type WAL struct {
+	layout Layout
+	shards []walShard
+	epoch  atomic.Int64
+}
+
+type walShard struct {
+	j *persist.Journal
+	c *durable.Committer // nil without group commit
+}
+
+// OpenWAL resumes every shard journal of the layout. tails carries the
+// per-shard scan results recovery already established (persist.TailInfo
+// per shard; the zero value is fine for journals that do not exist yet).
+// With group commit each shard gets its own buffered journal and
+// committer; otherwise appends fsync individually — still in parallel
+// across shards, since each journal has its own lock and fd.
+func OpenWAL(l Layout, tails []persist.TailInfo, group bool, opts durable.CommitterOptions) (*WAL, error) {
+	if len(tails) != l.Shards {
+		return nil, fmt.Errorf("sharded: open wal: %d tails for %d shards", len(tails), l.Shards)
+	}
+	w := &WAL{layout: l, shards: make([]walShard, l.Shards)}
+	for k := range w.shards {
+		j, err := persist.ResumeJournal(l.JournalPath(k), tails[k], group)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.shards[k].j = j
+		if group {
+			w.shards[k].c = durable.NewCommitter(j, opts)
+		}
+	}
+	return w, nil
+}
+
+// Shards returns the shard count.
+func (w *WAL) Shards() int { return len(w.shards) }
+
+// Journal exposes shard k's journal (read-side accessors and tests).
+func (w *WAL) Journal(k int) *persist.Journal { return w.shards[k].j }
+
+// ShardFor returns the shard an instance's records route to.
+func (w *WAL) ShardFor(instID string) int { return ShardOf(instID, len(w.shards)) }
+
+// Epoch returns the current control epoch.
+func (w *WAL) Epoch() int { return int(w.epoch.Load()) }
+
+// SetEpoch installs the recovered control epoch (the shard-0 sequence
+// number of the last control record recovery applied or restored).
+func (w *WAL) SetEpoch(e int) { w.epoch.Store(int64(e)) }
+
+// appendShard journals one record on shard k, blocking until durable.
+func (w *WAL) appendShard(k int, op string, epoch int, args any) (int, error) {
+	sh := &w.shards[k]
+	if sh.c != nil {
+		return sh.c.AppendEpoch(op, epoch, args)
+	}
+	return sh.j.AppendRecord(op, epoch, args)
+}
+
+// AppendControl journals a control record on shard 0 and advances the
+// epoch once the record is durable. The caller must hold the facade's
+// exclusive barrier: no data append may be in flight between the engine
+// mutation and the epoch advance, or recovery could order a dependent
+// data record ahead of this control record.
+func (w *WAL) AppendControl(op string, args any) (int, error) {
+	seq, err := w.appendShard(0, op, 0, args)
+	if err != nil {
+		return 0, err
+	}
+	w.epoch.Store(int64(seq))
+	return seq, nil
+}
+
+// AppendData journals a data record on the instance's shard, stamped with
+// the current epoch. Shard-0 data records carry no stamp — their position
+// in the control journal already orders them totally.
+func (w *WAL) AppendData(instID, op string, args any) error {
+	k := w.ShardFor(instID)
+	epoch := 0
+	if k != 0 {
+		epoch = w.Epoch()
+	}
+	_, err := w.appendShard(k, op, epoch, args)
+	return err
+}
+
+// Seqs returns every shard's last journal sequence number.
+func (w *WAL) Seqs() []int {
+	out := make([]int, len(w.shards))
+	for k := range w.shards {
+		if w.shards[k].j != nil {
+			out[k] = w.shards[k].j.Seq()
+		}
+	}
+	return out
+}
+
+// TotalSeq sums the shard head sequence numbers — a monotonic growth
+// measure the checkpoint trigger compares across cuts.
+func (w *WAL) TotalSeq() int {
+	total := 0
+	for _, s := range w.Seqs() {
+		total += s
+	}
+	return total
+}
+
+// Sync makes every previously appended record durable on all shards.
+func (w *WAL) Sync() error {
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil {
+			if err := c.Sync(); err != nil {
+				return fmt.Errorf("sharded: shard %d: %w", k, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Health reports the first wedged shard committer (sticky fsync-gate
+// error) without blocking, or nil while all shards are healthy. Without
+// group commit there is no asynchronous failure mode to surface: append
+// errors reach their callers directly.
+func (w *WAL) Health() error {
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil {
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("sharded: shard %d committer wedged: %w", k, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close drains the committers and closes every shard journal, returning
+// the first error.
+func (w *WAL) Close() error {
+	var firstErr error
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for k := range w.shards {
+		if j := w.shards[k].j; j != nil {
+			if err := j.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

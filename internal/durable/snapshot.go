@@ -3,6 +3,7 @@ package durable
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -16,13 +17,25 @@ import (
 	"adept2/internal/persist"
 )
 
+// Snapshot container versions: v1 stores the SystemState JSON payload
+// raw, v2 gzip-compresses it (the payload is highly repetitive — node
+// IDs, marking vocabularies — so compression is cheap and large). New
+// snapshots are written as v2; both versions load.
+const (
+	containerRaw  = 1
+	containerGzip = 2
+)
+
 // snapHeader is the first line of a snapshot file; the payload follows as
-// exactly Len bytes of SystemState JSON with CRC-32 (IEEE) checksum CRC32.
+// exactly Len bytes with CRC-32 (IEEE) checksum CRC32 over the stored
+// (possibly compressed) bytes. RawLen records the uncompressed payload
+// size for v2 containers (equal to Len for v1, where it is omitted).
 type snapHeader struct {
 	Format int    `json:"format"`
 	Seq    int    `json:"seq"`
 	Len    int    `json:"len"`
 	CRC32  uint32 `json:"crc32"`
+	RawLen int    `json:"rawLen,omitempty"`
 }
 
 // ManifestEntry ties one snapshot file to the journal sequence number it
@@ -71,15 +84,35 @@ func OpenStore(dir string) (*SnapshotStore, error) {
 // Dir returns the store directory.
 func (st *SnapshotStore) Dir() string { return st.dir }
 
-// fileFor returns the snapshot file name covering seq.
-func fileFor(seq int) string { return fmt.Sprintf("%s%012d%s", snapPrefix, seq, snapSuffix) }
+// fileFor returns the snapshot file name covering seq. Sharded states
+// (epoch > 0) qualify the name with the control epoch: a shard whose
+// journal did not advance between two checkpoint cuts would otherwise
+// reuse the name and overwrite an older generation's part — and its
+// state CAN differ at the same sequence number, because a schema
+// evolution on the control log migrates instances without touching the
+// data shard's journal. Same seq and same epoch imply identical state,
+// so that residual sharing is safe.
+func fileFor(seq, epoch int) string {
+	if epoch > 0 {
+		return fmt.Sprintf("%s%012d.e%09d%s", snapPrefix, seq, epoch, snapSuffix)
+	}
+	return fmt.Sprintf("%s%012d%s", snapPrefix, seq, snapSuffix)
+}
 
-// seqOf parses the sequence number out of a snapshot file name.
+// seqOf parses the sequence number out of a snapshot file name (either
+// the plain or the epoch-qualified form).
 func seqOf(name string) (int, bool) {
 	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
 		return 0, false
 	}
-	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix))
+	core := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if i := strings.Index(core, ".e"); i >= 0 {
+		if _, err := strconv.Atoi(core[i+2:]); err != nil {
+			return 0, false
+		}
+		core = core[:i]
+	}
+	n, err := strconv.Atoi(core)
 	if err != nil || n < 0 {
 		return 0, false
 	}
@@ -113,34 +146,46 @@ func (st *SnapshotStore) WriteAndPrune(state *SystemState, keep int) (string, er
 
 // write persists the snapshot file without touching the manifest.
 func (st *SnapshotStore) write(state *SystemState) (string, error) {
-	payload, err := json.Marshal(state)
+	raw, err := json.Marshal(state)
 	if err != nil {
 		return "", fmt.Errorf("durable: marshal snapshot: %w", err)
 	}
+	// v2 container: gzip at the fastest level — checkpoint latency
+	// matters more than the last few percent of ratio on this payload.
+	var gz bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&gz, gzip.BestSpeed)
+	if _, err := zw.Write(raw); err != nil {
+		return "", fmt.Errorf("durable: compress snapshot: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return "", fmt.Errorf("durable: compress snapshot: %w", err)
+	}
+	payload := gz.Bytes()
 	hdr, err := json.Marshal(snapHeader{
-		Format: state.Format,
+		Format: containerGzip,
 		Seq:    state.Seq,
 		Len:    len(payload),
 		CRC32:  crc32.ChecksumIEEE(payload),
+		RawLen: len(raw),
 	})
 	if err != nil {
 		return "", fmt.Errorf("durable: marshal snapshot header: %w", err)
 	}
-	name := fileFor(state.Seq)
+	name := fileFor(state.Seq, state.Epoch)
 	var buf bytes.Buffer
 	buf.Grow(len(hdr) + 1 + len(payload))
 	buf.Write(hdr)
 	buf.WriteByte('\n')
 	buf.Write(payload)
-	if err := atomicWrite(st.dir, name, buf.Bytes()); err != nil {
+	if err := AtomicWrite(st.dir, name, buf.Bytes()); err != nil {
 		return "", err
 	}
 	return filepath.Join(st.dir, name), nil
 }
 
-// atomicWrite writes name in dir via temp file + fsync + rename + dir
+// AtomicWrite writes name in dir via temp file + fsync + rename + dir
 // fsync.
-func atomicWrite(dir, name string, data []byte) error {
+func AtomicWrite(dir, name string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("durable: write %s: %w", name, err)
@@ -205,7 +250,7 @@ func (st *SnapshotStore) writeManifest() error {
 	if err != nil {
 		return fmt.Errorf("durable: marshal manifest: %w", err)
 	}
-	return atomicWrite(st.dir, ManifestName, blob)
+	return AtomicWrite(st.dir, ManifestName, blob)
 }
 
 // ReadManifest parses the manifest (advisory; see Manifest).
@@ -239,8 +284,9 @@ func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
 	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
 		return nil, fmt.Errorf("durable: snapshot %s: corrupt header: %w", entry.File, err)
 	}
-	if hdr.Format != FormatVersion {
-		return nil, fmt.Errorf("durable: snapshot %s: format %d, want %d", entry.File, hdr.Format, FormatVersion)
+	if hdr.Format != containerRaw && hdr.Format != containerGzip {
+		return nil, fmt.Errorf("durable: snapshot %s: container format %d, want %d or %d",
+			entry.File, hdr.Format, containerRaw, containerGzip)
 	}
 	if hdr.Seq != entry.Seq {
 		return nil, fmt.Errorf("durable: snapshot %s: header seq %d does not match file name", entry.File, hdr.Seq)
@@ -255,6 +301,20 @@ func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
 	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC32 {
 		return nil, fmt.Errorf("durable: snapshot %s: checksum mismatch (%08x != %08x)", entry.File, crc, hdr.CRC32)
 	}
+	if hdr.Format == containerGzip {
+		zr, err := gzip.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("durable: snapshot %s: corrupt gzip payload: %w", entry.File, err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("durable: snapshot %s: corrupt gzip payload: %w", entry.File, err)
+		}
+		payload = raw
+	}
 	var state SystemState
 	if err := json.Unmarshal(payload, &state); err != nil {
 		return nil, fmt.Errorf("durable: snapshot %s: corrupt payload: %w", entry.File, err)
@@ -265,11 +325,64 @@ func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
 	return &state, nil
 }
 
+// SnapshotInfo summarizes a snapshot file's header: the journal sequence
+// number it covers, the stored (on-disk) payload size, the uncompressed
+// payload size, and whether the container is compressed.
+type SnapshotInfo struct {
+	Seq        int
+	StoredLen  int
+	RawLen     int
+	Compressed bool
+}
+
+// ReadSnapshotInfo reads just the header line of a snapshot file (for
+// tooling output — adeptctl reports both payload sizes).
+func ReadSnapshotInfo(path string) (SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("durable: open snapshot: %w", err)
+	}
+	defer f.Close()
+	hdrLine, err := bufio.NewReaderSize(f, 4096).ReadBytes('\n')
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("durable: snapshot %s: torn header: %w", path, err)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("durable: snapshot %s: corrupt header: %w", path, err)
+	}
+	info := SnapshotInfo{Seq: hdr.Seq, StoredLen: hdr.Len, RawLen: hdr.RawLen, Compressed: hdr.Format == containerGzip}
+	if info.RawLen == 0 {
+		info.RawLen = hdr.Len
+	}
+	return info, nil
+}
+
 // Prune removes all but the newest keep snapshots and rewrites the
 // manifest.
 func (st *SnapshotStore) Prune(keep int) error {
 	if err := st.prune(keep); err != nil {
 		return err
+	}
+	return st.writeManifest()
+}
+
+// PruneExcept removes every snapshot file whose name is not in keep and
+// rewrites the advisory manifest. The sharded checkpoint path uses it for
+// generation-aware pruning: retention is decided by the global manifest's
+// generations, not by file count.
+func (st *SnapshotStore) PruneExcept(keep map[string]bool) error {
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if keep[e.File] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("durable: prune %s: %w", e.File, err)
+		}
 	}
 	return st.writeManifest()
 }
@@ -341,7 +454,7 @@ func CompactJournal(path string, keepSeq int) (int, error) {
 	if dir == "" {
 		dir = "."
 	}
-	if err := atomicWrite(dir, name, buf.Bytes()); err != nil {
+	if err := AtomicWrite(dir, name, buf.Bytes()); err != nil {
 		return 0, err
 	}
 	return dropped, nil

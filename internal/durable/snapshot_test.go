@@ -1,6 +1,8 @@
 package durable
 
 import (
+	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -264,5 +266,111 @@ func TestOpenStoreSweepsOrphanedTempFiles(t *testing.T) {
 	}
 	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
 		t.Fatalf("orphaned temp file not swept: %v", err)
+	}
+}
+
+// TestSnapshotCompression: new snapshots use the gzip container, report
+// both sizes through ReadSnapshotInfo, and load back exactly; a raw v1
+// container written by a pre-compression build still loads.
+func TestSnapshotCompression(t *testing.T) {
+	e := populate(t)
+	st, err := Capture(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := store.Write(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReadSnapshotInfo(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Compressed || info.Seq != 9 {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.StoredLen >= info.RawLen {
+		t.Fatalf("no compression win: stored %d, raw %d", info.StoredLen, info.RawLen)
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() > int64(info.RawLen) {
+		t.Fatalf("file larger than raw payload: %v bytes, err=%v", fi.Size(), err)
+	}
+	entries, _ := store.Entries()
+	got, err := store.Load(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 9 || len(got.Instances) != len(st.Instances) {
+		t.Fatalf("loaded %+v", got)
+	}
+
+	// Hand-build a v1 (raw) container the way pre-compression builds
+	// wrote them: it must keep loading.
+	payload, err := json.Marshal(&SystemState{Format: FormatVersion, Seq: 4, InstanceCounter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _ := json.Marshal(map[string]any{
+		"format": 1, "seq": 4, "len": len(payload), "crc32": crc32.ChecksumIEEE(payload),
+	})
+	raw := append(append(hdr, '\n'), payload...)
+	v1 := filepath.Join(store.Dir(), "snap-000000000004.json")
+	if err := os.WriteFile(v1, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := store.Load(ManifestEntry{File: "snap-000000000004.json", Seq: 4})
+	if err != nil {
+		t.Fatalf("v1 container must load: %v", err)
+	}
+	if old.InstanceCounter != 2 {
+		t.Fatalf("v1 payload: %+v", old)
+	}
+	oldInfo, err := ReadSnapshotInfo(v1)
+	if err != nil || oldInfo.Compressed || oldInfo.RawLen != len(payload) {
+		t.Fatalf("v1 info: %+v err=%v", oldInfo, err)
+	}
+}
+
+// TestEpochQualifiedSnapshotNames: states captured at a control epoch get
+// epoch-qualified file names, so generations of a quiescent shard never
+// overwrite each other; both name forms list and prune together.
+func TestEpochQualifiedSnapshotNames(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := store.Write(&SystemState{Format: FormatVersion, Seq: 5, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := store.Write(&SystemState{Format: FormatVersion, Seq: 5, Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Fatalf("distinct epochs must get distinct files: %s", f1)
+	}
+	entries, err := store.Entries()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("entries: %v err=%v", entries, err)
+	}
+	for _, e := range entries {
+		if e.Seq != 5 {
+			t.Fatalf("parsed seq: %+v", e)
+		}
+		if _, err := store.Load(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.PruneExcept(map[string]bool{entries[1].File: true}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = store.Entries()
+	if len(entries) != 1 || entries[0].File == "" {
+		t.Fatalf("after prune: %v", entries)
 	}
 }

@@ -21,8 +21,12 @@ const FormatVersion = 1
 type SystemState struct {
 	Format int `json:"format"`
 	// Seq is the journal sequence number the state reflects: every record
-	// with Seq' <= Seq is folded in, none after.
-	Seq             int                        `json:"seq"`
+	// with Seq' <= Seq is folded in, none after. In a sharded layout this
+	// is the owning shard's journal sequence number.
+	Seq int `json:"seq"`
+	// Epoch is the control-log cut the state was captured at (sharded
+	// layouts only; see internal/durable/sharded). Zero otherwise.
+	Epoch           int                        `json:"epoch,omitempty"`
 	InstanceCounter int                        `json:"instanceCounter"`
 	Users           []*org.User                `json:"users,omitempty"`
 	Schemas         []json.RawMessage          `json:"schemas,omitempty"`
@@ -38,6 +42,7 @@ type SystemState struct {
 // serialization.
 type StagedCapture struct {
 	seq     int
+	epoch   int
 	counter int
 	users   []*org.User
 	schemas []*model.Schema // deployed schemas are immutable: refs suffice
@@ -69,6 +74,29 @@ func Stage(eng *engine.Engine, seq int) *StagedCapture {
 	return sc
 }
 
+// Split partitions a staged capture into n per-shard captures sharing the
+// consistent cut Stage observed: shard k receives the instances shardOf
+// assigns to it plus the journal sequence number seqs[k] its snapshot
+// covers; shard 0 additionally carries the control state (users, schemas,
+// worklist, instance counter). All parts record the same control epoch, so
+// recovery can re-establish the cut. Safe outside the barrier — it only
+// re-buckets the already-cloned staged state.
+func (sc *StagedCapture) Split(seqs []int, epoch int, shardOf func(instID string) int) []*StagedCapture {
+	parts := make([]*StagedCapture, len(seqs))
+	for k := range parts {
+		parts[k] = &StagedCapture{seq: seqs[k], epoch: epoch}
+	}
+	parts[0].counter = sc.counter
+	parts[0].users = sc.users
+	parts[0].schemas = sc.schemas
+	parts[0].wl = sc.wl
+	for _, si := range sc.insts {
+		k := shardOf(si.snap.ID)
+		parts[k].insts = append(parts[k].insts, si)
+	}
+	return parts
+}
+
 // Encode serializes a staged capture into the snapshot payload. Safe to
 // call outside the barrier: everything it touches is either cloned
 // (instance facets) or immutable (deployed schemas, bias operations).
@@ -76,6 +104,7 @@ func (sc *StagedCapture) Encode() (*SystemState, error) {
 	st := &SystemState{
 		Format:          FormatVersion,
 		Seq:             sc.seq,
+		Epoch:           sc.epoch,
 		InstanceCounter: sc.counter,
 		Users:           sc.users,
 		Worklist:        sc.wl,

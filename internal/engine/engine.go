@@ -186,6 +186,43 @@ func (e *Engine) CreateInstance(typeName string, version int) (*Instance, error)
 	return inst, nil
 }
 
+// CreateInstanceID is CreateInstance with a caller-supplied instance ID.
+// Sharded journal replay uses it: the create record carries the ID the
+// original execution assigned, so recovery reproduces identical IDs even
+// when shards replay in a different interleaving than the original
+// command stream. An engine-style ID (inst-%06d) advances the counter
+// past its numeric suffix so post-recovery creations cannot collide.
+func (e *Engine) CreateInstanceID(id, typeName string, version int) (*Instance, error) {
+	e.mu.Lock()
+	if version == 0 {
+		version = e.latest[typeName]
+	}
+	s, ok := e.schemas[schemaKey{typeName, version}]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: create instance: no schema %s v%d", typeName, version)
+	}
+	if _, dup := e.insts[id]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: create instance: %q already exists", id)
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "inst-%d", &n); err == nil && n > e.nextID {
+		e.nextID = n
+	}
+	inst := newInstance(e, id, s, e.strategy)
+	e.insts[inst.id] = inst
+	e.order = append(e.order, inst.id)
+	e.mu.Unlock()
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.bootstrapLocked(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
 // Instance looks up an instance by ID.
 func (e *Engine) Instance(id string) (*Instance, bool) {
 	e.mu.RLock()

@@ -156,3 +156,33 @@ func (e *Engine) SetInstanceCounter(n int) {
 		e.nextID = n
 	}
 }
+
+// SortInstanceOrder re-sorts the creation-order index by the numeric
+// suffix of engine-assigned IDs (inst-%d; the %06d padding alone would
+// misorder lexicographically past a million instances), falling back to
+// string order for foreign IDs. Sharded recovery — which restores and
+// replays shards concurrently and therefore inserts instances out of
+// order — calls this once at the end to make Instances() deterministic
+// again.
+func (e *Engine) SortInstanceOrder() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	num := func(id string) (int, bool) {
+		var n int
+		if _, err := fmt.Sscanf(id, "inst-%d", &n); err != nil {
+			return 0, false
+		}
+		return n, true
+	}
+	sort.SliceStable(e.order, func(i, j int) bool {
+		ni, oki := num(e.order[i])
+		nj, okj := num(e.order[j])
+		if oki && okj {
+			return ni < nj
+		}
+		if oki != okj {
+			return oki // engine-assigned IDs before foreign ones
+		}
+		return e.order[i] < e.order[j]
+	})
+}

@@ -33,10 +33,21 @@ import (
 	"sync"
 )
 
-// Record is one journaled command.
+// Record is one journaled command. The record format is versioned by
+// field presence, not an explicit tag: v1 records (through PR 3) carry
+// seq/op/args; v2 records add the optional epoch reference for sharded
+// journals. Decoders accept both — a missing epoch is zero — and Seq
+// stays the first encoded field so the fast sequence probe (quickSeq)
+// works on either version.
 type Record struct {
 	// Seq is the journal sequence number (1-based).
 	Seq int `json:"seq"`
+	// Epoch references the control-log sequence number the command was
+	// issued under (sharded journals only; see internal/durable/sharded).
+	// Zero — and omitted on the wire — for unsharded journals and for
+	// control-shard records, keeping single-journal layouts byte-
+	// compatible with the pre-epoch format.
+	Epoch int `json:"epoch,omitempty"`
 	// Op names the command (facade-defined, e.g. "deploy", "complete").
 	Op string `json:"op"`
 	// Args carries the command arguments.
@@ -159,6 +170,13 @@ func (j *Journal) Append(op string, args any) error {
 
 // AppendSeq is Append returning the sequence number the record received.
 func (j *Journal) AppendSeq(op string, args any) (int, error) {
+	return j.AppendRecord(op, 0, args)
+}
+
+// AppendRecord is AppendSeq with an explicit epoch reference (sharded
+// journals tag data records with the control-log sequence number they
+// were issued under; epoch 0 is omitted from the encoding).
+func (j *Journal) AppendRecord(op string, epoch int, args any) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.failed {
@@ -174,7 +192,7 @@ func (j *Journal) AppendSeq(op string, args any) (int, error) {
 	}
 	blob := j.argsBuf.Bytes()
 	blob = blob[:len(blob)-1] // drop the encoder's trailing newline
-	rec := Record{Seq: j.seq + 1, Op: op, Args: blob}
+	rec := Record{Seq: j.seq + 1, Epoch: epoch, Op: op, Args: blob}
 	j.lineBuf.Reset()
 	// Encode appends the newline record terminator itself.
 	if err := j.lineEnc.Encode(rec); err != nil {

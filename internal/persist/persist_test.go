@@ -498,3 +498,44 @@ func TestTornTailFollowedByBlankLineRepaired(t *testing.T) {
 		t.Fatalf("records: %+v", recs)
 	}
 }
+
+func TestEpochRecordRoundTripAndBackCompat(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if _, err := j.AppendRecord("deploy", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendRecord("complete", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0 is omitted from the wire format, keeping unsharded journals
+	// byte-compatible with pre-epoch records; the seq probe's prefix
+	// assumption holds for both forms.
+	lines := strings.SplitN(buf.String(), "\n", 3)
+	if strings.Contains(lines[0], "epoch") {
+		t.Fatalf("epoch 0 must be omitted: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"epoch":1`) {
+		t.Fatalf("epoch missing: %s", lines[1])
+	}
+	for _, l := range lines[:2] {
+		if !strings.HasPrefix(l, `{"seq":`) {
+			t.Fatalf("seq must stay the first field for quickSeq: %s", l)
+		}
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Epoch != 0 || recs[1].Epoch != 1 {
+		t.Fatalf("epochs = %d, %d", recs[0].Epoch, recs[1].Epoch)
+	}
+	// A pre-epoch (v1) record decodes with epoch 0.
+	var rec Record
+	if err := json.Unmarshal([]byte(`{"seq":3,"op":"x","args":null}`), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 0 || rec.Seq != 3 {
+		t.Fatalf("v1 decode: %+v", rec)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"adept2/internal/change"
 	"adept2/internal/durable"
+	"adept2/internal/durable/sharded"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/model"
@@ -30,10 +31,24 @@ type System struct {
 	journal   *persist.Journal
 	committer *durable.Committer
 
+	// Sharded durability (set by Open on a sharded layout, exclusive
+	// with journal/committer): the WAL routes control records to shard 0
+	// and data records by instance hash, stores holds one snapshot store
+	// per shard, and gman is the authoritative global manifest.
+	wal    *sharded.WAL
+	layout sharded.Layout
+	stores []*durable.SnapshotStore
+	gman   *sharded.Manifest
+	ckptMu sync.Mutex // serializes global-manifest read-modify-write
+
 	// snapMu is the snapshot barrier: every journaled command holds it
 	// shared across "engine mutation + journal append", and a snapshot
 	// capture holds it exclusively — so captures always observe command-
 	// boundary-consistent state tied to an exact journal sequence number.
+	// In sharded mode, control commands (user, deploy, evolve) hold it
+	// exclusively too: the epoch stamped onto data records is only a
+	// valid recovery order if no data command is in flight between a
+	// control command's engine mutation and its epoch advance.
 	snapMu sync.RWMutex
 
 	ckpt     *checkpointer
@@ -85,8 +100,16 @@ type CheckpointConfig struct {
 	Keep int
 	// GroupCommit batches concurrent command appends into one buffered
 	// write + one fsync (durable.Committer) instead of fsyncing per
-	// record.
+	// record (per shard, in a sharded layout).
 	GroupCommit bool
+	// Shards selects the sharded durability layout: instances are hashed
+	// across this many journals, each with its own committer and
+	// snapshot series, under a global manifest (see
+	// internal/durable/sharded). 0 or 1 keeps the single-journal layout.
+	// The value only matters when a layout is first created; opening an
+	// existing sharded layout auto-detects its count and refuses a
+	// conflicting non-zero setting (reshard offline to change it).
+	Shards int
 	// FlushWindow and MaxBatch tune the group-commit flush window; zero
 	// values take the committer defaults.
 	FlushWindow time.Duration
@@ -108,18 +131,38 @@ func (c *CheckpointConfig) defaults(journalPath string) {
 // RecoveryInfo describes how Open rebuilt the system state.
 type RecoveryInfo struct {
 	// SnapshotSeq is the journal sequence number of the snapshot the
-	// recovery started from (0 when recovering by full replay).
+	// recovery started from (0 when recovering by full replay; shard 0's
+	// snapshot in a sharded layout).
 	SnapshotSeq int
 	// SnapshotFile is the path of that snapshot ("" for full replay).
 	SnapshotFile string
 	// Replayed counts the journal records applied on top of the snapshot
-	// (the whole journal for a full replay).
+	// (the whole journal for a full replay; summed across shards).
 	Replayed int
 	// FullReplay reports that no snapshot was used.
 	FullReplay bool
 	// Fallbacks diagnoses snapshots that were present but rejected
-	// (checksum mismatch, version skew, torn file, failed restore).
+	// (checksum mismatch, version skew, torn file, failed restore). In a
+	// sharded layout, whole generations fall back together.
 	Fallbacks []string
+	// Shards is the shard count of the recovered layout (1 for the
+	// single-journal layout).
+	Shards int
+	// PerShard details each shard's recovery in a sharded layout (nil
+	// otherwise).
+	PerShard []ShardRecovery
+}
+
+// ShardRecovery is one shard's slice of a sharded recovery.
+type ShardRecovery struct {
+	// Shard is the shard index (0 is the control shard).
+	Shard int
+	// SnapshotSeq is the shard-journal sequence its snapshot covered.
+	SnapshotSeq int
+	// SnapshotFile is the snapshot file name ("" on full replay).
+	SnapshotFile string
+	// Replayed counts the shard's suffix records applied.
+	Replayed int
 }
 
 // Option configures a System.
@@ -178,8 +221,39 @@ func Open(path string, opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o(&c)
 	}
+
+	// Sharded layouts are self-describing: a global manifest next to the
+	// journal declares the shard count. Absent one, a configured shard
+	// count > 1 creates a fresh sharded layout — but never silently on
+	// top of existing single-journal data (reshard offline instead).
+	man, err := sharded.LoadManifest(sharded.ManifestPath(path))
+	if err != nil {
+		return nil, err
+	}
+	want := 0
+	if c.ckpt != nil {
+		want = c.ckpt.Shards
+	}
+	switch {
+	case man != nil:
+		if want > 0 && want != man.Shards {
+			return nil, fmt.Errorf(
+				"adept2: layout at %s has %d shards but %d were requested: reshard offline (adeptctl reshard)",
+				path, man.Shards, want)
+		}
+		return openSharded(&c, path, man)
+	case want > 1:
+		if err := refuseExistingSingleJournal(&c, path); err != nil {
+			return nil, err
+		}
+		man = sharded.NewManifest(want)
+		if err := sharded.WriteManifest(path, man); err != nil {
+			return nil, err
+		}
+		return openSharded(&c, path, man)
+	}
+
 	var store *durable.SnapshotStore
-	var err error
 	if c.ckpt != nil {
 		c.ckpt.defaults(path)
 		store, err = durable.OpenStore(c.ckpt.Dir)
@@ -308,8 +382,9 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 // with New).
 func (s *System) Recovery() *RecoveryInfo { return s.recovery }
 
-// Close drains the group-commit pipeline, waits for an in-flight
-// background snapshot, and releases the journal.
+// Close drains the group-commit pipeline (every shard's, in a sharded
+// layout), waits for an in-flight background snapshot, and releases the
+// journals.
 func (s *System) Close() error {
 	var firstErr error
 	if s.committer != nil {
@@ -322,12 +397,44 @@ func (s *System) Close() error {
 			firstErr = err
 		}
 	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if s.journal != nil {
 		if err := s.journal.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// Health reports asynchronous durability failures without waiting for
+// the next command to surface them: a wedged group-commit committer
+// (sticky fsync-gate error — any shard's, in a sharded layout) or the
+// most recent background checkpoint failure. nil means the pipeline is
+// healthy.
+func (s *System) Health() error {
+	if s.wal != nil {
+		if err := s.wal.Health(); err != nil {
+			return err
+		}
+	}
+	if s.committer != nil {
+		if err := s.committer.Err(); err != nil {
+			return fmt.Errorf("adept2: committer wedged: %w", err)
+		}
+	}
+	if ck := s.ckpt; ck != nil {
+		ck.mu.Lock()
+		err := ck.err
+		ck.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("adept2: background checkpoint failing: %w", err)
+		}
+	}
+	return nil
 }
 
 // Engine exposes the underlying runtime (read paths, worklists).
@@ -361,6 +468,11 @@ type deployArgs struct {
 type createArgs struct {
 	TypeName string `json:"type"`
 	Version  int    `json:"version"`
+	// ID is the engine-assigned instance ID (recorded since the sharded
+	// layout so replay reproduces identical IDs under any shard
+	// interleaving; empty in pre-PR4 records, where the total journal
+	// order makes counter assignment deterministic).
+	ID string `json:"id,omitempty"`
 }
 
 type startArgs struct {
@@ -391,9 +503,14 @@ type evolveArgs struct {
 	Adapt    uint8           `json:"adapt,omitempty"`
 }
 
+// log journals a control command (schema deploys, users, evolutions): in
+// a sharded layout these go to the shard-0 control log and advance the
+// epoch; otherwise to the single journal.
 func (s *System) log(op string, args any) error {
 	var err error
 	switch {
+	case s.wal != nil:
+		_, err = s.wal.AppendControl(op, args)
 	case s.committer != nil:
 		_, err = s.committer.Append(op, args)
 	case s.journal != nil:
@@ -407,6 +524,34 @@ func (s *System) log(op string, args any) error {
 	return err
 }
 
+// logData journals an instance-scoped command: in a sharded layout it
+// routes to the instance's shard, stamped with the current epoch.
+func (s *System) logData(instID, op string, args any) error {
+	if s.wal == nil {
+		return s.log(op, args)
+	}
+	if err := s.wal.AppendData(instID, op, args); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+// lockControl acquires the command barrier for a control command. In a
+// multi-shard layout control commands hold the barrier exclusively: a
+// data command observing the engine effect of a control command but
+// stamping the pre-command epoch would replay on the wrong side of it
+// after a crash. Single-journal (and single-shard) systems keep the
+// cheap shared acquisition — the journal's total order needs no epoch.
+func (s *System) lockControl() func() {
+	if s.wal != nil && s.wal.Shards() > 1 {
+		s.snapMu.Lock()
+		return s.snapMu.Unlock
+	}
+	s.snapMu.RLock()
+	return s.snapMu.RUnlock
+}
+
 // Checkpoint synchronously captures the engine state at the current
 // journal position and writes a snapshot, returning its path and the
 // journal sequence number it covers. The capture quiesces commands for
@@ -415,6 +560,9 @@ func (s *System) log(op string, args any) error {
 func (s *System) Checkpoint() (string, int, error) {
 	if s.ckpt == nil {
 		return "", 0, fmt.Errorf("adept2: checkpointing is not enabled (use WithCheckpointing)")
+	}
+	if s.wal != nil {
+		return s.checkpointSharded()
 	}
 	st, err := s.captureState()
 	if err != nil {
@@ -456,12 +604,18 @@ func (s *System) captureState() (*durable.SystemState, error) {
 
 // maybeCheckpoint spawns a background snapshot when the journal grew past
 // the configured threshold since the last one (at most one in flight).
+// In a sharded layout the growth measure is the summed shard heads.
 func (s *System) maybeCheckpoint() {
 	ck := s.ckpt
-	if ck == nil || ck.every <= 0 || s.journal == nil {
+	if ck == nil || ck.every <= 0 || (s.journal == nil && s.wal == nil) {
 		return
 	}
-	seq := s.journal.Seq()
+	var seq int
+	if s.wal != nil {
+		seq = s.wal.TotalSeq()
+	} else {
+		seq = s.journal.Seq()
+	}
 	ck.mu.Lock()
 	// The trigger base is the newest snapshot OR the last (possibly
 	// failed) attempt: a persistently failing snapshot store retries only
@@ -498,8 +652,12 @@ func (s *System) WaitCheckpoints() error {
 }
 
 // JournalSeq returns the sequence number of the last journaled command (0
-// without a journal).
+// without a journal). In a sharded layout it returns the summed shard
+// head sequence numbers — a total growth measure, not a single position.
 func (s *System) JournalSeq() int {
+	if s.wal != nil {
+		return s.wal.TotalSeq()
+	}
 	if s.journal == nil {
 		return 0
 	}
@@ -509,8 +667,7 @@ func (s *System) JournalSeq() int {
 // AddUser registers a user in the organizational model (journaled, unlike
 // direct Org() mutation).
 func (s *System) AddUser(u *User) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
+	defer s.lockControl()()
 	if err := s.eng.Org().AddUser(u); err != nil {
 		return err
 	}
@@ -519,8 +676,7 @@ func (s *System) AddUser(u *User) error {
 
 // Deploy verifies and registers a schema version.
 func (s *System) Deploy(schema *Schema) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
+	defer s.lockControl()()
 	if err := s.eng.Deploy(schema); err != nil {
 		return err
 	}
@@ -545,7 +701,7 @@ func (s *System) CreateInstanceVersion(typeName string, version int) (*Instance,
 	if err != nil {
 		return nil, err
 	}
-	return inst, s.log("create", createArgs{TypeName: typeName, Version: version})
+	return inst, s.logData(inst.ID(), "create", createArgs{TypeName: typeName, Version: version, ID: inst.ID()})
 }
 
 // Start starts an activated activity on behalf of a user.
@@ -555,7 +711,7 @@ func (s *System) Start(instID, node, user string) error {
 	if err := s.eng.StartActivity(instID, node, user); err != nil {
 		return err
 	}
-	return s.log("start", startArgs{Instance: instID, Node: node, User: user})
+	return s.logData(instID, "start", startArgs{Instance: instID, Node: node, User: user})
 }
 
 // Complete completes a node (starting it first when merely activated).
@@ -587,7 +743,7 @@ func (s *System) complete(a completeArgs) error {
 	if err := s.eng.CompleteActivity(a.Instance, a.Node, a.User, a.Outputs, opts...); err != nil {
 		return err
 	}
-	return s.log("complete", a)
+	return s.logData(a.Instance, "complete", a)
 }
 
 // AdHocChange applies an ad-hoc change to a single running instance (the
@@ -606,7 +762,7 @@ func (s *System) AdHocChange(instID string, ops ...Operation) error {
 	if err != nil {
 		return err
 	}
-	return s.log("adhoc", adHocArgs{Instance: instID, Ops: blob})
+	return s.logData(instID, "adhoc", adHocArgs{Instance: instID, Ops: blob})
 }
 
 type undoArgs struct {
@@ -627,7 +783,7 @@ func (s *System) Suspend(instID string) error {
 	if err := s.eng.Suspend(instID); err != nil {
 		return err
 	}
-	return s.log("suspend", suspendArgs{Instance: instID})
+	return s.logData(instID, "suspend", suspendArgs{Instance: instID})
 }
 
 // Resume re-enables user operations on a suspended instance.
@@ -637,7 +793,7 @@ func (s *System) Resume(instID string) error {
 	if err := s.eng.Resume(instID); err != nil {
 		return err
 	}
-	return s.log("suspend", suspendArgs{Instance: instID, Resume: true})
+	return s.logData(instID, "suspend", suspendArgs{Instance: instID, Resume: true})
 }
 
 // UndoAdHocChange removes the most recent ad-hoc change of the instance,
@@ -667,15 +823,14 @@ func (s *System) undo(instID string, all bool) error {
 	if err != nil {
 		return err
 	}
-	return s.log("undo", undoArgs{Instance: instID, All: all})
+	return s.logData(instID, "undo", undoArgs{Instance: instID, All: all})
 }
 
 // Evolve performs a schema evolution of the process type and migrates all
 // compliant instances on the fly (the paper's type-level change
 // dimension). The returned report classifies every instance.
 func (s *System) Evolve(typeName string, ops []Operation, opts EvolveOptions) (*MigrationReport, error) {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
+	defer s.lockControl()()
 	report, err := s.mgr.Evolve(typeName, ops, opts)
 	if err != nil {
 		return nil, err
@@ -715,6 +870,10 @@ func (s *System) apply(op string, args json.RawMessage) error {
 	case "create":
 		var a createArgs
 		if err := json.Unmarshal(args, &a); err != nil {
+			return err
+		}
+		if a.ID != "" {
+			_, err := s.eng.CreateInstanceID(a.ID, a.TypeName, a.Version)
 			return err
 		}
 		_, err := s.eng.CreateInstance(a.TypeName, a.Version)

@@ -1,0 +1,335 @@
+package adept2
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"adept2/internal/durable"
+	"adept2/internal/durable/sharded"
+	"adept2/internal/engine"
+	"adept2/internal/persist"
+)
+
+// isControlOp classifies journal ops that belong to the shard-0 control
+// log: commands that change shared state every instance may depend on
+// (schemas, users) or mutate instances across shards (evolutions). All
+// other ops are instance-scoped data commands.
+func isControlOp(op string) bool {
+	switch op {
+	case "user", "deploy", "evolve":
+		return true
+	}
+	return false
+}
+
+// refuseExistingSingleJournal guards fresh sharded-layout creation: a
+// journal (or snapshot store) already populated in the single-journal
+// layout must be resharded offline, not silently reinterpreted.
+func refuseExistingSingleJournal(c *config, path string) error {
+	_, tail, err := persist.LoadJournalSuffix(path, int(^uint(0)>>1))
+	if err != nil {
+		return err
+	}
+	if tail.LastSeq > 0 {
+		return fmt.Errorf(
+			"adept2: %s holds %s-layout records (journal ends at seq %d): reshard offline (adeptctl reshard) instead of opening with a shard count",
+			path, "single-journal", tail.LastSeq)
+	}
+	dir := path + ".snapshots"
+	if c.ckpt != nil && c.ckpt.Dir != "" {
+		dir = c.ckpt.Dir
+	}
+	if des, err := os.ReadDir(dir); err == nil && len(des) > 0 {
+		return fmt.Errorf(
+			"adept2: %s already has snapshots in the single-journal layout: reshard offline (adeptctl reshard)", dir)
+	}
+	return nil
+}
+
+// shardedLayout derives the Layout for a base path and config.
+func shardedLayout(c *config, path string, shards int) sharded.Layout {
+	l := sharded.Layout{Base: path, Shards: shards}
+	if c.ckpt != nil && c.ckpt.Dir != "" {
+		l.SnapBase = c.ckpt.Dir
+	}
+	return l
+}
+
+// openSharded opens a sharded layout: every shard's newest-valid
+// generation snapshot is loaded and restored in parallel, the journal
+// suffixes are replayed in the epoch-merged order (data shards
+// concurrently between control-record barriers), and the shard journals
+// resume under a WAL router. A sharded layout implies checkpointing —
+// the generation mechanism is its recovery path — so a missing
+// WithCheckpointing gets the defaults.
+func openSharded(c *config, path string, man *sharded.Manifest) (*System, error) {
+	if c.ckpt == nil {
+		c.ckpt = &CheckpointConfig{}
+	}
+	if c.ckpt.Every == 0 {
+		c.ckpt.Every = 1024
+	}
+	if c.ckpt.Keep <= 0 {
+		c.ckpt.Keep = 3
+	}
+	l := shardedLayout(c, path, man.Shards)
+
+	stores := make([]*durable.SnapshotStore, l.Shards)
+	for k := range stores {
+		st, err := durable.OpenStore(l.SnapDir(k))
+		if err != nil {
+			return nil, err
+		}
+		stores[k] = st
+	}
+
+	// Each generation attempt restores into a fresh system so a half-
+	// restored failure cannot leak into the fallback; any caller-supplied
+	// org model is cloned per attempt for the same reason.
+	var sys *System
+	fresh := func() *engine.Engine {
+		attempt := *c
+		if c.org != nil {
+			attempt.org = c.org.Clone()
+		}
+		sys = newSystem(&attempt)
+		return sys.eng
+	}
+	_, res, err := sharded.Recover(l, man, stores, fresh)
+	if err != nil {
+		return nil, err
+	}
+
+	applied := 0
+	apply := func(rec *persist.Record) error {
+		if err := sys.apply(rec.Op, rec.Args); err != nil {
+			return fmt.Errorf("persist: replay record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+		return nil
+	}
+	lastControl, perShard, err := sharded.MergeApply(res, isControlOp, apply)
+	if err != nil {
+		return nil, err
+	}
+	sys.eng.SortInstanceOrder()
+
+	info := &RecoveryInfo{
+		Fallbacks: res.Fallbacks,
+		Shards:    l.Shards,
+	}
+	for k := range res.Shards {
+		sr := ShardRecovery{Shard: k, Replayed: perShard[k]}
+		applied += perShard[k]
+		if st := res.Shards[k].State; st != nil {
+			sr.SnapshotSeq = st.Seq
+			sr.SnapshotFile = res.Shards[k].File
+		}
+		info.PerShard = append(info.PerShard, sr)
+	}
+	info.Replayed = applied
+	if res.Gen != nil {
+		info.SnapshotSeq = res.Shards[0].State.Seq
+		info.SnapshotFile = res.Shards[0].File
+	} else {
+		info.FullReplay = true
+	}
+
+	// Resume every shard journal (repairing torn tails) without a second
+	// full read; journals fully folded into snapshots continue the
+	// snapshot's numbering.
+	tails := make([]persist.TailInfo, l.Shards)
+	for k := range tails {
+		tails[k] = res.Shards[k].Tail
+		if res.Gen != nil && res.Gen.Parts[k].Seq > tails[k].LastSeq {
+			tails[k].LastSeq = res.Gen.Parts[k].Seq
+		}
+	}
+	wal, err := sharded.OpenWAL(l, tails, c.ckpt.GroupCommit, durable.CommitterOptions{
+		FlushWindow: c.ckpt.FlushWindow,
+		MaxBatch:    c.ckpt.MaxBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wal.SetEpoch(lastControl)
+
+	sys.wal = wal
+	sys.layout = l
+	sys.stores = stores
+	sys.gman = man
+	sys.recovery = info
+	sys.ckpt = newCheckpointer(nil, c.ckpt, wal.TotalSeq())
+	return sys, nil
+}
+
+// checkpointSharded writes one generation: all shard snapshots captured
+// under a single exclusive barrier (one consistent cut at one epoch),
+// encoded and written concurrently, committed by the global manifest
+// rewrite. Returns shard 0's snapshot file and covered sequence number.
+func (s *System) checkpointSharded() (string, int, error) {
+	// The manifest read-modify-write and the "one generation at a time"
+	// invariant need explicit serialization: an explicit Checkpoint may
+	// race the background one.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	s.snapMu.Lock()
+	if err := s.wal.Sync(); err != nil {
+		s.snapMu.Unlock()
+		return "", 0, err
+	}
+	seqs := s.wal.Seqs()
+	epoch := s.wal.Epoch()
+	staged := durable.Stage(s.eng, 0)
+	s.snapMu.Unlock()
+
+	caps := staged.Split(seqs, epoch, s.wal.ShardFor)
+	man, file0, err := sharded.WriteCheckpoint(s.layout, s.gman, s.stores, caps, epoch, seqs, s.ckpt.keep)
+	if err != nil {
+		return file0, seqs[0], err
+	}
+	s.gman = man
+	total := 0
+	for _, q := range seqs {
+		total += q
+	}
+	s.ckpt.mu.Lock()
+	if total > s.ckpt.lastSeq {
+		s.ckpt.lastSeq = total
+	}
+	s.ckpt.mu.Unlock()
+	return file0, seqs[0], nil
+}
+
+// Reshard rewrites the durability layout at path from its current shard
+// count to n, offline: it recovers the full state, writes a fresh
+// generation of per-shard snapshots under the NEW instance-to-shard
+// hash, commits the new global manifest (the atomic switch point), and
+// removes artifacts the new layout no longer references. Journals of
+// surviving shards are kept — their records are covered by the new
+// snapshots and fenced off from any future full replay by the
+// manifest's per-shard replay floors — so shard 0 stays byte-compatible
+// with what a pre-sharding build wrote. Resharding a single-journal
+// layout to n=1 is a no-op.
+//
+// Crash safety: everything written before the manifest commit is inert
+// under the old layout (extra snapshot files only); a crash between the
+// commit and the cleanup of now-stray shard journals (when shrinking)
+// leaves a layout that refuses a normal Open — rerunning Reshard sweeps
+// those journals first (their records are covered by the committed
+// generation) and finishes the job.
+func Reshard(path string, n int, opts ...Option) error {
+	if n < 1 {
+		return fmt.Errorf("adept2: reshard: invalid shard count %d", n)
+	}
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	man, err := sharded.LoadManifest(sharded.ManifestPath(path))
+	if err != nil {
+		return err
+	}
+	oldShards := 1
+	if man != nil {
+		oldShards = man.Shards
+	}
+	if man == nil && n == 1 {
+		return nil // single-journal layout already is the 1-shard layout
+	}
+
+	// Complete an interrupted shrink: journals past the manifest's shard
+	// count block Open, but once a generation committed, their records
+	// are folded into its snapshots — sweep and proceed.
+	if man != nil && len(man.Generations) > 0 {
+		stray, err := sharded.StrayShards(path, man.Shards)
+		if err != nil {
+			return err
+		}
+		for _, k := range stray {
+			l := shardedLayout(&c, path, k+1)
+			if err := os.Remove(l.JournalPath(k)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("adept2: reshard: sweep stray journal: %w", err)
+			}
+			if err := os.RemoveAll(l.SnapDir(k)); err != nil {
+				return fmt.Errorf("adept2: reshard: sweep stray snapshots: %w", err)
+			}
+		}
+	}
+
+	// Recover through the caller's configuration (snapshot dir, group
+	// commit) with automatic checkpoints off — only Every is overridden.
+	ckpt := CheckpointConfig{Every: -1}
+	if c.ckpt != nil {
+		ckpt = *c.ckpt
+		ckpt.Every = -1
+		ckpt.Shards = 0 // auto-detect; the target count applies on write
+	}
+	sys, err := Open(path, append(append([]Option(nil), opts...), WithCheckpointing(ckpt))...)
+	if err != nil {
+		return err
+	}
+	// Capture the cut: seqs of surviving shard journals carry over (their
+	// records are folded into the new snapshots); fresh shards start
+	// empty at seq 0. The epoch carries over too — for a single-journal
+	// source it is the journal head, which every pre-existing record is
+	// at or below.
+	var seqs, oldSeqs []int
+	var epoch int
+	if sys.wal != nil {
+		oldSeqs = sys.wal.Seqs()
+		epoch = sys.wal.Epoch()
+	} else {
+		oldSeqs = []int{sys.journal.Seq()}
+		epoch = sys.journal.Seq()
+	}
+	newSeqs := make([]int, n)
+	for k := 0; k < n && k < len(oldSeqs); k++ {
+		newSeqs[k] = oldSeqs[k]
+	}
+	seqs = newSeqs
+	staged := durable.Stage(sys.eng, 0)
+	if err := sys.Close(); err != nil {
+		return err
+	}
+
+	l := shardedLayout(&c, path, n)
+	stores := make([]*durable.SnapshotStore, n)
+	for k := range stores {
+		st, err := durable.OpenStore(l.SnapDir(k))
+		if err != nil {
+			return err
+		}
+		stores[k] = st
+	}
+	caps := staged.Split(seqs, epoch, func(id string) int { return sharded.ShardOf(id, n) })
+	// The kept journals' existing records were partitioned under the old
+	// shard count: record the cut as each shard's replay floor so a
+	// future full-replay fallback refuses to reorder them (recovery must
+	// go through this generation or a later one).
+	base := sharded.NewManifest(n)
+	base.ReplayFloors = append([]int(nil), seqs...)
+	if _, _, err := sharded.WriteCheckpoint(l, base, stores, caps, epoch, seqs, 1); err != nil {
+		return err
+	}
+
+	// The manifest committed the new layout; remove what it obsoletes:
+	// journals and snapshot stores of shards past the new count.
+	stray := shardedLayout(&c, path, oldShards)
+	for k := n; k < oldShards; k++ {
+		if err := os.Remove(stray.JournalPath(k)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("adept2: reshard: remove stray journal: %w", err)
+		}
+		if err := os.RemoveAll(stray.SnapDir(k)); err != nil {
+			return fmt.Errorf("adept2: reshard: remove stray snapshots: %w", err)
+		}
+	}
+	// Fsync the directory so the removals are durable alongside the
+	// manifest.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
