@@ -1,29 +1,5 @@
-// Package adept2 is a Go implementation of ADEPT2, the adaptive process
-// management system of Reichert, Rinderle, Kreher, and Dadam (ICDE 2005):
-// a process engine whose instances can be changed ad hoc at runtime and
-// migrated — correctness-preserving and on the fly — to evolved schema
-// versions.
-//
-// The package is a facade over the subsystem packages in internal/: the
-// block-structured process meta model and builder, the buildtime verifier
-// (deadlock-causing cycles, data flow), the execution engine with
-// worklists and an org model, the change framework with per-operation
-// compliance conditions, the replay-based compliance criterion, the
-// migration manager, and the hybrid substitution-block storage for biased
-// instances.
-//
-// Quick start:
-//
-//	b := adept2.NewBuilder("order")
-//	frag := b.Seq(b.Activity("a", "A", adept2.WithRole("clerk")),
-//	              b.Activity("c", "C", adept2.WithRole("clerk")))
-//	schema, _ := b.Build(frag)
-//
-//	sys := adept2.New()
-//	_ = sys.Org().AddUser(&adept2.User{ID: "ann", Roles: []string{"clerk"}})
-//	_ = sys.Deploy(schema)
-//	inst, _ := sys.CreateInstance("order")
-//	_ = sys.Complete(inst.ID(), "a", "ann", nil)
+// Package documentation lives in doc.go (command API, receipts,
+// batch/epoch invariants, error taxonomy).
 package adept2
 
 import (

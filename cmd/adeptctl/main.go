@@ -11,14 +11,18 @@
 //	adeptctl snapshot -journal wal# write a checkpoint of the journal state
 //	adeptctl compact -journal wal # checkpoint, then drop the covered prefix
 //	adeptctl reshard -journal wal -shards 4  # repartition offline
+//	adeptctl list -journal wal    # page through instances and worklists
+//	adeptctl load -journal wal -mode batch   # drive the Submit API
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"adept2"
 	"adept2/internal/change"
@@ -50,6 +54,10 @@ func main() {
 		compact(os.Args[2:])
 	case "reshard":
 		reshard(os.Args[2:])
+	case "list":
+		list(os.Args[2:])
+	case "load":
+		load(os.Args[2:])
 	default:
 		usage()
 	}
@@ -62,7 +70,9 @@ func usage() {
        adeptctl seed -journal PATH [-n N] [-shards N]
        adeptctl snapshot -journal PATH [-dir DIR]
        adeptctl compact -journal PATH [-dir DIR]
-       adeptctl reshard -journal PATH -shards N [-dir DIR]`)
+       adeptctl reshard -journal PATH -shards N [-dir DIR]
+       adeptctl list -journal PATH [-user U] [-page N]
+       adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]`)
 	os.Exit(2)
 }
 
@@ -290,4 +300,143 @@ func reshard(args []string) {
 	}
 	must(adept2.Reshard(*journal, *shards, opts...))
 	fmt.Printf("resharded %s to %d shards\n", *journal, *shards)
+}
+
+// list pages through the instances (and, with -user, a user's worklist)
+// of a journaled system via the cursor read API — the paginated path a
+// front end would use instead of copying full slices.
+func list(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required)")
+	user := fs.String("user", "", "also page this user's worklist")
+	page := fs.Int("page", 5, "page size")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+	sys := openDurable(*journal, "")
+	defer sys.Close()
+
+	pages, total := 0, 0
+	for cursor := ""; ; {
+		insts, next := sys.InstancesPage(cursor, *page)
+		if len(insts) > 0 {
+			pages++
+		}
+		for _, inst := range insts {
+			total++
+			state := "running"
+			switch {
+			case inst.Done():
+				state = "completed"
+			case inst.Suspended():
+				state = "suspended"
+			}
+			bias := ""
+			if inst.Biased() {
+				bias = " +bias"
+			}
+			fmt.Printf("  %s  %s v%d  %s%s\n", inst.ID(), inst.TypeName(), inst.Version(), state, bias)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	fmt.Printf("%d instances in %d pages of %d\n", total, pages, *page)
+
+	if *user != "" {
+		n := 0
+		for cursor := ""; ; {
+			items, next := sys.WorkItemsPage(*user, cursor, *page)
+			for _, it := range items {
+				n++
+				fmt.Printf("  %s  %s/%s (%s, %s)\n", it.ID, it.Instance, it.Node, it.Role, it.State)
+			}
+			if next == "" {
+				break
+			}
+			cursor = next
+		}
+		fmt.Printf("%d work items for %s\n", n, *user)
+	}
+}
+
+// load drives a synthetic workload through the unified command API:
+// every instance is created, completed one step, and suspend/resume
+// cycled, submitted via Submit (sync), SubmitAsync (pipelined receipts),
+// or SubmitBatch, per -mode. The CI smoke uses it to exercise the
+// batch/async paths end to end.
+func load(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file to create (required)")
+	n := fs.Int("n", 64, "instances to drive")
+	mode := fs.String("mode", "batch", "submission mode: sync, async, or batch")
+	shards := fs.Int("shards", 0, "create a sharded layout with N shards")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+	cfg := adept2.CheckpointConfig{Every: -1, GroupCommit: true, Shards: *shards}
+	sys, err := adept2.Open(*journal, adept2.WithCheckpointing(cfg))
+	must(err)
+	ctx := context.Background()
+
+	must(sys.AddUser(&adept2.User{ID: "ann", Name: "Ann", Roles: []string{"clerk", "sales"}}))
+	must(sys.Deploy(sim.OnlineOrder()))
+	start := time.Now()
+	var cmds int
+	switch *mode {
+	case "sync":
+		for i := 0; i < *n; i++ {
+			res, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			inst := res.(*adept2.Instance)
+			_, err = sys.Submit(ctx, &adept2.CompleteActivity{
+				Instance: inst.ID(), Node: "get_order", User: "ann",
+				Outputs: map[string]any{"out": fmt.Sprintf("order-%d", i)}})
+			must(err)
+			cmds += 2
+		}
+	case "async":
+		receipts := make([]*adept2.Receipt, 0, 2*(*n))
+		for i := 0; i < *n; i++ {
+			r, err := sys.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			inst := r.Result().(*adept2.Instance)
+			r2, err := sys.SubmitAsync(ctx, &adept2.CompleteActivity{
+				Instance: inst.ID(), Node: "get_order", User: "ann",
+				Outputs: map[string]any{"out": fmt.Sprintf("order-%d", i)}})
+			must(err)
+			receipts = append(receipts, r, r2)
+		}
+		for _, r := range receipts {
+			must(r.Wait(ctx))
+		}
+		cmds = len(receipts)
+	case "batch":
+		for i := 0; i < *n; i++ {
+			res, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			inst := res.(*adept2.Instance)
+			batch := []adept2.Command{
+				&adept2.CompleteActivity{Instance: inst.ID(), Node: "get_order", User: "ann",
+					Outputs: map[string]any{"out": fmt.Sprintf("order-%d", i)}},
+				&adept2.Suspend{Instance: inst.ID()},
+				&adept2.Resume{Instance: inst.ID()},
+			}
+			results, err := sys.SubmitBatch(ctx, batch)
+			must(err)
+			cmds += 1 + len(results)
+		}
+	default:
+		usage()
+	}
+	elapsed := time.Since(start)
+	must(sys.Health())
+	seq := sys.JournalSeq()
+	must(sys.Close())
+	fmt.Printf("%s: %d commands (%s mode) in %s (%.0f cmds/s), journal seq %d\n",
+		*journal, cmds, *mode, elapsed.Round(time.Millisecond),
+		float64(cmds)/elapsed.Seconds(), seq)
 }

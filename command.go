@@ -1,0 +1,465 @@
+package adept2
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adept2/internal/change"
+	"adept2/internal/engine"
+	"adept2/internal/evolution"
+	"adept2/internal/fault"
+	"adept2/internal/rollback"
+)
+
+// Command is one typed, journal-able state mutation of a System. Every
+// mutation — instance execution, ad-hoc change, schema evolution, org and
+// deployment changes — is a value implementing Command, submitted through
+// Submit, SubmitAsync, or SubmitBatch (the legacy façade methods are thin
+// wrappers over Submit). One registry owns each command's journal name,
+// JSON codec, control/data classification, and engine application, and
+// the SAME table drives both the live path and crash-recovery replay, so
+// a command type cannot drift between execution and recovery.
+//
+// Commands are defined by this package; foreign implementations are
+// rejected with ErrInvalid.
+type Command interface {
+	// CommandName returns the command's registry name. It doubles as the
+	// journal op for every command except Resume (journaled as "suspend"
+	// with a resume flag, for wire compatibility with earlier releases).
+	CommandName() string
+}
+
+// command is the internal contract behind Command: classification and the
+// single apply routine shared by the live path and recovery replay.
+type command interface {
+	Command
+	// control reports whether the command journals to the control log
+	// (shard 0 in a sharded layout) and needs the exclusive barrier
+	// there: it mutates state every instance may depend on.
+	control() bool
+	// target returns the instance ID the command addresses, for error
+	// reporting ("" for control commands and unrouted creates).
+	target() string
+	// run validates the command and applies it to the engine. It returns
+	// the effect: the caller-visible result, the instance the journal
+	// record routes on, and the wire op/args to journal. run never
+	// journals — Submit and replay decide that.
+	run(s *System) (effect, error)
+}
+
+// argsEncoder is implemented by commands whose wire form takes encoding
+// work beyond the command struct itself (change-op serialization). It
+// runs on the live path only — run leaves effect.args nil and replay
+// never re-encodes what it just decoded.
+type argsEncoder interface {
+	encodeArgs() (any, error)
+}
+
+// finishEffect fills a nil effect.args from the command's encoder (the
+// live path's pre-journal step).
+func finishEffect(c command, eff *effect) error {
+	if eff.args != nil || eff.op == "" {
+		return nil
+	}
+	enc, ok := c.(argsEncoder)
+	if !ok {
+		return fmt.Errorf("adept2: command %s produced no journal args", c.CommandName())
+	}
+	args, err := enc.encodeArgs()
+	if err != nil {
+		return err
+	}
+	eff.args = args
+	return nil
+}
+
+// effect is what applying a command produced and what must be journaled.
+type effect struct {
+	result any    // returned to the submitter (nil for most commands)
+	inst   string // routing instance ("" = control record)
+	op     string // journal op
+	args   any    // journal args (wire form)
+}
+
+// cmdSpec is one registry row.
+type cmdSpec struct {
+	op      string
+	control bool
+	decode  func(json.RawMessage) (command, error)
+}
+
+// registry maps journal op names to their spec. It is the single source
+// of truth consumed by System.apply (replay), Submit (classification),
+// and the sharded WAL's control/data routing.
+var registry = map[string]*cmdSpec{}
+
+func register(op string, control bool, decode func(json.RawMessage) (command, error)) {
+	registry[op] = &cmdSpec{op: op, control: control, decode: decode}
+}
+
+// decodeJSON builds the standard decoder for commands whose wire form is
+// the command struct itself.
+func decodeJSON[T any, P interface {
+	*T
+	command
+}]() func(json.RawMessage) (command, error) {
+	return func(raw json.RawMessage) (command, error) {
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return P(&v), nil
+	}
+}
+
+func init() {
+	register("user", true, decodeJSON[AddUser]())
+	register("deploy", true, decodeJSON[Deploy]())
+	register("evolve", true, decodeEvolve)
+	register("create", false, decodeJSON[CreateInstance]())
+	register("start", false, decodeJSON[StartActivity]())
+	register("complete", false, decodeJSON[CompleteActivity]())
+	register("adhoc", false, decodeAdHoc)
+	register("suspend", false, decodeSuspend)
+	register("undo", false, decodeJSON[Undo]())
+}
+
+// isControlOp classifies journal ops that belong to the shard-0 control
+// log: commands that change shared state every instance may depend on
+// (schemas, users) or mutate instances across shards (evolutions).
+func isControlOp(op string) bool {
+	spec, ok := registry[op]
+	return ok && spec.control
+}
+
+// decodeCommand resolves a journal record to its typed command.
+func decodeCommand(op string, args json.RawMessage) (command, error) {
+	spec, ok := registry[op]
+	if !ok {
+		return nil, fmt.Errorf("adept2: unknown journal op %q", op)
+	}
+	return spec.decode(args)
+}
+
+// apply replays one journaled command (crash recovery): the same decode +
+// run the live path uses, minus the journaling.
+func (s *System) apply(op string, args json.RawMessage) error {
+	cmd, err := decodeCommand(op, args)
+	if err != nil {
+		return err
+	}
+	_, err = cmd.run(s)
+	return err
+}
+
+// --- typed commands ---
+
+// AddUser registers a user in the organizational model (journaled, unlike
+// direct Org() mutation).
+type AddUser struct {
+	User *User `json:"user"`
+}
+
+func (*AddUser) CommandName() string { return "user" }
+func (*AddUser) control() bool       { return true }
+func (*AddUser) target() string      { return "" }
+
+func (c *AddUser) run(s *System) (effect, error) {
+	if err := s.eng.Org().AddUser(c.User); err != nil {
+		return effect{}, err
+	}
+	return effect{op: "user", args: c}, nil
+}
+
+// Deploy verifies and registers a schema version.
+type Deploy struct {
+	Schema *Schema `json:"schema"`
+}
+
+func (*Deploy) CommandName() string { return "deploy" }
+func (*Deploy) control() bool       { return true }
+func (*Deploy) target() string      { return "" }
+
+func (c *Deploy) run(s *System) (effect, error) {
+	if c.Schema == nil {
+		return effect{}, fault.Tagf(fault.Invalid, "adept2: deploy: nil schema")
+	}
+	if err := s.eng.Deploy(c.Schema); err != nil {
+		return effect{}, err
+	}
+	return effect{op: "deploy", args: c}, nil
+}
+
+// CreateInstance instantiates a process type. Version 0 selects the
+// latest deployed version. ID is normally left empty — the engine assigns
+// one, and Submit returns the *Instance — but an explicit ID is honored
+// (recovery replay uses this to reproduce the original assignment).
+type CreateInstance struct {
+	TypeName string `json:"type"`
+	Version  int    `json:"version"`
+	ID       string `json:"id,omitempty"`
+}
+
+func (*CreateInstance) CommandName() string { return "create" }
+func (*CreateInstance) control() bool       { return false }
+func (c *CreateInstance) target() string    { return c.ID }
+
+func (c *CreateInstance) run(s *System) (effect, error) {
+	var (
+		inst *engine.Instance
+		err  error
+	)
+	if c.ID != "" {
+		inst, err = s.eng.CreateInstanceID(c.ID, c.TypeName, c.Version)
+	} else {
+		inst, err = s.eng.CreateInstance(c.TypeName, c.Version)
+	}
+	if err != nil {
+		return effect{}, err
+	}
+	// The record always carries the assigned ID so sharded replay
+	// reproduces it under any shard interleaving (pre-PR4 records without
+	// one rely on the total journal order instead).
+	rec := *c
+	rec.ID = inst.ID()
+	return effect{result: inst, inst: inst.ID(), op: "create", args: &rec}, nil
+}
+
+// StartActivity starts an activated activity on behalf of a user.
+type StartActivity struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	User     string `json:"user,omitempty"`
+}
+
+func (*StartActivity) CommandName() string { return "start" }
+func (*StartActivity) control() bool       { return false }
+func (c *StartActivity) target() string    { return c.Instance }
+
+func (c *StartActivity) run(s *System) (effect, error) {
+	if err := s.eng.StartActivity(c.Instance, c.Node, c.User); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "start", args: c}, nil
+}
+
+// CompleteActivity completes a node (starting it first when merely
+// activated), writes its outputs, and advances the instance. Decision
+// supplies an explicit XOR routing decision; Again an explicit loop
+// iteration decision.
+type CompleteActivity struct {
+	Instance string         `json:"instance"`
+	Node     string         `json:"node"`
+	User     string         `json:"user,omitempty"`
+	Outputs  map[string]any `json:"outputs,omitempty"`
+	Decision *int           `json:"decision,omitempty"`
+	Again    *bool          `json:"again,omitempty"`
+}
+
+func (*CompleteActivity) CommandName() string { return "complete" }
+func (*CompleteActivity) control() bool       { return false }
+func (c *CompleteActivity) target() string    { return c.Instance }
+
+func (c *CompleteActivity) run(s *System) (effect, error) {
+	var opts []engine.CompleteOption
+	if c.Decision != nil {
+		opts = append(opts, engine.WithDecision(*c.Decision))
+	}
+	if c.Again != nil {
+		opts = append(opts, engine.WithLoopAgain(*c.Again))
+	}
+	if err := s.eng.CompleteActivity(c.Instance, c.Node, c.User, c.Outputs, opts...); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "complete", args: c}, nil
+}
+
+// adHocArgs is the wire form of an ad-hoc change (ops serialized through
+// the change codec).
+type adHocArgs struct {
+	Instance string          `json:"instance"`
+	Ops      json.RawMessage `json:"ops"`
+}
+
+// AdHoc applies an ad-hoc change to a single running instance (the
+// paper's instance-level change dimension).
+type AdHoc struct {
+	Instance string
+	Ops      []Operation
+}
+
+func (*AdHoc) CommandName() string { return "adhoc" }
+func (*AdHoc) control() bool       { return false }
+func (c *AdHoc) target() string    { return c.Instance }
+
+func (c *AdHoc) run(s *System) (effect, error) {
+	inst, ok := s.eng.Instance(c.Instance)
+	if !ok {
+		return effect{}, fault.Tagf(fault.NotFound, "adept2: unknown instance %q", c.Instance)
+	}
+	if err := change.ApplyAdHoc(inst, c.Ops...); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "adhoc"}, nil
+}
+
+func (c *AdHoc) encodeArgs() (any, error) {
+	blob, err := change.MarshalOps(c.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return adHocArgs{Instance: c.Instance, Ops: blob}, nil
+}
+
+func decodeAdHoc(raw json.RawMessage) (command, error) {
+	var a adHocArgs
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, err
+	}
+	ops, err := change.UnmarshalOps(a.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return &AdHoc{Instance: a.Instance, Ops: ops}, nil
+}
+
+// suspendArgs is the shared wire form of Suspend and Resume (one journal
+// op, byte-compatible with earlier releases).
+type suspendArgs struct {
+	Instance string `json:"instance"`
+	Resume   bool   `json:"resume,omitempty"`
+}
+
+// Suspend blocks user operations on an instance; ad-hoc changes and
+// migration stay possible.
+type Suspend struct {
+	Instance string `json:"instance"`
+}
+
+func (*Suspend) CommandName() string { return "suspend" }
+func (*Suspend) control() bool       { return false }
+func (c *Suspend) target() string    { return c.Instance }
+
+func (c *Suspend) run(s *System) (effect, error) {
+	if err := s.eng.Suspend(c.Instance); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "suspend", args: suspendArgs{Instance: c.Instance}}, nil
+}
+
+// Resume re-enables user operations on a suspended instance.
+type Resume struct {
+	Instance string `json:"instance"`
+}
+
+func (*Resume) CommandName() string { return "resume" }
+func (*Resume) control() bool       { return false }
+func (c *Resume) target() string    { return c.Instance }
+
+func (c *Resume) run(s *System) (effect, error) {
+	if err := s.eng.Resume(c.Instance); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "suspend", args: suspendArgs{Instance: c.Instance, Resume: true}}, nil
+}
+
+func decodeSuspend(raw json.RawMessage) (command, error) {
+	var a suspendArgs
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, err
+	}
+	if a.Resume {
+		return &Resume{Instance: a.Instance}, nil
+	}
+	return &Suspend{Instance: a.Instance}, nil
+}
+
+// Undo removes the most recent ad-hoc change of an instance (or, with
+// All, its entire bias), provided it has not progressed into the changed
+// region.
+type Undo struct {
+	Instance string `json:"instance"`
+	All      bool   `json:"all,omitempty"`
+}
+
+func (*Undo) CommandName() string { return "undo" }
+func (*Undo) control() bool       { return false }
+func (c *Undo) target() string    { return c.Instance }
+
+func (c *Undo) run(s *System) (effect, error) {
+	inst, ok := s.eng.Instance(c.Instance)
+	if !ok {
+		return effect{}, fault.Tagf(fault.NotFound, "adept2: unknown instance %q", c.Instance)
+	}
+	var err error
+	if c.All {
+		err = rollback.UndoAll(inst)
+	} else {
+		err = rollback.UndoLast(inst)
+	}
+	if err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "undo", args: c}, nil
+}
+
+// evolveArgs is the wire form of a schema evolution.
+type evolveArgs struct {
+	TypeName string          `json:"type"`
+	Ops      json.RawMessage `json:"ops"`
+	Workers  int             `json:"workers,omitempty"`
+	Mode     uint8           `json:"mode,omitempty"`
+	Adapt    uint8           `json:"adapt,omitempty"`
+}
+
+// Evolve performs a schema evolution of the process type and migrates all
+// compliant instances on the fly (the paper's type-level change
+// dimension). Submit returns the *MigrationReport classifying every
+// instance.
+type Evolve struct {
+	TypeName string
+	Ops      []Operation
+	Options  EvolveOptions
+}
+
+func (*Evolve) CommandName() string { return "evolve" }
+func (*Evolve) control() bool       { return true }
+func (*Evolve) target() string      { return "" }
+
+func (c *Evolve) run(s *System) (effect, error) {
+	report, err := s.mgr.Evolve(c.TypeName, c.Ops, c.Options)
+	if err != nil {
+		return effect{}, err
+	}
+	return effect{result: report, op: "evolve"}, nil
+}
+
+func (c *Evolve) encodeArgs() (any, error) {
+	blob, err := change.MarshalOps(c.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return evolveArgs{
+		TypeName: c.TypeName,
+		Ops:      blob,
+		Workers:  c.Options.Workers,
+		Mode:     uint8(c.Options.Mode),
+		Adapt:    uint8(c.Options.Adapt),
+	}, nil
+}
+
+func decodeEvolve(raw json.RawMessage) (command, error) {
+	var a evolveArgs
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, err
+	}
+	ops, err := change.UnmarshalOps(a.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Evolve{TypeName: a.TypeName, Ops: ops, Options: evolution.Options{
+		Workers: a.Workers,
+		Mode:    evolution.CheckMode(a.Mode),
+		Adapt:   evolution.AdaptMode(a.Adapt),
+	}}, nil
+}

@@ -1,0 +1,96 @@
+// Package adept2 is a Go implementation of ADEPT2, the adaptive process
+// management system of Reichert, Rinderle, Kreher, and Dadam (ICDE 2005):
+// a process engine whose instances can be changed ad hoc at runtime and
+// migrated — correctness-preserving and on the fly — to evolved schema
+// versions.
+//
+// The package is a facade over the subsystem packages in internal/: the
+// block-structured process meta model and builder, the buildtime verifier
+// (deadlock-causing cycles, data flow), the execution engine with
+// worklists and an org model, the change framework with per-operation
+// compliance conditions, the replay-based compliance criterion, the
+// migration manager, the hybrid substitution-block storage for biased
+// instances, and the checkpointed, optionally sharded durability layer.
+//
+// Quick start:
+//
+//	b := adept2.NewBuilder("order")
+//	frag := b.Seq(b.Activity("a", "A", adept2.WithRole("clerk")),
+//	              b.Activity("c", "C", adept2.WithRole("clerk")))
+//	schema, _ := b.Build(frag)
+//
+//	sys := adept2.New()
+//	_ = sys.Org().AddUser(&adept2.User{ID: "ann", Roles: []string{"clerk"}})
+//	_ = sys.Deploy(schema)
+//	inst, _ := sys.CreateInstance("order")
+//	_ = sys.Complete(inst.ID(), "a", "ann", nil)
+//
+// # The unified command API
+//
+// Every state mutation is a typed Command — CreateInstance,
+// StartActivity, CompleteActivity, AdHoc, Evolve, AddUser, Deploy,
+// Suspend, Resume, Undo — submitted through one of three entry points:
+//
+//	res, err := sys.Submit(ctx, cmd)        // durable when it returns
+//	rcpt, err := sys.SubmitAsync(ctx, cmd)  // durable when rcpt.Wait returns
+//	ress, err := sys.SubmitBatch(ctx, cmds) // one barrier + one append per run
+//
+// The legacy façade methods (Complete, AdHocChange, Evolve, …) are thin
+// wrappers over Submit and keep working unchanged.
+//
+// A single registry owns each command's journal name, JSON codec,
+// control/data classification, and engine application. The SAME table
+// drives the live path and crash-recovery replay — executing a command
+// and replaying its journal record run the identical code — so the three
+// historically hand-synchronized copies (façade method, args codec,
+// replay switch) cannot drift. This uniformity is the paper's central
+// architectural claim carried into the implementation: execution, ad-hoc
+// change, and schema evolution are the same kind of logged, replayable
+// operation.
+//
+// # Receipts
+//
+// SubmitAsync separates a command's two guarantees. Validation and the
+// engine mutation are synchronous: when SubmitAsync returns nil, the
+// command is applied and its result (Receipt.Result) is valid; a non-nil
+// error means nothing happened. Durability is asynchronous: the journal
+// record is staged in the group-commit pipeline, and Receipt.Wait
+// resolves once an fsync covers it. Pipelining submitters share flushes
+// (the in-flight fsync is the gather window), so a writer staging a
+// window of commands and awaiting the receipts in bulk pays a fraction
+// of the per-command fsync round-trips of blocking Submit. The window a
+// caller keeps un-awaited is exactly its exposure: commands whose
+// receipts have not resolved may be lost by a crash — applied in memory,
+// never journaled — so externalize a result only after its receipt (or a
+// later one from the same pipeline) resolves.
+//
+// # Batches and the epoch invariant
+//
+// SubmitBatch takes the command barrier once per run of consecutive data
+// commands, applies them in order, and appends the encoded records as
+// ONE multi-record journal write — one fsync (or one group-commit wait)
+// per touched journal for the whole run. Records of a batch keep command
+// order within each journal. A failing command ends its run: the applied
+// prefix is journaled and durable before SubmitBatch returns the typed
+// error, so live state and journal never diverge.
+//
+// Control commands (AddUser, Deploy, Evolve) keep the exclusive-barrier
+// epoch semantics of the sharded layout even inside a batch: each one is
+// applied and made durable individually, holding the barrier
+// exclusively, before the batch continues. The invariant — every data
+// record's epoch stamp brackets it between the control record it
+// observed and the next one — is what lets sharded recovery replay data
+// shards concurrently between control-record barriers. For the same
+// reason control commands never pipeline: the epoch may only advance
+// after the control record is durable, so their receipts resolve
+// immediately.
+//
+// # Errors
+//
+// Every failure of the mutation API carries the Error taxonomy: a Code
+// (ErrNotFound, ErrConflict, ErrNotCompliant, ErrSuspended,
+// ErrVersionSkew, ErrWedged, ErrUnrecoverable, …), the command name, and
+// the targeted instance, matched by errors.Is against the Err*
+// sentinels. Messages are unchanged from earlier releases — the typed
+// wrapper renders its cause verbatim.
+package adept2

@@ -1,0 +1,162 @@
+package adept2
+
+import (
+	"context"
+	"errors"
+
+	"adept2/internal/fault"
+)
+
+// Code classifies a command failure. Every error returned by the façade's
+// mutation API (Submit, SubmitAsync, SubmitBatch, and the method wrappers
+// over them) carries exactly one code; errors.Is against the Err*
+// sentinels matches by code, so callers branch on the class without
+// parsing messages.
+type Code string
+
+const (
+	// CodeInternal covers unclassified failures: I/O errors, corruption,
+	// bugs. Retrying without intervention is unlikely to help.
+	CodeInternal Code = "internal"
+	// CodeInvalid marks malformed or unsatisfiable commands (bad
+	// arguments, missing mandatory inputs, unknown change operations).
+	CodeInvalid Code = "invalid"
+	// CodeNotFound marks commands naming unknown entities (instances,
+	// schemas, nodes, process types, work items, users).
+	CodeNotFound Code = "not_found"
+	// CodeConflict marks commands contradicting current state (duplicate
+	// IDs, a node not in the required state, resuming a running
+	// instance).
+	CodeConflict Code = "conflict"
+	// CodeDenied marks authorization failures (role mismatches, claiming
+	// a work item without being a candidate).
+	CodeDenied Code = "denied"
+	// CodeSuspended marks user operations refused because the instance is
+	// suspended (Resume it first).
+	CodeSuspended Code = "suspended"
+	// CodeCompleted marks operations refused because the instance already
+	// finished.
+	CodeCompleted Code = "completed"
+	// CodeNotCompliant marks change refusals by the ADEPT2 correctness
+	// criterion: structural conflicts, violated state conditions, undo
+	// past progress.
+	CodeNotCompliant Code = "not_compliant"
+	// CodeVersionSkew marks version-ordering violations: deploying a
+	// stale schema version, opening a layout with a conflicting shard
+	// count (reshard offline instead).
+	CodeVersionSkew Code = "version_skew"
+	// CodeWedged marks a stuck durability pipeline: a shard committer
+	// with a sticky fsync failure or a persistently failing background
+	// checkpoint (surfaced by Health and by receipts).
+	CodeWedged Code = "wedged"
+	// CodeUnrecoverable marks Open refusing to rebuild state from damaged
+	// durability artifacts (truncated journals, compacted journals
+	// without a bridging snapshot, dangling epochs).
+	CodeUnrecoverable Code = "unrecoverable"
+	// CodeCanceled marks a context cancellation. For Submit and
+	// Receipt.Wait the command may still have been applied and journaled
+	// — only the durability wait was abandoned.
+	CodeCanceled Code = "canceled"
+)
+
+// Error is the typed failure of a command: the class, the command that
+// failed, and (for instance-scoped commands) the instance it targeted.
+// Error renders the underlying message unchanged and unwraps to it, so
+// message matching and errors.Is against deeper causes keep working;
+// errors.Is against the Err* sentinels matches the Code.
+type Error struct {
+	// Code is the failure class.
+	Code Code
+	// Op names the command that failed (its CommandName), or the façade
+	// entry point for non-command failures ("open", "claim", "health").
+	Op string
+	// Instance is the targeted instance ID, when the command had one.
+	Instance string
+	// Applied reports that the command's engine mutation DID happen
+	// despite the error: journaling failed after the apply, or a
+	// durability wait was abandoned/wedged. The in-memory state changed
+	// while durability is in doubt — callers reconcile instead of
+	// retrying blindly.
+	Applied bool
+	// Result carries the applied command's result when Applied (e.g. the
+	// *MigrationReport of an Evolve), so the outcome of the mutation is
+	// not lost with the error. Ignored by Is matching.
+	Result any
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the underlying message (unchanged from pre-taxonomy
+// releases); a bare sentinel renders its code.
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	return "adept2: " + string(e.Code)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches another *Error treating its zero fields as wildcards, so
+// errors.Is(err, ErrNotFound) matches any not-found failure while
+// errors.Is(err, &Error{Code: CodeNotFound, Instance: "inst-000001"})
+// narrows to one instance.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return (t.Code == "" || t.Code == e.Code) &&
+		(t.Op == "" || t.Op == e.Op) &&
+		(t.Instance == "" || t.Instance == e.Instance)
+}
+
+// Sentinels for errors.Is, one per Code.
+var (
+	ErrInternal      = &Error{Code: CodeInternal}
+	ErrInvalid       = &Error{Code: CodeInvalid}
+	ErrNotFound      = &Error{Code: CodeNotFound}
+	ErrConflict      = &Error{Code: CodeConflict}
+	ErrDenied        = &Error{Code: CodeDenied}
+	ErrSuspended     = &Error{Code: CodeSuspended}
+	ErrCompleted     = &Error{Code: CodeCompleted}
+	ErrNotCompliant  = &Error{Code: CodeNotCompliant}
+	ErrVersionSkew   = &Error{Code: CodeVersionSkew}
+	ErrWedged        = &Error{Code: CodeWedged}
+	ErrUnrecoverable = &Error{Code: CodeUnrecoverable}
+	ErrCanceled      = &Error{Code: CodeCanceled}
+)
+
+// kindCodes maps the internal fault classification onto the public codes.
+var kindCodes = map[fault.Kind]Code{
+	fault.Internal:      CodeInternal,
+	fault.Invalid:       CodeInvalid,
+	fault.NotFound:      CodeNotFound,
+	fault.Conflict:      CodeConflict,
+	fault.Denied:        CodeDenied,
+	fault.Suspended:     CodeSuspended,
+	fault.Completed:     CodeCompleted,
+	fault.NotCompliant:  CodeNotCompliant,
+	fault.VersionSkew:   CodeVersionSkew,
+	fault.Unrecoverable: CodeUnrecoverable,
+}
+
+// wrapErr classifies an internal error at the façade boundary. An error
+// that already carries a taxonomy code passes through unchanged; context
+// cancellations map to CodeCanceled; everything else takes the code of
+// its fault kind (CodeInternal when untagged).
+func wrapErr(op, instance string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	code := kindCodes[fault.KindOf(err)]
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = CodeCanceled
+	}
+	return &Error{Code: code, Op: op, Instance: instance, Err: err}
+}

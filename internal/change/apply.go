@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adept2/internal/engine"
+	"adept2/internal/fault"
 	"adept2/internal/verify"
 )
 
@@ -26,11 +27,11 @@ func (e *StructuralError) Error() string {
 // failure the instance is untouched.
 func ApplyAdHoc(inst *engine.Instance, ops ...Operation) error {
 	if len(ops) == 0 {
-		return fmt.Errorf("change: ad-hoc change without operations")
+		return fault.Tagf(fault.Invalid, "change: ad-hoc change without operations")
 	}
 	return inst.Mutate(func(mx *engine.Mutable) error {
 		if mx.Done() {
-			return fmt.Errorf("change: instance %s already completed", inst.ID())
+			return fault.Tagf(fault.Completed, "change: instance %s already completed", inst.ID())
 		}
 		// 1. Trial application on a scratch copy.
 		trial, err := mx.TrialSchema()
@@ -39,12 +40,12 @@ func ApplyAdHoc(inst *engine.Instance, ops ...Operation) error {
 		}
 		for _, op := range ops {
 			if err := op.ApplyTo(trial); err != nil {
-				return err
+				return fault.Tag(fault.Invalid, err)
 			}
 		}
 		// 2. The changed schema must satisfy every buildtime guarantee.
 		if res := verify.Check(trial); !res.OK() {
-			return &StructuralError{Reason: res.Err().Error()}
+			return fault.Tag(fault.NotCompliant, &StructuralError{Reason: res.Err().Error()})
 		}
 		// 3. State conditions against the live instance.
 		view, err := mx.View()
@@ -54,7 +55,7 @@ func ApplyAdHoc(inst *engine.Instance, ops ...Operation) error {
 		ctx := &Context{View: view, Marking: mx.Marking(), Stats: mx.Stats(), Store: mx.Store()}
 		for _, op := range ops {
 			if err := op.FastCompliance(ctx); err != nil {
-				return err
+				return fault.Tag(fault.NotCompliant, err)
 			}
 		}
 		// 4. Commit to the persistent representation.

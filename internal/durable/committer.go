@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,8 +47,39 @@ type Committer struct {
 	closed  bool
 	stopped bool // flusher goroutine exited; stragglers flush inline
 
+	// waiters are WaitSeq callers parked on a channel (instead of the
+	// cond) so cancellation via context works; resolved whenever flushed
+	// advances or the sticky error is set.
+	waiters []waiter
+
 	wake chan struct{}
 	done chan struct{}
+}
+
+// waiter is one parked WaitSeq call.
+type waiter struct {
+	seq int
+	ch  chan error // buffered(1); receives nil or the sticky error
+}
+
+// resolveWaitersLocked completes every parked WaitSeq call the current
+// flushed/err state answers. Callers hold c.mu.
+func (c *Committer) resolveWaitersLocked() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		switch {
+		case c.err != nil:
+			w.ch <- c.err
+		case c.flushed >= w.seq:
+			w.ch <- nil
+		default:
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
 }
 
 // NewCommitter starts a group-commit pipeline over the journal. The
@@ -119,6 +151,93 @@ func (c *Committer) AppendEpoch(op string, epoch int, args any) (int, error) {
 	return seq, nil
 }
 
+// AppendAsync journals one record and schedules its flush WITHOUT
+// blocking until durability: the caller pipelines further appends and
+// awaits the returned sequence number with WaitSeq when it needs the
+// durability guarantee. Errors of the append itself (encoding, write)
+// surface here; flush failures surface from WaitSeq and Err.
+func (c *Committer) AppendAsync(op string, epoch int, args any) (int, error) {
+	if err := c.admit(); err != nil {
+		return 0, err
+	}
+	seq, err := c.j.AppendRecord(op, epoch, args)
+	if err != nil {
+		return 0, err
+	}
+	c.kick()
+	return seq, nil
+}
+
+// AppendMulti journals a batch of records as one journal write (see
+// persist.Journal.AppendMulti) and schedules its flush without waiting:
+// one WaitSeq on the returned last sequence number covers the whole
+// batch.
+func (c *Committer) AppendMulti(recs []persist.Pending) (int, error) {
+	if err := c.admit(); err != nil {
+		return 0, err
+	}
+	last, err := c.j.AppendMulti(recs)
+	if err != nil {
+		return 0, err
+	}
+	c.kick()
+	return last, nil
+}
+
+// admit rejects appends on a wedged or closed committer.
+func (c *Committer) admit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return fmt.Errorf("durable: committer closed")
+	}
+	return nil
+}
+
+// kick wakes the flusher. The caller's journal append happened before the
+// wake token lands (publish-then-wake), so the flusher can never go idle
+// with uncovered work.
+func (c *Committer) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// WaitSeq blocks until seq is covered by a successful flush, the
+// committer wedges (returns the sticky error), or ctx is done (returns
+// ctx.Err(); the record stays queued and a later WaitSeq can still await
+// it).
+func (c *Committer) WaitSeq(ctx context.Context, seq int) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.flushed >= seq {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.stopped {
+		c.mu.Unlock()
+		return c.settle(seq)
+	}
+	w := waiter{seq: seq, ch: make(chan error, 1)}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	c.kick()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // settle resolves a waiter's outcome after its wait loop broke: success
 // when a flush covered the sequence, the sticky error when one is set,
 // and otherwise — the flusher exited during shutdown before covering a
@@ -143,12 +262,14 @@ func (c *Committer) settle(seq int) error {
 		if c.err == nil {
 			c.err = fmt.Errorf("durable: group commit: %w", ferr)
 		}
+		c.resolveWaitersLocked()
 		c.cond.Broadcast()
 		return c.err
 	}
 	if seq > c.flushed {
 		c.flushed = seq
 	}
+	c.resolveWaitersLocked()
 	c.cond.Broadcast()
 	return nil
 }
@@ -209,9 +330,34 @@ func (c *Committer) Close() error {
 func (c *Committer) run() {
 	defer func() {
 		// Wake any straggler that enqueued after the exit decision; it
-		// self-serves its flush in settle.
+		// self-serves its flush in settle. Parked WaitSeq callers have no
+		// thread to self-serve with, so any still uncovered (an async
+		// append slipping past the exit decision) get one final inline
+		// flush here before their channels resolve.
 		c.mu.Lock()
 		c.stopped = true
+		uncovered := false
+		for _, w := range c.waiters {
+			if c.err == nil && c.flushed < w.seq {
+				uncovered = true
+			}
+		}
+		c.mu.Unlock()
+		if uncovered {
+			target := c.j.Seq()
+			ferr := c.j.Flush()
+			c.mu.Lock()
+			if ferr != nil {
+				if c.err == nil {
+					c.err = fmt.Errorf("durable: group commit: %w", ferr)
+				}
+			} else if target > c.flushed {
+				c.flushed = target
+			}
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.resolveWaitersLocked()
 		c.cond.Broadcast()
 		c.mu.Unlock()
 		close(c.done)
@@ -254,6 +400,7 @@ func (c *Committer) run() {
 			} else if target > c.flushed {
 				c.flushed = target
 			}
+			c.resolveWaitersLocked()
 			c.cond.Broadcast()
 			c.mu.Unlock()
 		}

@@ -7,6 +7,7 @@ import (
 
 	"adept2/internal/durable"
 	"adept2/internal/engine"
+	"adept2/internal/fault"
 	"adept2/internal/persist"
 )
 
@@ -150,13 +151,13 @@ func Recover(l Layout, man *Manifest, stores []*durable.SnapshotStore, fresh fun
 				return
 			}
 			if tail.FirstSeq > 1 {
-				errs[k] = fmt.Errorf(
+				errs[k] = fault.Tagf(fault.Unrecoverable,
 					"sharded: shard %d journal starts at seq %d (compacted) and no usable generation reaches seq %d: %v",
 					k, tail.FirstSeq, tail.FirstSeq-1, res.Fallbacks)
 				return
 			}
 			if k > 0 && k < len(man.ReplayFloors) && man.ReplayFloors[k] > 0 && tail.FirstSeq > 0 && tail.FirstSeq <= man.ReplayFloors[k] {
-				errs[k] = fmt.Errorf(
+				errs[k] = fault.Tagf(fault.Unrecoverable,
 					"sharded: shard %d journal reaches back to seq %d, at or before the reshard floor %d, and no usable generation: refusing full replay of mis-partitioned records: %v",
 					k, tail.FirstSeq, man.ReplayFloors[k], res.Fallbacks)
 				return
@@ -196,7 +197,7 @@ func loadGeneration(l Layout, gen *Generation, stores []*durable.SnapshotStore) 
 			// history. (An empty journal is fine — compaction may have
 			// folded every record into the snapshot.)
 			if tail.LastSeq > 0 && part.Seq > tail.LastSeq {
-				hard[k] = fmt.Errorf(
+				hard[k] = fault.Tagf(fault.Unrecoverable,
 					"sharded: shard %d snapshot %s covers seq %d but the journal ends at %d: journal truncated, refusing to recover",
 					k, part.File, part.Seq, tail.LastSeq)
 				return
@@ -353,7 +354,7 @@ func MergeApply(res *LoadResult, isControl func(op string) bool, apply func(*per
 	for k := 1; k < n; k++ {
 		if pos[k] < len(res.Shards[k].Recs) {
 			rec := &res.Shards[k].Recs[pos[k]]
-			return lastControl, perShard, fmt.Errorf(
+			return lastControl, perShard, fault.Tagf(fault.Unrecoverable,
 				"sharded: shard %d record %d references control epoch %d beyond the control log tail %d: control journal truncated, refusing to recover",
 				k, rec.Seq, rec.Epoch, curE)
 		}

@@ -1,6 +1,7 @@
 package sharded
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -107,6 +108,88 @@ func (w *WAL) AppendData(instID, op string, args any) error {
 	}
 	_, err := w.appendShard(k, op, epoch, args)
 	return err
+}
+
+// AppendDataAsync journals a data record like AppendData but returns as
+// soon as the record is staged in its shard's pipeline: shard and seq
+// identify it for WaitShardSeq. durable reports that the record is
+// already durable on return (shards without group commit fsync inline,
+// so there is nothing left to await).
+func (w *WAL) AppendDataAsync(instID, op string, args any) (shard, seq int, durable bool, err error) {
+	k := w.ShardFor(instID)
+	epoch := 0
+	if k != 0 {
+		epoch = w.Epoch()
+	}
+	sh := &w.shards[k]
+	if sh.c != nil {
+		seq, err := sh.c.AppendAsync(op, epoch, args)
+		return k, seq, false, err
+	}
+	seq, err = sh.j.AppendRecord(op, epoch, args)
+	return k, seq, true, err
+}
+
+// WaitShardSeq blocks until shard k's record seq is durable (immediately
+// nil without group commit — such appends are durable on return).
+func (w *WAL) WaitShardSeq(ctx context.Context, k, seq int) error {
+	if c := w.shards[k].c; c != nil {
+		if err := c.WaitSeq(ctx, seq); err != nil {
+			return fmt.Errorf("sharded: shard %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// DataRecord is one instance-scoped record of an AppendDataMulti batch.
+type DataRecord struct {
+	Instance string
+	Op       string
+	Args     any
+}
+
+// AppendDataMulti journals a batch of data records: the batch is
+// partitioned by shard (relative order within each shard preserved), each
+// shard receives its slice as ONE multi-record journal append, and the
+// call returns once every touched shard's tail is durable — one fsync (or
+// one group-commit wait) per touched shard for the whole batch, instead
+// of one per record. Every record is stamped with the current epoch; the
+// caller holds the shared command barrier, so no control record can
+// interleave with the batch.
+func (w *WAL) AppendDataMulti(ctx context.Context, recs []DataRecord) error {
+	perShard := make(map[int][]persist.Pending)
+	for _, r := range recs {
+		k := w.ShardFor(r.Instance)
+		epoch := 0
+		if k != 0 {
+			epoch = w.Epoch()
+		}
+		perShard[k] = append(perShard[k], persist.Pending{Op: r.Op, Epoch: epoch, Args: r.Args})
+	}
+	// Stage every shard's slice first (buffered appends are cheap), then
+	// await durability — shards flush concurrently instead of in turn.
+	type pendingWait struct{ shard, seq int }
+	var waits []pendingWait
+	for k, pend := range perShard {
+		sh := &w.shards[k]
+		if sh.c != nil {
+			last, err := sh.c.AppendMulti(pend)
+			if err != nil {
+				return fmt.Errorf("sharded: shard %d: %w", k, err)
+			}
+			waits = append(waits, pendingWait{k, last})
+			continue
+		}
+		if _, err := sh.j.AppendMulti(pend); err != nil {
+			return fmt.Errorf("sharded: shard %d: %w", k, err)
+		}
+	}
+	for _, pw := range waits {
+		if err := w.WaitShardSeq(ctx, pw.shard, pw.seq); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Seqs returns every shard's last journal sequence number.

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"adept2/internal/fault"
 	"adept2/internal/graph"
 	"adept2/internal/model"
 	"adept2/internal/org"
@@ -51,8 +52,11 @@ type Engine struct {
 	latest  map[string]int
 	insts   map[string]*Instance
 	order   []string
-	nextID  int
-	blocks  map[*model.Schema]*graph.Info
+	// orderPos maps instance ID -> index in order, so paginated reads
+	// resolve a cursor in O(1) instead of scanning the creation order.
+	orderPos map[string]int
+	nextID   int
+	blocks   map[*model.Schema]*graph.Info
 
 	strategy storage.Strategy
 }
@@ -68,6 +72,7 @@ func New(o *org.Model) *Engine {
 		schemas:  make(map[schemaKey]*model.Schema),
 		latest:   make(map[string]int),
 		insts:    make(map[string]*Instance),
+		orderPos: make(map[string]int),
 		blocks:   make(map[*model.Schema]*graph.Info),
 		strategy: storage.Hybrid,
 	}
@@ -101,16 +106,16 @@ func (e *Engine) StorageStrategy() storage.Strategy {
 // than any deployed version of the same type.
 func (e *Engine) Deploy(s *model.Schema) error {
 	if err := verify.Err(s); err != nil {
-		return fmt.Errorf("engine: deploy %s v%d: %w", s.TypeName(), s.Version(), err)
+		return fault.Tagf(fault.Invalid, "engine: deploy %s v%d: %w", s.TypeName(), s.Version(), err)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := schemaKey{s.TypeName(), s.Version()}
 	if _, dup := e.schemas[key]; dup {
-		return fmt.Errorf("engine: deploy %s v%d: version already deployed", s.TypeName(), s.Version())
+		return fault.Tagf(fault.VersionSkew, "engine: deploy %s v%d: version already deployed", s.TypeName(), s.Version())
 	}
 	if s.Version() <= e.latest[s.TypeName()] {
-		return fmt.Errorf("engine: deploy %s v%d: version not newer than latest v%d", s.TypeName(), s.Version(), e.latest[s.TypeName()])
+		return fault.Tagf(fault.VersionSkew, "engine: deploy %s v%d: version not newer than latest v%d", s.TypeName(), s.Version(), e.latest[s.TypeName()])
 	}
 	e.schemas[key] = s
 	e.latest[s.TypeName()] = s.Version()
@@ -170,11 +175,12 @@ func (e *Engine) CreateInstance(typeName string, version int) (*Instance, error)
 	s, ok := e.schemas[schemaKey{typeName, version}]
 	if !ok {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: create instance: no schema %s v%d", typeName, version)
+		return nil, fault.Tagf(fault.NotFound, "engine: create instance: no schema %s v%d", typeName, version)
 	}
 	e.nextID++
 	inst := newInstance(e, fmt.Sprintf("inst-%06d", e.nextID), s, e.strategy)
 	e.insts[inst.id] = inst
+	e.orderPos[inst.id] = len(e.order)
 	e.order = append(e.order, inst.id)
 	e.mu.Unlock()
 
@@ -200,11 +206,11 @@ func (e *Engine) CreateInstanceID(id, typeName string, version int) (*Instance, 
 	s, ok := e.schemas[schemaKey{typeName, version}]
 	if !ok {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: create instance: no schema %s v%d", typeName, version)
+		return nil, fault.Tagf(fault.NotFound, "engine: create instance: no schema %s v%d", typeName, version)
 	}
 	if _, dup := e.insts[id]; dup {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: create instance: %q already exists", id)
+		return nil, fault.Tagf(fault.Conflict, "engine: create instance: %q already exists", id)
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "inst-%d", &n); err == nil && n > e.nextID {
@@ -212,6 +218,7 @@ func (e *Engine) CreateInstanceID(id, typeName string, version int) (*Instance, 
 	}
 	inst := newInstance(e, id, s, e.strategy)
 	e.insts[inst.id] = inst
+	e.orderPos[inst.id] = len(e.order)
 	e.order = append(e.order, inst.id)
 	e.mu.Unlock()
 
@@ -242,6 +249,46 @@ func (e *Engine) Instances() []*Instance {
 	return out
 }
 
+// InstancesPage returns up to limit instances in creation order,
+// starting after the cursor (the last instance ID of the previous page;
+// "" starts from the beginning). It returns the page and the cursor for
+// the next call — "" once the listing is exhausted. Unlike Instances it
+// copies only one page, so a million-instance engine serves worklist
+// browsers without million-entry allocations per request. An unknown
+// cursor (e.g. from before a recovery that renumbered nothing — IDs are
+// stable — or simply garbage) yields an empty page.
+func (e *Engine) InstancesPage(cursor string, limit int) ([]*Instance, string) {
+	if limit <= 0 {
+		limit = 100
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	start := 0
+	if cursor != "" {
+		pos, ok := e.orderPos[cursor]
+		if !ok {
+			return nil, ""
+		}
+		start = pos + 1
+	}
+	if start >= len(e.order) {
+		return nil, ""
+	}
+	end := start + limit
+	if end > len(e.order) {
+		end = len(e.order)
+	}
+	out := make([]*Instance, 0, end-start)
+	for _, id := range e.order[start:end] {
+		out = append(out, e.insts[id])
+	}
+	next := ""
+	if end < len(e.order) {
+		next = e.order[end-1]
+	}
+	return out, next
+}
+
 // InstancesOf returns the instances of one process type, optionally
 // filtered by schema version (version < 0 matches all).
 func (e *Engine) InstancesOf(typeName string, version int) []*Instance {
@@ -265,7 +312,7 @@ func (e *Engine) InstancesOf(typeName string, version int) []*Instance {
 func (e *Engine) StartActivity(instID, node, user string) error {
 	inst, ok := e.Instance(instID)
 	if !ok {
-		return fmt.Errorf("engine: start: unknown instance %q", instID)
+		return fault.Tagf(fault.NotFound, "engine: start: unknown instance %q", instID)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -277,7 +324,7 @@ func (e *Engine) StartActivity(instID, node, user string) error {
 func (e *Engine) CompleteActivity(instID, node, user string, outputs map[string]any, opts ...CompleteOption) error {
 	inst, ok := e.Instance(instID)
 	if !ok {
-		return fmt.Errorf("engine: complete: unknown instance %q", instID)
+		return fault.Tagf(fault.NotFound, "engine: complete: unknown instance %q", instID)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -290,12 +337,12 @@ func (e *Engine) CompleteActivity(instID, node, user string, outputs map[string]
 func (e *Engine) Suspend(instID string) error {
 	inst, ok := e.Instance(instID)
 	if !ok {
-		return fmt.Errorf("engine: suspend: unknown instance %q", instID)
+		return fault.Tagf(fault.NotFound, "engine: suspend: unknown instance %q", instID)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if inst.done {
-		return fmt.Errorf("engine: suspend %s: instance is completed", instID)
+		return fault.Tagf(fault.Completed, "engine: suspend %s: instance is completed", instID)
 	}
 	inst.suspended = true
 	return nil
@@ -305,12 +352,12 @@ func (e *Engine) Suspend(instID string) error {
 func (e *Engine) Resume(instID string) error {
 	inst, ok := e.Instance(instID)
 	if !ok {
-		return fmt.Errorf("engine: resume: unknown instance %q", instID)
+		return fault.Tagf(fault.NotFound, "engine: resume: unknown instance %q", instID)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if !inst.suspended {
-		return fmt.Errorf("engine: resume %s: instance is not suspended", instID)
+		return fault.Tagf(fault.Conflict, "engine: resume %s: instance is not suspended", instID)
 	}
 	inst.suspended = false
 	return nil
@@ -324,3 +371,10 @@ func (e *Engine) Release(itemID, user string) error { return e.wl.Release(itemID
 
 // WorkItems returns the work items visible to a user.
 func (e *Engine) WorkItems(user string) []*worklist.Item { return e.wl.ItemsFor(user) }
+
+// WorkItemsPage returns up to limit of a user's work items ordered by
+// item ID, starting after the cursor item ID ("" = beginning), plus the
+// next cursor ("" when exhausted).
+func (e *Engine) WorkItemsPage(user, cursor string, limit int) ([]*worklist.Item, string) {
+	return e.wl.ItemsForPage(user, cursor, limit)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"adept2/internal/data"
+	"adept2/internal/fault"
 	"adept2/internal/history"
 	"adept2/internal/model"
 	"adept2/internal/state"
@@ -36,10 +37,10 @@ func WithLoopAgain(again bool) CompleteOption {
 // startLocked validates and performs the start of a node.
 func (inst *Instance) startLocked(node, user string) error {
 	if inst.done {
-		return fmt.Errorf("engine: start %s/%s: instance is completed", inst.id, node)
+		return fault.Tagf(fault.Completed, "engine: start %s/%s: instance is completed", inst.id, node)
 	}
 	if inst.suspended && user != "" {
-		return fmt.Errorf("engine: start %s/%s: instance is suspended", inst.id, node)
+		return fault.Tagf(fault.Suspended, "engine: start %s/%s: instance is suspended", inst.id, node)
 	}
 	v, _, err := inst.viewLocked()
 	if err != nil {
@@ -47,17 +48,17 @@ func (inst *Instance) startLocked(node, user string) error {
 	}
 	n, ok := v.Node(node)
 	if !ok {
-		return fmt.Errorf("engine: start %s/%s: no such node", inst.id, node)
+		return fault.Tagf(fault.NotFound, "engine: start %s/%s: no such node", inst.id, node)
 	}
 	if got := inst.marking.Node(node); got != state.Activated {
-		return fmt.Errorf("engine: start %s/%s: node is %s, not activated", inst.id, node, got)
+		return fault.Tagf(fault.Conflict, "engine: start %s/%s: node is %s, not activated", inst.id, node, got)
 	}
 	if !n.Auto && n.Role != "" {
 		if user == "" {
-			return fmt.Errorf("engine: start %s/%s: activity requires a user with role %q", inst.id, node, n.Role)
+			return fault.Tagf(fault.Denied, "engine: start %s/%s: activity requires a user with role %q", inst.id, node, n.Role)
 		}
 		if !inst.eng.org.HasRole(user, n.Role) {
-			return fmt.Errorf("engine: start %s/%s: user %q lacks role %q", inst.id, node, user, n.Role)
+			return fault.Tagf(fault.Denied, "engine: start %s/%s: user %q lacks role %q", inst.id, node, user, n.Role)
 		}
 	}
 	reads, err := inst.gatherReadsLocked(v, n)
@@ -88,7 +89,7 @@ func (inst *Instance) gatherReadsLocked(v model.SchemaView, n *model.Node) (map[
 		val, ok := inst.store.Read(de.Element)
 		if !ok {
 			if de.Mandatory {
-				return nil, fmt.Errorf("engine: start %s/%s: mandatory input %q (element %q) has no value", inst.id, n.ID, de.Parameter, de.Element)
+				return nil, fault.Tagf(fault.Invalid, "engine: start %s/%s: mandatory input %q (element %q) has no value", inst.id, n.ID, de.Parameter, de.Element)
 			}
 			if elem, ok := v.DataElement(de.Element); ok {
 				val = elem.Type.ZeroValue()
@@ -107,10 +108,10 @@ func (inst *Instance) gatherReadsLocked(v model.SchemaView, n *model.Node) (map[
 // instance.
 func (inst *Instance) completeEntryLocked(node, user string, outputs map[string]any, opts ...CompleteOption) error {
 	if inst.done {
-		return fmt.Errorf("engine: complete %s/%s: instance is completed", inst.id, node)
+		return fault.Tagf(fault.Completed, "engine: complete %s/%s: instance is completed", inst.id, node)
 	}
 	if inst.suspended {
-		return fmt.Errorf("engine: complete %s/%s: instance is suspended", inst.id, node)
+		return fault.Tagf(fault.Suspended, "engine: complete %s/%s: instance is suspended", inst.id, node)
 	}
 	if inst.marking.Node(node) == state.Activated {
 		if err := inst.startLocked(node, user); err != nil {
@@ -136,10 +137,10 @@ func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]a
 	}
 	n, ok := v.Node(node)
 	if !ok {
-		return fmt.Errorf("engine: complete %s/%s: no such node", inst.id, node)
+		return fault.Tagf(fault.NotFound, "engine: complete %s/%s: no such node", inst.id, node)
 	}
 	if got := inst.marking.Node(node); got != state.Running {
-		return fmt.Errorf("engine: complete %s/%s: node is %s, not running", inst.id, node, got)
+		return fault.Tagf(fault.Conflict, "engine: complete %s/%s: node is %s, not running", inst.id, node, got)
 	}
 
 	// Routing decisions.
@@ -221,15 +222,15 @@ func (inst *Instance) xorDecisionLocked(v model.SchemaView, n *model.Node, co co
 	case n.DecisionElement != "":
 		val, ok := inst.store.Read(n.DecisionElement)
 		if !ok {
-			return 0, fmt.Errorf("engine: complete %s/%s: decision element %q has no value", inst.id, n.ID, n.DecisionElement)
+			return 0, fault.Tagf(fault.Invalid, "engine: complete %s/%s: decision element %q has no value", inst.id, n.ID, n.DecisionElement)
 		}
 		iv, ok := data.AsInt(val)
 		if !ok {
-			return 0, fmt.Errorf("engine: complete %s/%s: decision element %q holds %v, not an integer", inst.id, n.ID, n.DecisionElement, val)
+			return 0, fault.Tagf(fault.Invalid, "engine: complete %s/%s: decision element %q holds %v, not an integer", inst.id, n.ID, n.DecisionElement, val)
 		}
 		want = iv
 	default:
-		return 0, fmt.Errorf("engine: complete %s/%s: xor split needs a decision (WithDecision or decision element)", inst.id, n.ID)
+		return 0, fault.Tagf(fault.Invalid, "engine: complete %s/%s: xor split needs a decision (WithDecision or decision element)", inst.id, n.ID)
 	}
 	for _, c := range codes {
 		if c == want {
@@ -276,7 +277,7 @@ func (inst *Instance) collectWritesLocked(v model.SchemaView, n *model.Node, out
 		val, supplied := outputs[de.Parameter]
 		if !supplied {
 			if !n.Auto {
-				return nil, fmt.Errorf("engine: complete %s/%s: missing output parameter %q", inst.id, n.ID, de.Parameter)
+				return nil, fault.Tagf(fault.Invalid, "engine: complete %s/%s: missing output parameter %q", inst.id, n.ID, de.Parameter)
 			}
 			val = elem.Type.ZeroValue()
 		}
@@ -292,7 +293,7 @@ func (inst *Instance) collectWritesLocked(v model.SchemaView, n *model.Node, out
 	}
 	for p := range outputs {
 		if !seen[p] {
-			return nil, fmt.Errorf("engine: complete %s/%s: unknown output parameter %q", inst.id, n.ID, p)
+			return nil, fault.Tagf(fault.Invalid, "engine: complete %s/%s: unknown output parameter %q", inst.id, n.ID, p)
 		}
 	}
 	return writes, nil

@@ -85,6 +85,7 @@ func (e *Engine) RestoreInstance(snap *InstanceSnapshot, bias []BiasOp) error {
 	}
 	inst := newInstance(e, snap.ID, s, snap.Strategy)
 	e.insts[snap.ID] = inst
+	e.orderPos[snap.ID] = len(e.order)
 	e.order = append(e.order, snap.ID)
 	e.mu.Unlock()
 
@@ -185,4 +186,7 @@ func (e *Engine) SortInstanceOrder() {
 		}
 		return e.order[i] < e.order[j]
 	})
+	for i, id := range e.order {
+		e.orderPos[id] = i
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"adept2/internal/change"
 	"adept2/internal/compliance"
 	"adept2/internal/engine"
+	"adept2/internal/fault"
 	"adept2/internal/graph"
 	"adept2/internal/history"
 	"adept2/internal/model"
@@ -165,7 +166,7 @@ func NewManager(e *engine.Engine) *Manager { return &Manager{eng: e} }
 func (m *Manager) DeriveVersion(typeName string, ops []change.Operation) (*model.Schema, error) {
 	from := m.eng.LatestVersion(typeName)
 	if from == 0 {
-		return nil, fmt.Errorf("evolution: unknown process type %q", typeName)
+		return nil, fault.Tagf(fault.NotFound, "evolution: unknown process type %q", typeName)
 	}
 	base, _ := m.eng.Schema(typeName, from)
 	next := base.Clone()
@@ -173,11 +174,11 @@ func (m *Manager) DeriveVersion(typeName string, ops []change.Operation) (*model
 	next.SetSchemaID(fmt.Sprintf("%s@v%d", typeName, from+1))
 	for _, op := range ops {
 		if err := op.ApplyTo(next); err != nil {
-			return nil, fmt.Errorf("evolution: derive %s v%d: %w", typeName, from+1, err)
+			return nil, fault.Tagf(fault.Invalid, "evolution: derive %s v%d: %w", typeName, from+1, err)
 		}
 	}
 	if res := verify.Check(next); !res.OK() {
-		return nil, fmt.Errorf("evolution: derive %s v%d: %w", typeName, from+1, res.Err())
+		return nil, fault.Tagf(fault.Invalid, "evolution: derive %s v%d: %w", typeName, from+1, res.Err())
 	}
 	return next, nil
 }

@@ -4,9 +4,10 @@
 package org
 
 import (
-	"fmt"
 	"sort"
 	"sync"
+
+	"adept2/internal/fault"
 )
 
 // User is an organizational agent.
@@ -35,12 +36,12 @@ func NewModel() *Model {
 // AddUser registers a user.
 func (m *Model) AddUser(u *User) error {
 	if u == nil || u.ID == "" {
-		return fmt.Errorf("org: add user: empty ID")
+		return fault.Tagf(fault.Invalid, "org: add user: empty ID")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.users[u.ID]; dup {
-		return fmt.Errorf("org: add user %q: duplicate ID", u.ID)
+		return fault.Tagf(fault.Conflict, "org: add user %q: duplicate ID", u.ID)
 	}
 	cp := *u
 	cp.Roles = append([]string(nil), u.Roles...)

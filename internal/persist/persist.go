@@ -228,6 +228,75 @@ func (j *Journal) AppendRecord(op string, epoch int, args any) (int, error) {
 	return rec.Seq, nil
 }
 
+// Pending is one not-yet-appended record for AppendMulti.
+type Pending struct {
+	// Op names the command.
+	Op string
+	// Epoch is the control-log reference (0 omitted on the wire).
+	Epoch int
+	// Args carries the command arguments (encoded at append time).
+	Args any
+}
+
+// AppendMulti journals a batch of records under one lock acquisition and
+// one write (plus, for sync-enabled journals, one fsync for the whole
+// batch) — the throughput primitive behind SubmitBatch. Sequence numbers
+// are assigned contiguously in slice order; the last one is returned. The
+// append is all-or-nothing: an encoding failure before any byte is
+// written leaves the journal untouched, and a failed write rolls back
+// exactly like Append (truncate for unbuffered file journals, refuse-
+// further-appends when self-repair is impossible).
+func (j *Journal) AppendMulti(recs []Pending) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed {
+		return 0, fmt.Errorf("persist: journal failed: a previous append left it in an unknown state")
+	}
+	if len(recs) == 0 {
+		return j.seq, nil
+	}
+	if j.lineEnc == nil {
+		j.lineEnc = json.NewEncoder(&j.lineBuf)
+		j.argsEnc = json.NewEncoder(&j.argsBuf)
+	}
+	j.lineBuf.Reset()
+	for i, p := range recs {
+		j.argsBuf.Reset()
+		if err := j.argsEnc.Encode(p.Args); err != nil {
+			return 0, fmt.Errorf("persist: marshal %s args: %w", p.Op, err)
+		}
+		blob := j.argsBuf.Bytes()
+		blob = blob[:len(blob)-1] // drop the encoder's trailing newline
+		rec := Record{Seq: j.seq + 1 + i, Epoch: p.Epoch, Op: p.Op, Args: blob}
+		// Encode appends the newline record terminator itself; lines
+		// accumulate in lineBuf so the batch lands in one write.
+		if err := j.lineEnc.Encode(rec); err != nil {
+			return 0, fmt.Errorf("persist: marshal record: %w", err)
+		}
+	}
+	if n, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
+		switch {
+		case j.file != nil && j.bw == nil:
+			if terr := j.file.Truncate(j.size); terr != nil {
+				j.failed = true
+			}
+		case j.bw != nil:
+			j.failed = true
+		case n > 0:
+			j.failed = true
+		}
+		return 0, fmt.Errorf("persist: append batch: %w", err)
+	}
+	j.seq += len(recs)
+	j.size += int64(j.lineBuf.Len())
+	if j.file != nil && j.sync {
+		if err := j.file.Sync(); err != nil {
+			return 0, fmt.Errorf("persist: fsync: %w", err)
+		}
+	}
+	return j.seq, nil
+}
+
 // Flush drains the user-space buffer of a buffered journal and fsyncs the
 // backing file, making every previously appended record durable. On a
 // sync-enabled journal it degenerates to a plain fsync.

@@ -14,11 +14,10 @@
 package rollback
 
 import (
-	"fmt"
-
 	"adept2/internal/change"
 	"adept2/internal/compliance"
 	"adept2/internal/engine"
+	"adept2/internal/fault"
 	"adept2/internal/graph"
 	"adept2/internal/history"
 	"adept2/internal/verify"
@@ -39,14 +38,14 @@ func UndoAll(inst *engine.Instance) error {
 func undo(inst *engine.Instance, count int) error {
 	return inst.Mutate(func(mx *engine.Mutable) error {
 		if mx.Done() {
-			return fmt.Errorf("rollback: instance %s already completed", inst.ID())
+			return fault.Tagf(fault.Completed, "rollback: instance %s already completed", inst.ID())
 		}
 		ops, err := change.AsOperations(mx.BiasOps())
 		if err != nil {
 			return err
 		}
 		if len(ops) == 0 {
-			return fmt.Errorf("rollback: instance %s has no ad-hoc changes", inst.ID())
+			return fault.Tagf(fault.Conflict, "rollback: instance %s has no ad-hoc changes", inst.ID())
 		}
 		keep := 0
 		if count > 0 {
@@ -62,11 +61,11 @@ func undo(inst *engine.Instance, count int) error {
 		trial.SetSchemaID(trial.SchemaID() + "+undo-trial")
 		for _, op := range rest {
 			if err := op.ApplyTo(trial); err != nil {
-				return fmt.Errorf("rollback: remaining bias does not re-apply: %w", err)
+				return fault.Tagf(fault.NotCompliant, "rollback: remaining bias does not re-apply: %w", err)
 			}
 		}
 		if res := verify.Check(trial); !res.OK() {
-			return fmt.Errorf("rollback: remaining bias fails verification: %w", res.Err())
+			return fault.Tagf(fault.NotCompliant, "rollback: remaining bias fails verification: %w", res.Err())
 		}
 
 		// 2. The execution history must be reproducible without the
@@ -81,7 +80,7 @@ func undo(inst *engine.Instance, count int) error {
 			return err
 		}
 		if _, err := compliance.Replay(trial, info, reduced); err != nil {
-			return fmt.Errorf("rollback: instance progressed into the change: %w", err)
+			return fault.Tagf(fault.NotCompliant, "rollback: instance progressed into the change: %w", err)
 		}
 
 		// 3. Commit: rebuild the representation from the remaining bias

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"adept2/internal/fault"
 )
 
 // ItemState is the lifecycle state of a work item.
@@ -127,13 +129,13 @@ func (m *Manager) Claim(itemID, user string) error {
 	defer m.mu.Unlock()
 	it, ok := m.items[itemID]
 	if !ok {
-		return fmt.Errorf("worklist: claim %q: no such item", itemID)
+		return fault.Tagf(fault.NotFound, "worklist: claim %q: no such item", itemID)
 	}
 	if it.State != Offered {
-		return fmt.Errorf("worklist: claim %q: item is %s", itemID, it.State)
+		return fault.Tagf(fault.Conflict, "worklist: claim %q: item is %s", itemID, it.State)
 	}
 	if !contains(it.Offered, user) {
-		return fmt.Errorf("worklist: claim %q: user %q is not a candidate", itemID, user)
+		return fault.Tagf(fault.Denied, "worklist: claim %q: user %q is not a candidate", itemID, user)
 	}
 	it.State = Claimed
 	it.ClaimedBy = user
@@ -146,10 +148,10 @@ func (m *Manager) Release(itemID, user string) error {
 	defer m.mu.Unlock()
 	it, ok := m.items[itemID]
 	if !ok {
-		return fmt.Errorf("worklist: release %q: no such item", itemID)
+		return fault.Tagf(fault.NotFound, "worklist: release %q: no such item", itemID)
 	}
 	if it.State != Claimed || it.ClaimedBy != user {
-		return fmt.Errorf("worklist: release %q: not claimed by %q", itemID, user)
+		return fault.Tagf(fault.Conflict, "worklist: release %q: not claimed by %q", itemID, user)
 	}
 	it.State = Offered
 	it.ClaimedBy = ""
@@ -162,11 +164,11 @@ func (m *Manager) MarkStarted(instance, node, user string) error {
 	defer m.mu.Unlock()
 	id, ok := m.byNode[[2]string{instance, node}]
 	if !ok {
-		return fmt.Errorf("worklist: start %s/%s: no work item", instance, node)
+		return fault.Tagf(fault.NotFound, "worklist: start %s/%s: no work item", instance, node)
 	}
 	it := m.items[id]
 	if it.State == Claimed && it.ClaimedBy != user {
-		return fmt.Errorf("worklist: start %s/%s: claimed by %q, not %q", instance, node, it.ClaimedBy, user)
+		return fault.Tagf(fault.Denied, "worklist: start %s/%s: claimed by %q, not %q", instance, node, it.ClaimedBy, user)
 	}
 	it.State = InProgress
 	it.ClaimedBy = user
@@ -360,6 +362,42 @@ func (m *Manager) ItemsFor(user string) []*Item {
 		items = append(items, it.clone())
 	}
 	return items
+}
+
+// ItemsForPage returns up to limit of the items visible to a user in
+// item-ID order, starting after the cursor item ID ("" starts from the
+// beginning), plus the cursor for the next page ("" when no items
+// follow). Only the returned page is cloned — a user with a huge
+// worklist no longer pays a full-copy per listing call — though the ID
+// set is still gathered and sorted per call.
+func (m *Manager) ItemsForPage(user, cursor string, limit int) ([]*Item, string) {
+	if limit <= 0 {
+		limit = 100
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.byUser[user]))
+	for id := range m.byUser[user] {
+		if cursor != "" && id <= cursor {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	items := make([]*Item, 0, limit)
+	next := ""
+	for i, id := range ids {
+		it := m.items[id]
+		if it.State == Claimed && it.ClaimedBy != user {
+			continue // reserved by someone else
+		}
+		if len(items) == limit {
+			next = ids[i-1] // page full with candidates left
+			break
+		}
+		items = append(items, it.clone())
+	}
+	return items, next
 }
 
 // ItemsForInstance returns all items of one instance, ordered by item ID.

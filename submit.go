@@ -1,0 +1,321 @@
+package adept2
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"adept2/internal/durable/sharded"
+	"adept2/internal/persist"
+)
+
+// Receipt is the durability promise of an asynchronously submitted
+// command: the engine mutation already happened and the journal record is
+// staged when SubmitAsync returns; Wait resolves once the record is
+// covered by an fsync (group commit batches the flushes, so pipelining
+// submitters share them). Receipts of commands that were durable on
+// return (control commands in a sharded layout, systems without group
+// commit or without a journal) resolve immediately.
+type Receipt struct {
+	op     string
+	inst   string
+	seq    int
+	result any
+	wait   func(ctx context.Context) error // nil = durable already
+
+	mu   sync.Mutex
+	done bool
+	err  error
+}
+
+// Result returns the command's result (e.g. the *Instance of a
+// CreateInstance, the *MigrationReport of an Evolve; nil for most
+// commands). The result is valid as soon as SubmitAsync returned — it
+// reflects the applied engine state — but it is not crash-durable until
+// Wait resolves.
+func (r *Receipt) Result() any { return r.result }
+
+// Seq returns the journal sequence number the command's record received
+// (shard-local in a sharded layout; 0 without a journal).
+func (r *Receipt) Seq() int { return r.seq }
+
+// Wait blocks until the record is durable, the durability pipeline
+// wedges (ErrWedged), or ctx is done (ErrCanceled; the record stays
+// queued, and a later Wait can still await it). Wait is idempotent and
+// safe for concurrent use.
+func (r *Receipt) Wait(ctx context.Context) error {
+	r.mu.Lock()
+	if r.done {
+		err := r.err
+		r.mu.Unlock()
+		return err
+	}
+	w := r.wait
+	r.mu.Unlock()
+	var err error
+	if w != nil {
+		err = w(ctx)
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Cancellation abandons only this wait, not the outcome.
+		return &Error{Code: CodeCanceled, Op: r.op, Instance: r.inst, Applied: true, Result: r.result, Err: err}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.done {
+		r.done = true
+		if err != nil {
+			r.err = &Error{Code: CodeWedged, Op: r.op, Instance: r.inst, Applied: true, Result: r.result, Err: err}
+		}
+	}
+	return r.err
+}
+
+// Submit applies one command and blocks until its journal record is
+// durable: when Submit returns nil, the command survives a crash. The
+// result is the command's typed result (see Receipt.Result). ctx bounds
+// the durability wait — on cancellation the command may still have been
+// applied and journaled (ErrCanceled reports only the abandoned wait).
+// All failures carry the Error taxonomy of this package.
+func (s *System) Submit(ctx context.Context, cmd Command) (any, error) {
+	r, err := s.SubmitAsync(ctx, cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return r.Result(), nil
+}
+
+// SubmitAsync applies one command and returns without waiting for
+// durability: validation and the engine mutation are synchronous (a
+// non-nil error means nothing happened), but the journal record is only
+// staged in the group-commit pipeline. The Receipt resolves once the
+// record is fsync-covered, so a caller pipelines appends — submit,
+// collect receipts, await them in bulk — instead of paying one fsync
+// round-trip per command. Control commands in a multi-shard layout are
+// durable on return (their epoch semantics require it); their receipts
+// resolve immediately.
+func (s *System) SubmitAsync(ctx context.Context, cmd Command) (*Receipt, error) {
+	c, ok := cmd.(command)
+	if !ok {
+		return nil, &Error{Code: CodeInvalid, Op: cmd.CommandName(),
+			Err: fmt.Errorf("adept2: foreign Command implementation %T", cmd)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(c.CommandName(), c.target(), err)
+	}
+	var unlock func()
+	if c.control() {
+		unlock = s.lockControl()
+	} else {
+		s.snapMu.RLock()
+		unlock = s.snapMu.RUnlock
+	}
+	eff, err := c.run(s)
+	if err == nil {
+		err = finishEffect(c, &eff)
+	}
+	if err != nil {
+		unlock()
+		return nil, wrapErr(c.CommandName(), c.target(), err)
+	}
+	rcpt, err := s.appendEffect(eff)
+	unlock()
+	if err != nil {
+		return nil, s.wrapAppendErr(c.CommandName(), eff.inst, eff.result, err)
+	}
+	rcpt.op = c.CommandName()
+	rcpt.inst = eff.inst
+	rcpt.result = eff.result
+	return rcpt, nil
+}
+
+// SubmitBatch applies a sequence of commands, journaling each run of
+// consecutive data commands as ONE batch: the command barrier is taken
+// once per run, the encoded records land in one multi-record append per
+// touched journal (one fsync or one group-commit wait each), and the
+// call returns once everything is durable. Control commands interleaved
+// in the batch keep their exclusive-barrier epoch semantics — each one
+// is applied and made durable individually before the batch continues.
+//
+// Results align with the applied prefix of cmds. On error, the commands
+// before the failing one remain applied AND journaled (their results are
+// returned); the failing command had no effect.
+func (s *System) SubmitBatch(ctx context.Context, cmds []Command) ([]any, error) {
+	results := make([]any, 0, len(cmds))
+	i := 0
+	for i < len(cmds) {
+		ci, ok := cmds[i].(command)
+		if !ok {
+			return results, &Error{Code: CodeInvalid, Op: cmds[i].CommandName(),
+				Err: fmt.Errorf("adept2: foreign Command implementation %T", cmds[i])}
+		}
+		if err := ctx.Err(); err != nil {
+			return results, wrapErr(ci.CommandName(), ci.target(), err)
+		}
+		if ci.control() {
+			res, err := s.Submit(ctx, cmds[i])
+			if err != nil {
+				return results, err
+			}
+			results = append(results, res)
+			i++
+			continue
+		}
+
+		// A run of consecutive data commands: apply under one shared
+		// barrier acquisition, journal as one batch. A failing command
+		// ends the run — the applied prefix MUST still be journaled
+		// (its engine mutations happened).
+		var (
+			effs   []effect
+			runErr error
+		)
+		j := i
+		s.snapMu.RLock()
+		for ; j < len(cmds); j++ {
+			cj, ok := cmds[j].(command)
+			if !ok || cj.control() {
+				break
+			}
+			eff, err := cj.run(s)
+			if err == nil {
+				err = finishEffect(cj, &eff)
+			}
+			if err != nil {
+				runErr = wrapErr(cj.CommandName(), cj.target(), err)
+				break
+			}
+			effs = append(effs, eff)
+		}
+		appendErr := s.appendEffects(ctx, effs)
+		s.snapMu.RUnlock()
+		for _, eff := range effs {
+			results = append(results, eff.result)
+		}
+		if appendErr != nil {
+			return results, s.wrapAppendErr("batch", "", nil, appendErr)
+		}
+		if runErr != nil {
+			return results, runErr
+		}
+		i = j
+	}
+	return results, nil
+}
+
+// appendEffect journals one effect without waiting for durability and
+// returns a Receipt whose wait covers it. Callers hold the command
+// barrier.
+func (s *System) appendEffect(eff effect) (*Receipt, error) {
+	switch {
+	case s.wal != nil:
+		if eff.inst == "" {
+			// Control records advance the epoch, which is only sound
+			// once the record is durable — so they never pipeline.
+			seq, err := s.wal.AppendControl(eff.op, eff.args)
+			if err != nil {
+				return nil, err
+			}
+			s.maybeCheckpoint()
+			return &Receipt{seq: seq}, nil
+		}
+		shard, seq, durable, err := s.wal.AppendDataAsync(eff.inst, eff.op, eff.args)
+		if err != nil {
+			return nil, err
+		}
+		s.maybeCheckpoint()
+		r := &Receipt{seq: seq}
+		if !durable {
+			wal := s.wal
+			r.wait = func(ctx context.Context) error { return wal.WaitShardSeq(ctx, shard, seq) }
+		}
+		return r, nil
+	case s.committer != nil:
+		seq, err := s.committer.AppendAsync(eff.op, 0, eff.args)
+		if err != nil {
+			return nil, err
+		}
+		s.maybeCheckpoint()
+		c := s.committer
+		return &Receipt{seq: seq, wait: func(ctx context.Context) error { return c.WaitSeq(ctx, seq) }}, nil
+	case s.journal != nil:
+		seq, err := s.journal.AppendSeq(eff.op, eff.args)
+		if err != nil {
+			return nil, err
+		}
+		s.maybeCheckpoint()
+		return &Receipt{seq: seq}, nil
+	default:
+		return &Receipt{}, nil
+	}
+}
+
+// appendEffects journals a batch of data effects as one multi-record
+// append per touched journal and blocks until the batch is durable.
+// Callers hold the shared command barrier.
+func (s *System) appendEffects(ctx context.Context, effs []effect) error {
+	if len(effs) == 0 {
+		return nil
+	}
+	switch {
+	case s.wal != nil:
+		recs := make([]sharded.DataRecord, len(effs))
+		for i, eff := range effs {
+			recs[i] = sharded.DataRecord{Instance: eff.inst, Op: eff.op, Args: eff.args}
+		}
+		if err := s.wal.AppendDataMulti(ctx, recs); err != nil {
+			return err
+		}
+	case s.committer != nil:
+		last, err := s.committer.AppendMulti(pending(effs))
+		if err != nil {
+			return err
+		}
+		if err := s.committer.WaitSeq(ctx, last); err != nil {
+			return err
+		}
+	case s.journal != nil:
+		if _, err := s.journal.AppendMulti(pending(effs)); err != nil {
+			return err
+		}
+	default:
+		return nil
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+func pending(effs []effect) []persist.Pending {
+	pend := make([]persist.Pending, len(effs))
+	for i, eff := range effs {
+		pend[i] = persist.Pending{Op: eff.op, Args: eff.args}
+	}
+	return pend
+}
+
+// wrapAppendErr classifies a journaling failure: a wedged durability
+// pipeline (sticky group-commit error) maps to ErrWedged, cancellations
+// to ErrCanceled, everything else to ErrInternal. The engine mutation
+// already happened when appending fails — the error reports lost
+// durability, not a rejected command.
+func (s *System) wrapAppendErr(op, inst string, res any, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	code := CodeInternal
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		code = CodeCanceled
+	case s.healthErr() != nil:
+		code = CodeWedged
+	}
+	return &Error{Code: code, Op: op, Instance: inst, Applied: true, Result: res, Err: err}
+}

@@ -1,20 +1,19 @@
 package adept2
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
-	"adept2/internal/change"
 	"adept2/internal/durable"
 	"adept2/internal/durable/sharded"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
-	"adept2/internal/model"
+	"adept2/internal/fault"
 	"adept2/internal/org"
 	"adept2/internal/persist"
-	"adept2/internal/rollback"
 	"adept2/internal/storage"
 )
 
@@ -217,6 +216,17 @@ func newSystem(c *config) *System {
 // snapshots and finally to a full replay when snapshots are torn,
 // corrupt, or version-skewed; Recovery reports what happened.
 func Open(path string, opts ...Option) (*System, error) {
+	sys, err := open(path, opts...)
+	if err != nil {
+		// Classify for errors.Is: durability-layer refusals to rebuild
+		// state are tagged by the recovery code; everything else keeps
+		// CodeInternal.
+		return nil, wrapErr("open", "", err)
+	}
+	return sys, nil
+}
+
+func open(path string, opts ...Option) (*System, error) {
 	var c config
 	for _, o := range opts {
 		o(&c)
@@ -237,7 +247,7 @@ func Open(path string, opts ...Option) (*System, error) {
 	switch {
 	case man != nil:
 		if want > 0 && want != man.Shards {
-			return nil, fmt.Errorf(
+			return nil, fault.Tagf(fault.VersionSkew,
 				"adept2: layout at %s has %d shards but %d were requested: reshard offline (adeptctl reshard)",
 				path, man.Shards, want)
 		}
@@ -323,7 +333,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 			// (An empty journal is fine — compaction may have folded every
 			// record into the snapshot.)
 			if tail.LastSeq > 0 && st.Seq > tail.LastSeq {
-				return nil, nil, none, fmt.Errorf(
+				return nil, nil, none, fault.Tagf(fault.Unrecoverable,
 					"adept2: snapshot %s covers seq %d but the journal ends at %d: journal truncated, refusing to recover",
 					entry.File, st.Seq, tail.LastSeq)
 			}
@@ -365,7 +375,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 		return nil, nil, none, err
 	}
 	if tail.FirstSeq > 1 {
-		return nil, nil, none, fmt.Errorf(
+		return nil, nil, none, fault.Tagf(fault.Unrecoverable,
 			"adept2: journal starts at seq %d (compacted) and no usable snapshot reaches seq %d: %v",
 			tail.FirstSeq, tail.FirstSeq-1, info.Fallbacks)
 	}
@@ -416,6 +426,14 @@ func (s *System) Close() error {
 // most recent background checkpoint failure. nil means the pipeline is
 // healthy.
 func (s *System) Health() error {
+	if err := s.healthErr(); err != nil {
+		return &Error{Code: CodeWedged, Op: "health", Err: err}
+	}
+	return nil
+}
+
+// healthErr is Health without the taxonomy wrapping.
+func (s *System) healthErr() error {
 	if s.wal != nil {
 		if err := s.wal.Health(); err != nil {
 			return err
@@ -447,7 +465,14 @@ func (s *System) Org() *OrgModel { return s.eng.Org() }
 func (s *System) WorkItems(user string) []*WorkItem { return s.eng.WorkItems(user) }
 
 // Claim reserves a work item for a user.
-func (s *System) Claim(itemID, user string) error { return s.eng.Claim(itemID, user) }
+func (s *System) Claim(itemID, user string) error {
+	return wrapErr("claim", "", s.eng.Claim(itemID, user))
+}
+
+// Release un-claims a work item.
+func (s *System) Release(itemID, user string) error {
+	return wrapErr("release", "", s.eng.Release(itemID, user))
+}
 
 // Instance looks up an instance.
 func (s *System) Instance(id string) (*Instance, bool) { return s.eng.Instance(id) }
@@ -455,86 +480,21 @@ func (s *System) Instance(id string) (*Instance, bool) { return s.eng.Instance(i
 // Instances returns all instances in creation order.
 func (s *System) Instances() []*Instance { return s.eng.Instances() }
 
-// --- journaled commands ---
-
-type userArgs struct {
-	User *org.User `json:"user"`
+// WorkItemsPage returns up to limit of a user's work items in item-ID
+// order, starting after the cursor item ID ("" = beginning), plus the
+// cursor for the next page ("" when the listing is exhausted). Unlike
+// WorkItems it clones only one page per call — the read path for
+// worklist browsers at large user counts.
+func (s *System) WorkItemsPage(user, cursor string, limit int) ([]*WorkItem, string) {
+	return s.eng.WorkItemsPage(user, cursor, limit)
 }
 
-type deployArgs struct {
-	Schema json.RawMessage `json:"schema"`
-}
-
-type createArgs struct {
-	TypeName string `json:"type"`
-	Version  int    `json:"version"`
-	// ID is the engine-assigned instance ID (recorded since the sharded
-	// layout so replay reproduces identical IDs under any shard
-	// interleaving; empty in pre-PR4 records, where the total journal
-	// order makes counter assignment deterministic).
-	ID string `json:"id,omitempty"`
-}
-
-type startArgs struct {
-	Instance string `json:"instance"`
-	Node     string `json:"node"`
-	User     string `json:"user,omitempty"`
-}
-
-type completeArgs struct {
-	Instance string         `json:"instance"`
-	Node     string         `json:"node"`
-	User     string         `json:"user,omitempty"`
-	Outputs  map[string]any `json:"outputs,omitempty"`
-	Decision *int           `json:"decision,omitempty"`
-	Again    *bool          `json:"again,omitempty"`
-}
-
-type adHocArgs struct {
-	Instance string          `json:"instance"`
-	Ops      json.RawMessage `json:"ops"`
-}
-
-type evolveArgs struct {
-	TypeName string          `json:"type"`
-	Ops      json.RawMessage `json:"ops"`
-	Workers  int             `json:"workers,omitempty"`
-	Mode     uint8           `json:"mode,omitempty"`
-	Adapt    uint8           `json:"adapt,omitempty"`
-}
-
-// log journals a control command (schema deploys, users, evolutions): in
-// a sharded layout these go to the shard-0 control log and advance the
-// epoch; otherwise to the single journal.
-func (s *System) log(op string, args any) error {
-	var err error
-	switch {
-	case s.wal != nil:
-		_, err = s.wal.AppendControl(op, args)
-	case s.committer != nil:
-		_, err = s.committer.Append(op, args)
-	case s.journal != nil:
-		err = s.journal.Append(op, args)
-	default:
-		return nil
-	}
-	if err == nil {
-		s.maybeCheckpoint()
-	}
-	return err
-}
-
-// logData journals an instance-scoped command: in a sharded layout it
-// routes to the instance's shard, stamped with the current epoch.
-func (s *System) logData(instID, op string, args any) error {
-	if s.wal == nil {
-		return s.log(op, args)
-	}
-	if err := s.wal.AppendData(instID, op, args); err != nil {
-		return err
-	}
-	s.maybeCheckpoint()
-	return nil
+// InstancesPage returns up to limit instances in creation order,
+// starting after the cursor instance ID ("" = beginning), plus the
+// cursor for the next page ("" when exhausted). Unlike Instances it
+// copies only one page per call.
+func (s *System) InstancesPage(cursor string, limit int) ([]*Instance, string) {
+	return s.eng.InstancesPage(cursor, limit)
 }
 
 // lockControl acquires the command barrier for a control command. In a
@@ -667,24 +627,14 @@ func (s *System) JournalSeq() int {
 // AddUser registers a user in the organizational model (journaled, unlike
 // direct Org() mutation).
 func (s *System) AddUser(u *User) error {
-	defer s.lockControl()()
-	if err := s.eng.Org().AddUser(u); err != nil {
-		return err
-	}
-	return s.log("user", userArgs{User: u})
+	_, err := s.Submit(context.Background(), &AddUser{User: u})
+	return err
 }
 
 // Deploy verifies and registers a schema version.
 func (s *System) Deploy(schema *Schema) error {
-	defer s.lockControl()()
-	if err := s.eng.Deploy(schema); err != nil {
-		return err
-	}
-	blob, err := json.Marshal(schema)
-	if err != nil {
-		return err
-	}
-	return s.log("deploy", deployArgs{Schema: blob})
+	_, err := s.Submit(context.Background(), &Deploy{Schema: schema})
+	return err
 }
 
 // CreateInstance instantiates the latest version of a process type.
@@ -695,260 +645,97 @@ func (s *System) CreateInstance(typeName string) (*Instance, error) {
 // CreateInstanceVersion instantiates an explicit schema version (0 =
 // latest).
 func (s *System) CreateInstanceVersion(typeName string, version int) (*Instance, error) {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	inst, err := s.eng.CreateInstance(typeName, version)
+	res, err := s.Submit(context.Background(), &CreateInstance{TypeName: typeName, Version: version})
 	if err != nil {
-		return nil, err
+		// The instance may exist despite the error (journaling failed
+		// after the create); hand it back alongside, as before PR 5.
+		inst, _ := appliedResult(err).(*Instance)
+		return inst, err
 	}
-	return inst, s.logData(inst.ID(), "create", createArgs{TypeName: typeName, Version: version, ID: inst.ID()})
+	return res.(*Instance), nil
+}
+
+// appliedResult extracts the result of a command that WAS applied even
+// though its submission returned an error (Error.Applied).
+func appliedResult(err error) any {
+	var e *Error
+	if errors.As(err, &e) && e.Applied {
+		return e.Result
+	}
+	return nil
 }
 
 // Start starts an activated activity on behalf of a user.
 func (s *System) Start(instID, node, user string) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	if err := s.eng.StartActivity(instID, node, user); err != nil {
-		return err
-	}
-	return s.logData(instID, "start", startArgs{Instance: instID, Node: node, User: user})
+	_, err := s.Submit(context.Background(), &StartActivity{Instance: instID, Node: node, User: user})
+	return err
 }
 
 // Complete completes a node (starting it first when merely activated).
 func (s *System) Complete(instID, node, user string, outputs map[string]any) error {
-	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs})
+	_, err := s.Submit(context.Background(), &CompleteActivity{Instance: instID, Node: node, User: user, Outputs: outputs})
+	return err
 }
 
 // CompleteWithDecision completes an XOR split with an explicit routing
 // decision.
 func (s *System) CompleteWithDecision(instID, node, user string, outputs map[string]any, decision int) error {
-	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs, Decision: &decision})
+	_, err := s.Submit(context.Background(), &CompleteActivity{
+		Instance: instID, Node: node, User: user, Outputs: outputs, Decision: &decision})
+	return err
 }
 
 // CompleteLoop completes a loop end with an explicit iteration decision.
 func (s *System) CompleteLoop(instID, node, user string, outputs map[string]any, again bool) error {
-	return s.complete(completeArgs{Instance: instID, Node: node, User: user, Outputs: outputs, Again: &again})
-}
-
-func (s *System) complete(a completeArgs) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	var opts []engine.CompleteOption
-	if a.Decision != nil {
-		opts = append(opts, engine.WithDecision(*a.Decision))
-	}
-	if a.Again != nil {
-		opts = append(opts, engine.WithLoopAgain(*a.Again))
-	}
-	if err := s.eng.CompleteActivity(a.Instance, a.Node, a.User, a.Outputs, opts...); err != nil {
-		return err
-	}
-	return s.logData(a.Instance, "complete", a)
+	_, err := s.Submit(context.Background(), &CompleteActivity{
+		Instance: instID, Node: node, User: user, Outputs: outputs, Again: &again})
+	return err
 }
 
 // AdHocChange applies an ad-hoc change to a single running instance (the
 // paper's instance-level change dimension).
 func (s *System) AdHocChange(instID string, ops ...Operation) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	inst, ok := s.eng.Instance(instID)
-	if !ok {
-		return fmt.Errorf("adept2: unknown instance %q", instID)
-	}
-	if err := change.ApplyAdHoc(inst, ops...); err != nil {
-		return err
-	}
-	blob, err := change.MarshalOps(ops)
-	if err != nil {
-		return err
-	}
-	return s.logData(instID, "adhoc", adHocArgs{Instance: instID, Ops: blob})
-}
-
-type undoArgs struct {
-	Instance string `json:"instance"`
-	All      bool   `json:"all,omitempty"`
-}
-
-type suspendArgs struct {
-	Instance string `json:"instance"`
-	Resume   bool   `json:"resume,omitempty"`
+	_, err := s.Submit(context.Background(), &AdHoc{Instance: instID, Ops: ops})
+	return err
 }
 
 // Suspend blocks user operations on an instance; ad-hoc changes and
 // migration stay possible.
 func (s *System) Suspend(instID string) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	if err := s.eng.Suspend(instID); err != nil {
-		return err
-	}
-	return s.logData(instID, "suspend", suspendArgs{Instance: instID})
+	_, err := s.Submit(context.Background(), &Suspend{Instance: instID})
+	return err
 }
 
 // Resume re-enables user operations on a suspended instance.
 func (s *System) Resume(instID string) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	if err := s.eng.Resume(instID); err != nil {
-		return err
-	}
-	return s.logData(instID, "suspend", suspendArgs{Instance: instID, Resume: true})
+	_, err := s.Submit(context.Background(), &Resume{Instance: instID})
+	return err
 }
 
 // UndoAdHocChange removes the most recent ad-hoc change of the instance,
 // provided it has not progressed into the changed region.
 func (s *System) UndoAdHocChange(instID string) error {
-	return s.undo(instID, false)
+	_, err := s.Submit(context.Background(), &Undo{Instance: instID})
+	return err
 }
 
 // UndoAllAdHocChanges returns the instance to its plain schema version.
 func (s *System) UndoAllAdHocChanges(instID string) error {
-	return s.undo(instID, true)
-}
-
-func (s *System) undo(instID string, all bool) error {
-	s.snapMu.RLock()
-	defer s.snapMu.RUnlock()
-	inst, ok := s.eng.Instance(instID)
-	if !ok {
-		return fmt.Errorf("adept2: unknown instance %q", instID)
-	}
-	var err error
-	if all {
-		err = rollback.UndoAll(inst)
-	} else {
-		err = rollback.UndoLast(inst)
-	}
-	if err != nil {
-		return err
-	}
-	return s.logData(instID, "undo", undoArgs{Instance: instID, All: all})
+	_, err := s.Submit(context.Background(), &Undo{Instance: instID, All: true})
+	return err
 }
 
 // Evolve performs a schema evolution of the process type and migrates all
 // compliant instances on the fly (the paper's type-level change
 // dimension). The returned report classifies every instance.
 func (s *System) Evolve(typeName string, ops []Operation, opts EvolveOptions) (*MigrationReport, error) {
-	defer s.lockControl()()
-	report, err := s.mgr.Evolve(typeName, ops, opts)
+	res, err := s.Submit(context.Background(), &Evolve{TypeName: typeName, Ops: ops, Options: opts})
 	if err != nil {
-		return nil, err
+		// The evolution may have run despite the error (journaling
+		// failed after the migration); the report still classifies every
+		// instance, so hand it back alongside, as before PR 5.
+		report, _ := appliedResult(err).(*MigrationReport)
+		return report, err
 	}
-	blob, merr := change.MarshalOps(ops)
-	if merr != nil {
-		return report, merr
-	}
-	return report, s.log("evolve", evolveArgs{
-		TypeName: typeName,
-		Ops:      blob,
-		Workers:  opts.Workers,
-		Mode:     uint8(opts.Mode),
-		Adapt:    uint8(opts.Adapt),
-	})
-}
-
-// apply replays one journaled command (crash recovery).
-func (s *System) apply(op string, args json.RawMessage) error {
-	switch op {
-	case "user":
-		var a userArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		return s.eng.Org().AddUser(a.User)
-	case "deploy":
-		var a deployArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		var schema model.Schema
-		if err := json.Unmarshal(a.Schema, &schema); err != nil {
-			return err
-		}
-		return s.eng.Deploy(&schema)
-	case "create":
-		var a createArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		if a.ID != "" {
-			_, err := s.eng.CreateInstanceID(a.ID, a.TypeName, a.Version)
-			return err
-		}
-		_, err := s.eng.CreateInstance(a.TypeName, a.Version)
-		return err
-	case "start":
-		var a startArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		return s.eng.StartActivity(a.Instance, a.Node, a.User)
-	case "complete":
-		var a completeArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		var opts []engine.CompleteOption
-		if a.Decision != nil {
-			opts = append(opts, engine.WithDecision(*a.Decision))
-		}
-		if a.Again != nil {
-			opts = append(opts, engine.WithLoopAgain(*a.Again))
-		}
-		return s.eng.CompleteActivity(a.Instance, a.Node, a.User, a.Outputs, opts...)
-	case "adhoc":
-		var a adHocArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		ops, err := change.UnmarshalOps(a.Ops)
-		if err != nil {
-			return err
-		}
-		inst, ok := s.eng.Instance(a.Instance)
-		if !ok {
-			return fmt.Errorf("adept2: replay adhoc: unknown instance %q", a.Instance)
-		}
-		return change.ApplyAdHoc(inst, ops...)
-	case "suspend":
-		var a suspendArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		if a.Resume {
-			return s.eng.Resume(a.Instance)
-		}
-		return s.eng.Suspend(a.Instance)
-	case "undo":
-		var a undoArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		inst, ok := s.eng.Instance(a.Instance)
-		if !ok {
-			return fmt.Errorf("adept2: replay undo: unknown instance %q", a.Instance)
-		}
-		if a.All {
-			return rollback.UndoAll(inst)
-		}
-		return rollback.UndoLast(inst)
-	case "evolve":
-		var a evolveArgs
-		if err := json.Unmarshal(args, &a); err != nil {
-			return err
-		}
-		ops, err := change.UnmarshalOps(a.Ops)
-		if err != nil {
-			return err
-		}
-		_, err = s.mgr.Evolve(a.TypeName, ops, evolution.Options{
-			Workers: a.Workers,
-			Mode:    evolution.CheckMode(a.Mode),
-			Adapt:   evolution.AdaptMode(a.Adapt),
-		})
-		return err
-	default:
-		return fmt.Errorf("adept2: unknown journal op %q", op)
-	}
+	return res.(*MigrationReport), nil
 }

@@ -11,18 +11,6 @@ import (
 	"adept2/internal/persist"
 )
 
-// isControlOp classifies journal ops that belong to the shard-0 control
-// log: commands that change shared state every instance may depend on
-// (schemas, users) or mutate instances across shards (evolutions). All
-// other ops are instance-scoped data commands.
-func isControlOp(op string) bool {
-	switch op {
-	case "user", "deploy", "evolve":
-		return true
-	}
-	return false
-}
-
 // refuseExistingSingleJournal guards fresh sharded-layout creation: a
 // journal (or snapshot store) already populated in the single-journal
 // layout must be resharded offline, not silently reinterpreted.
