@@ -1,0 +1,578 @@
+package adept2_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adept2"
+	"adept2/internal/sim"
+	"adept2/internal/vfs"
+)
+
+// faultDriver feeds a deterministic random command stream through all
+// three submission paths against a possibly-failing disk. Unlike
+// cmdDriver it tolerates durability failures: once the pipeline wedges
+// or the disk crashes it stops driving, and it records exactly which
+// writes were ACKNOWLEDGED durable (Submit returned nil, SubmitBatch
+// returned nil, a receipt's Wait returned nil) — the set no crash is
+// allowed to lose.
+type faultDriver struct {
+	t     *testing.T
+	sys   *adept2.System
+	rng   *rand.Rand
+	ctx   context.Context
+	insts []string
+
+	receipts  []*adept2.Receipt
+	byReceipt map[*adept2.Receipt]string // receipt -> created instance ID
+
+	ackedInsts []string // instance creations acknowledged durable
+	ackedSeqs  [][2]int // (shard, seq) pairs acknowledged durable
+	dead       bool     // durability failed; stop driving
+}
+
+func newFaultDriver(t *testing.T, sys *adept2.System, seed int64) *faultDriver {
+	t.Helper()
+	d := &faultDriver{
+		t: t, sys: sys, rng: rand.New(rand.NewSource(seed)),
+		ctx: context.Background(), byReceipt: make(map[*adept2.Receipt]string),
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		d.noteErr(err)
+	}
+	return d
+}
+
+// noteErr classifies a submission error: rejections are part of the
+// random walk, durability failures end it, anything untyped fails the
+// test.
+func (d *faultDriver) noteErr(err error) {
+	var e *adept2.Error
+	if !errors.As(err, &e) {
+		d.t.Fatalf("untyped command error: %v", err)
+	}
+	switch e.Code {
+	case adept2.CodeWedged, adept2.CodeInternal:
+		d.dead = true
+	}
+}
+
+// propose builds the next random command; every command is well-formed
+// (rejections still happen via wrong node states, which is fine).
+func (d *faultDriver) propose() adept2.Command {
+	pick := func() string {
+		if len(d.insts) == 0 {
+			return ""
+		}
+		return d.insts[d.rng.Intn(len(d.insts))]
+	}
+	switch r := d.rng.Intn(10); {
+	case r < 3 || len(d.insts) == 0:
+		return &adept2.CreateInstance{TypeName: "online_order"}
+	case r < 6:
+		return &adept2.CompleteActivity{Instance: pick(), Node: "get_order", User: "ann",
+			Outputs: map[string]any{"out": fmt.Sprintf("o-%d", d.rng.Int())}}
+	case r < 8:
+		return &adept2.Suspend{Instance: pick()}
+	default:
+		return &adept2.Resume{Instance: pick()}
+	}
+}
+
+func (d *faultDriver) step() {
+	if d.dead {
+		return
+	}
+	switch d.rng.Intn(3) {
+	case 0: // blocking: a nil error IS the durability acknowledgement
+		cmd := d.propose()
+		res, err := d.sys.Submit(d.ctx, cmd)
+		if err != nil {
+			d.noteErr(err)
+			return
+		}
+		if inst, ok := res.(*adept2.Instance); ok {
+			d.insts = append(d.insts, inst.ID())
+			d.ackedInsts = append(d.ackedInsts, inst.ID())
+		}
+	case 1: // pipelined: acknowledged only when the receipt resolves
+		cmd := d.propose()
+		r, err := d.sys.SubmitAsync(d.ctx, cmd)
+		if err != nil {
+			d.noteErr(err)
+			return
+		}
+		id := ""
+		if inst, ok := r.Result().(*adept2.Instance); ok {
+			id = inst.ID()
+			d.insts = append(d.insts, id) // applied live, not yet durable
+		}
+		d.byReceipt[r] = id
+		d.receipts = append(d.receipts, r)
+	case 2: // batch: a nil error acknowledges every result
+		n := 1 + d.rng.Intn(3)
+		batch := make([]adept2.Command, 0, n)
+		for i := 0; i < n; i++ {
+			batch = append(batch, d.propose())
+		}
+		results, err := d.sys.SubmitBatch(d.ctx, batch)
+		for _, res := range results {
+			if inst, ok := res.(*adept2.Instance); ok {
+				d.insts = append(d.insts, inst.ID())
+				if err == nil {
+					d.ackedInsts = append(d.ackedInsts, inst.ID())
+				}
+			}
+		}
+		if err != nil {
+			d.noteErr(err)
+			return
+		}
+	}
+	if len(d.receipts) >= 16 {
+		d.drain()
+	}
+}
+
+func (d *faultDriver) drain() {
+	for _, r := range d.receipts {
+		if err := r.Wait(d.ctx); err != nil {
+			d.noteErr(err)
+			continue
+		}
+		d.ackedSeqs = append(d.ackedSeqs, [2]int{r.Shard(), r.Seq()})
+		if id := d.byReceipt[r]; id != "" {
+			d.ackedInsts = append(d.ackedInsts, id)
+		}
+	}
+	d.receipts = d.receipts[:0]
+}
+
+func (d *faultDriver) run(steps int) {
+	for i := 0; i < steps && !d.dead; i++ {
+		d.step()
+	}
+	d.drain()
+}
+
+// crashLayouts are the two on-disk layouts every fault property is
+// checked against.
+var crashLayouts = []struct {
+	name string
+	cfg  adept2.CheckpointConfig
+}{
+	{"single-journal", adept2.CheckpointConfig{Every: 16, GroupCommit: true,
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond}},
+	{"sharded-4", adept2.CheckpointConfig{Every: 16, GroupCommit: true, Shards: 4,
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond}},
+}
+
+// TestCrashPointRecovery is the PR 6 acceptance property test: the same
+// random workload is run over an in-memory disk that is killed at every
+// I/O site in turn (a profiling run enumerates the sites). After each
+// crash — which discards everything not yet fsync-covered — the layout
+// must verify clean, recovery must succeed, every ACKNOWLEDGED write
+// must still be there, the recovered system must accept new writes, and
+// a second recovery of the same bytes must be deterministic.
+func TestCrashPointRecovery(t *testing.T) {
+	const steps = 40
+	for _, l := range crashLayouts {
+		t.Run(l.name, func(t *testing.T) {
+			// Profiling run on a healthy disk: count the workload's I/O sites.
+			ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+			sys, err := adept2.Open("wal",
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(l.cfg), adept2.WithVFS(ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			newFaultDriver(t, sys, 7).run(steps)
+			if err := sys.Close(); err != nil {
+				t.Fatal(err)
+			}
+			total := ffs.OpCount()
+			sites := int64(96)
+			if testing.Short() {
+				sites = 24
+			}
+			stride := total/sites + 1
+			for site := int64(1); site <= total; site += stride {
+				crashRun(t, l.cfg, site, steps)
+			}
+		})
+	}
+}
+
+// crashRun replays the workload with the disk dying at the site-th I/O
+// operation and checks the recovery properties.
+func crashRun(t *testing.T, cfg adept2.CheckpointConfig, site int64, steps int) {
+	t.Helper()
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.CrashAt(site))
+	ctx := context.Background()
+
+	var d *faultDriver
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err == nil {
+		d = newFaultDriver(t, sys, 7)
+		d.run(steps)
+		_ = sys.Close() // the dead disk may fail the final flush
+	}
+	// else: the disk died during the initial open — nothing was
+	// acknowledged, recovery below must still produce a working system.
+
+	// Survey the surviving bytes (only fsync-covered state remains).
+	rep, err := adept2.VerifyLayout("wal", false, adept2.WithVFS(mem))
+	if err != nil {
+		t.Fatalf("site %d: verify: %v", site, err)
+	}
+	for _, p := range rep.Problems {
+		t.Fatalf("site %d: layout problem after crash: %s", site, p)
+	}
+	if d != nil {
+		for _, ss := range d.ackedSeqs {
+			shard, seq := ss[0], ss[1]
+			if shard >= len(rep.Shards) || rep.Shards[shard].LastSeq < seq {
+				t.Fatalf("site %d: acknowledged record shard %d seq %d lost (durable head %d)",
+					site, shard, seq, rep.Shards[shard].LastSeq)
+			}
+		}
+	}
+
+	got, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(mem))
+	if err != nil {
+		t.Fatalf("site %d: recovery: %v", site, err)
+	}
+	if d != nil {
+		for _, id := range d.ackedInsts {
+			if _, ok := got.Instance(id); !ok {
+				t.Fatalf("site %d: acknowledged instance %s lost", site, id)
+			}
+		}
+	}
+	// Writability probe: the recovered system accepts new durable work.
+	if err := got.AddUser(&adept2.User{ID: fmt.Sprintf("probe-%d", site)}); err != nil {
+		t.Fatalf("site %d: post-recovery write: %v", site, err)
+	}
+	if err := got.Health(); err != nil {
+		t.Fatalf("site %d: post-recovery health: %v", site, err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("site %d: close: %v", site, err)
+	}
+	// Determinism: recovering the same bytes again yields the same state.
+	again, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(mem))
+	if err != nil {
+		t.Fatalf("site %d: second recovery: %v", site, err)
+	}
+	assertSameState(t, got, again)
+	if err := again.Close(); err != nil {
+		t.Fatalf("site %d: close: %v", site, err)
+	}
+	_ = ctx
+}
+
+// TestTransientFaultsNeverWedge injects sporadic write/sync/truncate
+// failures — including torn writes — into the full workload and demands
+// the retry machinery absorbs every one: no wedge, every receipt
+// resolves, and the final state is byte-identical to a fault-free run.
+func TestTransientFaultsNeverWedge(t *testing.T) {
+	for _, l := range crashLayouts {
+		t.Run(l.name, func(t *testing.T) {
+			cfg := l.cfg
+			cfg.RetryMax = 6
+
+			ref := transientRun(t, cfg, nil)
+
+			var injected atomic.Int64
+			script := func(n int64, op vfs.OpRef) vfs.Decision {
+				switch op.Kind {
+				case vfs.OpWrite:
+					if n%61 == 0 {
+						injected.Add(1)
+						return vfs.Decision{Err: vfs.ErrInjected, TornPrefix: 3}
+					}
+					fallthrough
+				case vfs.OpSync, vfs.OpTruncate, vfs.OpSyncDir, vfs.OpStatFile:
+					if n%23 == 0 {
+						injected.Add(1)
+						return vfs.Decision{Err: vfs.ErrInjected}
+					}
+				}
+				return vfs.Decision{}
+			}
+			faulty := transientRun(t, cfg, script)
+			if injected.Load() == 0 {
+				t.Fatal("fault script never fired — the workload shrank under the schedule")
+			}
+			assertSameState(t, ref, faulty)
+		})
+	}
+}
+
+// transientRun executes the deterministic workload over MemFS with an
+// optional fault script and returns the closed system for comparison.
+func transientRun(t *testing.T, cfg adept2.CheckpointConfig, script vfs.Script) *adept2.System {
+	t.Helper()
+	// The script is armed only after Open: recovery-time faults are the
+	// crash-point test's domain; this one targets the serving pipeline.
+	ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetScript(script)
+	d := newFaultDriver(t, sys, 11)
+	d.run(60)
+	if d.dead {
+		t.Fatal("transient faults wedged the pipeline")
+	}
+	if hi := sys.HealthInfo(); hi.Wedged != nil {
+		t.Fatalf("wedged under transient faults: %v", hi.Wedged)
+	}
+	if err := sys.Close(); err != nil && script == nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestPersistentFaultDegradesAndHeals checks the degraded-mode contract:
+// a persistent journal fault wedges the pipeline after the retry budget;
+// reads and pagination keep serving while every submission path fails
+// fast (un-applied); Heal with the fault still present fails; once the
+// fault clears, Heal restores full write service in place, and no
+// acknowledged OR accepted write was lost across the wedge/heal cycle.
+func TestPersistentFaultDegradesAndHeals(t *testing.T) {
+	for _, l := range crashLayouts {
+		t.Run(l.name, func(t *testing.T) {
+			cfg := l.cfg
+			cfg.Every = -1 // no checkpoints: the journal is the story here
+			cfg.RetryMax = 2
+			ctx := context.Background()
+			ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+			sys, err := adept2.Open("wal",
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ackedBefore := res.(*adept2.Instance).ID()
+
+			// The disk stops persisting anything, persistently.
+			ffs.SetScript(vfs.FailFrom(1, vfs.ErrInjected,
+				vfs.OpWrite, vfs.OpSync, vfs.OpTruncate, vfs.OpStatFile))
+
+			// The tripping command is ACCEPTED (buffered append is memory-
+			// only) but its receipt settles with the wedge.
+			r, err := sys.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accepted := r.Result().(*adept2.Instance).ID()
+			if err := r.Wait(ctx); !errors.Is(err, adept2.ErrWedged) {
+				t.Fatalf("receipt under persistent fault: %v, want ErrWedged", err)
+			}
+
+			// Degraded mode: submissions fail fast, BEFORE the mutation.
+			n := len(sys.Instances())
+			if _, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); !errors.Is(err, adept2.ErrWedged) {
+				t.Fatalf("submit while wedged: %v, want ErrWedged", err)
+			}
+			var e *adept2.Error
+			_, err = sys.SubmitBatch(ctx, []adept2.Command{&adept2.CreateInstance{TypeName: "online_order"}})
+			if !errors.As(err, &e) || e.Code != adept2.CodeWedged || e.Applied {
+				t.Fatalf("batch while wedged: %+v, want un-applied CodeWedged", err)
+			}
+			if got := len(sys.Instances()); got != n {
+				t.Fatalf("wedged submission mutated state: %d -> %d instances", n, got)
+			}
+			// Reads, pagination, and health keep serving.
+			if items, _ := sys.WorkItemsPage("ann", "", 10); items == nil && len(sys.WorkItems("ann")) > 0 {
+				t.Fatal("pagination stopped serving while wedged")
+			}
+			if _, next := sys.InstancesPage("", 1); next == "" && len(sys.Instances()) > 1 {
+				t.Fatal("instance pagination stopped serving while wedged")
+			}
+			hi := sys.HealthInfo()
+			if hi.Wedged == nil || len(hi.WedgedShards) == 0 {
+				t.Fatalf("HealthInfo hides the wedge: %+v", hi)
+			}
+			// Heal cannot succeed while the fault persists.
+			if err := sys.Heal(ctx); err == nil {
+				t.Fatal("heal succeeded with the fault still present")
+			}
+			// Fault clears; heal restores service in place.
+			ffs.SetScript(nil)
+			if err := sys.Heal(ctx); err != nil {
+				t.Fatalf("heal: %v", err)
+			}
+			if err := sys.Health(); err != nil {
+				t.Fatalf("health after heal: %v", err)
+			}
+			res, err = sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			if err != nil {
+				t.Fatalf("submit after heal: %v", err)
+			}
+			afterHeal := res.(*adept2.Instance).ID()
+			if err := sys.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Everything acknowledged or accepted survives recovery: the
+			// wedge window's record was retained and re-flushed by Heal.
+			got, err := adept2.Open("wal",
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Close()
+			for _, id := range []string{ackedBefore, accepted, afterHeal} {
+				if _, ok := got.Instance(id); !ok {
+					t.Fatalf("instance %s lost across wedge/heal", id)
+				}
+			}
+			assertSameState(t, sys, got)
+		})
+	}
+}
+
+// TestReceiptWaitCancelRacesWedgeThenHeal pins the Receipt.Wait
+// contract under the worst interleaving: a Wait abandoned by ctx
+// cancellation while the committer is failing must NOT settle the
+// receipt; after the pipeline wedges and is healed, a later Wait on the
+// same receipt resolves nil and the record is durable.
+func TestReceiptWaitCancelRacesWedgeThenHeal(t *testing.T) {
+	cfg := adept2.CheckpointConfig{Every: -1, GroupCommit: true,
+		RetryMax: 3, RetryBase: 5 * time.Millisecond, RetryCap: 10 * time.Millisecond}
+	ctx := context.Background()
+	ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetScript(vfs.FailFrom(1, vfs.ErrInjected,
+		vfs.OpWrite, vfs.OpSync, vfs.OpTruncate, vfs.OpStatFile))
+	r, err := sys.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := r.Result().(*adept2.Instance).ID()
+
+	// Cancel a Wait while the committer is still retrying (or already
+	// wedged — both must map to CodeCanceled, not settle the receipt).
+	shortCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	err = r.Wait(shortCtx)
+	cancel()
+	var e *adept2.Error
+	if err == nil || !errors.As(err, &e) {
+		t.Fatalf("canceled wait: %v", err)
+	}
+	if e.Code != adept2.CodeCanceled && e.Code != adept2.CodeWedged {
+		t.Fatalf("canceled wait code: %s", e.Code)
+	}
+
+	// Let the retry budget exhaust: the pipeline wedges.
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.HealthInfo().Wedged == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never wedged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ffs.SetScript(nil)
+	if err := sys.Heal(ctx); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	// A Wait abandoned by cancellation (not settled) resolves after heal.
+	if err := r.Wait(ctx); err != nil && !errors.Is(err, adept2.ErrWedged) {
+		t.Fatalf("wait after heal: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if _, ok := got.Instance(id); !ok {
+		t.Fatalf("instance %s lost across cancel/wedge/heal", id)
+	}
+}
+
+// TestCheckpointDirFsyncFailureDoesNotWedge: a failing snapshot-directory
+// fsync makes background checkpoints fail (visible via Health and
+// HealthInfo.CheckpointErr) but must never wedge the write path; after
+// the fault clears, Heal resets the checkpoint backoff and the next
+// checkpoint succeeds.
+func TestCheckpointDirFsyncFailureDoesNotWedge(t *testing.T) {
+	cfg := adept2.CheckpointConfig{Every: 4, GroupCommit: true,
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond}
+	ctx := context.Background()
+	ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetScript(vfs.FailFrom(1, vfs.ErrInjected, vfs.OpSyncDir))
+	for i := 0; i < 8; i++ {
+		if _, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); err != nil {
+			t.Fatalf("submit during checkpoint failure: %v", err)
+		}
+	}
+	if err := sys.WaitCheckpoints(); err == nil {
+		t.Fatal("checkpoint succeeded with snapshot-dir fsync failing")
+	}
+	hi := sys.HealthInfo()
+	if hi.CheckpointErr == nil {
+		t.Fatal("HealthInfo hides the checkpoint failure")
+	}
+	if hi.Wedged != nil {
+		t.Fatalf("checkpoint failure wedged the write path: %v", hi.Wedged)
+	}
+
+	ffs.SetScript(nil)
+	if err := sys.Heal(ctx); err != nil { // clears the sticky error + backoff
+		t.Fatalf("heal: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.WaitCheckpoints(); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+	if err := sys.Health(); err != nil {
+		t.Fatalf("health after heal: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

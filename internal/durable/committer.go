@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adept2/internal/persist"
@@ -23,11 +24,34 @@ type CommitterOptions struct {
 	// MaxBatch appends are pending, the flusher skips the wait (default
 	// 64). Ignored with natural batching.
 	MaxBatch int
+	// RetryMax bounds how many times a failed flush is retried (with
+	// exponential backoff) before the committer wedges. Each retry
+	// re-verifies the journal tail and rewrites the batch from the
+	// pending buffer (persist.Journal.Flush), so a transient I/O error —
+	// a busy device, a momentary ENOSPC — never wedges the committer.
+	// Default 4; negative disables retries entirely.
+	RetryMax int
+	// RetryBase is the first retry's backoff (default 1ms); each further
+	// retry doubles it up to RetryCap (default 50ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
 }
 
 func (o *CommitterOptions) defaults() {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 4
+	}
+	if o.RetryMax < 0 {
+		o.RetryMax = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 50 * time.Millisecond
 	}
 }
 
@@ -54,6 +78,8 @@ type Committer struct {
 
 	wake chan struct{}
 	done chan struct{}
+
+	retries atomic.Int64 // flush attempts beyond the first, across all batches
 }
 
 // waiter is one parked WaitSeq call.
@@ -255,7 +281,7 @@ func (c *Committer) settle(seq int) error {
 	if !stopped {
 		return nil // unreachable: the wait loop only breaks on one of the three
 	}
-	ferr := c.j.Flush()
+	ferr := c.flushWithRetry()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ferr != nil {
@@ -275,13 +301,61 @@ func (c *Committer) settle(seq int) error {
 }
 
 // Err returns the sticky flush error without blocking: nil while the
-// committer is healthy, the first fsync-gate failure once it is wedged.
-// Health surfacing (System.Health) polls this instead of waiting for the
-// next append to observe the failure.
+// committer is healthy, the first exhausted-retry failure once it is
+// wedged. Health surfacing (System.Health) polls this instead of waiting
+// for the next append to observe the failure.
 func (c *Committer) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
+}
+
+// Retries returns how many flush retries (attempts beyond each batch's
+// first) have happened over the committer's lifetime — a nonzero count
+// with a nil Err means transient I/O errors were absorbed.
+func (c *Committer) Retries() int64 { return c.retries.Load() }
+
+// flushWithRetry runs Journal.Flush with bounded exponential backoff.
+// The journal keeps failed batches in its pending buffer and repairs its
+// physical tail before each retry, so every attempt is a complete,
+// self-contained redo. Only the final attempt's error escapes (and then
+// wedges the committer).
+func (c *Committer) flushWithRetry() error {
+	err := c.j.Flush()
+	backoff := c.opts.RetryBase
+	for attempt := 0; err != nil && attempt < c.opts.RetryMax; attempt++ {
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > c.opts.RetryCap {
+			backoff = c.opts.RetryCap
+		}
+		err = c.j.Flush()
+	}
+	return err
+}
+
+// Heal clears a wedged committer after the fault is gone: the journal
+// re-opens its file, verifies and repairs the physical tail, and
+// re-flushes the records retained in its pending buffer (so no appended
+// record is ever dropped by a wedge/heal cycle). On success the sticky
+// error is cleared, parked waiters whose records are now durable resolve,
+// and the flusher resumes. The sequence read happens before the heal so
+// concurrent post-heal appends are never marked flushed early.
+func (c *Committer) Heal() error {
+	target := c.j.Seq()
+	if err := c.j.Heal(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.err = nil
+	if target > c.flushed {
+		c.flushed = target
+	}
+	c.resolveWaitersLocked()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.kick()
+	return nil
 }
 
 // Sync blocks until everything appended so far is durable.
@@ -345,7 +419,7 @@ func (c *Committer) run() {
 		c.mu.Unlock()
 		if uncovered {
 			target := c.j.Seq()
-			ferr := c.j.Flush()
+			ferr := c.flushWithRetry()
 			c.mu.Lock()
 			if ferr != nil {
 				if c.err == nil {
@@ -389,13 +463,15 @@ func (c *Committer) run() {
 				target = c.j.Seq() // the window let more appends land
 			}
 
-			// Everything appended up to target is covered by this flush.
-			err := c.j.Flush()
+			// Everything appended up to target is covered by this flush;
+			// transient failures are retried with backoff before wedging.
+			err := c.flushWithRetry()
 
 			c.mu.Lock()
 			if err != nil {
-				// Sticky failure: see the package doc (fsync-gate). Waiters
-				// on this and all later batches observe the error.
+				// Sticky failure after exhausting the retry budget: the
+				// committer wedges. Waiters on this and all later batches
+				// observe the error until Heal clears it.
 				c.err = fmt.Errorf("durable: group commit: %w", err)
 			} else if target > c.flushed {
 				c.flushed = target

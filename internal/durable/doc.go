@@ -19,13 +19,51 @@
 // already reached MaxBatch — then issues exactly one buffered write + one
 // fsync for the whole batch and wakes every covered caller.
 //
-// Error semantics: a flush error is broadcast to every caller waiting on
-// that batch, and the committer becomes sticky-broken — after a failed
-// fsync the kernel may have dropped dirty pages, so no later fsync can
-// retroactively guarantee earlier records (the classic fsync-gate
-// problem); callers must treat the journal as lost past the last
-// successful flush. A record is durable if and only if its Append returned
-// nil.
+// Error semantics: a record is durable if and only if its Append (or the
+// Wait on its receipt) returned nil. Flush failures do NOT immediately
+// poison the pipeline — see the retry/wedge/heal state machine below.
+//
+// # Retry, wedge, heal
+//
+// The journal's group-commit mode keeps every not-yet-flushed record
+// encoded in a user-space pending buffer, which makes a failed flush
+// RETRYABLE without tripping over the fsync-gate problem (a failed fsync
+// may silently drop the kernel's dirty pages, so re-fsyncing the same
+// file descriptor proves nothing). A failed flush marks the physical
+// tail dirty; the retry path never trusts kernel pages — it truncates
+// the file back to the last fsync-covered offset, re-verifies the size,
+// rewrites the pending records from user space, and fsyncs. The
+// committer drives that retry with bounded exponential backoff
+// (CommitterOptions.RetryBase doubling up to RetryCap, at most RetryMax
+// retries per flush), so transient faults — a momentary ENOSPC, a
+// hiccuping device — are absorbed invisibly (counted in Retries).
+//
+// Only when the budget is exhausted does the committer WEDGE: the error
+// becomes sticky, every waiter (current and future) settles with it,
+// and new appends are refused. The state machine per committer is
+//
+//	healthy --flush error--> retrying --success--> healthy
+//	                            |
+//	                            +--budget exhausted--> wedged --Heal--> healthy
+//
+// Wedging is deliberately not fatal: the facade degrades to READ-ONLY
+// serving. The invariants of degraded mode are (a) reads, pagination,
+// and health reporting keep working; (b) every submission path fails
+// fast with ErrWedged BEFORE mutating the engine (Applied=false —
+// nothing happened); (c) records accepted before the wedge are retained
+// in the pending buffer, never dropped. Heal (Committer.Heal, WAL.Heal,
+// System.Heal) restores full service in place: it re-opens the journal
+// file, refuses if the file shrank below the durable offset (that is
+// data loss, not a transient fault), truncates any unfsynced tail,
+// swaps the handle, and re-flushes the retained records — so a
+// wedge/heal cycle loses neither acknowledged nor accepted writes. If
+// the fault persists, Heal fails (or the next flush re-wedges) and the
+// system stays degraded; Heal is retryable.
+//
+// A failing background checkpoint, by contrast, never wedges: commands
+// stay durable through the journal, so writes keep flowing while Health
+// and HealthInfo surface the snapshot problem (and failed cleanup of
+// stale snapshot files is merely counted — see CleanupErrs).
 //
 // # Snapshots
 //

@@ -50,7 +50,7 @@ func WriteCheckpoint(l Layout, man *Manifest, stores []*durable.SnapshotStore, c
 		gens = gens[len(gens)-keep:]
 	}
 	next.Generations = gens
-	if err := WriteManifest(l.Base, next); err != nil {
+	if err := WriteManifestFS(l.fs(), l.Base, next); err != nil {
 		return man, "", err
 	}
 	pruneUnreferenced(l, next, stores)
@@ -58,8 +58,10 @@ func WriteCheckpoint(l Layout, man *Manifest, stores []*durable.SnapshotStore, c
 }
 
 // pruneUnreferenced removes snapshot files no retained generation points
-// at (stale generations, orphans of failed checkpoint attempts). Failures
-// are ignored: pruning is hygiene, the manifest already committed.
+// at (stale generations, orphans of failed checkpoint attempts). Removal
+// failures never fail the checkpoint — the manifest already committed —
+// but each store counts them (SnapshotStore.CleanupErrs) so the facade
+// can surface a disk that stopped letting go of space.
 func pruneUnreferenced(l Layout, man *Manifest, stores []*durable.SnapshotStore) {
 	for k := 0; k < l.Shards; k++ {
 		keep := make(map[string]bool)

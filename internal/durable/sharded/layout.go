@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"adept2/internal/durable"
+	"adept2/internal/vfs"
 )
 
 // Layout names the on-disk artifacts of a sharded journal set rooted at a
@@ -34,6 +35,17 @@ type Layout struct {
 	// k's store becomes SnapBase/shard-k. Empty selects the default
 	// sibling-directory scheme (<journal>.snapshots per shard).
 	SnapBase string
+	// FS is the filesystem every artifact of the layout is accessed
+	// through; nil selects the real OS filesystem.
+	FS vfs.FS
+}
+
+// fs resolves the layout's filesystem, defaulting to the OS backend.
+func (l Layout) fs() vfs.FS {
+	if l.FS != nil {
+		return l.FS
+	}
+	return vfs.OS()
 }
 
 // JournalPath returns shard k's journal file path.
@@ -119,7 +131,12 @@ func NewManifest(n int) *Manifest {
 // LoadManifest reads the global manifest; a missing file returns (nil,
 // nil) — the caller treats that as "not a sharded layout".
 func LoadManifest(path string) (*Manifest, error) {
-	blob, err := os.ReadFile(path)
+	return LoadManifestFS(vfs.OS(), path)
+}
+
+// LoadManifestFS is LoadManifest over an explicit filesystem.
+func LoadManifestFS(fsys vfs.FS, path string) (*Manifest, error) {
+	blob, err := vfs.ReadFile(fsys, path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -142,6 +159,11 @@ func LoadManifest(path string) (*Manifest, error) {
 // WriteManifest atomically rewrites the global manifest (temp file +
 // fsync + rename + directory fsync, like snapshot files).
 func WriteManifest(base string, m *Manifest) error {
+	return WriteManifestFS(vfs.OS(), base, m)
+}
+
+// WriteManifestFS is WriteManifest over an explicit filesystem.
+func WriteManifestFS(fsys vfs.FS, base string, m *Manifest) error {
 	blob, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sharded: marshal manifest: %w", err)
@@ -150,17 +172,22 @@ func WriteManifest(base string, m *Manifest) error {
 	if dir == "" {
 		dir = "."
 	}
-	return durable.AtomicWrite(dir, name, blob)
+	return durable.AtomicWriteFS(fsys, dir, name, blob)
 }
 
 // StrayShards lists the indexes of shard journals past the declared
 // shard count that hold data.
 func StrayShards(base string, shards int) ([]int, error) {
+	return StrayShardsFS(vfs.OS(), base, shards)
+}
+
+// StrayShardsFS is StrayShards over an explicit filesystem.
+func StrayShardsFS(fsys vfs.FS, base string, shards int) ([]int, error) {
 	dir, name := filepath.Split(base)
 	if dir == "" {
 		dir = "."
 	}
-	des, err := os.ReadDir(dir)
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("sharded: scan layout: %w", err)
 	}
@@ -188,7 +215,12 @@ func StrayShards(base string, shards int) ([]int, error) {
 // after an interrupted shrink) is the only legitimate way the shard
 // count changes.
 func CheckStrayShards(base string, shards int) error {
-	stray, err := StrayShards(base, shards)
+	return CheckStrayShardsFS(vfs.OS(), base, shards)
+}
+
+// CheckStrayShardsFS is CheckStrayShards over an explicit filesystem.
+func CheckStrayShardsFS(fsys vfs.FS, base string, shards int) error {
+	stray, err := StrayShardsFS(fsys, base, shards)
 	if err != nil {
 		return err
 	}

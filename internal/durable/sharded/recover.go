@@ -103,7 +103,7 @@ type LoadResult struct {
 // The returned engine still needs the journal suffixes applied: run
 // MergeApply, then Engine.SortInstanceOrder.
 func Recover(l Layout, man *Manifest, stores []*durable.SnapshotStore, fresh func() *engine.Engine) (*engine.Engine, *LoadResult, error) {
-	if err := CheckStrayShards(l.Base, l.Shards); err != nil {
+	if err := CheckStrayShardsFS(l.fs(), l.Base, l.Shards); err != nil {
 		return nil, nil, err
 	}
 	res := &LoadResult{Shards: make([]ShardState, l.Shards)}
@@ -145,7 +145,7 @@ func Recover(l Layout, man *Manifest, stores []*durable.SnapshotStore, fresh fun
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			recs, tail, err := persist.LoadJournalSuffix(l.JournalPath(k), 0)
+			recs, tail, err := persist.LoadJournalSuffixFS(l.fs(), l.JournalPath(k), 0)
 			if err != nil {
 				errs[k] = err
 				return
@@ -188,7 +188,7 @@ func loadGeneration(l Layout, gen *Generation, stores []*durable.SnapshotStore) 
 		go func(k int) {
 			defer wg.Done()
 			part := gen.Parts[k]
-			recs, tail, err := persist.LoadJournalSuffix(l.JournalPath(k), part.Seq)
+			recs, tail, err := persist.LoadJournalSuffixFS(l.fs(), l.JournalPath(k), part.Seq)
 			if err != nil {
 				hard[k] = err
 				return

@@ -45,7 +45,7 @@ func OpenWAL(l Layout, tails []persist.TailInfo, group bool, opts durable.Commit
 	}
 	w := &WAL{layout: l, shards: make([]walShard, l.Shards)}
 	for k := range w.shards {
-		j, err := persist.ResumeJournal(l.JournalPath(k), tails[k], group)
+		j, err := persist.ResumeJournalFS(l.fs(), l.JournalPath(k), tails[k], group)
 		if err != nil {
 			w.Close()
 			return nil, err
@@ -225,15 +225,55 @@ func (w *WAL) Sync() error {
 	return nil
 }
 
-// Health reports the first wedged shard committer (sticky fsync-gate
-// error) without blocking, or nil while all shards are healthy. Without
-// group commit there is no asynchronous failure mode to surface: append
-// errors reach their callers directly.
+// Health reports the first wedged shard committer (sticky flush error
+// after exhausted retries) without blocking, or nil while all shards are
+// healthy. Without group commit there is no asynchronous failure mode to
+// surface: append errors reach their callers directly.
 func (w *WAL) Health() error {
 	for k := range w.shards {
 		if c := w.shards[k].c; c != nil {
 			if err := c.Err(); err != nil {
 				return fmt.Errorf("sharded: shard %d committer wedged: %w", k, err)
+			}
+		}
+	}
+	return nil
+}
+
+// WedgedShards lists the shards whose committers are wedged (empty while
+// healthy) — diagnostic detail behind Health's first-error summary.
+func (w *WAL) WedgedShards() []int {
+	var out []int
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil && c.Err() != nil {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Retries sums the flush retries absorbed across all shard committers.
+func (w *WAL) Retries() int64 {
+	var total int64
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil {
+			total += c.Retries()
+		}
+	}
+	return total
+}
+
+// Heal re-opens and tail-repairs every wedged shard's journal in place
+// and re-arms its committer (durable.Committer.Heal): records retained in
+// the pending buffers are re-flushed, parked waiters resolve, and the
+// shard accepts appends again. Healthy shards are untouched. The first
+// failing shard aborts the pass (remaining wedged shards keep their
+// sticky error, so Health still reports the system degraded).
+func (w *WAL) Heal() error {
+	for k := range w.shards {
+		if c := w.shards[k].c; c != nil && c.Err() != nil {
+			if err := c.Heal(); err != nil {
+				return fmt.Errorf("sharded: heal shard %d: %w", k, err)
 			}
 		}
 	}

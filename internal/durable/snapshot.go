@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"adept2/internal/persist"
+	"adept2/internal/vfs"
 )
 
 // Snapshot container versions: v1 stores the SystemState JSON payload
@@ -56,7 +58,15 @@ type Manifest struct {
 
 // SnapshotStore reads and writes checkpoint files in one directory.
 type SnapshotStore struct {
-	dir string
+	fsys vfs.FS
+	dir  string
+
+	// cleanupErrs counts failed removals of stale snapshot and temp
+	// files. A failed cleanup never fails the checkpoint that triggered
+	// it (the new snapshot is durable; the stale file only wastes disk),
+	// but silence would hide a filling disk — the facade surfaces the
+	// counter through System.HealthInfo.
+	cleanupErrs atomic.Int64
 }
 
 // ManifestName is the file name of the snapshot manifest.
@@ -68,18 +78,30 @@ const snapPrefix, snapSuffix = "snap-", ".json"
 // temp files left by a crash mid-write are swept; the store assumes a
 // single owning process (as the facade guarantees).
 func OpenStore(dir string) (*SnapshotStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreFS(vfs.OS(), dir)
+}
+
+// OpenStoreFS is OpenStore over an explicit filesystem.
+func OpenStoreFS(fsys vfs.FS, dir string) (*SnapshotStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: open snapshot store: %w", err)
 	}
-	if des, err := os.ReadDir(dir); err == nil {
+	st := &SnapshotStore{fsys: fsys, dir: dir}
+	if des, err := fsys.ReadDir(dir); err == nil {
 		for _, de := range des {
 			if !de.IsDir() && strings.Contains(de.Name(), ".tmp-") {
-				_ = os.Remove(filepath.Join(dir, de.Name()))
+				if err := fsys.Remove(filepath.Join(dir, de.Name())); err != nil && !os.IsNotExist(err) {
+					st.cleanupErrs.Add(1)
+				}
 			}
 		}
 	}
-	return &SnapshotStore{dir: dir}, nil
+	return st, nil
 }
+
+// CleanupErrs returns how many stale-file removals have failed over the
+// store's lifetime (orphaned temp sweeps and snapshot pruning).
+func (st *SnapshotStore) CleanupErrs() int64 { return st.cleanupErrs.Load() }
 
 // Dir returns the store directory.
 func (st *SnapshotStore) Dir() string { return st.dir }
@@ -177,7 +199,7 @@ func (st *SnapshotStore) write(state *SystemState) (string, error) {
 	buf.Write(hdr)
 	buf.WriteByte('\n')
 	buf.Write(payload)
-	if err := AtomicWrite(st.dir, name, buf.Bytes()); err != nil {
+	if err := AtomicWriteFS(st.fsys, st.dir, name, buf.Bytes()); err != nil {
 		return "", err
 	}
 	return filepath.Join(st.dir, name), nil
@@ -186,12 +208,20 @@ func (st *SnapshotStore) write(state *SystemState) (string, error) {
 // AtomicWrite writes name in dir via temp file + fsync + rename + dir
 // fsync.
 func AtomicWrite(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	return AtomicWriteFS(vfs.OS(), dir, name, data)
+}
+
+// AtomicWriteFS is AtomicWrite over an explicit filesystem. The
+// directory fsync error is propagated: until it returns, the rename is
+// not durable, and a caller that reported success anyway could lose an
+// acknowledged checkpoint to a crash (the torn-rename window).
+func AtomicWriteFS(fsys vfs.FS, dir, name string, data []byte) error {
+	tmp, err := vfs.CreateTemp(fsys, dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("durable: write %s: %w", name, err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
 		return fmt.Errorf("durable: write %s: %w", name, err)
@@ -201,16 +231,15 @@ func AtomicWrite(dir, name string, data []byte) error {
 		return fmt.Errorf("durable: fsync %s: %w", name, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("durable: close %s: %w", name, err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("durable: rename %s: %w", name, err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("durable: fsync dir for %s: %w", name, err)
 	}
 	return nil
 }
@@ -219,7 +248,7 @@ func AtomicWrite(dir, name string, data []byte) error {
 // number. The listing comes from the directory, not the manifest, so a
 // stale or missing manifest never hides a durable snapshot.
 func (st *SnapshotStore) Entries() ([]ManifestEntry, error) {
-	des, err := os.ReadDir(st.dir)
+	des, err := st.fsys.ReadDir(st.dir)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -250,12 +279,12 @@ func (st *SnapshotStore) writeManifest() error {
 	if err != nil {
 		return fmt.Errorf("durable: marshal manifest: %w", err)
 	}
-	return AtomicWrite(st.dir, ManifestName, blob)
+	return AtomicWriteFS(st.fsys, st.dir, ManifestName, blob)
 }
 
 // ReadManifest parses the manifest (advisory; see Manifest).
 func (st *SnapshotStore) ReadManifest() (*Manifest, error) {
-	blob, err := os.ReadFile(filepath.Join(st.dir, ManifestName))
+	blob, err := vfs.ReadFile(st.fsys, filepath.Join(st.dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("durable: read manifest: %w", err)
 	}
@@ -270,7 +299,7 @@ func (st *SnapshotStore) ReadManifest() (*Manifest, error) {
 // checksum. Any mismatch (torn tail, corruption, version skew) returns an
 // error; the caller falls back to an older snapshot or a full replay.
 func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
-	f, err := os.Open(filepath.Join(st.dir, entry.File))
+	f, err := vfs.Open(st.fsys, filepath.Join(st.dir, entry.File))
 	if err != nil {
 		return nil, fmt.Errorf("durable: open snapshot %s: %w", entry.File, err)
 	}
@@ -380,8 +409,11 @@ func (st *SnapshotStore) PruneExcept(keep map[string]bool) error {
 		if keep[e.File] {
 			continue
 		}
-		if err := os.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("durable: prune %s: %w", e.File, err)
+		// A failed removal must not fail the checkpoint that triggered the
+		// prune — the new snapshot is already durable. Count it instead
+		// (surfaced through HealthInfo) and retry on the next prune pass.
+		if err := st.fsys.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
+			st.cleanupErrs.Add(1)
 		}
 	}
 	return st.writeManifest()
@@ -401,9 +433,10 @@ func (st *SnapshotStore) prune(keep int) error {
 	}
 	for _, e := range entries[:len(entries)-keep] {
 		// A concurrent pruner may have removed the file already (explicit
-		// Checkpoint overlapping a background one): not an error.
-		if err := os.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("durable: prune %s: %w", e.File, err)
+		// Checkpoint overlapping a background one): not an error. Other
+		// failures are counted, not returned — see PruneExcept.
+		if err := st.fsys.Remove(filepath.Join(st.dir, e.File)); err != nil && !os.IsNotExist(err) {
+			st.cleanupErrs.Add(1)
 		}
 	}
 	return nil
@@ -418,16 +451,21 @@ func (st *SnapshotStore) prune(keep int) error {
 // lost. The resulting journal starts past seq 1; recovering it requires a
 // snapshot reaching its first record.
 func CompactJournal(path string, keepSeq int) (int, error) {
+	return CompactJournalFS(vfs.OS(), path, keepSeq)
+}
+
+// CompactJournalFS is CompactJournal over an explicit filesystem.
+func CompactJournalFS(fsys vfs.FS, path string, keepSeq int) (int, error) {
 	// Only the kept suffix needs decoding; the dropped prefix is
 	// integrity-scanned by the cheap sequence probe.
-	recs, tail, err := persist.LoadJournalSuffix(path, keepSeq)
+	recs, tail, err := persist.LoadJournalSuffixFS(fsys, path, keepSeq)
 	if err != nil {
 		return 0, err
 	}
 	if len(recs) == 0 && tail.LastSeq > 0 {
 		// Keep the final record as the compaction tombstone.
 		keepSeq = tail.LastSeq - 1
-		recs, tail, err = persist.LoadJournalSuffix(path, keepSeq)
+		recs, tail, err = persist.LoadJournalSuffixFS(fsys, path, keepSeq)
 		if err != nil {
 			return 0, err
 		}
@@ -454,7 +492,7 @@ func CompactJournal(path string, keepSeq int) (int, error) {
 	if dir == "" {
 		dir = "."
 	}
-	if err := AtomicWrite(dir, name, buf.Bytes()); err != nil {
+	if err := AtomicWriteFS(fsys, dir, name, buf.Bytes()); err != nil {
 		return 0, err
 	}
 	return dropped, nil

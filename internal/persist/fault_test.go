@@ -1,0 +1,126 @@
+package persist
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"adept2/internal/vfs"
+)
+
+// TestAppendMultiENOSPCRollsBackAndRetries: a torn write mid-batch
+// (ENOSPC after a few bytes landed) must roll the physical tail back to
+// the pre-batch offset, leave the sequence counter untouched, and let
+// the identical batch succeed on retry once space returns — no gap, no
+// duplicate, no interleaved fragment.
+func TestAppendMultiENOSPCRollsBackAndRetries(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, nil)
+	j, err := OpenJournalFS(ffs, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendSeq("seed", map[string]any{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []Pending{
+		{Op: "a", Args: map[string]any{"n": 2}},
+		{Op: "b", Args: map[string]any{"n": 3}},
+		{Op: "c", Args: map[string]any{"n": 4}},
+	}
+	ffs.SetScript(func(n int64, op vfs.OpRef) vfs.Decision {
+		if op.Kind == vfs.OpWrite {
+			return vfs.Decision{Err: syscall.ENOSPC, TornPrefix: 7}
+		}
+		return vfs.Decision{}
+	})
+	if _, err := j.AppendMulti(batch); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn batch append: %v, want ENOSPC", err)
+	}
+	if got := j.Seq(); got != 1 {
+		t.Fatalf("seq after failed batch: %d, want 1", got)
+	}
+
+	// Space returns; the same batch must append cleanly.
+	ffs.SetScript(nil)
+	last, err := j.AppendMulti(batch)
+	if err != nil {
+		t.Fatalf("retried batch: %v", err)
+	}
+	if last != 4 {
+		t.Fatalf("retried batch last seq: %d, want 4", last)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournalFS(mem, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("journal holds %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != i+1 {
+			t.Fatalf("record %d has seq %d — the torn fragment leaked", i, rec.Seq)
+		}
+	}
+}
+
+// TestAppendMultiRollbackFailureWedgesUntilHeal: when the rollback
+// truncate itself fails too, the journal must refuse further appends
+// (the tail is in an unknown state) until Heal re-verifies it — after
+// which the batch is retryable.
+func TestAppendMultiRollbackFailureWedgesUntilHeal(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, nil)
+	j, err := OpenJournalFS(ffs, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendSeq("seed", map[string]any{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetScript(func(n int64, op vfs.OpRef) vfs.Decision {
+		switch op.Kind {
+		case vfs.OpWrite:
+			return vfs.Decision{Err: syscall.ENOSPC, TornPrefix: 3}
+		case vfs.OpTruncate:
+			return vfs.Decision{Err: syscall.ENOSPC}
+		}
+		return vfs.Decision{}
+	})
+	batch := []Pending{{Op: "a", Args: nil}, {Op: "b", Args: nil}}
+	if _, err := j.AppendMulti(batch); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn batch append: %v, want ENOSPC", err)
+	}
+	// The journal is sticky-failed: appends refuse instead of
+	// concatenating onto the unrepaired fragment.
+	if _, err := j.AppendMulti(batch); err == nil {
+		t.Fatal("append succeeded on a failed journal")
+	}
+
+	ffs.SetScript(nil)
+	if err := j.Heal(); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	last, err := j.AppendMulti(batch)
+	if err != nil {
+		t.Fatalf("batch after heal: %v", err)
+	}
+	if last != 3 {
+		t.Fatalf("last seq after heal: %d, want 3", last)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournalFS(mem, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("journal holds %d records, want 3", len(recs))
+	}
+}

@@ -9,10 +9,22 @@
 // Durability modes. A file-backed journal opened with OpenJournal fsyncs
 // after every Append (one record = one write + one fsync). The group-commit
 // path in internal/durable instead opens the journal with
-// OpenJournalBuffered — appends land in a user-space buffer and callers
-// coordinate a shared Flush (one buffered write + one fsync per *batch* of
+// OpenJournalBuffered — appends land in an in-memory pending buffer and
+// callers coordinate a shared Flush (one write + one fsync per *batch* of
 // concurrent appends). In both modes a record is only considered durable
 // after the fsync covering it returned.
+//
+// Failure handling. The pending buffer makes a failed flush retryable: the
+// encoded records stay in memory, the journal remembers the last byte
+// offset a successful fsync covered, and the next Flush first repairs the
+// physical tail (truncating whatever a torn write or an unfsynced write
+// left behind, re-verifying the size) before re-appending the pending
+// bytes and fsyncing again. This sidesteps the fsync-gate problem — the
+// retry never relies on the kernel still holding pages a failed fsync may
+// have dropped, because it rewrites them from user space.
+//
+// All file access goes through internal/vfs, so fault-injection and
+// crash-simulation backends can stand in for the OS in tests.
 //
 // Compaction. A journal normally starts at sequence number 1. After
 // checkpointing (internal/durable), the prefix already covered by a
@@ -31,6 +43,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"adept2/internal/vfs"
 )
 
 // Record is one journaled command. The record format is versioned by
@@ -57,13 +71,20 @@ type Record struct {
 // Journal is an append-only command log. It is safe for concurrent use.
 type Journal struct {
 	mu     sync.Mutex
-	w      io.Writer
-	file   *os.File      // non-nil when backed by a file
-	bw     *bufio.Writer // non-nil for buffered (group-commit) journals
+	w      io.Writer // unbuffered write target (the file itself when file-backed)
+	fsys   vfs.FS    // non-nil when backed by a file
+	path   string
+	file   vfs.File
 	seq    int
-	size   int64 // bytes of durable-intent records (file-backed, unbuffered)
+	size   int64 // bytes covered by durable-intent writes (the tail-repair floor)
 	sync   bool
-	failed bool // a write error left the journal in an unknown physical state
+	failed bool // an unrepairable write error; the journal refuses appends
+
+	// Buffered (group-commit) journals accumulate encoded records here
+	// until Flush; a failed flush keeps them, making the flush retryable.
+	buffered bool
+	pending  bytes.Buffer
+	dirty    bool // the physical tail may exceed size (failed write or fsync)
 
 	// Append serializes into per-journal buffers (guarded by mu) instead
 	// of allocating fresh ones per record; the encoders are lazily bound
@@ -81,20 +102,31 @@ func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 // the file already holds records, new sequence numbers continue after the
 // highest existing one.
 func OpenJournal(path string) (*Journal, error) {
-	return openJournal(path, false)
+	return OpenJournalFS(vfs.OS(), path)
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem.
+func OpenJournalFS(fsys vfs.FS, path string) (*Journal, error) {
+	return openJournal(fsys, path, false)
 }
 
 // OpenJournalBuffered opens a file-backed journal whose appends land in a
 // user-space buffer and are NOT individually fsynced: records become
 // durable only when Flush is called. The group-commit committer
 // (internal/durable) uses this mode to turn many concurrent appends into
-// one buffered write plus one fsync per batch.
+// one write plus one fsync per batch.
 func OpenJournalBuffered(path string) (*Journal, error) {
-	return openJournal(path, true)
+	return openJournal(vfs.OS(), path, true)
 }
 
-func openJournal(path string, buffered bool) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+// OpenJournalBufferedFS is OpenJournalBuffered over an explicit
+// filesystem.
+func OpenJournalBufferedFS(fsys vfs.FS, path string) (*Journal, error) {
+	return openJournal(fsys, path, true)
+}
+
+func openJournal(fsys vfs.FS, path string, buffered bool) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open journal: %w", err)
 	}
@@ -108,18 +140,14 @@ func openJournal(path string, buffered bool) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	return newFileJournal(f, buffered, tail.LastSeq), nil
+	return newFileJournal(fsys, path, f, buffered, tail.LastSeq), nil
 }
 
 // newFileJournal wires a Journal over an already-positioned append fd.
-func newFileJournal(f *os.File, buffered bool, lastSeq int) *Journal {
-	j := &Journal{w: f, file: f, sync: !buffered, seq: lastSeq}
+func newFileJournal(fsys vfs.FS, path string, f vfs.File, buffered bool, lastSeq int) *Journal {
+	j := &Journal{w: f, fsys: fsys, path: path, file: f, sync: !buffered, buffered: buffered, seq: lastSeq}
 	if st, err := f.Stat(); err == nil {
 		j.size = st.Size()
-	}
-	if buffered {
-		j.bw = bufio.NewWriterSize(f, 1<<16)
-		j.w = j.bw
 	}
 	return j
 }
@@ -129,7 +157,7 @@ func newFileJournal(f *os.File, buffered bool, lastSeq int) *Journal {
 // final record that lost its newline terminator gets one, so the next
 // append can never concatenate onto damaged data (which would turn a
 // tolerated torn tail into unrecoverable mid-file corruption).
-func repairTail(f *os.File, tail TailInfo) error {
+func repairTail(f vfs.File, tail TailInfo) error {
 	st, err := f.Stat()
 	if err != nil {
 		return fmt.Errorf("persist: repair tail: %w", err)
@@ -148,21 +176,26 @@ func repairTail(f *os.File, tail TailInfo) error {
 }
 
 // SetSync toggles fsync after every append (default true for file-backed
-// journals; benchmarks disable it).
+// journals opened unbuffered; benchmarks disable it).
 func (j *Journal) SetSync(on bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.sync = on
 }
 
+// Path returns the journal's file path ("" for plain-writer journals).
+func (j *Journal) Path() string { return j.path }
+
 // Append journals one command. For sync-enabled file journals the record
 // is durable when Append returns; buffered journals require a Flush. A
 // failed append leaves the journal's sequence counter unchanged, and for
 // unbuffered file journals any partially written bytes are truncated
 // away, so the caller can retry without leaving a gap or corrupting the
-// file. When that self-repair is impossible (buffered journal, or the
-// truncate itself failed) the journal refuses all further appends instead
-// of concatenating onto damaged data.
+// file. When that self-repair is impossible (plain-writer journal with
+// partial bytes emitted, or the truncate itself failed) the journal
+// refuses all further appends instead of concatenating onto damaged
+// data. Buffered appends touch only memory and cannot fail past
+// encoding.
 func (j *Journal) Append(op string, args any) error {
 	_, err := j.AppendSeq(op, args)
 	return err
@@ -171,6 +204,26 @@ func (j *Journal) Append(op string, args any) error {
 // AppendSeq is Append returning the sequence number the record received.
 func (j *Journal) AppendSeq(op string, args any) (int, error) {
 	return j.AppendRecord(op, 0, args)
+}
+
+// encodeLocked serializes one record into lineBuf (caller holds mu).
+func (j *Journal) encodeLocked(seq, epoch int, op string, args any) error {
+	if j.lineEnc == nil {
+		j.lineEnc = json.NewEncoder(&j.lineBuf)
+		j.argsEnc = json.NewEncoder(&j.argsBuf)
+	}
+	j.argsBuf.Reset()
+	if err := j.argsEnc.Encode(args); err != nil {
+		return fmt.Errorf("persist: marshal %s args: %w", op, err)
+	}
+	blob := j.argsBuf.Bytes()
+	blob = blob[:len(blob)-1] // drop the encoder's trailing newline
+	rec := Record{Seq: seq, Epoch: epoch, Op: op, Args: blob}
+	// Encode appends the newline record terminator itself.
+	if err := j.lineEnc.Encode(rec); err != nil {
+		return fmt.Errorf("persist: marshal record: %w", err)
+	}
+	return nil
 }
 
 // AppendRecord is AppendSeq with an explicit epoch reference (sharded
@@ -182,50 +235,48 @@ func (j *Journal) AppendRecord(op string, epoch int, args any) (int, error) {
 	if j.failed {
 		return 0, fmt.Errorf("persist: journal failed: a previous append left it in an unknown state")
 	}
-	if j.lineEnc == nil {
-		j.lineEnc = json.NewEncoder(&j.lineBuf)
-		j.argsEnc = json.NewEncoder(&j.argsBuf)
-	}
-	j.argsBuf.Reset()
-	if err := j.argsEnc.Encode(args); err != nil {
-		return 0, fmt.Errorf("persist: marshal %s args: %w", op, err)
-	}
-	blob := j.argsBuf.Bytes()
-	blob = blob[:len(blob)-1] // drop the encoder's trailing newline
-	rec := Record{Seq: j.seq + 1, Epoch: epoch, Op: op, Args: blob}
 	j.lineBuf.Reset()
-	// Encode appends the newline record terminator itself.
-	if err := j.lineEnc.Encode(rec); err != nil {
-		return 0, fmt.Errorf("persist: marshal record: %w", err)
+	if err := j.encodeLocked(j.seq+1, epoch, op, args); err != nil {
+		return 0, err
 	}
-	if n, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
-		// The sequence counter only advances on success: a failed write
-		// must not leave a numbering gap for the next append. Roll back
-		// any partial bytes so a retried append cannot concatenate onto
-		// the fragment and corrupt the journal mid-file.
-		switch {
-		case j.file != nil && j.bw == nil:
-			if terr := j.file.Truncate(j.size); terr != nil {
-				j.failed = true
-			}
-		case j.bw != nil:
-			// The bufio layer's state after a flush-through error is
-			// unknowable; stop before damage spreads.
-			j.failed = true
-		case n > 0:
-			// Plain writer with partial bytes emitted: unrepairable.
-			j.failed = true
-		}
+	if err := j.writeLocked(); err != nil {
 		return 0, fmt.Errorf("persist: append: %w", err)
 	}
-	j.seq = rec.Seq
-	j.size += int64(j.lineBuf.Len())
-	if j.file != nil && j.sync {
+	j.seq++
+	if j.file != nil && j.sync && !j.buffered {
 		if err := j.file.Sync(); err != nil {
 			return 0, fmt.Errorf("persist: fsync: %w", err)
 		}
 	}
-	return rec.Seq, nil
+	return j.seq, nil
+}
+
+// writeLocked lands lineBuf's records: into the pending buffer for
+// buffered journals (no I/O, no failure), through to the backing writer
+// otherwise, with the rollback semantics Append documents. The sequence
+// counter is NOT advanced here.
+func (j *Journal) writeLocked() error {
+	if j.buffered {
+		j.pending.Write(j.lineBuf.Bytes())
+		return nil
+	}
+	n, err := j.w.Write(j.lineBuf.Bytes())
+	if err != nil {
+		// A failed write must not leave partial bytes for the next append
+		// to concatenate onto. Roll back the fragment where possible.
+		switch {
+		case j.file != nil:
+			if terr := j.file.Truncate(j.size); terr != nil {
+				j.failed = true
+			}
+		case n > 0:
+			// Plain writer with partial bytes emitted: unrepairable.
+			j.failed = true
+		}
+		return err
+	}
+	j.size += int64(j.lineBuf.Len())
+	return nil
 }
 
 // Pending is one not-yet-appended record for AppendMulti.
@@ -244,8 +295,7 @@ type Pending struct {
 // are assigned contiguously in slice order; the last one is returned. The
 // append is all-or-nothing: an encoding failure before any byte is
 // written leaves the journal untouched, and a failed write rolls back
-// exactly like Append (truncate for unbuffered file journals, refuse-
-// further-appends when self-repair is impossible).
+// exactly like Append.
 func (j *Journal) AppendMulti(recs []Pending) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -255,41 +305,17 @@ func (j *Journal) AppendMulti(recs []Pending) (int, error) {
 	if len(recs) == 0 {
 		return j.seq, nil
 	}
-	if j.lineEnc == nil {
-		j.lineEnc = json.NewEncoder(&j.lineBuf)
-		j.argsEnc = json.NewEncoder(&j.argsBuf)
-	}
 	j.lineBuf.Reset()
 	for i, p := range recs {
-		j.argsBuf.Reset()
-		if err := j.argsEnc.Encode(p.Args); err != nil {
-			return 0, fmt.Errorf("persist: marshal %s args: %w", p.Op, err)
-		}
-		blob := j.argsBuf.Bytes()
-		blob = blob[:len(blob)-1] // drop the encoder's trailing newline
-		rec := Record{Seq: j.seq + 1 + i, Epoch: p.Epoch, Op: p.Op, Args: blob}
-		// Encode appends the newline record terminator itself; lines
-		// accumulate in lineBuf so the batch lands in one write.
-		if err := j.lineEnc.Encode(rec); err != nil {
-			return 0, fmt.Errorf("persist: marshal record: %w", err)
+		if err := j.encodeLocked(j.seq+1+i, p.Epoch, p.Op, p.Args); err != nil {
+			return 0, err
 		}
 	}
-	if n, err := j.w.Write(j.lineBuf.Bytes()); err != nil {
-		switch {
-		case j.file != nil && j.bw == nil:
-			if terr := j.file.Truncate(j.size); terr != nil {
-				j.failed = true
-			}
-		case j.bw != nil:
-			j.failed = true
-		case n > 0:
-			j.failed = true
-		}
+	if err := j.writeLocked(); err != nil {
 		return 0, fmt.Errorf("persist: append batch: %w", err)
 	}
 	j.seq += len(recs)
-	j.size += int64(j.lineBuf.Len())
-	if j.file != nil && j.sync {
+	if j.file != nil && j.sync && !j.buffered {
 		if err := j.file.Sync(); err != nil {
 			return 0, fmt.Errorf("persist: fsync: %w", err)
 		}
@@ -297,40 +323,135 @@ func (j *Journal) AppendMulti(recs []Pending) (int, error) {
 	return j.seq, nil
 }
 
-// Flush drains the user-space buffer of a buffered journal and fsyncs the
-// backing file, making every previously appended record durable. On a
-// sync-enabled journal it degenerates to a plain fsync.
+// Flush makes every previously appended record durable: for buffered
+// journals it repairs the physical tail if a previous flush failed
+// (truncate to the last fsync-covered offset, re-verify), writes the
+// pending records, and fsyncs; on a sync-enabled journal it degenerates
+// to a plain fsync. A failed Flush keeps the pending records — the next
+// Flush (or Heal) retries from a verified tail, so transient I/O errors
+// do not poison the journal.
 func (j *Journal) Flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.bw != nil {
-		if err := j.bw.Flush(); err != nil {
-			return fmt.Errorf("persist: flush: %w", err)
-		}
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if j.file == nil {
+		return nil
 	}
-	if j.file != nil {
+	if j.buffered {
+		if j.dirty {
+			// A previous flush failed after (possibly) emitting bytes: the
+			// physical tail is unknown. Truncate back to the last offset a
+			// successful fsync covered and verify before re-appending.
+			if err := j.file.Truncate(j.size); err != nil {
+				return fmt.Errorf("persist: flush: repair tail: %w", err)
+			}
+			if st, err := j.file.Stat(); err != nil {
+				return fmt.Errorf("persist: flush: verify tail: %w", err)
+			} else if st.Size() != j.size {
+				return fmt.Errorf("persist: flush: tail repair left %d bytes, want %d", st.Size(), j.size)
+			}
+			j.dirty = false
+		}
+		if j.pending.Len() > 0 {
+			if _, err := j.file.Write(j.pending.Bytes()); err != nil {
+				j.dirty = true
+				return fmt.Errorf("persist: flush: %w", err)
+			}
+		}
 		if err := j.file.Sync(); err != nil {
+			// The kernel may have dropped the just-written pages (fsync
+			// gate): mark the tail dirty so the retry rewrites them from
+			// the pending buffer instead of trusting the page cache.
+			j.dirty = true
 			return fmt.Errorf("persist: fsync: %w", err)
 		}
+		j.size += int64(j.pending.Len())
+		j.pending.Reset()
+		return nil
+	}
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("persist: fsync: %w", err)
 	}
 	return nil
 }
 
-// Seq returns the sequence number of the last appended record.
+// Heal re-establishes a writable journal after flush failures: it
+// re-opens the backing file, verifies the physical size against the
+// durable offset (refusing when synced bytes vanished — that is data
+// loss, not a transient fault), truncates any unfsynced tail, swaps the
+// file handle, and flushes the retained pending records. On success the
+// journal is fully durable again.
+func (j *Journal) Heal() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fsys == nil {
+		return j.flushLocked()
+	}
+	f, err := j.fsys.OpenFile(j.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: heal: reopen: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: heal: %w", err)
+	}
+	if st.Size() < j.size {
+		f.Close()
+		return fmt.Errorf("persist: heal: journal shrank to %d bytes below the durable offset %d: refusing", st.Size(), j.size)
+	}
+	if st.Size() > j.size {
+		if err := f.Truncate(j.size); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: heal: repair tail: %w", err)
+		}
+	}
+	old := j.file
+	if j.w == j.file {
+		// Unbuffered file journals write through j.w; keep it pointed at
+		// the live handle (tests may have swapped in another writer —
+		// those keep theirs).
+		j.w = f
+	}
+	j.file = f
+	j.dirty = false
+	j.failed = false
+	if old != nil {
+		_ = old.Close()
+	}
+	return j.flushLocked()
+}
+
+// Seq returns the sequence number of the last appended record (buffered
+// records count — durability is Flush's business).
 func (j *Journal) Seq() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.seq
 }
 
-// Close flushes (if buffered) and closes a file-backed journal.
+// Close writes out pending records (without forcing an fsync, matching
+// the pre-vfs buffered close) and closes a file-backed journal.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.bw != nil {
-		if err := j.bw.Flush(); err != nil {
+	if j.buffered && (j.pending.Len() > 0 || j.dirty) && j.file != nil {
+		if j.dirty {
+			if err := j.file.Truncate(j.size); err != nil {
+				j.file.Close()
+				return fmt.Errorf("persist: flush on close: repair tail: %w", err)
+			}
+			j.dirty = false
+		}
+		if _, err := j.file.Write(j.pending.Bytes()); err != nil {
+			j.file.Close()
 			return fmt.Errorf("persist: flush on close: %w", err)
 		}
+		j.size += int64(j.pending.Len())
+		j.pending.Reset()
 	}
 	if j.file != nil {
 		return j.file.Close()
@@ -349,7 +470,12 @@ func ReadJournal(r io.Reader) ([]Record, error) {
 // LoadJournal reads all records of a journal file. A missing file yields
 // an empty journal.
 func LoadJournal(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	return LoadJournalFS(vfs.OS(), path)
+}
+
+// LoadJournalFS is LoadJournal over an explicit filesystem.
+func LoadJournalFS(fsys vfs.FS, path string) ([]Record, error) {
+	f, err := vfs.Open(fsys, path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -377,7 +503,12 @@ type TailInfo struct {
 // perform and repairing the physical tail exactly like OpenJournal does.
 // buffered selects the group-commit mode of OpenJournalBuffered.
 func ResumeJournal(path string, tail TailInfo, buffered bool) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	return ResumeJournalFS(vfs.OS(), path, tail, buffered)
+}
+
+// ResumeJournalFS is ResumeJournal over an explicit filesystem.
+func ResumeJournalFS(fsys vfs.FS, path string, tail TailInfo, buffered bool) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open journal: %w", err)
 	}
@@ -385,7 +516,7 @@ func ResumeJournal(path string, tail TailInfo, buffered bool) (*Journal, error) 
 		f.Close()
 		return nil, err
 	}
-	return newFileJournal(f, buffered, tail.LastSeq), nil
+	return newFileJournal(fsys, path, f, buffered, tail.LastSeq), nil
 }
 
 // LoadJournalSuffix scans the journal once and fully decodes only the
@@ -396,7 +527,12 @@ func ResumeJournal(path string, tail TailInfo, buffered bool) (*Journal, error) 
 // Torn trailing lines are tolerated exactly like ReadJournal; the
 // returned TailInfo feeds ResumeJournal's tail repair.
 func LoadJournalSuffix(path string, afterSeq int) ([]Record, TailInfo, error) {
-	f, err := os.Open(path)
+	return LoadJournalSuffixFS(vfs.OS(), path, afterSeq)
+}
+
+// LoadJournalSuffixFS is LoadJournalSuffix over an explicit filesystem.
+func LoadJournalSuffixFS(fsys vfs.FS, path string, afterSeq int) ([]Record, TailInfo, error) {
+	f, err := vfs.Open(fsys, path)
 	if os.IsNotExist(err) {
 		return nil, TailInfo{}, nil
 	}

@@ -1,0 +1,146 @@
+// Package vfs abstracts the filesystem operations of the durability
+// stack behind a small interface so fault-injection and crash-simulation
+// backends can stand in for the real OS. See doc.go for the fault
+// schedule semantics and the crash model.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync/atomic"
+)
+
+// FS is the filesystem surface the durability stack consumes. Paths are
+// plain OS paths (the OS backend passes them through; MemFS cleans
+// them). Implementations must return *fs.PathError values wrapping
+// fs.ErrNotExist / fs.ErrExist where the os package would, so callers'
+// os.IsNotExist checks keep working.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flag subset
+	// the stack uses: O_RDONLY, O_RDWR, O_CREATE, O_EXCL, O_APPEND,
+	// O_TRUNC.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename moves oldname to newname, replacing newname if it exists.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (or empty directory).
+	Remove(name string) error
+	// RemoveAll deletes a subtree; a missing root is not an error.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a file or directory.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making entry operations (create,
+	// rename, remove) in it durable.
+	SyncDir(dir string) error
+}
+
+// File is one open file of an FS. Reads are sequential from the handle's
+// offset; writes go to the handle's offset, or to the end of the file
+// for handles opened with O_APPEND (the only write mode the journal
+// uses).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync fsyncs the file contents.
+	Sync() error
+	// Truncate cuts (or extends) the file to size bytes.
+	Truncate(size int64) error
+	// Stat describes the file.
+	Stat() (fs.FileInfo, error)
+	// Name returns the path the file was opened as.
+	Name() string
+}
+
+// Open opens name read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// ReadFile reads the whole content of name.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := Open(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// tempSeq distinguishes concurrent CreateTemp calls; the per-process
+// counter plus O_EXCL gives unique names without randomness.
+var tempSeq atomic.Int64
+
+// CreateTemp creates a new file in dir with a unique name derived from
+// prefix (mirroring os.CreateTemp's contract for the "prefix*" pattern:
+// a unique suffix replaces the trailing '*', or is appended when the
+// pattern has none).
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	prefix, suffix := pattern, ""
+	for i := len(pattern) - 1; i >= 0; i-- {
+		if pattern[i] == '*' {
+			prefix, suffix = pattern[:i], pattern[i+1:]
+			break
+		}
+	}
+	for try := 0; try < 10000; try++ {
+		name := fmt.Sprintf("%s%d%s", prefix, tempSeq.Add(1), suffix)
+		f, err := fsys.OpenFile(joinPath(dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if os.IsExist(err) {
+			continue
+		}
+		return f, err
+	}
+	return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: fs.ErrExist}
+}
+
+// joinPath is filepath.Join without the import cycle noise in this file.
+func joinPath(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	if dir[len(dir)-1] == '/' {
+		return dir + name
+	}
+	return dir + "/" + name
+}
+
+// osFS is the passthrough OS backend.
+type osFS struct{}
+
+// OS returns the passthrough backend over the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -59,10 +59,35 @@ func (i *Item) clone() *Item {
 type Manager struct {
 	mu     sync.Mutex
 	seq    int
-	items  map[string]*Item           // item ID -> item
-	byNode map[[2]string]string       // (instance, node) -> item ID
-	byUser map[string]map[string]bool // user -> item IDs
+	items  map[string]*Item     // item ID -> item
+	byNode map[[2]string]string // (instance, node) -> item ID
+	// byUser holds each user's visible item IDs: a membership set for
+	// O(1) offers/withdrawals plus a lazily rebuilt sorted cache so a
+	// page listing is a binary search plus a walk of one page — O(page)
+	// while the worklist is read-quiescent, one O(n log n) rebuild on
+	// the first read after a write (no worse than gathering and sorting
+	// the whole ID set per call, which is what it replaced).
+	byUser map[string]*userIndex
 	byInst map[string]map[string]bool // instance -> item IDs
+}
+
+// userIndex is one user's worklist index.
+type userIndex struct {
+	members map[string]struct{} // item IDs offered to / claimed by the user
+	sorted  []string            // ascending ID cache over members; nil when stale
+}
+
+// sortedIDs returns the user's item IDs in ascending order, rebuilding
+// the cache if a write invalidated it. Caller holds the manager lock.
+func (u *userIndex) sortedIDs() []string {
+	if u.sorted == nil {
+		u.sorted = make([]string, 0, len(u.members))
+		for id := range u.members {
+			u.sorted = append(u.sorted, id)
+		}
+		sort.Strings(u.sorted)
+	}
+	return u.sorted
 }
 
 // NewManager returns an empty worklist manager.
@@ -70,9 +95,34 @@ func NewManager() *Manager {
 	return &Manager{
 		items:  make(map[string]*Item),
 		byNode: make(map[[2]string]string),
-		byUser: make(map[string]map[string]bool),
+		byUser: make(map[string]*userIndex),
 		byInst: make(map[string]map[string]bool),
 	}
+}
+
+// addToUser indexes id for user. Caller holds the manager lock.
+func (m *Manager) addToUser(user, id string) {
+	u := m.byUser[user]
+	if u == nil {
+		u = &userIndex{members: make(map[string]struct{})}
+		m.byUser[user] = u
+	}
+	u.members[id] = struct{}{}
+	u.sorted = nil
+}
+
+// removeFromUser drops id from user's index. Caller holds the manager lock.
+func (m *Manager) removeFromUser(user, id string) {
+	u := m.byUser[user]
+	if u == nil {
+		return
+	}
+	delete(u.members, id)
+	if len(u.members) == 0 {
+		delete(m.byUser, user)
+		return
+	}
+	u.sorted = nil
 }
 
 // Offer creates a work item for an activated activity and offers it to the
@@ -107,12 +157,7 @@ func (m *Manager) offerLocked(instance, node, role string, users []string) *Item
 	m.items[it.ID] = it
 	m.byNode[key] = it.ID
 	for _, u := range it.Offered {
-		set := m.byUser[u]
-		if set == nil {
-			set = make(map[string]bool)
-			m.byUser[u] = set
-		}
-		set[it.ID] = true
+		m.addToUser(u, it.ID)
 	}
 	inst := m.byInst[instance]
 	if inst == nil {
@@ -194,7 +239,7 @@ func (m *Manager) withdrawLocked(instance, node string) {
 	delete(m.byNode, key)
 	delete(m.items, id)
 	for _, u := range it.Offered {
-		delete(m.byUser[u], id)
+		m.removeFromUser(u, id)
 	}
 	if set := m.byInst[instance]; set != nil {
 		delete(set, id)
@@ -307,7 +352,7 @@ func (m *Manager) Import(ex *ManagerExport) error {
 	defer m.mu.Unlock()
 	items := make(map[string]*Item, len(ex.Items))
 	byNode := make(map[[2]string]string, len(ex.Items))
-	byUser := make(map[string]map[string]bool)
+	byUser := make(map[string]*userIndex)
 	byInst := make(map[string]map[string]bool)
 	for _, src := range ex.Items {
 		it := src.clone()
@@ -321,12 +366,12 @@ func (m *Manager) Import(ex *ManagerExport) error {
 		items[it.ID] = it
 		byNode[key] = it.ID
 		for _, u := range it.Offered {
-			set := byUser[u]
-			if set == nil {
-				set = make(map[string]bool)
-				byUser[u] = set
+			ui := byUser[u]
+			if ui == nil {
+				ui = &userIndex{members: make(map[string]struct{})}
+				byUser[u] = ui
 			}
-			set[it.ID] = true
+			ui.members[it.ID] = struct{}{}
 		}
 		inst := byInst[it.Instance]
 		if inst == nil {
@@ -348,11 +393,10 @@ func (m *Manager) Import(ex *ManagerExport) error {
 func (m *Manager) ItemsFor(user string) []*Item {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ids := make([]string, 0, len(m.byUser[user]))
-	for id := range m.byUser[user] {
-		ids = append(ids, id)
+	var ids []string
+	if u := m.byUser[user]; u != nil {
+		ids = u.sortedIDs()
 	}
-	sort.Strings(ids)
 	items := make([]*Item, 0, len(ids))
 	for _, id := range ids {
 		it := m.items[id]
@@ -367,27 +411,32 @@ func (m *Manager) ItemsFor(user string) []*Item {
 // ItemsForPage returns up to limit of the items visible to a user in
 // item-ID order, starting after the cursor item ID ("" starts from the
 // beginning), plus the cursor for the next page ("" when no items
-// follow). Only the returned page is cloned — a user with a huge
-// worklist no longer pays a full-copy per listing call — though the ID
-// set is still gathered and sorted per call.
+// follow). The per-user index caches a sorted ID slice, so a page costs
+// one binary search for the cursor plus a walk of the page — O(page),
+// independent of the user's total worklist size — except on the first
+// read after an offer/withdrawal touched the user, which rebuilds the
+// cache (O(n log n), the cost every call used to pay).
 func (m *Manager) ItemsForPage(user, cursor string, limit int) ([]*Item, string) {
 	if limit <= 0 {
 		limit = 100
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ids := make([]string, 0, len(m.byUser[user]))
-	for id := range m.byUser[user] {
-		if cursor != "" && id <= cursor {
-			continue
-		}
-		ids = append(ids, id)
+	var ids []string
+	if u := m.byUser[user]; u != nil {
+		ids = u.sortedIDs()
 	}
-	sort.Strings(ids)
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(ids, cursor)
+		if start < len(ids) && ids[start] == cursor {
+			start++
+		}
+	}
 	items := make([]*Item, 0, limit)
 	next := ""
-	for i, id := range ids {
-		it := m.items[id]
+	for i := start; i < len(ids); i++ {
+		it := m.items[ids[i]]
 		if it.State == Claimed && it.ClaimedBy != user {
 			continue // reserved by someone else
 		}

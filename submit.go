@@ -21,6 +21,7 @@ type Receipt struct {
 	op     string
 	inst   string
 	seq    int
+	shard  int
 	result any
 	wait   func(ctx context.Context) error // nil = durable already
 
@@ -39,6 +40,11 @@ func (r *Receipt) Result() any { return r.result }
 // Seq returns the journal sequence number the command's record received
 // (shard-local in a sharded layout; 0 without a journal).
 func (r *Receipt) Seq() int { return r.seq }
+
+// Shard returns the shard the command's record routed to (always 0 in a
+// single-journal layout; 0 is the control shard in a sharded one).
+// Together with Seq it identifies the record's durable position.
+func (r *Receipt) Shard() int { return r.shard }
 
 // Wait blocks until the record is durable, the durability pipeline
 // wedges (ErrWedged), or ctx is done (ErrCanceled; the record stays
@@ -106,6 +112,13 @@ func (s *System) SubmitAsync(ctx context.Context, cmd Command) (*Receipt, error)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(c.CommandName(), c.target(), err)
+	}
+	// Degraded mode: a wedged durability pipeline fails submissions fast,
+	// BEFORE the engine mutation (Applied stays false — nothing happened),
+	// instead of mutating state whose journal record could never become
+	// durable. Reads keep flowing; Heal restores write service.
+	if err := s.wedgedErr(); err != nil {
+		return nil, &Error{Code: CodeWedged, Op: c.CommandName(), Instance: c.target(), Err: err}
 	}
 	var unlock func()
 	if c.control() {
@@ -181,6 +194,13 @@ func (s *System) SubmitBatch(ctx context.Context, cmds []Command) ([]any, error)
 			if !ok || cj.control() {
 				break
 			}
+			// The wedge check runs per command, before its engine
+			// mutation: commands already applied in this run stay in the
+			// journaled prefix, the rest fail fast un-applied.
+			if err := s.wedgedErr(); err != nil {
+				runErr = &Error{Code: CodeWedged, Op: cj.CommandName(), Instance: cj.target(), Err: err}
+				break
+			}
 			eff, err := cj.run(s)
 			if err == nil {
 				err = finishEffect(cj, &eff)
@@ -228,7 +248,7 @@ func (s *System) appendEffect(eff effect) (*Receipt, error) {
 			return nil, err
 		}
 		s.maybeCheckpoint()
-		r := &Receipt{seq: seq}
+		r := &Receipt{seq: seq, shard: shard}
 		if !durable {
 			wal := s.wal
 			r.wait = func(ctx context.Context) error { return wal.WaitShardSeq(ctx, shard, seq) }
@@ -314,7 +334,7 @@ func (s *System) wrapAppendErr(op, inst string, res any, err error) error {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		code = CodeCanceled
-	case s.healthErr() != nil:
+	case s.wedgedErr() != nil:
 		code = CodeWedged
 	}
 	return &Error{Code: code, Op: op, Instance: inst, Applied: true, Result: res, Err: err}

@@ -15,6 +15,7 @@ import (
 	"adept2/internal/org"
 	"adept2/internal/persist"
 	"adept2/internal/storage"
+	"adept2/internal/vfs"
 )
 
 // System bundles the engine with the migration manager and an optional
@@ -113,6 +114,26 @@ type CheckpointConfig struct {
 	// values take the committer defaults.
 	FlushWindow time.Duration
 	MaxBatch    int
+	// RetryMax bounds how many times a failed group-commit flush is
+	// retried (with exponential backoff from RetryBase up to RetryCap)
+	// before the committer wedges and the system degrades to read-only
+	// serving (see System.Heal). Zero values take the committer defaults
+	// (4 retries, 1ms base, 50ms cap); RetryMax < 0 disables retries.
+	RetryMax  int
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+// committerOptions maps the config's group-commit knobs onto the
+// committer's option set.
+func (c *CheckpointConfig) committerOptions() durable.CommitterOptions {
+	return durable.CommitterOptions{
+		FlushWindow: c.FlushWindow,
+		MaxBatch:    c.MaxBatch,
+		RetryMax:    c.RetryMax,
+		RetryBase:   c.RetryBase,
+		RetryCap:    c.RetryCap,
+	}
 }
 
 func (c *CheckpointConfig) defaults(journalPath string) {
@@ -172,6 +193,15 @@ type config struct {
 	strategy storage.Strategy
 	journal  *persist.Journal
 	ckpt     *CheckpointConfig
+	fs       vfs.FS
+}
+
+// fsys resolves the configured filesystem, defaulting to the real OS.
+func (c *config) fsys() vfs.FS {
+	if c.fs != nil {
+		return c.fs
+	}
+	return vfs.OS()
 }
 
 // WithOrg supplies a pre-populated organizational model.
@@ -184,6 +214,12 @@ func WithStorageStrategy(s StorageStrategy) Option {
 
 // WithJournal attaches a command journal for durability.
 func WithJournal(j *persist.Journal) Option { return func(c *config) { c.journal = j } }
+
+// WithVFS routes every file access of the durability stack (journals,
+// snapshots, manifests) through an explicit filesystem. Tests inject
+// vfs.NewMemFS or vfs.NewFaultFS to simulate crashes and I/O faults; the
+// default is the real OS filesystem.
+func WithVFS(fsys vfs.FS) Option { return func(c *config) { c.fs = fsys } }
 
 // WithCheckpointing enables the checkpointed durability pipeline for Open:
 // state snapshots written in the background at journal-growth thresholds,
@@ -236,7 +272,7 @@ func open(path string, opts ...Option) (*System, error) {
 	// journal declares the shard count. Absent one, a configured shard
 	// count > 1 creates a fresh sharded layout — but never silently on
 	// top of existing single-journal data (reshard offline instead).
-	man, err := sharded.LoadManifest(sharded.ManifestPath(path))
+	man, err := sharded.LoadManifestFS(c.fsys(), sharded.ManifestPath(path))
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +293,7 @@ func open(path string, opts ...Option) (*System, error) {
 			return nil, err
 		}
 		man = sharded.NewManifest(want)
-		if err := sharded.WriteManifest(path, man); err != nil {
+		if err := sharded.WriteManifestFS(c.fsys(), path, man); err != nil {
 			return nil, err
 		}
 		return openSharded(&c, path, man)
@@ -266,7 +302,7 @@ func open(path string, opts ...Option) (*System, error) {
 	var store *durable.SnapshotStore
 	if c.ckpt != nil {
 		c.ckpt.defaults(path)
-		store, err = durable.OpenStore(c.ckpt.Dir)
+		store, err = durable.OpenStoreFS(c.fsys(), c.ckpt.Dir)
 		if err != nil {
 			return nil, err
 		}
@@ -284,15 +320,12 @@ func open(path string, opts ...Option) (*System, error) {
 		tail.LastSeq = info.SnapshotSeq
 	}
 	groupCommit := c.ckpt != nil && c.ckpt.GroupCommit
-	j, err := persist.ResumeJournal(path, tail, groupCommit)
+	j, err := persist.ResumeJournalFS(c.fsys(), path, tail, groupCommit)
 	if err != nil {
 		return nil, err
 	}
 	if groupCommit {
-		sys.committer = durable.NewCommitter(j, durable.CommitterOptions{
-			FlushWindow: c.ckpt.FlushWindow,
-			MaxBatch:    c.ckpt.MaxBatch,
-		})
+		sys.committer = durable.NewCommitter(j, c.ckpt.committerOptions())
 	}
 	sys.journal = j
 	sys.recovery = info
@@ -324,7 +357,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 				info.Fallbacks = append(info.Fallbacks, err.Error())
 				continue
 			}
-			recs, tail, err := persist.LoadJournalSuffix(path, st.Seq)
+			recs, tail, err := persist.LoadJournalSuffixFS(c.fsys(), path, st.Seq)
 			if err != nil {
 				return nil, nil, none, err
 			}
@@ -370,7 +403,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 	}
 
 	// Full replay — impossible once the journal was compacted.
-	recs, tail, err := persist.LoadJournalSuffix(path, 0)
+	recs, tail, err := persist.LoadJournalSuffixFS(c.fsys(), path, 0)
 	if err != nil {
 		return nil, nil, none, err
 	}
@@ -422,9 +455,9 @@ func (s *System) Close() error {
 
 // Health reports asynchronous durability failures without waiting for
 // the next command to surface them: a wedged group-commit committer
-// (sticky fsync-gate error — any shard's, in a sharded layout) or the
-// most recent background checkpoint failure. nil means the pipeline is
-// healthy.
+// (sticky flush error after exhausted retries — any shard's, in a
+// sharded layout) or the most recent background checkpoint failure. nil
+// means the pipeline is healthy.
 func (s *System) Health() error {
 	if err := s.healthErr(); err != nil {
 		return &Error{Code: CodeWedged, Op: "health", Err: err}
@@ -434,6 +467,26 @@ func (s *System) Health() error {
 
 // healthErr is Health without the taxonomy wrapping.
 func (s *System) healthErr() error {
+	if err := s.wedgedErr(); err != nil {
+		return err
+	}
+	if ck := s.ckpt; ck != nil {
+		ck.mu.Lock()
+		err := ck.err
+		ck.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("adept2: background checkpoint failing: %w", err)
+		}
+	}
+	return nil
+}
+
+// wedgedErr reports only the write-path wedge (a committer whose flush
+// retries are exhausted) — the condition that degrades the system to
+// read-only serving. A failing background checkpoint does NOT wedge:
+// commands stay durable through the journal, so writes keep flowing
+// while Health surfaces the snapshot problem.
+func (s *System) wedgedErr() error {
 	if s.wal != nil {
 		if err := s.wal.Health(); err != nil {
 			return err
@@ -444,13 +497,85 @@ func (s *System) healthErr() error {
 			return fmt.Errorf("adept2: committer wedged: %w", err)
 		}
 	}
+	return nil
+}
+
+// HealthInfo details the durability pipeline's condition beyond the
+// first-error summary of Health.
+type HealthInfo struct {
+	// Wedged is the write-path wedge, if any: submissions fail fast with
+	// ErrWedged until Heal succeeds. nil while writes flow.
+	Wedged error
+	// WedgedShards lists the wedged shards ([0] for the single-journal
+	// layout's committer; empty while healthy).
+	WedgedShards []int
+	// CheckpointErr is the most recent background checkpoint failure
+	// (does not wedge the system; cleared by the next success or a Heal).
+	CheckpointErr error
+	// CleanupErrs counts failed removals of stale snapshot and temp
+	// files across all stores — a warning (disk not being reclaimed),
+	// never a failure.
+	CleanupErrs int64
+	// FlushRetries counts the transient flush failures the committers
+	// absorbed without wedging over the system's lifetime.
+	FlushRetries int64
+}
+
+// HealthInfo returns the detailed pipeline condition (see the HealthInfo
+// type). Cheap and non-blocking — safe to poll.
+func (s *System) HealthInfo() HealthInfo {
+	hi := HealthInfo{Wedged: s.wedgedErr()}
+	if s.wal != nil {
+		hi.WedgedShards = s.wal.WedgedShards()
+		hi.FlushRetries = s.wal.Retries()
+	} else if s.committer != nil {
+		if s.committer.Err() != nil {
+			hi.WedgedShards = []int{0}
+		}
+		hi.FlushRetries = s.committer.Retries()
+	}
 	if ck := s.ckpt; ck != nil {
 		ck.mu.Lock()
-		err := ck.err
+		hi.CheckpointErr = ck.err
 		ck.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("adept2: background checkpoint failing: %w", err)
+		if ck.store != nil {
+			hi.CleanupErrs += ck.store.CleanupErrs()
 		}
+	}
+	for _, st := range s.stores {
+		hi.CleanupErrs += st.CleanupErrs()
+	}
+	return hi
+}
+
+// Heal restores a wedged system to full service without a restart: every
+// wedged shard's journal is re-opened and tail-repaired in place, its
+// committer re-flushes the records retained in memory (no acknowledged
+// or accepted write is ever dropped by a wedge/heal cycle), and
+// submissions flow again. The sticky background-checkpoint error and its
+// retry backoff are cleared too, so snapshotting resumes promptly. Heal
+// on a healthy system is a no-op. If the underlying fault persists, the
+// heal fails (or the next flush wedges again) — the system stays
+// degraded and Heal can be retried.
+func (s *System) Heal(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return &Error{Code: CodeCanceled, Op: "heal", Err: err}
+	}
+	var err error
+	switch {
+	case s.wal != nil:
+		err = s.wal.Heal()
+	case s.committer != nil && s.committer.Err() != nil:
+		err = s.committer.Heal()
+	}
+	if err != nil {
+		return wrapErr("heal", "", err)
+	}
+	if ck := s.ckpt; ck != nil {
+		ck.mu.Lock()
+		ck.err = nil
+		ck.tried = 0
+		ck.mu.Unlock()
 	}
 	return nil
 }

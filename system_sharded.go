@@ -15,7 +15,7 @@ import (
 // journal (or snapshot store) already populated in the single-journal
 // layout must be resharded offline, not silently reinterpreted.
 func refuseExistingSingleJournal(c *config, path string) error {
-	_, tail, err := persist.LoadJournalSuffix(path, int(^uint(0)>>1))
+	_, tail, err := persist.LoadJournalSuffixFS(c.fsys(), path, int(^uint(0)>>1))
 	if err != nil {
 		return err
 	}
@@ -28,7 +28,7 @@ func refuseExistingSingleJournal(c *config, path string) error {
 	if c.ckpt != nil && c.ckpt.Dir != "" {
 		dir = c.ckpt.Dir
 	}
-	if des, err := os.ReadDir(dir); err == nil && len(des) > 0 {
+	if des, err := c.fsys().ReadDir(dir); err == nil && len(des) > 0 {
 		return fmt.Errorf(
 			"adept2: %s already has snapshots in the single-journal layout: reshard offline (adeptctl reshard)", dir)
 	}
@@ -37,7 +37,7 @@ func refuseExistingSingleJournal(c *config, path string) error {
 
 // shardedLayout derives the Layout for a base path and config.
 func shardedLayout(c *config, path string, shards int) sharded.Layout {
-	l := sharded.Layout{Base: path, Shards: shards}
+	l := sharded.Layout{Base: path, Shards: shards, FS: c.fs}
 	if c.ckpt != nil && c.ckpt.Dir != "" {
 		l.SnapBase = c.ckpt.Dir
 	}
@@ -65,7 +65,7 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 
 	stores := make([]*durable.SnapshotStore, l.Shards)
 	for k := range stores {
-		st, err := durable.OpenStore(l.SnapDir(k))
+		st, err := durable.OpenStoreFS(c.fsys(), l.SnapDir(k))
 		if err != nil {
 			return nil, err
 		}
@@ -133,10 +133,7 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 			tails[k].LastSeq = res.Gen.Parts[k].Seq
 		}
 	}
-	wal, err := sharded.OpenWAL(l, tails, c.ckpt.GroupCommit, durable.CommitterOptions{
-		FlushWindow: c.ckpt.FlushWindow,
-		MaxBatch:    c.ckpt.MaxBatch,
-	})
+	wal, err := sharded.OpenWAL(l, tails, c.ckpt.GroupCommit, c.ckpt.committerOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +212,7 @@ func Reshard(path string, n int, opts ...Option) error {
 	for _, o := range opts {
 		o(&c)
 	}
-	man, err := sharded.LoadManifest(sharded.ManifestPath(path))
+	man, err := sharded.LoadManifestFS(c.fsys(), sharded.ManifestPath(path))
 	if err != nil {
 		return err
 	}
@@ -231,16 +228,16 @@ func Reshard(path string, n int, opts ...Option) error {
 	// count block Open, but once a generation committed, their records
 	// are folded into its snapshots — sweep and proceed.
 	if man != nil && len(man.Generations) > 0 {
-		stray, err := sharded.StrayShards(path, man.Shards)
+		stray, err := sharded.StrayShardsFS(c.fsys(), path, man.Shards)
 		if err != nil {
 			return err
 		}
 		for _, k := range stray {
 			l := shardedLayout(&c, path, k+1)
-			if err := os.Remove(l.JournalPath(k)); err != nil && !os.IsNotExist(err) {
+			if err := c.fsys().Remove(l.JournalPath(k)); err != nil && !os.IsNotExist(err) {
 				return fmt.Errorf("adept2: reshard: sweep stray journal: %w", err)
 			}
-			if err := os.RemoveAll(l.SnapDir(k)); err != nil {
+			if err := c.fsys().RemoveAll(l.SnapDir(k)); err != nil {
 				return fmt.Errorf("adept2: reshard: sweep stray snapshots: %w", err)
 			}
 		}
@@ -285,7 +282,7 @@ func Reshard(path string, n int, opts ...Option) error {
 	l := shardedLayout(&c, path, n)
 	stores := make([]*durable.SnapshotStore, n)
 	for k := range stores {
-		st, err := durable.OpenStore(l.SnapDir(k))
+		st, err := durable.OpenStoreFS(c.fsys(), l.SnapDir(k))
 		if err != nil {
 			return err
 		}
@@ -306,18 +303,15 @@ func Reshard(path string, n int, opts ...Option) error {
 	// journals and snapshot stores of shards past the new count.
 	stray := shardedLayout(&c, path, oldShards)
 	for k := n; k < oldShards; k++ {
-		if err := os.Remove(stray.JournalPath(k)); err != nil && !os.IsNotExist(err) {
+		if err := c.fsys().Remove(stray.JournalPath(k)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("adept2: reshard: remove stray journal: %w", err)
 		}
-		if err := os.RemoveAll(stray.SnapDir(k)); err != nil {
+		if err := c.fsys().RemoveAll(stray.SnapDir(k)); err != nil {
 			return fmt.Errorf("adept2: reshard: remove stray snapshots: %w", err)
 		}
 	}
 	// Fsync the directory so the removals are durable alongside the
 	// manifest.
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = c.fsys().SyncDir(filepath.Dir(path))
 	return nil
 }
