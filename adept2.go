@@ -70,6 +70,11 @@ var (
 	WithAuto = model.WithAuto
 	// WithDuration attaches a nominal duration hint.
 	WithDuration = model.WithDuration
+	// WithDeadline arms a relative completion deadline when the activity
+	// starts.
+	WithDeadline = model.WithDeadline
+	// WithEscalation names the role a timed-out activity escalates to.
+	WithEscalation = model.WithEscalation
 	// WithDecisionElement wires an automatic decision gateway to a data
 	// element.
 	WithDecisionElement = model.WithDecisionElement

@@ -33,6 +33,7 @@ import (
 	"adept2/internal/evolution"
 	"adept2/internal/monitor"
 	"adept2/internal/sim"
+	"adept2/internal/sim/soak"
 )
 
 func main() {
@@ -61,6 +62,8 @@ func main() {
 		list(os.Args[2:])
 	case "load":
 		load(os.Args[2:])
+	case "sim":
+		simCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -76,7 +79,8 @@ func usage() {
        adeptctl reshard -journal PATH -shards N [-dir DIR]
        adeptctl verify -journal PATH [-dir DIR] [-repair]
        adeptctl list -journal PATH [-user U] [-page N]
-       adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]`)
+       adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]
+       adeptctl sim [-steps N] [-instances N] [-seed N] [-shards N] ...`)
 	os.Exit(2)
 }
 
@@ -503,4 +507,46 @@ func load(args []string) {
 	fmt.Printf("%s: %d commands (%s mode) in %s (%.0f cmds/s), journal seq %d\n",
 		*journal, cmds, *mode, elapsed.Round(time.Millisecond),
 		float64(cmds)/elapsed.Seconds(), seq)
+}
+
+// simCmd runs the adversarial fault-tolerance soak (internal/sim): random
+// activity failures, deadline storms, schema evolutions, injected disk
+// faults, crashes, and reopen checks on an in-memory store, asserting the
+// soak invariants (no lost work items, no wedged instances, no
+// acknowledged-write loss, replay fidelity, liveness).
+func simCmd(args []string) {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	def := soak.DefaultConfig()
+	steps := fs.Int("steps", def.Steps, "driver steps")
+	instances := fs.Int("instances", def.Instances, "target live instances")
+	seed := fs.Int64("seed", def.Seed, "scenario seed")
+	shards := fs.Int("shards", def.Shards, "journal shards (0/1 = single journal)")
+	failProb := fs.Float64("fail", def.FailProb, "per-action activity failure probability")
+	storm := fs.Bool("storm", def.DeadlineStorm, "periodic deadline storms")
+	evolve := fs.Int("evolve", def.EvolveEvery, "steps between schema evolutions (0 = never)")
+	adhoc := fs.Int("adhoc", def.AdHocEvery, "steps between ad-hoc changes (0 = never)")
+	faults := fs.Bool("faults", def.DiskFaults, "inject transient disk faults")
+	reopen := fs.Int("reopen", def.ReopenEvery, "steps between close→reopen checks (0 = never)")
+	crash := fs.Int("crash", def.CrashEvery, "steps between simulated crashes (0 = never)")
+	retries := fs.Int("retries", def.MaxRetries, "exception policy retry budget")
+	must(fs.Parse(args))
+
+	cfg := def
+	cfg.Steps = *steps
+	cfg.Instances = *instances
+	cfg.Seed = *seed
+	cfg.Shards = *shards
+	cfg.FailProb = *failProb
+	cfg.DeadlineStorm = *storm
+	cfg.EvolveEvery = *evolve
+	cfg.AdHocEvery = *adhoc
+	cfg.DiskFaults = *faults
+	cfg.ReopenEvery = *reopen
+	cfg.CrashEvery = *crash
+	cfg.MaxRetries = *retries
+
+	start := time.Now()
+	res, err := soak.Run(context.Background(), cfg)
+	must(err)
+	fmt.Printf("soak passed in %s\n  %s\n", time.Since(start).Round(time.Millisecond), res)
 }

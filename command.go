@@ -118,6 +118,9 @@ func init() {
 	register("evolve", true, decodeEvolve)
 	register("create", false, decodeJSON[CreateInstance]())
 	register("start", false, decodeJSON[StartActivity]())
+	register("fail", false, decodeJSON[FailActivity]())
+	register("timeout", false, decodeJSON[TimeoutActivity]())
+	register("retry", false, decodeJSON[RetryActivity]())
 	register("complete", false, decodeJSON[CompleteActivity]())
 	register("adhoc", false, decodeAdHoc)
 	register("suspend", false, decodeSuspend)
@@ -225,11 +228,16 @@ func (c *CreateInstance) run(s *System) (effect, error) {
 	return effect{result: inst, inst: inst.ID(), op: "create", args: &rec}, nil
 }
 
-// StartActivity starts an activated activity on behalf of a user.
+// StartActivity starts an activated activity on behalf of a user. At is
+// the start time in unix nanos: it arms the node's relative deadline (if
+// one is modeled) and is normally left zero — the live path stamps the
+// system clock onto the journal record, so recovery re-arms the
+// identical absolute deadline instead of re-reading a wall clock.
 type StartActivity struct {
 	Instance string `json:"instance"`
 	Node     string `json:"node"`
 	User     string `json:"user,omitempty"`
+	At       int64  `json:"at,omitempty"`
 }
 
 func (*StartActivity) CommandName() string { return "start" }
@@ -237,10 +245,88 @@ func (*StartActivity) control() bool       { return false }
 func (c *StartActivity) target() string    { return c.Instance }
 
 func (c *StartActivity) run(s *System) (effect, error) {
-	if err := s.eng.StartActivity(c.Instance, c.Node, c.User); err != nil {
+	at := c.At
+	if at == 0 {
+		at = s.now()
+	}
+	if err := s.eng.StartActivityAt(c.Instance, c.Node, c.User, at); err != nil {
 		return effect{}, err
 	}
-	return effect{inst: c.Instance, op: "start", args: c}, nil
+	// The record always carries the stamped time so replay re-arms
+	// deadlines deterministically (pre-deadline records with At 0 are
+	// harmless: their schemas model no deadlines).
+	rec := *c
+	rec.At = at
+	return effect{inst: c.Instance, op: "start", args: &rec}, nil
+}
+
+// FailActivity records a process-level failure of a running activity:
+// the attempt is undone (the node reverts to activated) and purged from
+// the logical history, so compliance judges the instance as if the
+// attempt never ran. RetryAt > 0 suppresses the work-item re-offer until
+// that time (retry backoff); Pending suppresses it until a policy
+// compensation lands. System.Fail fills both from the exception policy's
+// reaction; direct submitters may leave them zero for an immediate
+// re-offer.
+type FailActivity struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	User     string `json:"user,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	RetryAt  int64  `json:"retryAt,omitempty"`
+	Pending  bool   `json:"pending,omitempty"`
+}
+
+func (*FailActivity) CommandName() string { return "fail" }
+func (*FailActivity) control() bool       { return false }
+func (c *FailActivity) target() string    { return c.Instance }
+
+func (c *FailActivity) run(s *System) (effect, error) {
+	if err := s.eng.FailActivity(c.Instance, c.Node, c.User, c.Reason, c.RetryAt, c.Pending); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "fail", args: c}, nil
+}
+
+// TimeoutActivity fires the armed deadline of a running activity: a
+// Timeout event is appended to the history and the work item escalates
+// to the node's escalation role. The deadline sweep submits these; At
+// records the sweep time for the journal's audit trail.
+type TimeoutActivity struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	At       int64  `json:"at,omitempty"`
+}
+
+func (*TimeoutActivity) CommandName() string { return "timeout" }
+func (*TimeoutActivity) control() bool       { return false }
+func (c *TimeoutActivity) target() string    { return c.Instance }
+
+func (c *TimeoutActivity) run(s *System) (effect, error) {
+	if err := s.eng.TimeoutActivity(c.Instance, c.Node); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "timeout", args: c}, nil
+}
+
+// RetryActivity re-offers the suppressed work item of a failed activity
+// (the compensating command of a Retry reaction, submitted by the sweep
+// once the backoff elapses).
+type RetryActivity struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	At       int64  `json:"at,omitempty"`
+}
+
+func (*RetryActivity) CommandName() string { return "retry" }
+func (*RetryActivity) control() bool       { return false }
+func (c *RetryActivity) target() string    { return c.Instance }
+
+func (c *RetryActivity) run(s *System) (effect, error) {
+	if err := s.eng.RetryActivity(c.Instance, c.Node); err != nil {
+		return effect{}, err
+	}
+	return effect{inst: c.Instance, op: "retry", args: c}, nil
 }
 
 // CompleteActivity completes a node (starting it first when merely

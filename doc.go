@@ -89,8 +89,50 @@
 //
 // Every failure of the mutation API carries the Error taxonomy: a Code
 // (ErrNotFound, ErrConflict, ErrNotCompliant, ErrSuspended,
-// ErrVersionSkew, ErrWedged, ErrUnrecoverable, …), the command name, and
-// the targeted instance, matched by errors.Is against the Err*
-// sentinels. Messages are unchanged from earlier releases — the typed
-// wrapper renders its cause verbatim.
+// ErrVersionSkew, ErrWedged, ErrUnrecoverable, ErrFailed, ErrTimeout,
+// …), the command name, and the targeted instance, matched by errors.Is
+// against the Err* sentinels. Messages are unchanged from earlier
+// releases — the typed wrapper renders its cause verbatim.
+//
+// # Exceptions, deadlines, and escalation
+//
+// Process-level fault tolerance closes the detect→compensate loop with
+// two exception sources and three journaled transitions. A running
+// activity can FAIL (System.Fail / the FailActivity command): a Failed
+// event lands in the physical history, the attempt is purged from the
+// logical history (Reduce drops the Started/Failed pair, so compliance
+// treats the node as never executed), and the node reverts to
+// activated. A running activity with an armed deadline — declared
+// relative via WithDeadline and armed from the injected clock when the
+// activity starts — can TIME OUT (the TimeoutActivity command, fired by
+// System.SweepDeadlines): a Timeout event lands, the deadline disarms
+// (exactly once, across any number of recoveries), and the work item
+// escalates to the WithEscalation role. The node-level state machine:
+//
+//	                 ┌────────── retry (sweep lifts backoff) ──────────┐
+//	                 ▼                                                 │
+//	activated ── start ──▶ running ── fail ──▶ activated+suppressed ───┤
+//	                 │        │                  (retryAt / pending)   │
+//	                 │        └─ deadline expiry ─▶ running+escalated  │
+//	                 │                │                                │
+//	                 └─ complete ◀────┘        suspend / skip (AdHoc) ◀┘
+//
+// An ExceptionPolicy (WithExceptionPolicy) maps each exception to a
+// Reaction: ActionRetry re-offers after a backoff, ActionSkip deletes
+// the node through a machine-generated AdHoc change (degrading to
+// suspend when not compliant), ActionSuspend freezes the instance for a
+// human. The policy runs on the live path only and BEFORE the fail
+// record is journaled, so the chosen suppression window rides the
+// record and replays identically; the compensating command is journaled
+// separately, and SweepDeadlines re-runs the policy over still-open
+// exceptions, healing compensations lost to a crash between the two.
+// All timer math uses timestamps stamped onto journal records from the
+// WithClock source — replay never reads a clock, so armed deadlines and
+// backoffs survive snapshot+journal recovery bit-exactly.
+//
+// The adversarial validation harness for this machinery lives in
+// internal/sim/soak (surfaced as `adeptctl sim`): populations of
+// instances driven through random failures, deadline storms, concurrent
+// evolutions, injected disk faults, crashes, and reopen cycles, with
+// global invariants checked throughout.
 package adept2

@@ -57,6 +57,13 @@ const (
 	// Receipt.Wait the command may still have been applied and journaled
 	// — only the durability wait was abandoned.
 	CodeCanceled Code = "canceled"
+	// CodeFailed marks a process-level activity failure: the exception a
+	// FailActivity command records, surfaced on Exception.Err so policies
+	// and observers can branch with errors.Is(err, ErrFailed).
+	CodeFailed Code = "failed"
+	// CodeTimeout marks a deadline expiry: a running activity exceeded
+	// its armed deadline and was escalated.
+	CodeTimeout Code = "timeout"
 )
 
 // Error is the typed failure of a command: the class, the command that
@@ -126,6 +133,8 @@ var (
 	ErrWedged        = &Error{Code: CodeWedged}
 	ErrUnrecoverable = &Error{Code: CodeUnrecoverable}
 	ErrCanceled      = &Error{Code: CodeCanceled}
+	ErrFailed        = &Error{Code: CodeFailed}
+	ErrTimeout       = &Error{Code: CodeTimeout}
 )
 
 // kindCodes maps the internal fault classification onto the public codes.
@@ -140,6 +149,8 @@ var kindCodes = map[fault.Kind]Code{
 	fault.NotCompliant:  CodeNotCompliant,
 	fault.VersionSkew:   CodeVersionSkew,
 	fault.Unrecoverable: CodeUnrecoverable,
+	fault.Failed:        CodeFailed,
+	fault.Timeout:       CodeTimeout,
 }
 
 // wrapErr classifies an internal error at the façade boundary. An error

@@ -1,0 +1,67 @@
+package adept2_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"adept2"
+	"adept2/internal/sim"
+	"adept2/internal/vfs"
+)
+
+// BenchmarkExceptionFailRetrySweep measures one full exception round
+// trip on the journaled path: Start → Fail (policy decides retry, the
+// backoff rides the fail record) → deadline sweep lifting the backoff →
+// Complete. Everything runs over an in-memory filesystem, so the number
+// is the cost of the exception machinery itself, not the disk.
+func BenchmarkExceptionFailRetrySweep(b *testing.B) {
+	ctx := context.Background()
+	clock := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	policy := adept2.PolicyFunc(func(adept2.Exception) adept2.Reaction {
+		return adept2.Reaction{Action: adept2.ActionRetry, Backoff: time.Second}
+	})
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()),
+		adept2.WithVFS(vfs.NewMemFS()),
+		adept2.WithClock(func() time.Time { return clock }),
+		adept2.WithExceptionPolicy(policy),
+		adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	bb := adept2.NewBuilder("bench_exc")
+	work := bb.Activity("work", "Work", adept2.WithRole("clerk"),
+		adept2.WithDeadline(time.Hour), adept2.WithEscalation("sales"))
+	schema, err := bb.Build(bb.Seq(work))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Deploy(schema); err != nil {
+		b.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("bench_exc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := inst.ID()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Start(id, "work", "ann"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Fail(ctx, id, "work", "ann", fmt.Sprintf("bench failure %d", i)); err != nil {
+			b.Fatal(err)
+		}
+		clock = clock.Add(2 * time.Second)
+		rep, err := sys.SweepDeadlines(ctx, clock)
+		if err != nil || rep.Retries != 1 {
+			b.Fatalf("sweep: %v, retries %d", err, rep.Retries)
+		}
+	}
+}

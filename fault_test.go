@@ -33,6 +33,7 @@ type faultDriver struct {
 
 	ackedInsts []string // instance creations acknowledged durable
 	ackedSeqs  [][2]int // (shard, seq) pairs acknowledged durable
+	evolves    int      // Evolve commands proposed (names the inserted node)
 	dead       bool     // durability failed; stop driving
 }
 
@@ -63,7 +64,11 @@ func (d *faultDriver) noteErr(err error) {
 }
 
 // propose builds the next random command; every command is well-formed
-// (rejections still happen via wrong node states, which is fine).
+// (rejections still happen via wrong node states, out-of-order evolution
+// chains, or undoing an unbiased instance, which is fine). The stream
+// mixes data commands with the control commands Evolve and Undo, so the
+// crash-point enumeration also kills the store mid-evolution and
+// mid-undo.
 func (d *faultDriver) propose() adept2.Command {
 	pick := func() string {
 		if len(d.insts) == 0 {
@@ -71,16 +76,39 @@ func (d *faultDriver) propose() adept2.Command {
 		}
 		return d.insts[d.rng.Intn(len(d.insts))]
 	}
-	switch r := d.rng.Intn(10); {
+	switch r := d.rng.Intn(14); {
 	case r < 3 || len(d.insts) == 0:
 		return &adept2.CreateInstance{TypeName: "online_order"}
 	case r < 6:
 		return &adept2.CompleteActivity{Instance: pick(), Node: "get_order", User: "ann",
 			Outputs: map[string]any{"out": fmt.Sprintf("o-%d", d.rng.Int())}}
-	case r < 8:
+	case r < 7:
 		return &adept2.Suspend{Instance: pick()}
-	default:
+	case r < 8:
 		return &adept2.Resume{Instance: pick()}
+	case r < 10:
+		return &adept2.AdHoc{Instance: pick(), Ops: sim.OnlineOrderBiasI2()}
+	case r < 12:
+		return &adept2.Undo{Instance: pick(), All: d.rng.Intn(2) == 0}
+	default:
+		// Serial-insert a fresh node into the type's tail. The chain is
+		// counted on proposal, not success: a link whose predecessor never
+		// landed is rejected as invalid, which keeps the stream
+		// deterministic across crash sites.
+		d.evolves++
+		pred := "get_order"
+		if d.evolves > 1 {
+			pred = fmt.Sprintf("extra_%d", d.evolves-1)
+		}
+		name := fmt.Sprintf("extra_%d", d.evolves)
+		return &adept2.Evolve{TypeName: "online_order", Ops: []adept2.Operation{
+			&adept2.SerialInsert{
+				Node: &adept2.Node{ID: name, Name: name, Type: adept2.NodeActivity,
+					Role: "worker", Template: name},
+				Pred: pred,
+				Succ: "collect_data",
+			},
+		}}
 	}
 }
 
@@ -519,6 +547,82 @@ func TestReceiptWaitCancelRacesWedgeThenHeal(t *testing.T) {
 	if _, ok := got.Instance(id); !ok {
 		t.Fatalf("instance %s lost across cancel/wedge/heal", id)
 	}
+}
+
+// TestHealForcesCheckpoint: healing a wedged pipeline forces a
+// checkpoint, so the journal suffix written during the wedge era —
+// records that were retried, buffered, and re-flushed — never needs to
+// be replayed again: the next recovery starts at the heal-time snapshot
+// and replays only records submitted after it.
+func TestHealForcesCheckpoint(t *testing.T) {
+	cfg := adept2.CheckpointConfig{Every: -1, GroupCommit: true, RetryMax: 2,
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond}
+	ctx := context.Background()
+	ffs := vfs.NewFaultFS(vfs.NewMemFS(), nil)
+	sys, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wedge the pipeline with a persistent fault; the tripping record is
+	// accepted but only becomes durable when Heal re-flushes it.
+	ffs.SetScript(vfs.FailFrom(1, vfs.ErrInjected,
+		vfs.OpWrite, vfs.OpSync, vfs.OpTruncate, vfs.OpStatFile))
+	r, err := sys.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := r.Result().(*adept2.Instance).ID()
+	if err := r.Wait(ctx); !errors.Is(err, adept2.ErrWedged) {
+		t.Fatalf("receipt under persistent fault: %v, want ErrWedged", err)
+	}
+	ffs.SetScript(nil)
+	if err := sys.Heal(ctx); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	healSeq := sys.JournalSeq()
+
+	// Only these records land after the forced checkpoint.
+	const suffix = 3
+	for i := 0; i < suffix; i++ {
+		if _, err := sys.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := sys.JournalSeq()
+	if tail != healSeq+suffix {
+		t.Fatalf("journal grew %d -> %d, want exactly %d suffix records", healSeq, tail, suffix)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := adept2.Open("wal",
+		adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg), adept2.WithVFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	info := rec.Recovery()
+	if info.FullReplay || info.SnapshotSeq != healSeq {
+		t.Fatalf("recovery ignored the heal-forced checkpoint: %+v (heal seq %d)", info, healSeq)
+	}
+	if info.Replayed != suffix {
+		t.Fatalf("replayed %d records, want only the %d-record post-heal suffix", info.Replayed, suffix)
+	}
+	if _, ok := rec.Instance(accepted); !ok {
+		t.Fatalf("wedge-era instance %s lost across heal checkpoint", accepted)
+	}
+	assertSameState(t, sys, rec)
 }
 
 // TestCheckpointDirFsyncFailureDoesNotWedge: a failing snapshot-directory

@@ -204,6 +204,19 @@ func (sc *Replayer) Replay(view model.SchemaView, info *graph.Info, events []*hi
 					return nil, &Error{Event: e, Reason: err.Error()}
 				}
 			}
+		case history.Failed:
+			// Reduce purges failed attempts, so reduced histories never
+			// reach this case; raw replays undo the attempt like the
+			// live engine did: the node reverts to activated.
+			if m.NodeAt(ni) != state.Running {
+				return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s, not running", m.NodeAt(ni))}
+			}
+			m.SetNodeAt(ni, state.Activated)
+		case history.Timeout:
+			// Audit marker: the node keeps running.
+			if m.NodeAt(ni) != state.Running {
+				return nil, &Error{Event: e, Reason: fmt.Sprintf("node is %s, not running", m.NodeAt(ni))}
+			}
 		}
 		r.observe(r.evaluate(e.Seq))
 	}

@@ -308,15 +308,24 @@ func (e *Engine) InstancesOf(typeName string, version int) []*Instance {
 	return out
 }
 
-// StartActivity starts an activated manual activity on behalf of a user.
+// StartActivity starts an activated manual activity on behalf of a user
+// without arming a deadline (StartActivityAt with at = 0).
 func (e *Engine) StartActivity(instID, node, user string) error {
+	return e.StartActivityAt(instID, node, user, 0)
+}
+
+// StartActivityAt starts an activated manual activity on behalf of a
+// user at the given time (unix nanos): a non-zero at arms the node's
+// relative deadline at at + Node.Deadline. Callers journal at on the
+// start command, so recovery re-arms the identical absolute deadline.
+func (e *Engine) StartActivityAt(instID, node, user string, at int64) error {
 	inst, ok := e.Instance(instID)
 	if !ok {
 		return fault.Tagf(fault.NotFound, "engine: start: unknown instance %q", instID)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
-	return inst.startLocked(node, user)
+	return inst.startLocked(node, user, at)
 }
 
 // CompleteActivity completes a running node (starting it first if it was

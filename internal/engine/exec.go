@@ -34,8 +34,10 @@ func WithLoopAgain(again bool) CompleteOption {
 	return func(o *completeOpts) { o.again = again; o.againSet = true }
 }
 
-// startLocked validates and performs the start of a node.
-func (inst *Instance) startLocked(node, user string) error {
+// startLocked validates and performs the start of a node. A non-zero at
+// (unix nanos, recorded on the journaled start command so replay re-arms
+// identically) arms the node's relative deadline.
+func (inst *Instance) startLocked(node, user string, at int64) error {
 	if inst.done {
 		return fault.Tagf(fault.Completed, "engine: start %s/%s: instance is completed", inst.id, node)
 	}
@@ -70,6 +72,16 @@ func (inst *Instance) startLocked(node, user string) error {
 	}
 	e := inst.hist.Append(&history.Event{Kind: history.Started, Node: node, User: user, Reads: reads, Decision: -1})
 	inst.stats.OnStart(node, e.Seq)
+	// A fresh start clears any pending retry/compensation left from a
+	// prior failed attempt and arms the activity's deadline.
+	delete(inst.retryAt, node)
+	delete(inst.compPending, node)
+	if at != 0 && n.Deadline > 0 {
+		if inst.deadlines == nil {
+			inst.deadlines = make(map[string]int64)
+		}
+		inst.deadlines[node] = at + n.Deadline
+	}
 	if !n.Auto && n.Type == model.NodeActivity {
 		// Best effort: the item exists unless the node was activated by
 		// adaptation inside a Mutate (reconciled afterwards).
@@ -114,7 +126,9 @@ func (inst *Instance) completeEntryLocked(node, user string, outputs map[string]
 		return fault.Tagf(fault.Suspended, "engine: complete %s/%s: instance is suspended", inst.id, node)
 	}
 	if inst.marking.Node(node) == state.Activated {
-		if err := inst.startLocked(node, user); err != nil {
+		// Implicit start: no deadline is armed — the completion follows
+		// immediately, so an expiry could never fire.
+		if err := inst.startLocked(node, user, 0); err != nil {
 			return err
 		}
 	}
@@ -184,6 +198,7 @@ func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]a
 		inst.stats.PurgeRegion(region)
 		state.ResetLoop(v, inst.marking, region)
 		inst.loopIter[node]++
+		inst.clearExceptionLocked(node)
 		// Nested loops restart their iteration count.
 		for id := range region {
 			if id == node {
@@ -192,6 +207,7 @@ func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]a
 			if inner, ok := v.Node(id); ok && inner.Type == model.NodeLoopEnd {
 				inst.loopIter[id] = 0
 			}
+			inst.clearExceptionLocked(id)
 			inst.eng.wl.Withdraw(inst.id, id)
 		}
 		return nil
@@ -200,8 +216,20 @@ func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]a
 	if err := inst.marking.Complete(v, node, decision); err != nil {
 		return err
 	}
+	inst.clearExceptionLocked(node)
 	inst.eng.wl.Withdraw(inst.id, node)
 	return nil
+}
+
+// clearExceptionLocked drops all exception bookkeeping of a node — its
+// completion (or loop purge) moots armed deadlines, pending retries, and
+// accumulated failure counts alike.
+func (inst *Instance) clearExceptionLocked(node string) {
+	delete(inst.deadlines, node)
+	delete(inst.retryAt, node)
+	delete(inst.failures, node)
+	delete(inst.escalated, node)
+	delete(inst.compPending, node)
 }
 
 // xorDecisionLocked resolves the selection code of an XOR split from the
@@ -334,7 +362,7 @@ func (inst *Instance) cascadeLocked() error {
 			break
 		}
 		id := topo.ID(next)
-		if err := inst.startLocked(id, ""); err != nil {
+		if err := inst.startLocked(id, "", 0); err != nil {
 			return err
 		}
 		if err := inst.completeCoreLocked(id, "", nil, completeOpts{}); err != nil {
@@ -358,9 +386,17 @@ func (inst *Instance) syncWorklistLocked() {
 		return
 	}
 	topo := v.Topology()
+	inst.reconcileExceptionsLocked()
 	var wanted []worklist.Wanted
 	for _, id := range topo.ManualActivities() {
 		if s := inst.marking.Node(id); s == state.Activated || s == state.Running {
+			// A failed activity in its retry backoff (or awaiting a
+			// policy compensation) keeps no offer: the re-offer is a
+			// journaled Retry command, so replay reproduces the same
+			// suppression window.
+			if s == state.Activated && (inst.retryAt[id] != 0 || inst.compPending[id]) {
+				continue
+			}
 			wanted = append(wanted, worklist.Wanted{
 				Node:    id,
 				Role:    topo.Of(id).Node.Role,
@@ -369,4 +405,39 @@ func (inst *Instance) syncWorklistLocked() {
 		}
 	}
 	inst.eng.wl.BatchUpdate(inst.id, wanted, inst.eng.org.UsersInRole)
+}
+
+// reconcileExceptionsLocked drops exception entries that no longer match
+// the node state they describe — a migration, ad-hoc change, undo, or
+// loop reset may have moved or deleted the node underneath them. The
+// rule is a pure function of the marking, so live execution and command
+// replay converge on identical exception state: deadlines and
+// escalations belong to running nodes, retry backoffs and pending
+// compensations to activated ones, failure counts to either.
+func (inst *Instance) reconcileExceptionsLocked() {
+	for id := range inst.deadlines {
+		if inst.marking.Node(id) != state.Running {
+			delete(inst.deadlines, id)
+		}
+	}
+	for id := range inst.escalated {
+		if inst.marking.Node(id) != state.Running {
+			delete(inst.escalated, id)
+		}
+	}
+	for id := range inst.retryAt {
+		if inst.marking.Node(id) != state.Activated {
+			delete(inst.retryAt, id)
+		}
+	}
+	for id := range inst.compPending {
+		if inst.marking.Node(id) != state.Activated {
+			delete(inst.compPending, id)
+		}
+	}
+	for id := range inst.failures {
+		if s := inst.marking.Node(id); s != state.Activated && s != state.Running {
+			delete(inst.failures, id)
+		}
+	}
 }

@@ -38,6 +38,24 @@ type Instance struct {
 	done      bool
 	suspended bool
 
+	// Exception state, all keyed by node ID and all rebuilt identically
+	// by command replay (every transition below rides a journaled
+	// command): deadlines holds the absolute expiry (unix nanos) armed
+	// when a deadline-bearing activity started; retryAt holds the time a
+	// failed activity's re-offer becomes due (its work item is
+	// suppressed until then); failures counts consecutive failed
+	// attempts; escalated marks running nodes whose deadline fired and
+	// whose item was re-offered to the escalation role; compPending
+	// marks failed nodes awaiting a policy compensation (item suppressed
+	// until a Retry command or the compensation lands). Entries are
+	// reconciled against the marking on every worklist sync so they
+	// never outlive the node state they describe.
+	deadlines   map[string]int64
+	retryAt     map[string]int64
+	failures    map[string]int
+	escalated   map[string]bool
+	compPending map[string]bool
+
 	migrations int
 }
 
@@ -167,6 +185,62 @@ func (inst *Instance) LoopIterations(loopEnd string) int {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	return inst.loopIter[loopEnd]
+}
+
+// Deadline returns the armed absolute deadline (unix nanos) of a running
+// node, and whether one is armed.
+func (inst *Instance) Deadline(node string) (int64, bool) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	dl, ok := inst.deadlines[node]
+	return dl, ok
+}
+
+// Deadlines returns a copy of all armed deadlines (node -> unix nanos).
+func (inst *Instance) Deadlines() map[string]int64 {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if len(inst.deadlines) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(inst.deadlines))
+	for k, v := range inst.deadlines {
+		out[k] = v
+	}
+	return out
+}
+
+// FailureCount returns how many consecutive failed attempts the node has
+// accumulated (reset on successful completion or loop purge).
+func (inst *Instance) FailureCount(node string) int {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.failures[node]
+}
+
+// Escalated reports whether the running node's deadline fired and its
+// work item was re-offered to the escalation role.
+func (inst *Instance) Escalated(node string) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.escalated[node]
+}
+
+// RetryDue returns the time (unix nanos) a failed node's re-offer
+// becomes due, and whether a backoff is pending.
+func (inst *Instance) RetryDue(node string) (int64, bool) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	at, ok := inst.retryAt[node]
+	return at, ok
+}
+
+// PendingCompensation reports whether the failed node awaits a policy
+// compensation (its work item is suppressed meanwhile).
+func (inst *Instance) PendingCompensation(node string) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.compPending[node]
 }
 
 // StorageFootprint describes the memory attributable to one instance under

@@ -21,18 +21,27 @@ import (
 // to the caller, which serializes them into Bias; RestoreInstance receives
 // them decoded again.
 type InstanceSnapshot struct {
-	ID         string               `json:"id"`
-	TypeName   string               `json:"type"`
-	Version    int                  `json:"version"`
-	Strategy   storage.Strategy     `json:"strategy"`
-	Done       bool                 `json:"done,omitempty"`
-	Suspended  bool                 `json:"suspended,omitempty"`
-	Migrations int                  `json:"migrations,omitempty"`
-	LoopIter   map[string]int       `json:"loopIter,omitempty"`
-	Marking    *state.MarkingExport `json:"marking"`
-	Stats      []history.StatExport `json:"stats,omitempty"`
-	History    *history.Log         `json:"history"`
-	Store      *data.Store          `json:"data"`
+	ID         string           `json:"id"`
+	TypeName   string           `json:"type"`
+	Version    int              `json:"version"`
+	Strategy   storage.Strategy `json:"strategy"`
+	Done       bool             `json:"done,omitempty"`
+	Suspended  bool             `json:"suspended,omitempty"`
+	Migrations int              `json:"migrations,omitempty"`
+	LoopIter   map[string]int   `json:"loopIter,omitempty"`
+	// Exception state (armed absolute deadlines, retry due times,
+	// consecutive-failure counts, escalated nodes, pending policy
+	// compensations), all keyed by node ID. Deadlines survive the
+	// snapshot verbatim so recovery re-arms them exactly once.
+	Deadlines   map[string]int64     `json:"deadlines,omitempty"`
+	RetryAt     map[string]int64     `json:"retryAt,omitempty"`
+	Failures    map[string]int       `json:"failures,omitempty"`
+	Escalated   []string             `json:"escalated,omitempty"`
+	CompPending []string             `json:"compPending,omitempty"`
+	Marking     *state.MarkingExport `json:"marking"`
+	Stats       []history.StatExport `json:"stats,omitempty"`
+	History     *history.Log         `json:"history"`
+	Store       *data.Store          `json:"data"`
 	// Bias is the change.MarshalOps payload of the instance's recorded
 	// operations; the engine never interprets it.
 	Bias json.RawMessage `json:"bias,omitempty"`
@@ -52,19 +61,60 @@ func (inst *Instance) Snapshot() (*InstanceSnapshot, []BiasOp) {
 		}
 	}
 	return &InstanceSnapshot{
-		ID:         inst.id,
-		TypeName:   inst.typeName,
-		Version:    inst.version,
-		Strategy:   inst.strategy,
-		Done:       inst.done,
-		Suspended:  inst.suspended,
-		Migrations: inst.migrations,
-		LoopIter:   li,
-		Marking:    inst.marking.Export(),
-		Stats:      inst.stats.Export(),
-		History:    inst.hist.Clone(),
-		Store:      inst.store.Clone(),
+		ID:          inst.id,
+		TypeName:    inst.typeName,
+		Version:     inst.version,
+		Strategy:    inst.strategy,
+		Done:        inst.done,
+		Suspended:   inst.suspended,
+		Migrations:  inst.migrations,
+		LoopIter:    li,
+		Deadlines:   copyInt64Map(inst.deadlines),
+		RetryAt:     copyInt64Map(inst.retryAt),
+		Failures:    copyIntMap(inst.failures),
+		Escalated:   sortedKeys(inst.escalated),
+		CompPending: sortedKeys(inst.compPending),
+		Marking:     inst.marking.Export(),
+		Stats:       inst.stats.Export(),
+		History:     inst.hist.Clone(),
+		Store:       inst.store.Clone(),
 	}, append([]BiasOp(nil), inst.biasOps...)
+}
+
+func copyInt64Map(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[string]int64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func copyIntMap(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// sortedKeys flattens a string set into a sorted slice, the
+// deterministic serialized form of the escalated/pending marks.
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RestoreInstance rebuilds an instance from a snapshot: the referenced
@@ -114,6 +164,21 @@ func (e *Engine) RestoreInstance(snap *InstanceSnapshot, bias []BiasOp) error {
 	}
 	if snap.LoopIter != nil {
 		inst.loopIter = snap.LoopIter
+	}
+	inst.deadlines = copyInt64Map(snap.Deadlines)
+	inst.retryAt = copyInt64Map(snap.RetryAt)
+	inst.failures = copyIntMap(snap.Failures)
+	if len(snap.Escalated) > 0 {
+		inst.escalated = make(map[string]bool, len(snap.Escalated))
+		for _, id := range snap.Escalated {
+			inst.escalated[id] = true
+		}
+	}
+	if len(snap.CompPending) > 0 {
+		inst.compPending = make(map[string]bool, len(snap.CompPending))
+		for _, id := range snap.CompPending {
+			inst.compPending[id] = true
+		}
 	}
 	inst.done = snap.Done
 	inst.suspended = snap.Suspended

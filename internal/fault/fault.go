@@ -46,6 +46,12 @@ const (
 	// (truncated journals, compacted journals without a bridging
 	// snapshot, dangling epochs, shard-count mismatches in the data).
 	Unrecoverable
+	// Failed marks process-level activity failures (a FailActivity
+	// command's recorded reason surfacing as an exception).
+	Failed
+	// Timeout marks deadline expiries: a running activity exceeded its
+	// armed deadline.
+	Timeout
 )
 
 // tagged attaches a Kind to an error. It renders and unwraps

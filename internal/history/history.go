@@ -25,13 +25,29 @@ const (
 	// Completed records that a node finished, together with its routing
 	// decision and the data it wrote.
 	Completed
+	// Failed records that a running node's execution failed: the attempt
+	// is undone (the node reverts to activated) and — like a superseded
+	// loop iteration — purged from the logical history, so compliance
+	// judges the instance as if the attempt never ran.
+	Failed
+	// Timeout records that a running node exceeded its armed deadline.
+	// The node keeps running (the work item escalates); Timeout events
+	// are audit markers that Reduce drops from the logical history.
+	Timeout
 )
 
+var kindNames = [...]string{
+	Started:   "started",
+	Completed: "completed",
+	Failed:    "failed",
+	Timeout:   "timeout",
+}
+
 func (k Kind) String() string {
-	if k == Completed {
-		return "completed"
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
-	return "started"
+	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
 // Event is one entry of the execution history.
@@ -53,6 +69,9 @@ type Event struct {
 	Reads map[string]any `json:"reads,omitempty"`
 	// Writes holds element values written on completion (element -> value).
 	Writes map[string]any `json:"writes,omitempty"`
+	// Reason carries the failure reason of a Failed event (or the
+	// deadline description of a Timeout event).
+	Reason string `json:"reason,omitempty"`
 
 	// Intern memo: idx is Node's dense index in the topology identified by
 	// itopo. ReduceInto fills it lazily, so repeated reductions of the
@@ -67,6 +86,10 @@ type Event struct {
 
 func (e *Event) String() string {
 	switch {
+	case e.Kind == Failed:
+		return fmt.Sprintf("#%d failed %s (%s)", e.Seq, e.Node, e.Reason)
+	case e.Kind == Timeout:
+		return fmt.Sprintf("#%d timeout %s", e.Seq, e.Node)
 	case e.Kind == Completed && e.Again:
 		return fmt.Sprintf("#%d completed %s (again)", e.Seq, e.Node)
 	case e.Kind == Completed && e.Decision >= 0:
@@ -166,8 +189,11 @@ func (l *Log) UnmarshalJSON(b []byte) error {
 // was superseded by a later one is purged. Concretely, whenever a loop end
 // completes with Again=true, all prior events of nodes inside that loop's
 // region (including nested loops) are dropped together with the iterating
-// completion itself. The result is the history of the final iteration of
-// every loop — the paper's loop-tolerant compliance view.
+// completion itself. Failed activity attempts are purged the same way
+// (the Failed event and its matching Started both drop), and Timeout
+// markers are always dropped. The result is the history of the final
+// iteration of every loop, with only work that actually succeeded — the
+// paper's loop-tolerant compliance view.
 //
 // info must be the block analysis of the same schema view the events were
 // recorded on.
@@ -198,7 +224,8 @@ func ReduceInto(info *graph.Info, events []*Event, buf []*Event) []*Event {
 		buf = make([]*Event, 0, 16)
 	}
 	out := buf[:0]
-	var active bitset.Set // lazily sized union of activated region bitsets
+	var active bitset.Set          // lazily sized union of activated region bitsets
+	var failedAhead map[string]int // per node: Failed events seen younger, Started not yet matched
 	for i := len(events) - 1; i >= 0; i-- {
 		e := events[i]
 		if active != nil {
@@ -213,6 +240,24 @@ func ReduceInto(info *graph.Info, events []*Event, buf []*Event) []*Event {
 			}
 			if n != model.InvalidNode && active.Has(int(n)) {
 				continue // inside an iterated loop's region: purged
+			}
+		}
+		switch e.Kind {
+		case Timeout:
+			continue // audit marker: never part of the logical history
+		case Failed:
+			// A failed attempt is purged like a superseded loop
+			// iteration: drop the Failed event and remember to drop the
+			// matching (next-older) Started of the same node.
+			if failedAhead == nil {
+				failedAhead = make(map[string]int)
+			}
+			failedAhead[e.Node]++
+			continue
+		case Started:
+			if failedAhead[e.Node] > 0 {
+				failedAhead[e.Node]--
+				continue
 			}
 		}
 		if e.Kind == Completed && e.Again {
@@ -240,6 +285,20 @@ func ReduceInto(info *graph.Info, events []*Event, buf []*Event) []*Event {
 func reduceForward(info *graph.Info, events []*Event, buf []*Event) []*Event {
 	out := buf[:0]
 	for _, e := range events {
+		switch e.Kind {
+		case Timeout:
+			continue // audit marker: never part of the logical history
+		case Failed:
+			// Purge the failed attempt: drop the youngest retained
+			// Started of the node together with the Failed event itself.
+			for k := len(out) - 1; k >= 0; k-- {
+				if out[k].Node == e.Node && out[k].Kind == Started {
+					out = append(out[:k], out[k+1:]...)
+					break
+				}
+			}
+			continue
+		}
 		if e.Kind == Completed && e.Again {
 			if blk, ok := info.ByJoin(e.Node); ok && blk.Kind == model.NodeLoopStart {
 				region := blk.Region()
@@ -419,6 +478,19 @@ func (s *Stats) OnComplete(node string, seq, decision int) {
 	}
 	st.CompleteSeq = seq
 	st.Decision = decision
+}
+
+// OnFail removes the node's execution record: a failed attempt is not
+// part of the logical history (Reduce purges its Started/Failed pair),
+// so the fast compliance conditions must forget it the same way.
+func (s *Stats) OnFail(node string) {
+	if s.topo != nil {
+		if i, ok := s.topo.Idx(node); ok {
+			s.recs[i] = NodeStat{}
+			return
+		}
+	}
+	delete(s.overflow, node)
 }
 
 // PurgeRegion removes the stats of all nodes in a loop region, called when

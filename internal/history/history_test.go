@@ -150,7 +150,9 @@ func nestedLoopSchema(t *testing.T) (*model.Schema, *graph.Info, []string) {
 // reduction is stream-for-stream identical to the forward purge-on-Again
 // formulation, on randomized event streams over a schema with nested
 // loops (including streams that are not valid executions — both
-// formulations only inspect Kind/Again/Node).
+// formulations only inspect Kind/Again/Node). The generator also emits
+// Failed and Timeout events, pinning the attempt-purge bookkeeping of
+// both passes against each other.
 func TestReduceBackwardMatchesForward(t *testing.T) {
 	_, info, ids := nestedLoopSchema(t)
 	if info.Topology() == nil {
@@ -162,9 +164,16 @@ func TestReduceBackwardMatchesForward(t *testing.T) {
 		events := make([]*Event, n)
 		for i := range events {
 			e := &Event{Seq: i + 1, Node: ids[rng.Intn(len(ids))]}
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(6) {
+			case 0, 1, 2:
 				e.Kind = Completed
 				e.Again = rng.Intn(3) == 0
+			case 3:
+				e.Kind = Failed
+			case 4:
+				e.Kind = Timeout
+			default:
+				e.Kind = Started
 			}
 			events[i] = e
 		}
@@ -182,6 +191,36 @@ func TestReduceBackwardMatchesForward(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReducePurgesFailedAttempts: a failed attempt leaves the logical
+// history entirely — the Failed event drops together with its matching
+// Started, Timeout markers always drop, and the successful retry's
+// Started/Completed pair survives. This is what makes a failed-then-
+// retried activity compliant with a schema that never saw the failure.
+func TestReducePurgesFailedAttempts(t *testing.T) {
+	_, info, _, _ := loopSchema(t)
+	l := NewLog()
+	l.Append(&Event{Kind: Started, Node: "pre"})
+	l.Append(&Event{Kind: Timeout, Node: "pre", Reason: "deadline expired"})
+	l.Append(&Event{Kind: Failed, Node: "pre", Reason: "attempt 1"})
+	l.Append(&Event{Kind: Started, Node: "pre"})
+	l.Append(&Event{Kind: Failed, Node: "pre", Reason: "attempt 2"})
+	l.Append(&Event{Kind: Started, Node: "pre"})
+	l.Append(&Event{Kind: Completed, Node: "pre"})
+
+	red := Reduce(info, l.Events())
+	if len(red) != 2 {
+		t.Fatalf("reduced length = %d, want the surviving Started/Completed pair: %v", len(red), red)
+	}
+	if red[0].Kind != Started || red[1].Kind != Completed || red[0].Seq != 6 {
+		t.Fatalf("wrong survivors: %v", red)
+	}
+	for _, e := range red {
+		if e.Kind == Failed || e.Kind == Timeout {
+			t.Fatalf("exception marker survived reduction: %v", e)
+		}
 	}
 }
 

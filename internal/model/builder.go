@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Builder assembles block-structured schemas from fragments. Every
 // composition method returns a Fragment (a single-entry single-exit
@@ -85,6 +88,18 @@ func WithDecisionElement(elem string) NodeOption {
 // WithMaxIterations bounds an automatic loop.
 func WithMaxIterations(n int) NodeOption {
 	return func(node *Node) { node.MaxIterations = n }
+}
+
+// WithDeadline sets the activity's relative completion deadline, armed
+// when the activity starts.
+func WithDeadline(d time.Duration) NodeOption {
+	return func(n *Node) { n.Deadline = int64(d) }
+}
+
+// WithEscalation names the role a timed-out activity's work item is
+// re-offered to.
+func WithEscalation(role string) NodeOption {
+	return func(n *Node) { n.Escalation = role }
 }
 
 // Activity adds an activity node and returns it as a fragment. If no

@@ -113,6 +113,18 @@ type Node struct {
 	// Duration is a nominal duration hint in abstract ticks, used by the
 	// workload simulator. It has no semantic meaning.
 	Duration int
+
+	// Deadline is the activity's relative completion deadline in
+	// nanoseconds, armed at the moment the activity starts. 0 means the
+	// activity has no deadline. When a running activity exceeds its
+	// armed deadline the engine appends a Timeout event and escalates
+	// the work item.
+	Deadline int64
+
+	// Escalation names the role a timed-out activity's work item is
+	// re-offered to. Empty means the item stays with (is re-offered to)
+	// the original Role.
+	Escalation string
 }
 
 // Clone returns a copy of the node.

@@ -168,6 +168,23 @@ func (m *Manager) offerLocked(instance, node, role string, users []string) *Item
 	return it
 }
 
+// Escalate replaces the activity's work item with a fresh offer to the
+// escalation role's candidates, under one lock acquisition so no reader
+// observes the node item-less in between. The previous item — typically
+// InProgress for the original assignee of a timed-out activity — is
+// withdrawn; the replacement starts in the Offered state. Returns the
+// new item.
+func (m *Manager) Escalate(instance, node, role string, users []string) *Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.withdrawLocked(instance, node)
+	it := m.offerLocked(instance, node, role, users)
+	if it == nil {
+		return nil
+	}
+	return it.clone()
+}
+
 // Claim reserves an offered item for one of its candidate users.
 func (m *Manager) Claim(itemID, user string) error {
 	m.mu.Lock()

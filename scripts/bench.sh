@@ -2,25 +2,25 @@
 # bench.sh — run the perf-trajectory benchmark families (Fig. 1 compliance
 # replay, Fig. 3 population migration, E8 engine throughput, journal
 # recovery, group commit, sharded append/recovery, command submission
-# sync/async/batch) and emit a JSON
-# snapshot at the repo root, so successive PRs can compare against the
-# recorded baseline.
+# sync/async/batch, exception fail→sweep→retry round trip) and emit a
+# JSON snapshot at the repo root, so successive PRs can compare against
+# the recorded baseline.
 #
 # Usage: scripts/bench.sh [output-file]
 #
-# The default output is BENCH_pr6.json (the current PR's snapshot). The
-# delta table compares against $BENCH_BASELINE (default BENCH_pr5.json,
+# The default output is BENCH_pr7.json (the current PR's snapshot). The
+# delta table compares against $BENCH_BASELINE (default BENCH_pr6.json,
 # the previous PR's snapshot) when that file exists and differs from the
 # output.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
-baseline="${BENCH_BASELINE:-BENCH_pr5.json}"
+out="${1:-BENCH_pr7.json}"
+baseline="${BENCH_BASELINE:-BENCH_pr6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'Fig1|Fig3|EngineComplete|Recovery|Sharded|Submit' -benchmem . | tee "$raw"
+go test -run '^$' -bench 'Fig1|Fig3|EngineComplete|Recovery|Sharded|Submit|Exception' -benchmem . | tee "$raw"
 go test -run '^$' -bench 'GroupCommit' -benchmem ./internal/durable | tee -a "$raw"
 
 {

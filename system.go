@@ -53,6 +53,24 @@ type System struct {
 
 	ckpt     *checkpointer
 	recovery *RecoveryInfo
+
+	// nowFn is the system clock (unix nanos), injectable via WithClock
+	// so deterministic soaks drive deadlines with a logical clock. Only
+	// the live path reads it — every timestamp that matters is stamped
+	// onto the journal record it belongs to, so replay never consults
+	// the clock.
+	nowFn func() int64
+	// policy maps detected exceptions (activity failures, deadline
+	// expiries) to compensating commands; see ExceptionPolicy.
+	policy ExceptionPolicy
+}
+
+// now returns the current time in unix nanos from the configured clock.
+func (s *System) now() int64 {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	return time.Now().UnixNano()
 }
 
 // checkpointer tracks automatic background snapshots.
@@ -194,6 +212,8 @@ type config struct {
 	journal  *persist.Journal
 	ckpt     *CheckpointConfig
 	fs       vfs.FS
+	nowFn    func() int64
+	policy   ExceptionPolicy
 }
 
 // fsys resolves the configured filesystem, defaulting to the real OS.
@@ -241,7 +261,7 @@ func New(opts ...Option) *System {
 func newSystem(c *config) *System {
 	e := engine.New(c.org)
 	e.SetStorageStrategy(c.strategy)
-	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal}
+	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal, nowFn: c.nowFn, policy: c.policy}
 }
 
 // Open creates a System backed by a file journal at path, recovering any
@@ -561,11 +581,16 @@ func (s *System) Heal(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return &Error{Code: CodeCanceled, Op: "heal", Err: err}
 	}
-	var err error
+	var (
+		err    error
+		healed bool
+	)
 	switch {
 	case s.wal != nil:
+		healed = s.wal.Health() != nil
 		err = s.wal.Heal()
 	case s.committer != nil && s.committer.Err() != nil:
+		healed = true
 		err = s.committer.Heal()
 	}
 	if err != nil {
@@ -576,6 +601,20 @@ func (s *System) Heal(ctx context.Context) error {
 		ck.err = nil
 		ck.tried = 0
 		ck.mu.Unlock()
+		if healed {
+			// A successful heal forces a checkpoint: the wedge era may
+			// have left a long un-snapshotted journal suffix, and the
+			// next recovery should not have to replay it. A snapshot
+			// failure is diagnosed like any background checkpoint
+			// failure — the heal itself already succeeded.
+			if _, _, cerr := s.Checkpoint(); cerr != nil {
+				ck.mu.Lock()
+				if ck.err == nil {
+					ck.err = cerr
+				}
+				ck.mu.Unlock()
+			}
+		}
 	}
 	return nil
 }
