@@ -17,12 +17,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"adept2"
@@ -32,6 +41,7 @@ import (
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/monitor"
+	"adept2/internal/obs"
 	"adept2/internal/sim"
 	"adept2/internal/sim/soak"
 )
@@ -62,6 +72,8 @@ func main() {
 		list(os.Args[2:])
 	case "load":
 		load(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
 	case "sim":
 		simCmd(os.Args[2:])
 	default:
@@ -80,7 +92,9 @@ func usage() {
        adeptctl verify -journal PATH [-dir DIR] [-repair]
        adeptctl list -journal PATH [-user U] [-page N]
        adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]
-       adeptctl sim [-steps N] [-instances N] [-seed N] [-shards N] ...`)
+       adeptctl stats -journal PATH [-format text|prom|json] [-serve ADDR]
+       adeptctl stats -fetch URL
+       adeptctl sim [-steps N] [-instances N] [-seed N] [-shards N] [-stats] ...`)
 	os.Exit(2)
 }
 
@@ -509,6 +523,189 @@ func load(args []string) {
 		float64(cmds)/elapsed.Seconds(), seq)
 }
 
+// stats is the operational stats plane on the command line: open a
+// journaled store and print its metrics snapshot (text, Prometheus
+// exposition, or JSON), serve the live HTTP plane for scrapes, or fetch
+// and validate a running system's endpoint (the CI smoke uses -fetch to
+// assert the Prometheus text parses and the JSON round-trips).
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required unless -fetch)")
+	format := fs.String("format", "text", "output format: text, prom, or json")
+	serve := fs.String("serve", "", "serve /metrics, /metrics.json, /healthz at ADDR and block (\":0\" picks a port)")
+	fetch := fs.String("fetch", "", "GET a live endpoint URL and validate its payload instead of opening a journal")
+	must(fs.Parse(args))
+
+	if *fetch != "" {
+		must(validateEndpoint(*fetch))
+		return
+	}
+	if *journal == "" {
+		usage()
+	}
+	opts := []adept2.Option{adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1})}
+	if *serve != "" {
+		opts = append(opts, adept2.WithMetricsServer(*serve))
+	}
+	sys, err := adept2.Open(*journal, opts...)
+	must(err)
+	defer sys.Close()
+
+	if *serve != "" {
+		fmt.Printf("serving stats at http://%s/metrics (also /metrics.json, /healthz)\n", sys.MetricsAddr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		return
+	}
+	snap := sys.Metrics()
+	switch *format {
+	case "prom":
+		must(obs.WritePrometheus(os.Stdout, snap))
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(snap))
+	case "text":
+		printStats(snap)
+	default:
+		usage()
+	}
+}
+
+// printStats renders the human-readable snapshot view. An offline open
+// has no live submit counters — the interesting rows are the recovered
+// state, shard heads, and health.
+func printStats(snap *obs.Snapshot) {
+	fmt.Printf("recovery: replayed=%d fallbacks=%d fullReplays=%d in %s (read %d B of snapshots)\n",
+		snap.Recovery.Replayed, snap.Recovery.Fallbacks, snap.Recovery.FullReplays,
+		time.Duration(snap.Recovery.Nanos).Round(time.Microsecond), snap.Checkpoint.BytesRead)
+	for _, sh := range snap.Shards {
+		fmt.Printf("shard %d: seq=%d depth=%d appends=%d wedged=%v\n",
+			sh.Shard, sh.Seq, sh.Depth, sh.Appends, sh.Wedged)
+	}
+	ops := make([]string, 0, len(snap.Ops))
+	for op := range snap.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		o := snap.Ops[op]
+		fmt.Printf("op %-9s ok=%d batched=%d errors=%v\n", op, o.OK, o.Batched, o.Errors)
+	}
+	fmt.Printf("engine: instances=%d worklist=%d openExceptions=%d\n",
+		snap.Engine.Instances, snap.Engine.WorklistDepth, snap.Engine.OpenExceptions)
+	fmt.Printf("exception: failures=%d timeouts=%d retries=%d escalations=%d compensated=%d sweeps=%d\n",
+		snap.Exception.Failures, snap.Exception.Timeouts, snap.Exception.Retries,
+		snap.Exception.Escalations, snap.Exception.Compensated, snap.Exception.Sweeps)
+	fmt.Printf("committer: fsyncs=%d retries=%d wedges=%d heals=%d\n",
+		snap.Committer.Fsync.Count, snap.Committer.FlushRetries,
+		snap.Committer.Wedges, snap.Committer.Heals)
+	fmt.Printf("checkpoint: count=%d failures=%d bytesWritten=%d\n",
+		snap.Checkpoint.Count, snap.Checkpoint.Failures, snap.Checkpoint.BytesWritten)
+	health := "ok"
+	if snap.Health.Wedged {
+		health = fmt.Sprintf("WEDGED (shards %v)", snap.Health.WedgedShards)
+	}
+	fmt.Printf("health: %s cleanupErrs=%d flushRetries=%d\n",
+		health, snap.Health.CleanupErrs, snap.Health.FlushRetries)
+	if len(snap.Traces) > 0 {
+		fmt.Printf("traces: %d sampled spans\n", len(snap.Traces))
+	}
+}
+
+// requiredFamilies are the metric families the smoke validation insists
+// on seeing declared in a Prometheus scrape.
+var requiredFamilies = []string{
+	"adept2_submit_total",
+	"adept2_submit_latency_seconds",
+	"adept2_committer_fsync_seconds",
+	"adept2_checkpoint_total",
+	"adept2_exception_failures_total",
+	"adept2_sweep_lag_seconds",
+	"adept2_instances",
+	"adept2_wedged",
+}
+
+// validateEndpoint GETs url and validates the payload: a /metrics.json
+// endpoint must round-trip through the typed snapshot (strict field
+// check), a /metrics endpoint must be well-formed Prometheus text
+// declaring every required family, with every sample line parseable.
+func validateEndpoint(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: GET %s: %s", url, resp.Status)
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var snap obs.Snapshot
+		if err := dec.Decode(&snap); err != nil {
+			return fmt.Errorf("stats: %s: snapshot JSON does not round-trip: %w", url, err)
+		}
+		if _, err := json.Marshal(&snap); err != nil {
+			return fmt.Errorf("stats: %s: snapshot re-encode: %w", url, err)
+		}
+		fmt.Printf("stats: %s OK: JSON snapshot round-trips (%d ops, %d shards, %d traces)\n",
+			url, len(snap.Ops), len(snap.Shards), len(snap.Traces))
+		return nil
+	}
+	families := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("stats: %s line %d: malformed comment %q", url, i+1, line)
+			}
+			if f[1] == "TYPE" {
+				families[f[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("stats: %s line %d: no value separator in %q", url, i+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			return fmt.Errorf("stats: %s line %d: bad value in %q: %v", url, i+1, line, err)
+		}
+		name := line[:sp]
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("stats: %s line %d: unterminated labels in %q", url, i+1, line)
+			}
+			name = name[:b]
+		}
+		if !strings.HasPrefix(name, "adept2_") {
+			return fmt.Errorf("stats: %s line %d: sample %q outside the adept2_ namespace", url, i+1, line)
+		}
+		samples++
+	}
+	var missing []string
+	for _, f := range requiredFamilies {
+		if !families[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("stats: %s: required families missing: %s", url, strings.Join(missing, ", "))
+	}
+	fmt.Printf("stats: %s OK: %d families, %d samples parse\n", url, len(families), samples)
+	return nil
+}
+
 // simCmd runs the adversarial fault-tolerance soak (internal/sim): random
 // activity failures, deadline storms, schema evolutions, injected disk
 // faults, crashes, and reopen checks on an in-memory store, asserting the
@@ -529,6 +726,7 @@ func simCmd(args []string) {
 	reopen := fs.Int("reopen", def.ReopenEvery, "steps between close→reopen checks (0 = never)")
 	crash := fs.Int("crash", def.CrashEvery, "steps between simulated crashes (0 = never)")
 	retries := fs.Int("retries", def.MaxRetries, "exception policy retry budget")
+	showStats := fs.Bool("stats", false, "print the soak's telemetry summary")
 	must(fs.Parse(args))
 
 	cfg := def
@@ -549,4 +747,7 @@ func simCmd(args []string) {
 	res, err := soak.Run(context.Background(), cfg)
 	must(err)
 	fmt.Printf("soak passed in %s\n  %s\n", time.Since(start).Round(time.Millisecond), res)
+	if *showStats {
+		fmt.Printf("telemetry (post-drain session):\n%s\n", res.MetricsSummary)
+	}
 }

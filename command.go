@@ -40,6 +40,11 @@ type command interface {
 	// target returns the instance ID the command addresses, for error
 	// reporting ("" for control commands and unrouted creates).
 	target() string
+	// opIndex returns the command's position in the per-op metric
+	// arrays (see metrics.go) — a compile-time constant per type, so
+	// the hot path indexes without a map lookup. Resume has its own
+	// index even though it journals as "suspend".
+	opIndex() int
 	// run validates the command and applies it to the engine. It returns
 	// the effect: the caller-visible result, the instance the journal
 	// record routes on, and the wire op/args to journal. run never
@@ -165,6 +170,7 @@ type AddUser struct {
 
 func (*AddUser) CommandName() string { return "user" }
 func (*AddUser) control() bool       { return true }
+func (*AddUser) opIndex() int        { return opUser }
 func (*AddUser) target() string      { return "" }
 
 func (c *AddUser) run(s *System) (effect, error) {
@@ -181,6 +187,7 @@ type Deploy struct {
 
 func (*Deploy) CommandName() string { return "deploy" }
 func (*Deploy) control() bool       { return true }
+func (*Deploy) opIndex() int        { return opDeploy }
 func (*Deploy) target() string      { return "" }
 
 func (c *Deploy) run(s *System) (effect, error) {
@@ -205,6 +212,7 @@ type CreateInstance struct {
 
 func (*CreateInstance) CommandName() string { return "create" }
 func (*CreateInstance) control() bool       { return false }
+func (*CreateInstance) opIndex() int        { return opCreate }
 func (c *CreateInstance) target() string    { return c.ID }
 
 func (c *CreateInstance) run(s *System) (effect, error) {
@@ -242,6 +250,7 @@ type StartActivity struct {
 
 func (*StartActivity) CommandName() string { return "start" }
 func (*StartActivity) control() bool       { return false }
+func (*StartActivity) opIndex() int        { return opStart }
 func (c *StartActivity) target() string    { return c.Instance }
 
 func (c *StartActivity) run(s *System) (effect, error) {
@@ -279,6 +288,7 @@ type FailActivity struct {
 
 func (*FailActivity) CommandName() string { return "fail" }
 func (*FailActivity) control() bool       { return false }
+func (*FailActivity) opIndex() int        { return opFail }
 func (c *FailActivity) target() string    { return c.Instance }
 
 func (c *FailActivity) run(s *System) (effect, error) {
@@ -300,6 +310,7 @@ type TimeoutActivity struct {
 
 func (*TimeoutActivity) CommandName() string { return "timeout" }
 func (*TimeoutActivity) control() bool       { return false }
+func (*TimeoutActivity) opIndex() int        { return opTimeout }
 func (c *TimeoutActivity) target() string    { return c.Instance }
 
 func (c *TimeoutActivity) run(s *System) (effect, error) {
@@ -320,6 +331,7 @@ type RetryActivity struct {
 
 func (*RetryActivity) CommandName() string { return "retry" }
 func (*RetryActivity) control() bool       { return false }
+func (*RetryActivity) opIndex() int        { return opRetry }
 func (c *RetryActivity) target() string    { return c.Instance }
 
 func (c *RetryActivity) run(s *System) (effect, error) {
@@ -344,6 +356,7 @@ type CompleteActivity struct {
 
 func (*CompleteActivity) CommandName() string { return "complete" }
 func (*CompleteActivity) control() bool       { return false }
+func (*CompleteActivity) opIndex() int        { return opComplete }
 func (c *CompleteActivity) target() string    { return c.Instance }
 
 func (c *CompleteActivity) run(s *System) (effect, error) {
@@ -376,6 +389,7 @@ type AdHoc struct {
 
 func (*AdHoc) CommandName() string { return "adhoc" }
 func (*AdHoc) control() bool       { return false }
+func (*AdHoc) opIndex() int        { return opAdHoc }
 func (c *AdHoc) target() string    { return c.Instance }
 
 func (c *AdHoc) run(s *System) (effect, error) {
@@ -424,6 +438,7 @@ type Suspend struct {
 
 func (*Suspend) CommandName() string { return "suspend" }
 func (*Suspend) control() bool       { return false }
+func (*Suspend) opIndex() int        { return opSuspend }
 func (c *Suspend) target() string    { return c.Instance }
 
 func (c *Suspend) run(s *System) (effect, error) {
@@ -440,6 +455,7 @@ type Resume struct {
 
 func (*Resume) CommandName() string { return "resume" }
 func (*Resume) control() bool       { return false }
+func (*Resume) opIndex() int        { return opResume }
 func (c *Resume) target() string    { return c.Instance }
 
 func (c *Resume) run(s *System) (effect, error) {
@@ -470,6 +486,7 @@ type Undo struct {
 
 func (*Undo) CommandName() string { return "undo" }
 func (*Undo) control() bool       { return false }
+func (*Undo) opIndex() int        { return opUndo }
 func (c *Undo) target() string    { return c.Instance }
 
 func (c *Undo) run(s *System) (effect, error) {
@@ -510,6 +527,7 @@ type Evolve struct {
 
 func (*Evolve) CommandName() string { return "evolve" }
 func (*Evolve) control() bool       { return true }
+func (*Evolve) opIndex() int        { return opEvolve }
 func (*Evolve) target() string      { return "" }
 
 func (c *Evolve) run(s *System) (effect, error) {

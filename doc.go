@@ -135,4 +135,35 @@
 // instances driven through random failures, deadline storms, concurrent
 // evolutions, injected disk faults, crashes, and reopen cycles, with
 // global invariants checked throughout.
+//
+// # Observability
+//
+// Every System carries a telemetry plane (internal/obs), on by default:
+// cache-line-padded atomic counters, gauges, and fixed-bucket
+// power-of-two histograms, pre-allocated at Open so the hot path never
+// allocates — a singular submit pays two clock reads and a handful of
+// uncontended atomic adds. WithMetricsDisabled switches the plane to
+// the nil set, where recording is one predictable branch and zero
+// allocations. The families cover every layer: per-op submit outcomes
+// and latency, batch occupancy, per-shard journal appends and
+// group-commit backlog, committer fsync latency and wedge/heal
+// transitions, checkpoint and recovery cost, the exception loop, and
+// the deadline sweep. The plane is installed only after Open-time
+// recovery completes, so replay never pollutes live-path metrics —
+// recovery reports through its own one-shot family instead.
+//
+// A sampled trace ring (WithTraceSampling) captures command
+// lifecycles: op, instance, shard, journal seq, and the
+// submit→applied→durable timeline stamped from the injected WithClock
+// source — the event substrate a process-mining loop would consume.
+//
+// Three surfaces expose the plane: System.Metrics returns the typed
+// obs.Snapshot; WithMetricsServer serves /metrics (Prometheus text
+// format 0.0.4), /metrics.json (the snapshot as JSON), and /healthz
+// over HTTP, folding HealthInfo into both; and `adeptctl stats` renders
+// any journal's snapshot as text, Prometheus, or JSON, serves it, or
+// validates a running endpoint. WithSweepInterval completes the
+// operational story: an in-process timer runs SweepDeadlines on the
+// system clock, records sweep duration and due-to-done lag, and shuts
+// down cleanly on Close.
 package adept2

@@ -204,7 +204,11 @@ func (s *System) decide(x Exception) Reaction {
 	if s.policy == nil {
 		return Reaction{Action: ActionNone}
 	}
-	return s.policy.Decide(x)
+	r := s.policy.Decide(x)
+	if m := s.met; m != nil && int(r.Action) < len(m.Exception.Actions) {
+		m.Exception.Actions[r.Action].Inc()
+	}
+	return r
 }
 
 // compensate submits the journaled compensating command for a reaction.
@@ -268,6 +272,19 @@ type SweepReport struct {
 // (ErrConflict/ErrNotFound/ErrCompleted/ErrSuspended) are skipped as
 // moot; a wedged or canceled store aborts the sweep with the error.
 func (s *System) SweepDeadlines(ctx context.Context, now time.Time) (*SweepReport, error) {
+	start := time.Now()
+	rep, err := s.sweepDeadlines(ctx, now)
+	if m := s.met; m != nil {
+		m.Exception.Sweeps.Inc()
+		m.Exception.SweepNanos.Observe(time.Since(start).Nanoseconds())
+		m.Exception.Escalations.Add(int64(rep.Timeouts))
+		m.Exception.Compensated.Add(int64(rep.Compensated))
+		m.Exception.SweepErrors.Add(int64(len(rep.Errors)))
+	}
+	return rep, err
+}
+
+func (s *System) sweepDeadlines(ctx context.Context, now time.Time) (*SweepReport, error) {
 	rep := &SweepReport{}
 	nowN := now.UnixNano()
 	for _, ex := range s.eng.ExpiredDeadlines(nowN) {
@@ -295,7 +312,7 @@ func (s *System) SweepDeadlines(ctx context.Context, now time.Time) (*SweepRepor
 				x.Kind = DeadlineExpired
 			}
 			x.Err = exceptionErr(x.Kind, x.Instance, x.Node, "")
-			r := s.policy.Decide(x)
+			r := s.decide(x)
 			switch r.Action {
 			case ActionRetry:
 				// Only a failed node pending compensation can retry; an

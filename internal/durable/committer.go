@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adept2/internal/obs"
 	"adept2/internal/persist"
 )
 
@@ -35,6 +36,12 @@ type CommitterOptions struct {
 	// retry doubles it up to RetryCap (default 50ms).
 	RetryBase time.Duration
 	RetryCap  time.Duration
+	// Metrics, when set, receives the committer's flush telemetry (fsync
+	// latency, batch occupancy, retries, wedge/heal transitions). All
+	// recording methods are nil-safe, so the zero value costs one branch.
+	// Sharded WALs share one CommitterMetrics across their per-shard
+	// committers — the families aggregate.
+	Metrics *obs.CommitterMetrics
 }
 
 func (o *CommitterOptions) defaults() {
@@ -285,9 +292,7 @@ func (c *Committer) settle(seq int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ferr != nil {
-		if c.err == nil {
-			c.err = fmt.Errorf("durable: group commit: %w", ferr)
-		}
+		c.wedgeLocked(ferr)
 		c.resolveWaitersLocked()
 		c.cond.Broadcast()
 		return c.err
@@ -315,23 +320,56 @@ func (c *Committer) Err() error {
 // with a nil Err means transient I/O errors were absorbed.
 func (c *Committer) Retries() int64 { return c.retries.Load() }
 
+// Flushed returns the highest sequence number covered by a successful
+// flush — the durable watermark. Seq() - Flushed() is the staged-but-
+// unflushed backlog the stats plane reports as append depth.
+func (c *Committer) Flushed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushed
+}
+
 // flushWithRetry runs Journal.Flush with bounded exponential backoff.
 // The journal keeps failed batches in its pending buffer and repairs its
 // physical tail before each retry, so every attempt is a complete,
 // self-contained redo. Only the final attempt's error escapes (and then
 // wedges the committer).
 func (c *Committer) flushWithRetry() error {
-	err := c.j.Flush()
+	err := c.timedFlush()
 	backoff := c.opts.RetryBase
 	for attempt := 0; err != nil && attempt < c.opts.RetryMax; attempt++ {
 		c.retries.Add(1)
+		c.opts.Metrics.RetryInc()
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > c.opts.RetryCap {
 			backoff = c.opts.RetryCap
 		}
-		err = c.j.Flush()
+		err = c.timedFlush()
 	}
 	return err
+}
+
+// timedFlush is one flush attempt with its duration (write + fsync)
+// observed into the fsync-latency histogram.
+func (c *Committer) timedFlush() error {
+	m := c.opts.Metrics
+	if m == nil {
+		return c.j.Flush()
+	}
+	start := time.Now()
+	err := c.j.Flush()
+	m.ObserveFsync(time.Since(start).Nanoseconds())
+	return err
+}
+
+// wedgeLocked installs the sticky flush error (first one wins) and counts
+// the wedge transition. Callers hold c.mu.
+func (c *Committer) wedgeLocked(ferr error) {
+	if c.err != nil {
+		return
+	}
+	c.err = fmt.Errorf("durable: group commit: %w", ferr)
+	c.opts.Metrics.WedgeInc()
 }
 
 // Heal clears a wedged committer after the fault is gone: the journal
@@ -347,6 +385,9 @@ func (c *Committer) Heal() error {
 		return err
 	}
 	c.mu.Lock()
+	if c.err != nil {
+		c.opts.Metrics.HealInc()
+	}
 	c.err = nil
 	if target > c.flushed {
 		c.flushed = target
@@ -422,9 +463,7 @@ func (c *Committer) run() {
 			ferr := c.flushWithRetry()
 			c.mu.Lock()
 			if ferr != nil {
-				if c.err == nil {
-					c.err = fmt.Errorf("durable: group commit: %w", ferr)
-				}
+				c.wedgeLocked(ferr)
 			} else if target > c.flushed {
 				c.flushed = target
 			}
@@ -472,9 +511,10 @@ func (c *Committer) run() {
 				// Sticky failure after exhausting the retry budget: the
 				// committer wedges. Waiters on this and all later batches
 				// observe the error until Heal clears it.
-				c.err = fmt.Errorf("durable: group commit: %w", err)
+				c.wedgeLocked(err)
 			} else if target > c.flushed {
 				c.flushed = target
+				c.opts.Metrics.ObserveBatch(int64(target - flushed))
 			}
 			c.resolveWaitersLocked()
 			c.cond.Broadcast()

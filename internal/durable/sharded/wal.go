@@ -203,6 +203,22 @@ func (w *WAL) Seqs() []int {
 	return out
 }
 
+// Depths returns every shard's staged-but-unflushed backlog (journal head
+// minus the committer's durable watermark; 0 without group commit, where
+// appends are durable on return).
+func (w *WAL) Depths() []int {
+	out := make([]int, len(w.shards))
+	for k := range w.shards {
+		sh := &w.shards[k]
+		if sh.j != nil && sh.c != nil {
+			if d := sh.j.Seq() - sh.c.Flushed(); d > 0 {
+				out[k] = d
+			}
+		}
+	}
+	return out
+}
+
 // TotalSeq sums the shard head sequence numbers — a monotonic growth
 // measure the checkpoint trigger compares across cuts.
 func (w *WAL) TotalSeq() int {

@@ -67,6 +67,11 @@ type SnapshotStore struct {
 	// but silence would hide a filling disk — the facade surfaces the
 	// counter through System.HealthInfo.
 	cleanupErrs atomic.Int64
+
+	// bytesWritten/bytesRead count on-disk snapshot I/O volume (container
+	// bytes: header + stored payload) for the stats plane.
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
 }
 
 // ManifestName is the file name of the snapshot manifest.
@@ -102,6 +107,14 @@ func OpenStoreFS(fsys vfs.FS, dir string) (*SnapshotStore, error) {
 // CleanupErrs returns how many stale-file removals have failed over the
 // store's lifetime (orphaned temp sweeps and snapshot pruning).
 func (st *SnapshotStore) CleanupErrs() int64 { return st.cleanupErrs.Load() }
+
+// BytesWritten returns the snapshot bytes written over the store's
+// lifetime (container bytes, i.e. post-compression).
+func (st *SnapshotStore) BytesWritten() int64 { return st.bytesWritten.Load() }
+
+// BytesRead returns the snapshot bytes read by Load over the store's
+// lifetime (recovery and explicit loads).
+func (st *SnapshotStore) BytesRead() int64 { return st.bytesRead.Load() }
 
 // Dir returns the store directory.
 func (st *SnapshotStore) Dir() string { return st.dir }
@@ -202,6 +215,7 @@ func (st *SnapshotStore) write(state *SystemState) (string, error) {
 	if err := AtomicWriteFS(st.fsys, st.dir, name, buf.Bytes()); err != nil {
 		return "", err
 	}
+	st.bytesWritten.Add(int64(buf.Len()))
 	return filepath.Join(st.dir, name), nil
 }
 
@@ -330,6 +344,7 @@ func (st *SnapshotStore) Load(entry ManifestEntry) (*SystemState, error) {
 	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC32 {
 		return nil, fmt.Errorf("durable: snapshot %s: checksum mismatch (%08x != %08x)", entry.File, crc, hdr.CRC32)
 	}
+	st.bytesRead.Add(int64(len(hdrLine) + hdr.Len))
 	if hdr.Format == containerGzip {
 		zr, err := gzip.NewReader(bytes.NewReader(payload))
 		if err != nil {

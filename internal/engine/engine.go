@@ -238,6 +238,14 @@ func (e *Engine) Instance(id string) (*Instance, bool) {
 	return inst, ok
 }
 
+// NumInstances returns the live instance count without cloning the
+// listing — the metrics-poll read path.
+func (e *Engine) NumInstances() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.order)
+}
+
 // Instances returns all instances in creation order.
 func (e *Engine) Instances() []*Instance {
 	e.mu.RLock()

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one sampled command lifecycle: which command, where it
+// journaled, and the three timestamps of its life — submit (entering
+// SubmitAsync), applied (engine mutation done, record staged), durable
+// (fsync coverage confirmed). Timestamps come from the system's injected
+// clock (unix nanos), the same source that stamps journal records, so
+// spans from a deterministic soak are deterministic too. DurableNanos is
+// zero for spans whose receipt was never awaited and for failed
+// submissions; Err carries the taxonomy code of a failed submission.
+type Span struct {
+	Op           string `json:"op"`
+	Instance     string `json:"instance,omitempty"`
+	Shard        int    `json:"shard"`
+	Seq          int    `json:"seq"`
+	SubmitNanos  int64  `json:"submit"`
+	AppliedNanos int64  `json:"applied,omitempty"`
+	DurableNanos int64  `json:"durable,omitempty"`
+	Err          string `json:"err,omitempty"`
+}
+
+// TraceRing keeps the most recent sampled spans in a fixed ring: every
+// Nth submission is traced (one atomic add decides), the span is built
+// privately on the submitter's stack, and Publish installs it whole
+// under a per-slot mutex — so a reader never observes a half-written
+// span and two concurrent publishes to the same slot serialize without a
+// global lock. The ring is the substrate the process-mining loop will
+// consume: op, instance, shard, seq, and the submit→applied→durable
+// timeline are exactly the event shape miners need.
+//
+// A nil *TraceRing samples nothing and snapshots empty.
+type TraceRing struct {
+	slots  []traceSlot
+	every  uint64
+	tick   atomic.Uint64
+	next   atomic.Uint64
+	filled atomic.Int64 // publishes so far, caps Snapshot's result
+}
+
+type traceSlot struct {
+	mu   sync.Mutex
+	span Span
+}
+
+// NewTraceRing creates a ring of n slots sampling one of every `every`
+// submissions (every <= 1 samples all).
+func NewTraceRing(n int, every int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &TraceRing{slots: make([]traceSlot, n), every: uint64(every)}
+}
+
+// Sample reports whether the current submission should be traced. One
+// atomic add; call once per submission.
+func (r *TraceRing) Sample() bool {
+	if r == nil {
+		return false
+	}
+	return r.tick.Add(1)%r.every == 0
+}
+
+// Publish installs a completed span into the next slot.
+func (r *TraceRing) Publish(sp Span) {
+	if r == nil {
+		return
+	}
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	s := &r.slots[i]
+	s.mu.Lock()
+	s.span = sp
+	s.mu.Unlock()
+	r.filled.Add(1)
+}
+
+// Snapshot copies the occupied slots (unordered beyond ring position —
+// consumers sort by SubmitNanos if they care).
+func (r *TraceRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	n := r.filled.Load()
+	if n > int64(len(r.slots)) {
+		n = int64(len(r.slots))
+	}
+	out := make([]Span, 0, n)
+	for i := int64(0); i < n; i++ {
+		s := &r.slots[i]
+		s.mu.Lock()
+		sp := s.span
+		s.mu.Unlock()
+		out = append(out, sp)
+	}
+	return out
+}

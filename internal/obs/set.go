@@ -1,0 +1,222 @@
+package obs
+
+// Set is one system's metric registry: every counter, gauge, histogram,
+// and the trace ring, pre-allocated at construction so recording never
+// allocates. The facade holds a *Set per System; Disabled (a nil *Set)
+// turns the whole plane off — the hot paths guard on the nil pointer and
+// skip both the recording and the clock reads, so the off path costs one
+// predictable branch.
+type Set struct {
+	// Ops and Codes fix the label spaces: per-op arrays index by the
+	// command's registry position, the outcome matrix by (op, code) with
+	// Codes[0] = "ok".
+	Ops   []string
+	Codes []string
+
+	outcomes      []Counter    // (op, code) flat: op*len(Codes)+code
+	batched       []Counter    // per op: subset of OK applied inside SubmitBatch runs
+	SubmitLatency []*Histogram // per op, nanos; singular submits, success only
+	BatchSize     *Histogram   // data commands per SubmitBatch run
+	BatchNanos    *Histogram   // append + durability wait per SubmitBatch run
+	shardAppends  []Counter    // per shard: live-path journal records staged
+
+	Committer  CommitterMetrics
+	Checkpoint CheckpointMetrics
+	Recovery   RecoveryMetrics
+	Exception  ExceptionMetrics
+
+	Ring *TraceRing
+}
+
+// Disabled is the switched-off metrics plane: the nil *Set. Every
+// recording method of the obs types is nil-safe, and the facade's hot
+// paths skip their clock reads when the set is nil, so the disabled
+// path is allocation-free and costs one branch.
+var Disabled *Set
+
+// Options tunes a Set (zero values take defaults).
+type Options struct {
+	// RingSlots is the trace-ring capacity (default 256).
+	RingSlots int
+	// SampleEvery traces one of every N submissions (default 64; 1
+	// traces everything).
+	SampleEvery int
+}
+
+// New builds a Set for the given op names, outcome codes (codes[0] must
+// be "ok"), and shard count.
+func New(ops, codes []string, shards int, o Options) *Set {
+	if o.RingSlots == 0 {
+		o.RingSlots = 256
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 64
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Set{
+		Ops:          ops,
+		Codes:        codes,
+		outcomes:     make([]Counter, len(ops)*len(codes)),
+		batched:      make([]Counter, len(ops)),
+		shardAppends: make([]Counter, shards),
+		BatchSize:    NewHistogram(14, 0),  // 1 .. 8k commands
+		BatchNanos:   NewHistogram(28, 10), // ~1µs .. ~2¼min
+		Ring:         NewTraceRing(o.RingSlots, o.SampleEvery),
+	}
+	s.SubmitLatency = make([]*Histogram, len(ops))
+	for i := range s.SubmitLatency {
+		s.SubmitLatency[i] = NewHistogram(28, 10)
+	}
+	s.Committer = CommitterMetrics{
+		FsyncNanos:   NewHistogram(28, 10),
+		BatchRecords: NewHistogram(18, 0), // 1 .. 128k records
+	}
+	s.Checkpoint.Nanos = NewHistogram(28, 10)
+	s.Exception.SweepNanos = NewHistogram(28, 10)
+	return s
+}
+
+// SubmitOK records a successful singular submission: the ok outcome and
+// its synchronous latency (apply + stage; the durability wait is the
+// receipt's, visible in the trace ring's applied→durable gap).
+func (s *Set) SubmitOK(op int, nanos int64) {
+	if s == nil {
+		return
+	}
+	s.outcomes[op*len(s.Codes)].Inc()
+	s.SubmitLatency[op].Observe(nanos)
+}
+
+// SubmitBatched records one command applied inside a SubmitBatch run
+// (ok outcome; no per-command latency — the run's append cost is
+// BatchNanos).
+func (s *Set) SubmitBatched(op int) {
+	if s == nil {
+		return
+	}
+	s.outcomes[op*len(s.Codes)].Inc()
+	s.batched[op].Inc()
+}
+
+// SubmitErr records a failed submission under its taxonomy code index
+// (see Codes; unknown codes should map to the "internal" slot by the
+// caller).
+func (s *Set) SubmitErr(op, code int) {
+	if s == nil || code <= 0 || code >= len(s.Codes) {
+		return
+	}
+	s.outcomes[op*len(s.Codes)+code].Inc()
+}
+
+// ShardAppend counts n live-path journal records staged on a shard.
+func (s *Set) ShardAppend(shard int, n int64) {
+	if s == nil || shard < 0 || shard >= len(s.shardAppends) {
+		return
+	}
+	s.shardAppends[shard].Add(n)
+}
+
+// OpOK returns the ok count of one op (tests and invariants).
+func (s *Set) OpOK(op int) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.outcomes[op*len(s.Codes)].Load()
+}
+
+// ShardAppends returns the staged-record count of one shard.
+func (s *Set) ShardAppends(shard int) int64 {
+	if s == nil || shard < 0 || shard >= len(s.shardAppends) {
+		return 0
+	}
+	return s.shardAppends[shard].Load()
+}
+
+// CommitterMetrics is the group-commit pipeline's family, shared by
+// every shard committer of a system (per-shard split lives in the shard
+// gauges — the flush path itself aggregates). All methods are nil-safe:
+// a committer without metrics passes nil and pays one branch.
+type CommitterMetrics struct {
+	FsyncNanos   *Histogram // per flush attempt (including retries)
+	BatchRecords *Histogram // records covered per successful flush
+	FlushRetries Counter    // attempts beyond each batch's first
+	Wedges       Counter    // committers entering the wedged state
+	Heals        Counter    // successful Heal calls on wedged committers
+}
+
+// ObserveFsync records one flush attempt's duration.
+func (m *CommitterMetrics) ObserveFsync(nanos int64) {
+	if m != nil {
+		m.FsyncNanos.Observe(nanos)
+	}
+}
+
+// ObserveBatch records a successful flush covering n records.
+func (m *CommitterMetrics) ObserveBatch(n int64) {
+	if m != nil && n > 0 {
+		m.BatchRecords.Observe(n)
+	}
+}
+
+// RetryInc counts one flush retry.
+func (m *CommitterMetrics) RetryInc() {
+	if m != nil {
+		m.FlushRetries.Inc()
+	}
+}
+
+// WedgeInc counts one committer wedging.
+func (m *CommitterMetrics) WedgeInc() {
+	if m != nil {
+		m.Wedges.Inc()
+	}
+}
+
+// HealInc counts one successful heal.
+func (m *CommitterMetrics) HealInc() {
+	if m != nil {
+		m.Heals.Inc()
+	}
+}
+
+// CheckpointMetrics covers snapshot writes (both layouts).
+type CheckpointMetrics struct {
+	Count    Counter
+	Failures Counter
+	Nanos    *Histogram
+}
+
+// RecoveryMetrics is recorded once per Open, after recovery completes —
+// recovery itself never touches live-path metrics.
+type RecoveryMetrics struct {
+	Count       Counter
+	Nanos       Counter
+	Replayed    Counter
+	Fallbacks   Counter
+	FullReplays Counter
+}
+
+// ExceptionMetrics covers the detect→compensate loop and the deadline
+// sweep.
+type ExceptionMetrics struct {
+	// Actions counts policy decisions by CompensationAction ordinal
+	// (none, retry, skip, suspend — see ActionNames).
+	Actions [4]Counter
+	// Escalations counts deadline expiries fired (each escalates the
+	// work item); Compensated counts compensating commands submitted by
+	// sweeps.
+	Escalations Counter
+	Compensated Counter
+	Sweeps      Counter
+	SweepErrors Counter
+	SweepNanos  *Histogram
+	// SweepLagNanos is the latest gap between a timer sweep's due time
+	// and its completion (schedule drift + sweep duration).
+	SweepLagNanos Gauge
+}
+
+// ActionNames labels ExceptionMetrics.Actions, aligned with the
+// facade's CompensationAction ordinals.
+var ActionNames = [4]string{"none", "retry", "skip", "suspend"}

@@ -46,6 +46,7 @@ import (
 
 	"adept2"
 	"adept2/internal/model"
+	"adept2/internal/obs"
 	"adept2/internal/sim"
 	"adept2/internal/state"
 	"adept2/internal/vfs"
@@ -141,6 +142,11 @@ type Result struct {
 	WedgedSubmits int // submits rejected while the store was wedged
 	Crashes       int // simulated crashes survived
 	Reopens       int // clean close→reopen cycles verified
+
+	// MetricsSummary renders the telemetry plane of the busiest session
+	// (captured after the drain, before the final reopen resets the
+	// counters); `adeptctl sim -stats` prints it. Not part of String().
+	MetricsSummary string `json:"-"`
 }
 
 func (r *Result) String() string {
@@ -220,6 +226,15 @@ type runner struct {
 
 	faultCloseAt int  // step at which the open fault window closes (0 = none)
 	crashArmed   bool // a CrashAt script is pending
+
+	// baseSeqs records each shard's journal head at the current session's
+	// open, so the live shard-append counters can be reconciled against
+	// actual journal growth. sessionDirty marks a session that saw a
+	// fault window or an armed crash: a mid-batch injected fault can
+	// stage records on some shards before erroring (under-counting
+	// appends), so equality is only asserted for clean sessions.
+	baseSeqs     []int
+	sessionDirty bool
 }
 
 // Run executes one soak scenario and returns its counters; any
@@ -276,6 +291,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := r.drain(ctx); err != nil {
 		return nil, err
 	}
+	// The post-drain session is the busiest the metrics plane gets:
+	// reconcile it against ground truth and keep its summary before the
+	// final reopen resets the counters.
+	if err := r.checkMetrics(); err != nil {
+		return nil, fmt.Errorf("sim: soak: after drain: %w", err)
+	}
+	r.res.MetricsSummary = metricsSummary(r.sys.Metrics())
 	if err := r.reopenClean(ctx); err != nil {
 		return nil, fmt.Errorf("sim: soak: final reopen: %w", err)
 	}
@@ -324,6 +346,12 @@ func (r *runner) open() error {
 		return err
 	}
 	r.sys = sys
+	snap := sys.Metrics()
+	r.baseSeqs = make([]int, len(snap.Shards))
+	for _, sh := range snap.Shards {
+		r.baseSeqs[sh.Shard] = sh.Seq
+	}
+	r.sessionDirty = false
 	return nil
 }
 
@@ -415,6 +443,9 @@ func (r *runner) run(ctx context.Context) error {
 			if err := r.checkInvariants(); err != nil {
 				return fmt.Errorf("sim: soak step %d: %w", step, err)
 			}
+			if err := r.checkMetrics(); err != nil {
+				return fmt.Errorf("sim: soak step %d: %w", step, err)
+			}
 		}
 	}
 	return nil
@@ -439,11 +470,13 @@ func (r *runner) manageFaults(ctx context.Context, step int) error {
 			vfs.ErrInjected, vfs.OpWrite, vfs.OpSync))
 		r.faultCloseAt = step + 8 + r.rng.Intn(10)
 		r.res.FaultWindows++
+		r.sessionDirty = true
 	}
 	if r.cfg.CrashEvery > 0 && !r.crashArmed && r.faultCloseAt == 0 &&
 		step%r.cfg.CrashEvery == 0 {
 		r.ffs.SetScript(vfs.CrashAt(r.ffs.OpCount() + 1 + int64(r.rng.Intn(30))))
 		r.crashArmed = true
+		r.sessionDirty = true
 	}
 	return nil
 }
@@ -758,6 +791,86 @@ func (r *runner) drain(ctx context.Context) error {
 		}
 	}
 	return fmt.Errorf("sim: drain: %d instances never finished: %s", len(stuck), strings.Join(stuck, " "))
+}
+
+// checkMetrics reconciles the telemetry plane against ground truth of
+// the current session:
+//
+//   - per-op accounting: ok - batched submissions must equal the
+//     latency histogram's population (the histogram only sees singular
+//     submits);
+//   - engine gauges must equal the engine's actual instance, worklist,
+//     and open-exception counts;
+//   - the live shard-append counters must equal the journal growth
+//     since open — exactly in a clean session, and never exceed it when
+//     injected faults could abort a batch mid-stage.
+func (r *runner) checkMetrics() error {
+	snap := r.sys.Metrics()
+	for op, o := range snap.Ops {
+		if o.OK-o.Batched != o.Latency.Count {
+			return fmt.Errorf(
+				"metrics invariant: op %s: ok=%d batched=%d but latency histogram holds %d",
+				op, o.OK, o.Batched, o.Latency.Count)
+		}
+	}
+	if got := len(r.sys.Instances()); snap.Engine.Instances != got {
+		return fmt.Errorf("metrics invariant: instances gauge %d, engine has %d", snap.Engine.Instances, got)
+	}
+	if got := len(r.sys.OpenExceptions()); snap.Engine.OpenExceptions != got {
+		return fmt.Errorf("metrics invariant: open-exceptions gauge %d, engine has %d", snap.Engine.OpenExceptions, got)
+	}
+	var appends, growth int64
+	for _, sh := range snap.Shards {
+		appends += sh.Appends
+		if sh.Shard < len(r.baseSeqs) {
+			growth += int64(sh.Seq - r.baseSeqs[sh.Shard])
+		}
+	}
+	if appends > growth {
+		return fmt.Errorf("metrics invariant: %d appends counted but journals grew by %d", appends, growth)
+	}
+	if !r.sessionDirty && appends != growth {
+		return fmt.Errorf("metrics invariant: clean session counted %d appends but journals grew by %d", appends, growth)
+	}
+	return nil
+}
+
+// metricsSummary renders the scrape-worthy families of a snapshot as an
+// indented block for the -stats output of adeptctl sim.
+func metricsSummary(snap *obs.Snapshot) string {
+	var b strings.Builder
+	ops := make([]string, 0, len(snap.Ops))
+	for op := range snap.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		o := snap.Ops[op]
+		errs := int64(0)
+		for _, n := range o.Errors {
+			errs += n
+		}
+		fmt.Fprintf(&b, "  op %-9s ok=%-6d batched=%-6d errs=%d\n", op, o.OK, o.Batched, errs)
+	}
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(&b, "  shard %d: appends=%d seq=%d depth=%d wedged=%v\n",
+			sh.Shard, sh.Appends, sh.Seq, sh.Depth, sh.Wedged)
+	}
+	fmt.Fprintf(&b, "  committer: fsyncs=%d retries=%d wedges=%d heals=%d\n",
+		snap.Committer.Fsync.Count, snap.Committer.FlushRetries,
+		snap.Committer.Wedges, snap.Committer.Heals)
+	fmt.Fprintf(&b, "  checkpoint: count=%d failures=%d bytesWritten=%d\n",
+		snap.Checkpoint.Count, snap.Checkpoint.Failures, snap.Checkpoint.BytesWritten)
+	fmt.Fprintf(&b, "  recovery: replayed=%d fallbacks=%d fullReplays=%d bytesRead=%d\n",
+		snap.Recovery.Replayed, snap.Recovery.Fallbacks, snap.Recovery.FullReplays,
+		snap.Checkpoint.BytesRead)
+	fmt.Fprintf(&b, "  exception: failures=%d timeouts=%d retries=%d escalations=%d compensated=%d sweeps=%d\n",
+		snap.Exception.Failures, snap.Exception.Timeouts, snap.Exception.Retries,
+		snap.Exception.Escalations, snap.Exception.Compensated, snap.Exception.Sweeps)
+	fmt.Fprintf(&b, "  engine: instances=%d worklist=%d openExceptions=%d traces=%d\n",
+		snap.Engine.Instances, snap.Engine.WorklistDepth, snap.Engine.OpenExceptions,
+		len(snap.Traces))
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // checkInvariants asserts the global safety invariants over the live

@@ -1,0 +1,499 @@
+package adept2_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adept2"
+	"adept2/internal/obs"
+	"adept2/internal/sim"
+)
+
+// openMetrics opens a system for the telemetry tests: seeded org, no
+// auto-checkpointing, every submission traced.
+func openMetrics(t *testing.T, path string, extra ...adept2.Option) *adept2.System {
+	t.Helper()
+	opts := append([]adept2.Option{
+		adept2.WithOrg(sim.Org()),
+		adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1, GroupCommit: true}),
+		adept2.WithTraceSampling(512, 1),
+	}, extra...)
+	sys, err := adept2.Open(path, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestMetricsReconcile drives a randomized mix of blocking, async,
+// batch, and failing submissions, then checks the telemetry plane
+// against ground truth the test kept on the side: ok/error counts per
+// op, the latency-histogram bookkeeping invariant, the appends counter
+// against the journal's actual growth, and the engine gauges against
+// the engine's own accessors.
+func TestMetricsReconcile(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(8))
+	sys := openMetrics(t, filepath.Join(t.TempDir(), "wal.ndjson"))
+	defer sys.Close()
+
+	base := sys.Metrics().Shards[0].Seq
+
+	wantOK := map[string]int64{}
+	wantErr := map[string]int64{}
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	wantOK["deploy"]++
+
+	const insts = 4
+	ids := make([]string, insts)
+	suspended := make([]bool, insts)
+	for i := range ids {
+		inst, err := sys.CreateInstance("online_order")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = inst.ID()
+		wantOK["create"]++
+	}
+
+	toggleCmd := func(i int) adept2.Command {
+		if suspended[i] {
+			suspended[i] = false
+			wantOK["resume"]++
+			return &adept2.Resume{Instance: ids[i]}
+		}
+		suspended[i] = true
+		wantOK["suspend"]++
+		return &adept2.Suspend{Instance: ids[i]}
+	}
+
+	for step := 0; step < 300; step++ {
+		i := rng.Intn(insts)
+		switch rng.Intn(4) {
+		case 0: // blocking
+			if _, err := sys.Submit(ctx, toggleCmd(i)); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // async + awaited receipt
+			r, err := sys.SubmitAsync(ctx, toggleCmd(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // batch window on one instance
+			n := 1 + rng.Intn(6)
+			batch := make([]adept2.Command, 0, n)
+			for k := 0; k < n; k++ {
+				batch = append(batch, toggleCmd(i))
+			}
+			if _, err := sys.SubmitBatch(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // guaranteed failure: unknown instance
+			if _, err := sys.Submit(ctx, &adept2.Suspend{Instance: "ghost"}); err == nil {
+				t.Fatal("suspend of unknown instance succeeded")
+			}
+			wantErr["suspend"]++
+		}
+	}
+
+	snap := sys.Metrics()
+
+	// Outcome counters match the ground truth the test accumulated.
+	for op, want := range wantOK {
+		if got := snap.Ops[op].OK; got != want {
+			t.Errorf("op %s: ok = %d, want %d", op, got, want)
+		}
+	}
+	for op, want := range wantErr {
+		var got int64
+		for _, n := range snap.Ops[op].Errors {
+			got += n
+		}
+		if got != want {
+			t.Errorf("op %s: errors = %d (%v), want %d", op, got, snap.Ops[op].Errors, want)
+		}
+	}
+	if n := snap.Ops["suspend"].Errors["not_found"]; n != wantErr["suspend"] {
+		t.Errorf("suspend not_found = %d, want %d", n, wantErr["suspend"])
+	}
+
+	// Latency histograms only see singular submissions: OK - Batched.
+	for op, o := range snap.Ops {
+		if o.OK-o.Batched != o.Latency.Count {
+			t.Errorf("op %s: latency count %d != ok %d - batched %d",
+				op, o.Latency.Count, o.OK, o.Batched)
+		}
+	}
+
+	// The shard appends counter equals the journal's actual growth.
+	var appends, growth int64
+	for _, sh := range snap.Shards {
+		appends += sh.Appends
+		growth += int64(sh.Seq)
+	}
+	growth -= int64(base)
+	if appends != growth {
+		t.Errorf("shard appends %d != journal growth %d", appends, growth)
+	}
+	if appends == 0 {
+		t.Error("no appends counted")
+	}
+
+	// Engine gauges agree with the engine's own accessors.
+	if snap.Engine.Instances != len(sys.Instances()) {
+		t.Errorf("instances gauge %d != %d", snap.Engine.Instances, len(sys.Instances()))
+	}
+	if snap.Engine.OpenExceptions != len(sys.OpenExceptions()) {
+		t.Errorf("open-exceptions gauge %d != %d", snap.Engine.OpenExceptions, len(sys.OpenExceptions()))
+	}
+
+	// Every submission was traced (1/1 sampling): the ring holds its
+	// capacity's worth of spans, ordered by submit time, with the
+	// blocking/awaited ones carrying the full submit→applied timeline.
+	if len(snap.Traces) == 0 {
+		t.Fatal("no trace spans captured")
+	}
+	prev := int64(0)
+	for _, sp := range snap.Traces {
+		if sp.Op == "" || (sp.Seq == 0 && sp.Err == "") {
+			t.Fatalf("incomplete span: %+v", sp)
+		}
+		if sp.SubmitNanos < prev {
+			t.Fatal("trace spans not ordered by submit time")
+		}
+		prev = sp.SubmitNanos
+		if sp.AppliedNanos != 0 && sp.AppliedNanos < sp.SubmitNanos {
+			t.Fatalf("span applied before submit: %+v", sp)
+		}
+	}
+}
+
+// TestMetricsReplayRecordsNothing pins the recovery rule: replaying a
+// populated journal at Open must leave every live-path family at zero —
+// only the recovery family records, and the shard seq still shows the
+// journal's real head.
+func TestMetricsReplayRecordsNothing(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	sys := openMetrics(t, path)
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Submit(ctx, toggle(inst.ID(), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := sys.JournalSeq()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys = openMetrics(t, path)
+	defer sys.Close()
+	snap := sys.Metrics()
+	if len(snap.Ops) != 0 {
+		t.Errorf("replay recorded op metrics: %v", snap.Ops)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Appends != 0 {
+			t.Errorf("replay counted %d appends on shard %d", sh.Appends, sh.Shard)
+		}
+	}
+	if snap.Recovery.Count != 1 {
+		t.Errorf("recovery count = %d, want 1", snap.Recovery.Count)
+	}
+	if snap.Recovery.Replayed == 0 {
+		t.Error("recovery replayed nothing despite populated journal")
+	}
+	if snap.Shards[0].Seq != head {
+		t.Errorf("shard seq %d != journal head %d", snap.Shards[0].Seq, head)
+	}
+	if len(snap.Traces) != 0 {
+		t.Errorf("replay published %d trace spans", len(snap.Traces))
+	}
+}
+
+// TestMetricsDisabled checks the switched-off plane: no accumulated
+// families, but the instantaneous gauges (engine, shard seq, health)
+// still serve from live state.
+func TestMetricsDisabled(t *testing.T) {
+	ctx := context.Background()
+	sys := openMetrics(t, filepath.Join(t.TempDir(), "wal.ndjson"), adept2.WithMetricsDisabled())
+	defer sys.Close()
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(ctx, &adept2.Suspend{Instance: inst.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Metrics()
+	if len(snap.Ops) != 0 || len(snap.Traces) != 0 {
+		t.Errorf("disabled plane accumulated: ops %v, %d traces", snap.Ops, len(snap.Traces))
+	}
+	if snap.Shards[0].Seq != sys.JournalSeq() {
+		t.Errorf("shard seq gauge %d != journal %d", snap.Shards[0].Seq, sys.JournalSeq())
+	}
+	if snap.Engine.Instances != 1 {
+		t.Errorf("instances gauge = %d, want 1", snap.Engine.Instances)
+	}
+}
+
+// TestMetricsServer drives the HTTP plane under live traffic: /metrics
+// must parse as Prometheus text and cover the core families, the JSON
+// snapshot must round-trip strictly into obs.Snapshot, and /healthz
+// reports healthy.
+func TestMetricsServer(t *testing.T) {
+	ctx := context.Background()
+	sys := openMetrics(t, filepath.Join(t.TempDir(), "wal.ndjson"),
+		adept2.WithMetricsServer("127.0.0.1:0"))
+	defer sys.Close()
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.CreateInstance("online_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // concurrent load while scraping
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sys.Submit(ctx, toggle(inst.ID(), i)); err != nil {
+				return
+			}
+		}
+	}()
+
+	addr := sys.MetricsAddr()
+	if addr == "" {
+		t.Fatal("no metrics address")
+	}
+
+	body := func(path string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: status %d, want %d: %s", path, resp.StatusCode, wantStatus, b)
+		}
+		return b
+	}
+
+	text := string(body("/metrics", 200))
+	for _, fam := range []string{
+		"adept2_submit_total", "adept2_submit_latency_seconds",
+		"adept2_committer_fsync_seconds", "adept2_checkpoint_total",
+		"adept2_exception_failures_total", "adept2_sweep_lag_seconds",
+		"adept2_instances", "adept2_wedged",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 || !strings.HasPrefix(line, "adept2_") {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		if _, err := fmt.Sscanf(line[i+1:], "%g", new(float64)); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+	}
+
+	raw := body("/metrics.json", 200)
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var snap obs.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("JSON snapshot does not round-trip: %v", err)
+	}
+	if len(snap.Ops) == 0 {
+		t.Error("JSON snapshot has no op families under load")
+	}
+
+	var health struct {
+		Healthy bool `json:"healthy"`
+	}
+	if err := json.Unmarshal(body("/healthz", 200), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Healthy {
+		t.Error("healthz reports unhealthy on a healthy system")
+	}
+
+	close(stop)
+	<-done
+}
+
+// TestSweepTimer covers the in-process deadline sweeper: a deadline
+// expires by the injected clock, the timer (not any test call) fires
+// the sweep that escalates it, the sweep families record, and Close
+// shuts the timer down cleanly.
+func TestSweepTimer(t *testing.T) {
+	// The sweeper goroutine reads the clock concurrently with the test
+	// advancing it, so this test needs an atomic clock, not testClock.
+	var clk atomicClock
+	clk.set(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	sys, err := adept2.Open(filepath.Join(t.TempDir(), "wal.ndjson"),
+		adept2.WithOrg(sim.Org()),
+		adept2.WithClock(clk.Now),
+		adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1}),
+		adept2.WithSweepInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := startFix(t, sys)
+	clk.advance(3 * time.Minute) // past fix's 2m deadline
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := sys.Metrics()
+		if snap.Exception.Sweeps > 0 && snap.Exception.Escalations == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timer never escalated: sweeps=%d escalations=%d",
+				snap.Exception.Sweeps, snap.Exception.Escalations)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !hasItem(sys, "dan", id, "fix") {
+		t.Error("escalation did not offer fix to the sales role")
+	}
+	snap := sys.Metrics()
+	if snap.Exception.SweepNanos.Count == 0 {
+		t.Error("sweep duration histogram empty")
+	}
+	if snap.Engine.OpenExceptions != len(sys.OpenExceptions()) {
+		t.Errorf("open-exceptions gauge %d != %d",
+			snap.Engine.OpenExceptions, len(sys.OpenExceptions()))
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// atomicClock is a logical clock safe for concurrent readers (the
+// in-process sweeper polls it from its own goroutine).
+type atomicClock struct{ nanos atomic.Int64 }
+
+func (c *atomicClock) set(t time.Time)         { c.nanos.Store(t.UnixNano()) }
+func (c *atomicClock) Now() time.Time          { return time.Unix(0, c.nanos.Load()) }
+func (c *atomicClock) advance(d time.Duration) { c.nanos.Add(d.Nanoseconds()) }
+
+// TestExceptionMetrics reconciles the exception families against the
+// loop's ground truth: failures/retries from the op counters, policy
+// action counts, and escalation state surviving in the gauges.
+func TestExceptionMetrics(t *testing.T) {
+	ctx := context.Background()
+	clk := newTestClock()
+	sys := openRepair(t, filepath.Join(t.TempDir(), "wal.ndjson"), clk,
+		adept2.RetryThenSuspend(3, time.Minute))
+	defer sys.Close()
+	id := startFix(t, sys)
+
+	if err := sys.Fail(ctx, id, "fix", "ann", "printer on fire"); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Metrics()
+	if snap.Exception.Failures != 1 {
+		t.Errorf("failures = %d, want 1", snap.Exception.Failures)
+	}
+	if snap.Exception.Actions["retry"] != 1 {
+		t.Errorf("policy actions = %v, want retry=1", snap.Exception.Actions)
+	}
+
+	// The backoff sweep lifts the retry: counted as a sweep + a retry op.
+	clk.advance(2 * time.Minute)
+	if _, err := sys.SweepDeadlines(ctx, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	snap = sys.Metrics()
+	if snap.Exception.Sweeps != 1 {
+		t.Errorf("sweeps = %d, want 1", snap.Exception.Sweeps)
+	}
+	if snap.Exception.Retries != 1 {
+		t.Errorf("retries = %d, want 1", snap.Exception.Retries)
+	}
+	if snap.Engine.OpenExceptions != len(sys.OpenExceptions()) {
+		t.Errorf("open-exceptions gauge %d != %d",
+			snap.Engine.OpenExceptions, len(sys.OpenExceptions()))
+	}
+}
+
+// TestCheckpointMetrics checks the checkpoint family and the snapshot
+// store's byte counters across a checkpoint and the recovery that loads
+// it.
+func TestCheckpointMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	sys := openMetrics(t, path)
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateInstance("online_order"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Metrics()
+	if snap.Checkpoint.Count != 1 || snap.Checkpoint.Failures != 0 {
+		t.Errorf("checkpoint count=%d failures=%d, want 1/0",
+			snap.Checkpoint.Count, snap.Checkpoint.Failures)
+	}
+	if snap.Checkpoint.BytesWritten == 0 {
+		t.Error("checkpoint wrote zero bytes")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys = openMetrics(t, path)
+	defer sys.Close()
+	snap = sys.Metrics()
+	if snap.Checkpoint.BytesRead == 0 {
+		t.Error("recovery read zero snapshot bytes despite checkpoint")
+	}
+	if snap.Recovery.Count != 1 {
+		t.Errorf("recovery count = %d, want 1", snap.Recovery.Count)
+	}
+}

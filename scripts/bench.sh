@@ -8,15 +8,15 @@
 #
 # Usage: scripts/bench.sh [output-file]
 #
-# The default output is BENCH_pr7.json (the current PR's snapshot). The
-# delta table compares against $BENCH_BASELINE (default BENCH_pr6.json,
+# The default output is BENCH_pr8.json (the current PR's snapshot). The
+# delta table compares against $BENCH_BASELINE (default BENCH_pr7.json,
 # the previous PR's snapshot) when that file exists and differs from the
 # output.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
-baseline="${BENCH_BASELINE:-BENCH_pr6.json}"
+out="${1:-BENCH_pr8.json}"
+baseline="${BENCH_BASELINE:-BENCH_pr7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

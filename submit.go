@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"adept2/internal/durable/sharded"
+	"adept2/internal/obs"
 	"adept2/internal/persist"
 )
 
@@ -24,6 +26,13 @@ type Receipt struct {
 	shard  int
 	result any
 	wait   func(ctx context.Context) error // nil = durable already
+
+	// span is this command's sampled trace (nil for unsampled ones):
+	// built on the submit path, published into ring once the first Wait
+	// resolves the durability outcome. nowNanos is the system clock.
+	span     *obs.Span
+	ring     *obs.TraceRing
+	nowNanos func() int64
 
 	mu   sync.Mutex
 	done bool
@@ -74,8 +83,24 @@ func (r *Receipt) Wait(ctx context.Context) error {
 		if err != nil {
 			r.err = &Error{Code: CodeWedged, Op: r.op, Instance: r.inst, Applied: true, Result: r.result, Err: err}
 		}
+		r.publishSpanLocked()
 	}
 	return r.err
+}
+
+// publishSpanLocked stamps the durability outcome onto a sampled span
+// and publishes it (once, on the done transition). Callers hold r.mu.
+func (r *Receipt) publishSpanLocked() {
+	if r.span == nil {
+		return
+	}
+	if r.err == nil {
+		r.span.DurableNanos = r.nowNanos()
+	} else {
+		r.span.Err = string(codeOf(r.err))
+	}
+	r.ring.Publish(*r.span)
+	r.span = nil
 }
 
 // Submit applies one command and blocks until its journal record is
@@ -110,6 +135,34 @@ func (s *System) SubmitAsync(ctx context.Context, cmd Command) (*Receipt, error)
 		return nil, &Error{Code: CodeInvalid, Op: cmd.CommandName(),
 			Err: fmt.Errorf("adept2: foreign Command implementation %T", cmd)}
 	}
+	m := s.met
+	if m == nil {
+		// Metrics off: no recording, no clock reads — one branch.
+		return s.submitOne(ctx, c, nil)
+	}
+	start := time.Now()
+	var span *obs.Span
+	if m.Ring.Sample() {
+		span = &obs.Span{Op: c.CommandName(), Instance: c.target(), SubmitNanos: s.now()}
+	}
+	rcpt, err := s.submitOne(ctx, c, span)
+	if err != nil {
+		m.SubmitErr(c.opIndex(), codeIndexOf(err))
+		if span != nil {
+			span.Err = string(codeOf(err))
+			m.Ring.Publish(*span)
+		}
+		return nil, err
+	}
+	m.SubmitOK(c.opIndex(), time.Since(start).Nanoseconds())
+	return rcpt, nil
+}
+
+// submitOne is the submission core: validation, wedge check, barrier,
+// apply, journal staging. span (when the trace ring sampled this
+// command) is stamped along the way and either published here (durable
+// on return) or handed to the Receipt to publish when Wait resolves.
+func (s *System) submitOne(ctx context.Context, c command, span *obs.Span) (*Receipt, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(c.CommandName(), c.target(), err)
 	}
@@ -129,6 +182,9 @@ func (s *System) SubmitAsync(ctx context.Context, cmd Command) (*Receipt, error)
 	}
 	eff, err := c.run(s)
 	if err == nil {
+		if span != nil {
+			span.AppliedNanos = s.now()
+		}
 		err = finishEffect(c, &eff)
 	}
 	if err != nil {
@@ -143,6 +199,16 @@ func (s *System) SubmitAsync(ctx context.Context, cmd Command) (*Receipt, error)
 	rcpt.op = c.CommandName()
 	rcpt.inst = eff.inst
 	rcpt.result = eff.result
+	if span != nil {
+		span.Shard, span.Seq = rcpt.shard, rcpt.seq
+		if rcpt.wait == nil {
+			span.DurableNanos = s.now()
+			s.met.Ring.Publish(*span)
+		} else {
+			rcpt.span, rcpt.ring = span, s.met.Ring
+			rcpt.nowNanos = func() int64 { return s.now() }
+		}
+	}
 	return rcpt, nil
 }
 
@@ -199,6 +265,7 @@ func (s *System) SubmitBatch(ctx context.Context, cmds []Command) ([]any, error)
 			// journaled prefix, the rest fail fast un-applied.
 			if err := s.wedgedErr(); err != nil {
 				runErr = &Error{Code: CodeWedged, Op: cj.CommandName(), Instance: cj.target(), Err: err}
+				s.met.SubmitErr(cj.opIndex(), codeIndexOf(runErr))
 				break
 			}
 			eff, err := cj.run(s)
@@ -207,11 +274,13 @@ func (s *System) SubmitBatch(ctx context.Context, cmds []Command) ([]any, error)
 			}
 			if err != nil {
 				runErr = wrapErr(cj.CommandName(), cj.target(), err)
+				s.met.SubmitErr(cj.opIndex(), codeIndexOf(runErr))
 				break
 			}
+			s.met.SubmitBatched(cj.opIndex())
 			effs = append(effs, eff)
 		}
-		appendErr := s.appendEffects(ctx, effs)
+		appendErr := s.appendBatchRun(ctx, effs)
 		s.snapMu.RUnlock()
 		for _, eff := range effs {
 			results = append(results, eff.result)
@@ -240,6 +309,7 @@ func (s *System) appendEffect(eff effect) (*Receipt, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.met.ShardAppend(0, 1)
 			s.maybeCheckpoint()
 			return &Receipt{seq: seq}, nil
 		}
@@ -247,6 +317,7 @@ func (s *System) appendEffect(eff effect) (*Receipt, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.met.ShardAppend(shard, 1)
 		s.maybeCheckpoint()
 		r := &Receipt{seq: seq, shard: shard}
 		if !durable {
@@ -259,6 +330,7 @@ func (s *System) appendEffect(eff effect) (*Receipt, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.met.ShardAppend(0, 1)
 		s.maybeCheckpoint()
 		c := s.committer
 		return &Receipt{seq: seq, wait: func(ctx context.Context) error { return c.WaitSeq(ctx, seq) }}, nil
@@ -267,11 +339,36 @@ func (s *System) appendEffect(eff effect) (*Receipt, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.met.ShardAppend(0, 1)
 		s.maybeCheckpoint()
 		return &Receipt{seq: seq}, nil
 	default:
 		return &Receipt{}, nil
 	}
+}
+
+// appendBatchRun journals one SubmitBatch run through appendEffects and
+// records the batch family: run size, append + durability-wait latency,
+// and (on success) the per-shard staged-record counters.
+func (s *System) appendBatchRun(ctx context.Context, effs []effect) error {
+	m := s.met
+	if m == nil || len(effs) == 0 {
+		return s.appendEffects(ctx, effs)
+	}
+	start := time.Now()
+	err := s.appendEffects(ctx, effs)
+	m.BatchSize.Observe(int64(len(effs)))
+	m.BatchNanos.Observe(time.Since(start).Nanoseconds())
+	if err == nil {
+		for i := range effs {
+			shard := 0
+			if s.wal != nil {
+				shard = s.wal.ShardFor(effs[i].inst)
+			}
+			m.ShardAppend(shard, 1)
+		}
+	}
+	return err
 }
 
 // appendEffects journals a batch of data effects as one multi-record

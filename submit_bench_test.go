@@ -28,12 +28,14 @@ import (
 // cores widen the gap further.
 
 // submitBench runs fn across `writers` goroutines, each owning one
-// instance, splitting b.N commands between them.
-func submitBench(b *testing.B, writers int, shards int, fn func(sys *adept2.System, id string, n int)) {
+// instance, splitting b.N commands between them. extra appends options
+// to the standard group-commit configuration.
+func submitBench(b *testing.B, writers int, shards int, extra []adept2.Option, fn func(sys *adept2.System, id string, n int)) {
 	b.Helper()
 	path := filepath.Join(b.TempDir(), "wal.ndjson")
 	cfg := adept2.CheckpointConfig{Every: -1, GroupCommit: true, Shards: shards}
-	sys, err := adept2.Open(path, adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+	opts := append([]adept2.Option{adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg)}, extra...)
+	sys, err := adept2.Open(path, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -83,7 +85,28 @@ func toggle(id string, i int) adept2.Command {
 func BenchmarkSubmit(b *testing.B) {
 	for _, writers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
-			submitBench(b, writers, 0, func(sys *adept2.System, id string, n int) {
+			submitBench(b, writers, 0, nil, func(sys *adept2.System, id string, n int) {
+				ctx := context.Background()
+				for i := 0; i < n; i++ {
+					if _, err := sys.Submit(ctx, toggle(id, i)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSubmitMetricsOff is the blocking workload again with the
+// telemetry plane disabled (WithMetricsDisabled), so the delta against
+// BenchmarkSubmit is the whole cost of the instrumented hot path: two
+// clock reads plus a handful of uncontended atomics per command.
+func BenchmarkSubmitMetricsOff(b *testing.B) {
+	for _, writers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			off := []adept2.Option{adept2.WithMetricsDisabled()}
+			submitBench(b, writers, 0, off, func(sys *adept2.System, id string, n int) {
 				ctx := context.Background()
 				for i := 0; i < n; i++ {
 					if _, err := sys.Submit(ctx, toggle(id, i)); err != nil {
@@ -103,7 +126,7 @@ func BenchmarkSubmit(b *testing.B) {
 func BenchmarkSubmitAsyncPipeline(b *testing.B) {
 	for _, writers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
-			submitBench(b, writers, 0, func(sys *adept2.System, id string, n int) {
+			submitBench(b, writers, 0, nil, func(sys *adept2.System, id string, n int) {
 				ctx := context.Background()
 				receipts := make([]*adept2.Receipt, 0, 64)
 				drain := func() {
@@ -138,7 +161,7 @@ func BenchmarkSubmitAsyncPipeline(b *testing.B) {
 func BenchmarkSubmitBatch(b *testing.B) {
 	for _, writers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
-			submitBench(b, writers, 0, func(sys *adept2.System, id string, n int) {
+			submitBench(b, writers, 0, nil, func(sys *adept2.System, id string, n int) {
 				ctx := context.Background()
 				for i := 0; i < n; {
 					win := 64

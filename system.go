@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
 	"adept2/internal/fault"
+	"adept2/internal/obs"
 	"adept2/internal/org"
 	"adept2/internal/persist"
 	"adept2/internal/storage"
@@ -63,6 +66,17 @@ type System struct {
 	// policy maps detected exceptions (activity failures, deadline
 	// expiries) to compensating commands; see ExceptionPolicy.
 	policy ExceptionPolicy
+
+	// met is the telemetry plane (nil = obs.Disabled). It is installed
+	// only AFTER recovery completes, so replay can never record live-
+	// path metrics. obsSrv/obsLis serve it over HTTP
+	// (WithMetricsServer); sweepStop/sweepDone bound the in-process
+	// deadline sweep timer (WithSweepInterval).
+	met       *obs.Set
+	obsSrv    *http.Server
+	obsLis    net.Listener
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // now returns the current time in unix nanos from the configured clock.
@@ -214,6 +228,14 @@ type config struct {
 	fs       vfs.FS
 	nowFn    func() int64
 	policy   ExceptionPolicy
+
+	// Observability (metrics.go): metrics are on by default; metricsOff
+	// selects obs.Disabled, obsOpts tunes the trace ring, metricsAddr
+	// brings up the HTTP stats plane, sweepEvery the deadline timer.
+	metricsOff  bool
+	obsOpts     obs.Options
+	metricsAddr string
+	sweepEvery  time.Duration
 }
 
 // fsys resolves the configured filesystem, defaulting to the real OS.
@@ -255,7 +277,12 @@ func New(opts ...Option) *System {
 	for _, o := range opts {
 		o(&c)
 	}
-	return newSystem(&c)
+	sys := newSystem(&c)
+	sys.met = newMetricsSet(&c, 1)
+	if c.sweepEvery > 0 {
+		sys.startSweeper(c.sweepEvery)
+	}
+	return sys
 }
 
 func newSystem(c *config) *System {
@@ -327,10 +354,15 @@ func open(path string, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	recoverStart := time.Now()
 	sys, info, tail, err := recoverSystem(&c, store, path)
 	if err != nil {
 		return nil, err
 	}
+	// Telemetry goes live only now — replay above ran on a Set-less
+	// system, so recovered commands can never pollute live-path metrics.
+	sys.met = newMetricsSet(&c, 1)
+	recordRecovery(sys.met, info, time.Since(recoverStart))
 
 	// The recovery pass already established the journal's boundaries, so
 	// the journal resumes (repairing any torn tail) without a second full
@@ -345,12 +377,20 @@ func open(path string, opts ...Option) (*System, error) {
 		return nil, err
 	}
 	if groupCommit {
-		sys.committer = durable.NewCommitter(j, c.ckpt.committerOptions())
+		copts := c.ckpt.committerOptions()
+		if sys.met != nil {
+			copts.Metrics = &sys.met.Committer
+		}
+		sys.committer = durable.NewCommitter(j, copts)
 	}
 	sys.journal = j
 	sys.recovery = info
 	if c.ckpt != nil {
 		sys.ckpt = newCheckpointer(store, c.ckpt, info.SnapshotSeq)
+	}
+	if err := sys.startObs(&c); err != nil {
+		_ = sys.Close()
+		return nil, err
 	}
 	return sys, nil
 }
@@ -449,6 +489,9 @@ func (s *System) Recovery() *RecoveryInfo { return s.recovery }
 // layout), waits for an in-flight background snapshot, and releases the
 // journals.
 func (s *System) Close() error {
+	// Observability goroutines go first: no sweep may submit into a
+	// closing committer, no scrape may observe a half-closed system.
+	s.stopObs()
 	var firstErr error
 	if s.committer != nil {
 		if err := s.committer.Close(); err != nil && firstErr == nil {
@@ -685,6 +728,19 @@ func (s *System) Checkpoint() (string, int, error) {
 	if s.ckpt == nil {
 		return "", 0, fmt.Errorf("adept2: checkpointing is not enabled (use WithCheckpointing)")
 	}
+	start := time.Now()
+	file, seq, err := s.checkpoint()
+	if m := s.met; m != nil {
+		m.Checkpoint.Count.Inc()
+		m.Checkpoint.Nanos.Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			m.Checkpoint.Failures.Inc()
+		}
+	}
+	return file, seq, err
+}
+
+func (s *System) checkpoint() (string, int, error) {
 	if s.wal != nil {
 		return s.checkpointSharded()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"adept2/internal/durable"
 	"adept2/internal/durable/sharded"
@@ -62,6 +63,7 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 		c.ckpt.Keep = 3
 	}
 	l := shardedLayout(c, path, man.Shards)
+	recoverStart := time.Now()
 
 	stores := make([]*durable.SnapshotStore, l.Shards)
 	for k := range stores {
@@ -123,6 +125,11 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 		info.FullReplay = true
 	}
 
+	// Replay is done: install the telemetry plane (see metrics.go) so the
+	// WAL committers record into it but nothing recovered above did.
+	sys.met = newMetricsSet(c, l.Shards)
+	recordRecovery(sys.met, info, time.Since(recoverStart))
+
 	// Resume every shard journal (repairing torn tails) without a second
 	// full read; journals fully folded into snapshots continue the
 	// snapshot's numbering.
@@ -133,7 +140,11 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 			tails[k].LastSeq = res.Gen.Parts[k].Seq
 		}
 	}
-	wal, err := sharded.OpenWAL(l, tails, c.ckpt.GroupCommit, c.ckpt.committerOptions())
+	copts := c.ckpt.committerOptions()
+	if sys.met != nil {
+		copts.Metrics = &sys.met.Committer
+	}
+	wal, err := sharded.OpenWAL(l, tails, c.ckpt.GroupCommit, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +156,10 @@ func openSharded(c *config, path string, man *sharded.Manifest) (*System, error)
 	sys.gman = man
 	sys.recovery = info
 	sys.ckpt = newCheckpointer(nil, c.ckpt, wal.TotalSeq())
+	if err := sys.startObs(c); err != nil {
+		_ = sys.Close()
+		return nil, err
+	}
 	return sys, nil
 }
 
