@@ -40,8 +40,10 @@ import (
 	"adept2/internal/durable/sharded"
 	"adept2/internal/engine"
 	"adept2/internal/evolution"
+	"adept2/internal/mining"
 	"adept2/internal/monitor"
 	"adept2/internal/obs"
+	"adept2/internal/persist"
 	"adept2/internal/sim"
 	"adept2/internal/sim/soak"
 )
@@ -74,6 +76,10 @@ func main() {
 		load(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "mine":
+		mine(os.Args[2:])
+	case "trace":
+		trace(os.Args[2:])
 	case "sim":
 		simCmd(os.Args[2:])
 	default:
@@ -94,6 +100,10 @@ func usage() {
        adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]
        adeptctl stats -journal PATH [-format text|prom|json] [-serve ADDR]
        adeptctl stats -fetch URL
+       adeptctl mine -journal PATH [-format text|json] [-variants N]
+       adeptctl mine -fetch URL
+       adeptctl trace -journal PATH [-format text|json] [-n N]
+       adeptctl trace -fetch URL [-after N] [-format text|json]
        adeptctl sim [-steps N] [-instances N] [-seed N] [-shards N] [-stats] ...`)
 	os.Exit(2)
 }
@@ -704,6 +714,201 @@ func validateEndpoint(url string) error {
 	}
 	fmt.Printf("stats: %s OK: %d families, %d samples parse\n", url, len(families), samples)
 	return nil
+}
+
+// mine runs the process-intelligence scan: open a journaled layout
+// (recovering its population), stream every instance history through
+// the internal/mining fold, and render the report — variant
+// frequencies, hot paths, per-node exception concentration and
+// duration quantiles, and drift against the latest deployed schema
+// versions. With -fetch it instead GETs a running system's /mine.json
+// endpoint and validates the payload decodes strictly (the CI smoke's
+// schema pin).
+func mine(args []string) {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required unless -fetch)")
+	format := fs.String("format", "text", "output format: text or json")
+	variants := fs.Int("variants", 0, "variant-table cap (0 = default)")
+	fetch := fs.String("fetch", "", "GET a live /mine.json URL and validate its payload")
+	must(fs.Parse(args))
+
+	if *fetch != "" {
+		must(validateMineEndpoint(*fetch))
+		return
+	}
+	if *journal == "" {
+		usage()
+	}
+	sys := openDurable(*journal, "")
+	defer sys.Close()
+	rep, err := sys.Mine(context.Background(), adept2.MineOptions{MaxVariants: *variants})
+	must(err)
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(rep))
+	case "text":
+		fmt.Print(rep.Text())
+	default:
+		usage()
+	}
+}
+
+// validateMineEndpoint GETs a /mine.json URL and round-trips the body
+// through the strict report decoder.
+func validateMineEndpoint(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mine: GET %s: %s", url, resp.Status)
+	}
+	rep, err := mining.Decode(body)
+	if err != nil {
+		return fmt.Errorf("mine: %s: %w", url, err)
+	}
+	fmt.Printf("mine: %s OK: %d instances, %d variants, %d nodes, %d drift rows\n",
+		url, rep.Instances, rep.DistinctVariants, len(rep.Nodes), len(rep.Drift))
+	return nil
+}
+
+// trace surfaces the span plane. Offline (-journal) it synthesizes
+// spans straight from the journal records — op, instance, shard, seq,
+// and the submit timestamp where the record carries one — because a
+// reopened system's live ring is empty (the metric Set installs after
+// recovery, and replay records nothing). With -fetch it drains a
+// running system's /trace.json export cursor. Both views share the
+// obs.Span schema, so the offline miner and the live stream are the
+// same shape to consumers.
+func trace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required unless -fetch)")
+	format := fs.String("format", "text", "output format: text or json")
+	limit := fs.Int("n", 0, "print at most the last N spans (0 = all)")
+	fetch := fs.String("fetch", "", "drain a live /trace.json URL instead of reading a journal")
+	after := fs.Uint64("after", 0, "with -fetch: drain only spans published after this cursor")
+	must(fs.Parse(args))
+
+	var spans []obs.Span
+	switch {
+	case *fetch != "":
+		exp, err := fetchTraces(*fetch, *after)
+		must(err)
+		spans = exp.Spans
+		defer fmt.Printf("next cursor: %d\n", exp.Next)
+	case *journal != "":
+		var err error
+		spans, err = journalSpans(*journal)
+		must(err)
+	default:
+		usage()
+	}
+	if *limit > 0 && len(spans) > *limit {
+		spans = spans[len(spans)-*limit:]
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(spans))
+	case "text":
+		for _, sp := range spans {
+			line := fmt.Sprintf("shard %d seq %-6d %-9s %s", sp.Shard, sp.Seq, sp.Op, sp.Instance)
+			if sp.SubmitNanos > 0 {
+				line += fmt.Sprintf("  submit=%d", sp.SubmitNanos)
+			}
+			if sp.AppliedNanos > 0 {
+				line += fmt.Sprintf(" applied=+%dns", sp.AppliedNanos-sp.SubmitNanos)
+			}
+			if sp.DurableNanos > 0 {
+				line += fmt.Sprintf(" durable=+%dns", sp.DurableNanos-sp.SubmitNanos)
+			}
+			if sp.Err != "" {
+				line += " err=" + sp.Err
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("%d spans\n", len(spans))
+	default:
+		usage()
+	}
+}
+
+// fetchTraces drains a /trace.json endpoint with a strict decode.
+func fetchTraces(url string, after uint64) (*obs.TraceExport, error) {
+	if after > 0 {
+		sep := "?"
+		if strings.Contains(url, "?") {
+			sep = "&"
+		}
+		url += fmt.Sprintf("%safter=%d", sep, after)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace: GET %s: %s", url, resp.Status)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var exp obs.TraceExport
+	if err := dec.Decode(&exp); err != nil {
+		return nil, fmt.Errorf("trace: %s: export does not round-trip: %w", url, err)
+	}
+	return &exp, nil
+}
+
+// journalSpans synthesizes the offline span view of a layout: one span
+// per journal record across every shard, ordered (shard, seq).
+func journalSpans(journal string) ([]obs.Span, error) {
+	paths := map[int]string{0: journal}
+	if man, err := sharded.LoadManifest(sharded.ManifestPath(journal)); err == nil && man != nil {
+		lay := sharded.Layout{Base: journal, Shards: man.Shards}
+		for k := 0; k < man.Shards; k++ {
+			paths[k] = lay.JournalPath(k)
+		}
+	}
+	var spans []obs.Span
+	for shard := 0; shard < len(paths); shard++ {
+		f, err := os.Open(paths[shard])
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		recs, err := persist.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			sp := obs.Span{Op: rec.Op, Shard: shard, Seq: rec.Seq}
+			var meta struct {
+				Instance string `json:"instance"`
+				At       int64  `json:"at"`
+			}
+			if json.Unmarshal(rec.Args, &meta) == nil {
+				sp.Instance = meta.Instance
+				sp.SubmitNanos = meta.At
+			}
+			spans = append(spans, sp)
+		}
+	}
+	return spans, nil
 }
 
 // simCmd runs the adversarial fault-tolerance soak (internal/sim): random

@@ -344,7 +344,11 @@ func (c *RetryActivity) run(s *System) (effect, error) {
 // CompleteActivity completes a node (starting it first when merely
 // activated), writes its outputs, and advances the instance. Decision
 // supplies an explicit XOR routing decision; Again an explicit loop
-// iteration decision.
+// iteration decision. At is the completion time in unix nanos, normally
+// left zero: the live path stamps the system clock onto the journal
+// record (the same pattern as StartActivity.At), so the Completed
+// history event's timestamp — the activity-duration substrate the
+// mining layer consumes — replays bit-exactly.
 type CompleteActivity struct {
 	Instance string         `json:"instance"`
 	Node     string         `json:"node"`
@@ -352,6 +356,7 @@ type CompleteActivity struct {
 	Outputs  map[string]any `json:"outputs,omitempty"`
 	Decision *int           `json:"decision,omitempty"`
 	Again    *bool          `json:"again,omitempty"`
+	At       int64          `json:"at,omitempty"`
 }
 
 func (*CompleteActivity) CommandName() string { return "complete" }
@@ -360,7 +365,11 @@ func (*CompleteActivity) opIndex() int        { return opComplete }
 func (c *CompleteActivity) target() string    { return c.Instance }
 
 func (c *CompleteActivity) run(s *System) (effect, error) {
-	var opts []engine.CompleteOption
+	at := c.At
+	if at == 0 {
+		at = s.now()
+	}
+	opts := []engine.CompleteOption{engine.WithCompletedAt(at)}
 	if c.Decision != nil {
 		opts = append(opts, engine.WithDecision(*c.Decision))
 	}
@@ -370,7 +379,11 @@ func (c *CompleteActivity) run(s *System) (effect, error) {
 	if err := s.eng.CompleteActivity(c.Instance, c.Node, c.User, c.Outputs, opts...); err != nil {
 		return effect{}, err
 	}
-	return effect{inst: c.Instance, op: "complete", args: c}, nil
+	// The record carries the stamped time so replay reproduces event
+	// timestamps (pre-timestamp records decode At 0 and stay unstamped).
+	rec := *c
+	rec.At = at
+	return effect{inst: c.Instance, op: "complete", args: &rec}, nil
 }
 
 // adHocArgs is the wire form of an ad-hoc change (ops serialized through

@@ -155,15 +155,44 @@
 // A sampled trace ring (WithTraceSampling) captures command
 // lifecycles: op, instance, shard, journal seq, and the
 // submit→applied→durable timeline stamped from the injected WithClock
-// source — the event substrate a process-mining loop would consume.
+// source — the event substrate the process-mining plane consumes. The
+// ring is a subscription primitive too: obs.TraceRing.Export drains
+// spans incrementally by publish cursor (served as /trace.json?after=N
+// and `adeptctl trace -fetch`), tear-free under concurrent writers and
+// never delivering a span twice.
 //
 // Three surfaces expose the plane: System.Metrics returns the typed
 // obs.Snapshot; WithMetricsServer serves /metrics (Prometheus text
-// format 0.0.4), /metrics.json (the snapshot as JSON), and /healthz
-// over HTTP, folding HealthInfo into both; and `adeptctl stats` renders
-// any journal's snapshot as text, Prometheus, or JSON, serves it, or
-// validates a running endpoint. WithSweepInterval completes the
-// operational story: an in-process timer runs SweepDeadlines on the
-// system clock, records sweep duration and due-to-done lag, and shuts
-// down cleanly on Close.
+// format 0.0.4), /metrics.json (the snapshot as JSON), /mine.json,
+// /trace.json, and /healthz over HTTP, folding HealthInfo into both
+// metric forms; and `adeptctl stats` renders any journal's snapshot as
+// text, Prometheus, or JSON, serves it, or validates a running
+// endpoint. WithSweepInterval completes the operational story: an
+// in-process timer runs SweepDeadlines on the system clock, records
+// sweep duration and due-to-done lag, and shuts down cleanly on Close.
+//
+// # Process intelligence
+//
+// System.Mine streams the live population through a bounded-memory
+// mining fold (internal/mining) and returns a deterministic report:
+// variant frequencies keyed by a canonical fingerprint of each
+// instance's reduced execution history, hot-path extraction, per-node
+// traversal and exception concentration (starts, completes, failures,
+// timeouts, retries), activity-duration percentiles from journaled
+// event timestamps, traversal edges, and drift — instances whose
+// version, ad-hoc bias, or foreign nodes diverge from the latest
+// deployed schema. The fingerprint folds only Completed events of the
+// reduced history, so failed-then-retried attempts, Timeout markers,
+// and superseded loop iterations never split a variant: two instances
+// that took the same logical path hash identically even when one
+// needed three attempts. The scan pages under the snapshot read
+// barrier in shard-aligned batches, folding each instance inside its
+// own lock with one shared reduction buffer — peak allocation is
+// O(batch + capped tables), never O(population). The same report codec
+// backs all three surfaces: `adeptctl mine` offline over any journal
+// or layout, System.Mine in process, and /mine.json on the metrics
+// server. Deadline escalation grows a construction-time policy knob on
+// the same plane: WithEscalationBothCanAct offers expired work to the
+// union of the original and escalation roles instead of replacing the
+// offer, and recovery replays escalations under the same knob.
 package adept2

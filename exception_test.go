@@ -454,3 +454,89 @@ func TestFailErrorTaxonomy(t *testing.T) {
 		t.Fatal("exception lacks its taxonomy error")
 	}
 }
+
+// TestEscalationBothCanAct pins the both-can-act escalation policy knob
+// and its recovery round-trip. The repair schema escalates fix (role
+// clerk = {ann, cyn}) to sales = {ann, dan}. Under the default policy
+// the escalation offer *replaces* the original role, so cyn loses sight
+// of the item; under WithEscalationBothCanAct the offer is the union of
+// both roles and cyn keeps it. The knob is construction-time state, so
+// a journal replayed through a both-can-act system must rebuild the
+// union offer — cyn's item has to survive close/reopen.
+func TestEscalationBothCanAct(t *testing.T) {
+	ctx := context.Background()
+
+	openBoth := func(path string, clk *testClock) *adept2.System {
+		t.Helper()
+		sys, err := adept2.Open(path,
+			adept2.WithOrg(sim.Org()),
+			adept2.WithClock(clk.Now),
+			adept2.WithCheckpointing(adept2.CheckpointConfig{Every: -1}),
+			adept2.WithEscalationBothCanAct(),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	expire := func(sys *adept2.System, clk *testClock) string {
+		t.Helper()
+		id := startFix(t, sys)
+		clk.advance(3 * time.Minute)
+		rep, err := sys.SweepDeadlines(ctx, clk.Now())
+		if err != nil || rep.Timeouts != 1 {
+			t.Fatalf("sweep: %v, timeouts %d", err, rep.Timeouts)
+		}
+		return id
+	}
+
+	t.Run("default-replaces", func(t *testing.T) {
+		clk := newTestClock()
+		sys := openRepair(t, filepath.Join(t.TempDir(), "wal"), clk, nil)
+		defer sys.Close()
+		id := expire(sys, clk)
+		if !hasItem(sys, "dan", id, "fix") {
+			t.Fatal("escalation role not offered")
+		}
+		if hasItem(sys, "cyn", id, "fix") {
+			t.Fatal("default escalation must replace the original role: cyn (clerk, not sales) still sees the item")
+		}
+	})
+
+	t.Run("union-survives-recovery", func(t *testing.T) {
+		clk := newTestClock()
+		path := filepath.Join(t.TempDir(), "wal")
+		sys := openBoth(path, clk)
+		id := expire(sys, clk)
+		for _, u := range []string{"ann", "cyn", "dan"} {
+			if !hasItem(sys, u, id, "fix") {
+				t.Fatalf("both-can-act: %s not offered the escalated item", u)
+			}
+		}
+		if hasItem(sys, "bob", id, "fix") {
+			t.Fatal("both-can-act leaked the item outside clerk ∪ sales")
+		}
+
+		// Recovery replays the journaled timeout through a system built
+		// with the same knob: the union offer must be reconstructed.
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sys = openBoth(path, clk)
+		defer sys.Close()
+		inst, _ := sys.Instance(id)
+		if !inst.Escalated("fix") {
+			t.Fatal("escalation lost in recovery")
+		}
+		for _, u := range []string{"ann", "cyn", "dan"} {
+			if !hasItem(sys, u, id, "fix") {
+				t.Fatalf("both-can-act after recovery: %s lost the escalated item", u)
+			}
+		}
+		// The escalated offer is actionable, not cosmetic: cyn — visible
+		// only under both-can-act — completes the still-running activity.
+		if err := sys.Complete(id, "fix", "cyn", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -20,6 +20,7 @@ type completeOpts struct {
 	decisionSet bool
 	again       bool
 	againSet    bool
+	at          int64
 }
 
 // WithDecision supplies the selection code for completing an XOR split
@@ -32,6 +33,13 @@ func WithDecision(code int) CompleteOption {
 // manually.
 func WithLoopAgain(again bool) CompleteOption {
 	return func(o *completeOpts) { o.again = again; o.againSet = true }
+}
+
+// WithCompletedAt stamps the completion timestamp (unix nanos, recorded
+// on the journaled complete command so replay reproduces it) onto the
+// Completed history event. Zero leaves the event unstamped.
+func WithCompletedAt(at int64) CompleteOption {
+	return func(o *completeOpts) { o.at = at }
 }
 
 // startLocked validates and performs the start of a node. A non-zero at
@@ -70,7 +78,7 @@ func (inst *Instance) startLocked(node, user string, at int64) error {
 	if err := inst.marking.Start(node); err != nil {
 		return err
 	}
-	e := inst.hist.Append(&history.Event{Kind: history.Started, Node: node, User: user, Reads: reads, Decision: -1})
+	e := inst.hist.Append(&history.Event{Kind: history.Started, Node: node, User: user, Reads: reads, Decision: -1, At: at})
 	inst.stats.OnStart(node, e.Seq)
 	// A fresh start clears any pending retry/compensation left from a
 	// prior failed attempt and arms the activity's deadline.
@@ -183,6 +191,7 @@ func (inst *Instance) completeCoreLocked(node, user string, outputs map[string]a
 		Decision: decision,
 		Again:    again,
 		Writes:   writes,
+		At:       co.at,
 	})
 	inst.stats.OnComplete(node, e.Seq, decision)
 	for elem, val := range writes {

@@ -166,6 +166,58 @@ func (inst *Instance) HistoryEvents() []*history.Event {
 	return out
 }
 
+// MineView is the under-lock view of one instance handed to a
+// MineHistory visitor: identity, state flags, the physical history, and
+// its logical (loop/failure-purged) reduction. Both event slices alias
+// live engine state — the visitor must fold what it needs and return
+// without retaining any pointer past the call.
+type MineView struct {
+	ID       string
+	TypeName string
+	Version  int
+	Biased   bool
+	Done     bool
+
+	// Events is the physical history (every Started/Completed/Failed/
+	// Timeout marker); Reduced is the logical history per
+	// history.ReduceInto — superseded loop iterations and failed
+	// attempts purged, Timeout markers dropped.
+	Events  []*history.Event
+	Reduced []*history.Event
+}
+
+// MineHistory runs visit over the instance's history under the instance
+// lock, folding into caller-owned memory: the reduction reuses buf
+// (grown as needed) and the returned slice is buf's latest incarnation,
+// to be passed back in on the next instance. One buffer thus serves a
+// whole scan batch — the mining layer's bounded-memory invariant — and
+// the events' intern memos stay single-goroutine (they mutate lazily
+// during reduction, which is why the visitor must run inside the lock
+// rather than on a returned copy).
+func (inst *Instance) MineHistory(buf []*history.Event, visit func(MineView)) []*history.Event {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	events := inst.hist.Events()
+	reduced := events
+	if _, info, err := inst.viewLocked(); err == nil {
+		reduced = history.ReduceInto(info, events, buf)
+	} else {
+		// A view that cannot materialize (broken bias) still gets mined:
+		// the physical history stands in for the reduction.
+		reduced = append(buf[:0], events...)
+	}
+	visit(MineView{
+		ID:       inst.id,
+		TypeName: inst.typeName,
+		Version:  inst.version,
+		Biased:   len(inst.biasOps) > 0,
+		Done:     inst.done,
+		Events:   events,
+		Reduced:  reduced,
+	})
+	return reduced
+}
+
 // StatsSnapshot returns a copy of the per-node execution index.
 func (inst *Instance) StatsSnapshot() *history.Stats {
 	inst.mu.Lock()

@@ -72,6 +72,12 @@ type Event struct {
 	// Reason carries the failure reason of a Failed event (or the
 	// deadline description of a Timeout event).
 	Reason string `json:"reason,omitempty"`
+	// At is the event's wall-clock timestamp (unix nanos), stamped from
+	// the timestamp recorded on the journaled command so replay
+	// reproduces it bit-exactly. Zero when the producing command carried
+	// no timestamp (automatic cascades, implicit starts, pre-timestamp
+	// journals) — duration analytics skip such events.
+	At int64 `json:"at,omitempty"`
 
 	// Intern memo: idx is Node's dense index in the topology identified by
 	// itopo. ReduceInto fills it lazily, so repeated reductions of the

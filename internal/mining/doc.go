@@ -1,0 +1,67 @@
+// Package mining is the process-intelligence layer over recorded
+// executions: a bounded-memory, streaming fold of instance histories
+// into variant frequencies, per-node/per-edge traversal statistics,
+// activity-duration percentiles, hot paths, exception concentration,
+// and drift — the populations a deployed schema version no longer
+// describes. It is the analytical read path the ROADMAP's
+// "process mining → auto-evolution loop" item calls for: the numbers a
+// process engineer (or a future auto-Evolve proposer) needs before
+// committing a type change.
+//
+// # Variant fingerprints
+//
+// A variant is an equivalence class of instances that executed the same
+// logical history. The fingerprint is FNV-1a 64 folded over the
+// *reduced* history (history.ReduceInto) in order, taking only
+// Completed events and, per event, the node ID, the XOR routing
+// decision, and the loop-iteration flag, each terminated by separator
+// bytes so no field concatenation is ambiguous. Canonicalization
+// choices, and why:
+//
+//   - Only Completed events contribute. Started events describe
+//     in-flight work, so including them would split one behavioral
+//     variant into per-progress sub-variants that merge again a step
+//     later.
+//   - Failed attempts and Timeout markers never contribute — not by
+//     filtering here, but by construction: Reduce purges the
+//     Started/Failed pair and drops Timeout audit markers, so a
+//     retried-to-success instance fingerprints identically to one that
+//     succeeded first try. The differential tests pin this interplay.
+//   - Node IDs are hashed as strings, not interned indexes: dense
+//     indexes are per-topology, so two instances on different schema
+//     versions (or carrying different biases) would hash differently
+//     for identical behavior. String identity is stable across
+//     versions, which is exactly what drift comparison needs.
+//   - Superseded loop iterations are already purged by the reduction,
+//     so a loop that iterated five times and one that iterated once
+//     share a fingerprint when their final iterations agree — the
+//     paper's loop-tolerant equivalence carried into analytics.
+//
+// # Bounded-memory scan invariants
+//
+// The scanner never hydrates the whole population. Instances stream
+// through Miner.Observe one at a time (the facade walks
+// engine.InstancesPage in shard batches under the read barrier, folding
+// each instance inside its own lock via Instance.MineHistory with one
+// shared reduction buffer), and every table the Miner grows is capped:
+// the variant table at Options.MaxVariants (excess instances tally into
+// VariantOverflow), the edge table at Options.MaxEdges, foreign-node
+// sets per type at a fixed handful. Per-node aggregates are bounded by
+// schema size, durations live in fixed-bucket power-of-two
+// obs.Histogram buckets, and the per-instance scratch state (last-start
+// timestamps, failed-attempt flags) is cleared and reused between
+// instances. Memory is therefore O(distinct schema nodes + caps),
+// independent of population size — the property the facade's
+// mine-allocation benchmark pins.
+//
+// # Drift
+//
+// Drift detection compares each instance against the *latest deployed*
+// version of its type (registered via Miner.Deployed): an instance is
+// stale when its version lags, biased when it carries ad-hoc change
+// operations, and foreign when its logical history contains nodes the
+// latest schema does not know (work stranded by a partial migration or
+// an ad-hoc insertion). Any of the three makes it non-compliant in the
+// report's drift table — the population slice a migration (or a
+// proposed Evolve, the queued follow-up) would have to carry.
+package mining

@@ -1,0 +1,222 @@
+package mining
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"adept2/internal/obs"
+)
+
+// Report is the frozen result of one mining scan: typed, deterministic
+// for a deterministic population (no wall-clock stamps — identical
+// journals mine to identical reports), and JSON-stable (Decode refuses
+// unknown fields, so the wire format is pinned by tests the same way
+// the metrics snapshot is).
+type Report struct {
+	// Instances is the population size scanned; Done and Biased are the
+	// completed and ad-hoc-changed subsets.
+	Instances int64 `json:"instances"`
+	Done      int64 `json:"done"`
+	Biased    int64 `json:"biased"`
+
+	// Shards attributes the scanned instances to their durability
+	// shards (sharded.ShardOf), the unit the scanner batches by.
+	Shards []ShardStat `json:"shards,omitempty"`
+
+	// Variants is the frequency table, descending; DistinctVariants
+	// counts the table before the MaxVariants cap truncated it, and
+	// VariantOverflow the instances folded past the cap.
+	Variants         []Variant `json:"variants"`
+	DistinctVariants int       `json:"distinctVariants"`
+	VariantOverflow  int64     `json:"variantOverflow,omitempty"`
+
+	// HotPaths are the TopPaths most frequent variants' node paths.
+	HotPaths []Path `json:"hotPaths,omitempty"`
+
+	// Nodes is the per-node traversal/exception/duration table, sorted
+	// by node ID; Edges the logical-successor counts, descending.
+	Nodes        []Node `json:"nodes"`
+	Edges        []Edge `json:"edges,omitempty"`
+	EdgeOverflow int64  `json:"edgeOverflow,omitempty"`
+
+	// Drift is the per-type compliance table against the latest
+	// deployed versions.
+	Drift []TypeDrift `json:"drift,omitempty"`
+}
+
+// ShardStat attributes scanned instances to one durability shard.
+type ShardStat struct {
+	Shard     int   `json:"shard"`
+	Instances int64 `json:"instances"`
+}
+
+// Variant is one behavioral equivalence class of the population.
+type Variant struct {
+	Fingerprint  string   `json:"fingerprint"`
+	Count        int64    `json:"count"`
+	Steps        int      `json:"steps"`
+	Type         string   `json:"type"`
+	MinVersion   int      `json:"minVersion"`
+	MaxVersion   int      `json:"maxVersion"`
+	Biased       int64    `json:"biased,omitempty"`
+	NonCompliant int64    `json:"nonCompliant,omitempty"`
+	Done         int64    `json:"done,omitempty"`
+	Path         []string `json:"path,omitempty"`
+}
+
+// Path is one hot path: a variant's completed-node sequence.
+type Path struct {
+	Fingerprint string   `json:"fingerprint"`
+	Count       int64    `json:"count"`
+	Path        []string `json:"path"`
+}
+
+// Node is one node's traversal, exception-concentration, and duration
+// aggregate. P50/P90/P99 are duration quantile upper bounds in nanos
+// (-1: beyond the histogram's range, 0: no timed observations).
+type Node struct {
+	Node      string                `json:"node"`
+	Starts    int64                 `json:"starts"`
+	Completes int64                 `json:"completes"`
+	Failures  int64                 `json:"failures,omitempty"`
+	Timeouts  int64                 `json:"timeouts,omitempty"`
+	Retries   int64                 `json:"retries,omitempty"`
+	Durations obs.HistogramSnapshot `json:"durations"`
+	P50       int64                 `json:"p50,omitempty"`
+	P90       int64                 `json:"p90,omitempty"`
+	P99       int64                 `json:"p99,omitempty"`
+}
+
+// Edge is one logical-successor traversal count.
+type Edge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Count int64  `json:"count"`
+}
+
+// TypeDrift is one process type's compliance split against its latest
+// deployed version.
+type TypeDrift struct {
+	Type          string   `json:"type"`
+	LatestVersion int      `json:"latestVersion"`
+	Instances     int64    `json:"instances"`
+	Current       int64    `json:"current"`
+	Stale         int64    `json:"stale,omitempty"`
+	Biased        int64    `json:"biased,omitempty"`
+	Foreign       int64    `json:"foreign,omitempty"`
+	NonCompliant  int64    `json:"nonCompliant,omitempty"`
+	ForeignNodes  []string `json:"foreignNodes,omitempty"`
+}
+
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// Encode serializes a report as indented JSON — the codec's write half,
+// shared by /mine.json and `adeptctl mine -format json`.
+func Encode(r *Report) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Decode parses a JSON report strictly: unknown fields are an error, so
+// endpoint and CLI consumers notice schema drift instead of silently
+// dropping data (the same contract as the metrics snapshot).
+func Decode(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("mining: report does not round-trip: %w", err)
+	}
+	return &r, nil
+}
+
+// Text renders the report for terminals: population summary, variant
+// table, hot paths, per-node concentration with duration quantiles,
+// and the drift table.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "population: %d instances (%d done, %d biased)", r.Instances, r.Done, r.Biased)
+	if len(r.Shards) > 1 {
+		b.WriteString(" across shards")
+		for _, s := range r.Shards {
+			fmt.Fprintf(&b, " [%d: %d]", s.Shard, s.Instances)
+		}
+	}
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "variants: %d distinct", r.DistinctVariants)
+	if r.VariantOverflow > 0 {
+		fmt.Fprintf(&b, " (+%d instances past the table cap)", r.VariantOverflow)
+	}
+	b.WriteByte('\n')
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, "  %s  x%-6d %s v%d", v.Fingerprint, v.Count, v.Type, v.MinVersion)
+		if v.MaxVersion != v.MinVersion {
+			fmt.Fprintf(&b, "-v%d", v.MaxVersion)
+		}
+		fmt.Fprintf(&b, "  %d steps", v.Steps)
+		if v.NonCompliant > 0 {
+			fmt.Fprintf(&b, "  DRIFT %d", v.NonCompliant)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.HotPaths) > 0 {
+		b.WriteString("hot paths:\n")
+		for _, p := range r.HotPaths {
+			fmt.Fprintf(&b, "  x%-6d %s\n", p.Count, strings.Join(p.Path, " > "))
+		}
+	}
+
+	b.WriteString("nodes:\n")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "  %-16s starts=%d completes=%d", n.Node, n.Starts, n.Completes)
+		if n.Failures > 0 {
+			fmt.Fprintf(&b, " failures=%d", n.Failures)
+		}
+		if n.Timeouts > 0 {
+			fmt.Fprintf(&b, " timeouts=%d", n.Timeouts)
+		}
+		if n.Retries > 0 {
+			fmt.Fprintf(&b, " retries=%d", n.Retries)
+		}
+		if n.Durations.Count > 0 {
+			fmt.Fprintf(&b, " p50=%s p90=%s p99=%s",
+				quantileText(n.P50), quantileText(n.P90), quantileText(n.P99))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.Edges) > 0 {
+		b.WriteString("edges:\n")
+		for _, e := range r.Edges {
+			fmt.Fprintf(&b, "  %-16s > %-16s x%d\n", e.From, e.To, e.Count)
+		}
+	}
+
+	if len(r.Drift) > 0 {
+		b.WriteString("drift:\n")
+		for _, d := range r.Drift {
+			fmt.Fprintf(&b, "  %s (latest v%d): %d instances, %d current, %d stale, %d biased, %d foreign, %d non-compliant",
+				d.Type, d.LatestVersion, d.Instances, d.Current, d.Stale, d.Biased, d.Foreign, d.NonCompliant)
+			if len(d.ForeignNodes) > 0 {
+				fmt.Fprintf(&b, " (foreign nodes: %s)", strings.Join(d.ForeignNodes, ", "))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func quantileText(v int64) string {
+	switch {
+	case v < 0:
+		return ">range"
+	case v == 0:
+		return "-"
+	default:
+		return time.Duration(v).String()
+	}
+}

@@ -44,6 +44,7 @@ type TraceRing struct {
 
 type traceSlot struct {
 	mu   sync.Mutex
+	seq  uint64 // 1-based publish sequence; 0 = never written
 	span Span
 }
 
@@ -68,14 +69,17 @@ func (r *TraceRing) Sample() bool {
 	return r.tick.Add(1)%r.every == 0
 }
 
-// Publish installs a completed span into the next slot.
+// Publish installs a completed span into the next slot, stamping it
+// with a monotone publish sequence so incremental readers (Export) can
+// drain only what they have not yet seen.
 func (r *TraceRing) Publish(sp Span) {
 	if r == nil {
 		return
 	}
-	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
-	s := &r.slots[i]
+	seq := r.next.Add(1)
+	s := &r.slots[(seq-1)%uint64(len(r.slots))]
 	s.mu.Lock()
+	s.seq = seq
 	s.span = sp
 	s.mu.Unlock()
 	r.filled.Add(1)
@@ -100,4 +104,57 @@ func (r *TraceRing) Snapshot() []Span {
 		out = append(out, sp)
 	}
 	return out
+}
+
+// TraceExport is the wire form of one Export drain: the spans and the
+// cursor to pass as ?after= on the next poll. /trace.json serves it and
+// `adeptctl trace -fetch` decodes it strictly.
+type TraceExport struct {
+	Next  uint64 `json:"next"`
+	Spans []Span `json:"spans"`
+}
+
+// Export drains the spans published after cursor (0 = from the
+// beginning), oldest-first, and returns the cursor to pass next time —
+// the subscription primitive behind /trace.json?after=N and `adeptctl
+// trace -fetch -follow`. Each span is read whole under its slot mutex,
+// so a drain concurrent with writers never observes a torn span; spans
+// overwritten before the reader returned (a cursor lagging more than one
+// ring capacity behind) are lost, which is the ring's sampling contract,
+// not an error. The returned cursor is the highest publish sequence
+// observed (at least the input cursor), so pollers make progress even
+// across an idle ring.
+func (r *TraceRing) Export(cursor uint64) ([]Span, uint64) {
+	if r == nil {
+		return nil, cursor
+	}
+	head := r.next.Load()
+	if head <= cursor {
+		return nil, cursor
+	}
+	// Everything at or below `cursor` is already delivered; everything
+	// above head-len(slots) still survives in the ring. Walk the window
+	// oldest-first, re-checking each slot's stamp under its lock (a
+	// concurrent publish may lap a slot between computing the window and
+	// reading it — the stamp says which publish the slot now holds).
+	lo := cursor + 1
+	if min := head - uint64(len(r.slots)) + 1; head >= uint64(len(r.slots)) && lo < min {
+		lo = min
+	}
+	out := make([]Span, 0, head-lo+1)
+	for seq := lo; seq <= head; seq++ {
+		s := &r.slots[(seq-1)%uint64(len(r.slots))]
+		s.mu.Lock()
+		got, sp := s.seq, s.span
+		s.mu.Unlock()
+		// Exact-stamp match only: a slot lapped past `seq` surfaces at its
+		// own sequence (this drain if <= head, the next one otherwise), so
+		// no span is ever delivered twice; a slot whose publish stamped
+		// the counter but not yet the slot is skipped (sampling loss, not
+		// an error).
+		if got == seq {
+			out = append(out, sp)
+		}
+	}
+	return out, head
 }

@@ -45,6 +45,9 @@ import (
 	"time"
 
 	"adept2"
+	"adept2/internal/engine"
+	"adept2/internal/history"
+	"adept2/internal/mining"
 	"adept2/internal/model"
 	"adept2/internal/obs"
 	"adept2/internal/sim"
@@ -297,6 +300,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := r.checkMetrics(); err != nil {
 		return nil, fmt.Errorf("sim: soak: after drain: %w", err)
 	}
+	if err := r.checkMining(ctx); err != nil {
+		return nil, fmt.Errorf("sim: soak: after drain: %w", err)
+	}
 	r.res.MetricsSummary = metricsSummary(r.sys.Metrics())
 	if err := r.reopenClean(ctx); err != nil {
 		return nil, fmt.Errorf("sim: soak: final reopen: %w", err)
@@ -444,6 +450,9 @@ func (r *runner) run(ctx context.Context) error {
 				return fmt.Errorf("sim: soak step %d: %w", step, err)
 			}
 			if err := r.checkMetrics(); err != nil {
+				return fmt.Errorf("sim: soak step %d: %w", step, err)
+			}
+			if err := r.checkMining(ctx); err != nil {
 				return fmt.Errorf("sim: soak step %d: %w", step, err)
 			}
 		}
@@ -831,6 +840,58 @@ func (r *runner) checkMetrics() error {
 	}
 	if !r.sessionDirty && appends != growth {
 		return fmt.Errorf("metrics invariant: clean session counted %d appends but journals grew by %d", appends, growth)
+	}
+	return nil
+}
+
+// checkMining reconciles the streaming mining scan against ground
+// truth: System.Mine's variant table must carry exactly the counts
+// obtained by recomputing each live instance's fingerprint one at a
+// time from its own reduced history, and the population totals must
+// match the engine. The batched scan and the per-instance recomputation
+// share no aggregation state, so a fold bug on either side breaks the
+// reconciliation for the scenario's seed.
+func (r *runner) checkMining(ctx context.Context) error {
+	rep, err := r.sys.Mine(ctx, adept2.MineOptions{MaxVariants: 1 << 16, BatchSize: 16})
+	if err != nil {
+		return fmt.Errorf("mining invariant: scan: %w", err)
+	}
+	insts := r.sys.Instances()
+	if rep.Instances != int64(len(insts)) {
+		return fmt.Errorf("mining invariant: scanned %d instances, engine has %d", rep.Instances, len(insts))
+	}
+	if rep.VariantOverflow != 0 {
+		return fmt.Errorf("mining invariant: %d variants overflowed an uncapped table", rep.VariantOverflow)
+	}
+	want := make(map[string]int64)
+	var done, biased int64
+	var buf []*history.Event
+	for _, inst := range insts {
+		buf = inst.MineHistory(buf, func(v engine.MineView) {
+			want[fmt.Sprintf("%016x", mining.Fingerprint(v.Reduced))]++
+			if v.Done {
+				done++
+			}
+			if v.Biased {
+				biased++
+			}
+		})
+	}
+	if rep.Done != done || rep.Biased != biased {
+		return fmt.Errorf("mining invariant: done/biased %d/%d, ground truth %d/%d",
+			rep.Done, rep.Biased, done, biased)
+	}
+	got := make(map[string]int64, len(rep.Variants))
+	for _, v := range rep.Variants {
+		got[v.Fingerprint] = v.Count
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("mining invariant: %d mined variants, ground truth %d", len(got), len(want))
+	}
+	for fp, n := range want {
+		if got[fp] != n {
+			return fmt.Errorf("mining invariant: variant %s mined %d times, ground truth %d", fp, got[fp], n)
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"adept2/internal/obs"
@@ -294,6 +295,43 @@ func (s *System) startMetricsServer(addr string) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Metrics())
+	})
+	mux.HandleFunc("/mine.json", func(w http.ResponseWriter, r *http.Request) {
+		opts := MineOptions{}
+		if v := r.URL.Query().Get("variants"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				opts.MaxVariants = n
+			}
+		}
+		rep, err := s.Mine(r.Context(), opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		var after uint64
+		if v := r.URL.Query().Get("after"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad after cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			after = n
+		}
+		var ring *obs.TraceRing
+		if s.met != nil {
+			ring = s.met.Ring
+		}
+		spans, next := ring.Export(after)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(obs.TraceExport{Next: next, Spans: spans})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

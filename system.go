@@ -221,13 +221,14 @@ type ShardRecovery struct {
 type Option func(*config)
 
 type config struct {
-	org      *org.Model
-	strategy storage.Strategy
-	journal  *persist.Journal
-	ckpt     *CheckpointConfig
-	fs       vfs.FS
-	nowFn    func() int64
-	policy   ExceptionPolicy
+	org        *org.Model
+	strategy   storage.Strategy
+	journal    *persist.Journal
+	ckpt       *CheckpointConfig
+	fs         vfs.FS
+	nowFn      func() int64
+	policy     ExceptionPolicy
+	bothCanAct bool
 
 	// Observability (metrics.go): metrics are on by default; metricsOff
 	// selects obs.Disabled, obsOpts tunes the trace ring, metricsAddr
@@ -288,6 +289,11 @@ func New(opts ...Option) *System {
 func newSystem(c *config) *System {
 	e := engine.New(c.org)
 	e.SetStorageStrategy(c.strategy)
+	// Escalation semantics are fixed before any replay (every
+	// construction path — New, each snapshot-recovery attempt, full
+	// replay — funnels through here), so recovered timeout records
+	// escalate to the identical user set the original execution offered.
+	e.SetEscalationBothCanAct(c.bothCanAct)
 	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal, nowFn: c.nowFn, policy: c.policy}
 }
 
