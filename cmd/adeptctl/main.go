@@ -14,12 +14,15 @@
 //	adeptctl verify -journal wal  # offline integrity check (-repair fixes tails)
 //	adeptctl list -journal wal    # page through instances and worklists
 //	adeptctl load -journal wal -mode batch   # drive the Submit API
+//	adeptctl serve -journal wal -addr :8137  # expose the command plane over HTTP
+//	adeptctl load -remote http://host:8137   # drive a served system remotely
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +47,7 @@ import (
 	"adept2/internal/monitor"
 	"adept2/internal/obs"
 	"adept2/internal/persist"
+	"adept2/internal/rpc"
 	"adept2/internal/sim"
 	"adept2/internal/sim/soak"
 )
@@ -74,6 +78,8 @@ func main() {
 		list(os.Args[2:])
 	case "load":
 		load(os.Args[2:])
+	case "serve":
+		serveCmd(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
 	case "mine":
@@ -97,7 +103,10 @@ func usage() {
        adeptctl reshard -journal PATH -shards N [-dir DIR]
        adeptctl verify -journal PATH [-dir DIR] [-repair]
        adeptctl list -journal PATH [-user U] [-page N]
+       adeptctl list -remote URL [-user U] [-page N]
        adeptctl load -journal PATH [-n N] [-mode sync|async|batch] [-shards N]
+       adeptctl load -remote URL [-n N] [-mode sync|async|batch]
+       adeptctl serve -journal PATH [-addr ADDR] [-shards N] [-metrics ADDR]
        adeptctl stats -journal PATH [-format text|prom|json] [-serve ADDR]
        adeptctl stats -fetch URL
        adeptctl mine -journal PATH [-format text|json] [-variants N]
@@ -399,10 +408,15 @@ func verify(args []string) {
 // front end would use instead of copying full slices.
 func list(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
-	journal := fs.String("journal", "", "journal file (required)")
+	journal := fs.String("journal", "", "journal file (required unless -remote)")
 	user := fs.String("user", "", "also page this user's worklist")
 	page := fs.Int("page", 5, "page size")
+	remote := fs.String("remote", "", "page a served command plane at URL instead of opening a journal")
 	must(fs.Parse(args))
+	if *remote != "" {
+		listRemote(*remote, *user, *page)
+		return
+	}
 	if *journal == "" {
 		usage()
 	}
@@ -461,11 +475,16 @@ func list(args []string) {
 // batch/async paths end to end.
 func load(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
-	journal := fs.String("journal", "", "journal file to create (required)")
+	journal := fs.String("journal", "", "journal file to create (required unless -remote)")
 	n := fs.Int("n", 64, "instances to drive")
 	mode := fs.String("mode", "batch", "submission mode: sync, async, or batch")
 	shards := fs.Int("shards", 0, "create a sharded layout with N shards")
+	remote := fs.String("remote", "", "drive a served command plane at URL instead of opening a journal")
 	must(fs.Parse(args))
+	if *remote != "" {
+		loadRemote(*remote, *n, *mode)
+		return
+	}
 	if *journal == "" {
 		usage()
 	}
@@ -531,6 +550,174 @@ func load(args []string) {
 	fmt.Printf("%s: %d commands (%s mode) in %s (%.0f cmds/s), journal seq %d\n",
 		*journal, cmds, *mode, elapsed.Round(time.Millisecond),
 		float64(cmds)/elapsed.Seconds(), seq)
+}
+
+// serveCmd exposes a journaled system as a networked command plane:
+// open, serve HTTP/JSON on -addr (optionally the stats plane on
+// -metrics), block until SIGINT/SIGTERM, then drain — in-flight
+// receipts resolve against the final watermarks — and close.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal file (required; created if missing)")
+	addr := fs.String("addr", "127.0.0.1:0", "command-plane listen address")
+	shards := fs.Int("shards", 0, "create a sharded layout with N shards")
+	metrics := fs.String("metrics", "", "also serve /metrics, /metrics.json, /healthz at ADDR")
+	must(fs.Parse(args))
+	if *journal == "" {
+		usage()
+	}
+	opts := []adept2.Option{adept2.WithCheckpointing(adept2.CheckpointConfig{
+		Every: -1, GroupCommit: true, Shards: *shards,
+	})}
+	if *metrics != "" {
+		opts = append(opts, adept2.WithMetricsServer(*metrics))
+	}
+	sys, err := adept2.Open(*journal, opts...)
+	must(err)
+	srv, err := rpc.NewServer(sys, rpc.Options{Addr: *addr})
+	must(err)
+	fmt.Printf("serving command plane at %s\n", srv.URL())
+	if *metrics != "" {
+		fmt.Printf("serving stats at http://%s/metrics\n", sys.MetricsAddr())
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Println("draining")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	must(srv.Close(ctx))
+	must(sys.Close())
+}
+
+// listRemote is list over the wire: the same cursor pagination, served
+// by a remote command plane.
+func listRemote(url, user string, page int) {
+	ctx := context.Background()
+	cli, err := rpc.Dial(ctx, url)
+	must(err)
+	defer cli.Close()
+	pages, total := 0, 0
+	for cursor := ""; ; {
+		pg, err := cli.Instances(ctx, cursor, page)
+		must(err)
+		if len(pg.Instances) > 0 {
+			pages++
+		}
+		for _, inst := range pg.Instances {
+			total++
+			state := "running"
+			switch {
+			case inst.Done:
+				state = "completed"
+			case inst.Suspended:
+				state = "suspended"
+			}
+			bias := ""
+			if inst.Biased {
+				bias = " +bias"
+			}
+			fmt.Printf("  %s  %s v%d  %s%s\n", inst.ID, inst.Type, inst.Version, state, bias)
+		}
+		if pg.Next == "" {
+			break
+		}
+		cursor = pg.Next
+	}
+	fmt.Printf("%d instances in %d pages of %d (remote)\n", total, pages, page)
+
+	if user != "" {
+		n := 0
+		for cursor := ""; ; {
+			pg, err := cli.WorkItems(ctx, user, cursor, page)
+			must(err)
+			for _, it := range pg.Items {
+				n++
+				fmt.Printf("  %s  %s/%s (%s, %s)\n", it.ID, it.Instance, it.Node, it.Role, it.State)
+			}
+			if pg.Next == "" {
+				break
+			}
+			cursor = pg.Next
+		}
+		fmt.Printf("%d work items for %s (remote)\n", n, user)
+	}
+}
+
+// loadRemote is load over the wire: the same create/complete workload,
+// submitted to a served command plane through the typed client in the
+// chosen mode. The org user and schema bootstrap travels as commands
+// too (tolerating a server that already has the user).
+func loadRemote(url string, n int, mode string) {
+	ctx := context.Background()
+	cli, err := rpc.Dial(ctx, url)
+	must(err)
+	defer cli.Close()
+
+	if _, err := cli.Submit(ctx, &adept2.AddUser{User: &adept2.User{
+		ID: "ann", Name: "Ann", Roles: []string{"clerk", "sales"}}}); err != nil &&
+		!errors.Is(err, adept2.ErrConflict) && !errors.Is(err, adept2.ErrInvalid) {
+		must(err)
+	}
+	// A server that already has the schema answers version_skew.
+	if _, err := cli.Submit(ctx, &adept2.Deploy{Schema: sim.OnlineOrder()}); err != nil &&
+		!errors.Is(err, adept2.ErrConflict) && !errors.Is(err, adept2.ErrVersionSkew) {
+		must(err)
+	}
+
+	start := time.Now()
+	var cmds int
+	outputs := func(i int) map[string]any {
+		return map[string]any{"out": fmt.Sprintf("order-%d", i)}
+	}
+	switch mode {
+	case "sync":
+		for i := 0; i < n; i++ {
+			res, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			_, err = cli.Submit(ctx, &adept2.CompleteActivity{
+				Instance: res.Result.Instance.ID, Node: "get_order", User: "ann", Outputs: outputs(i)})
+			must(err)
+			cmds += 2
+		}
+	case "async":
+		receipts := make([]*rpc.Receipt, 0, 2*n)
+		for i := 0; i < n; i++ {
+			r, err := cli.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			r2, err := cli.SubmitAsync(ctx, &adept2.CompleteActivity{
+				Instance: r.Result().Instance.ID, Node: "get_order", User: "ann", Outputs: outputs(i)})
+			must(err)
+			receipts = append(receipts, r, r2)
+		}
+		for _, r := range receipts {
+			must(r.Wait(ctx))
+		}
+		cmds = len(receipts)
+	case "batch":
+		for i := 0; i < n; i++ {
+			res, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			must(err)
+			id := res.Result.Instance.ID
+			results, err := cli.SubmitBatch(ctx, []adept2.Command{
+				&adept2.CompleteActivity{Instance: id, Node: "get_order", User: "ann", Outputs: outputs(i)},
+				&adept2.Suspend{Instance: id},
+				&adept2.Resume{Instance: id},
+			})
+			must(err)
+			cmds += 1 + len(results)
+		}
+	default:
+		usage()
+	}
+	elapsed := time.Since(start)
+	wms, err := cli.Watermarks(ctx)
+	must(err)
+	sum, err := cli.Health(ctx)
+	must(err)
+	fmt.Printf("%s: %d commands (%s mode, remote) in %s (%.0f cmds/s), %d shards, watermarks %v, %d instances\n",
+		url, cmds, mode, elapsed.Round(time.Millisecond),
+		float64(cmds)/elapsed.Seconds(), sum.Shards, wms, sum.Instances)
 }
 
 // stats is the operational stats plane on the command line: open a
@@ -635,6 +822,11 @@ var requiredFamilies = []string{
 	"adept2_sweep_lag_seconds",
 	"adept2_instances",
 	"adept2_wedged",
+	"adept2_rpc_requests_total",
+	"adept2_rpc_request_seconds",
+	"adept2_rpc_open_streams",
+	"adept2_rpc_stream_events_total",
+	"adept2_rpc_decode_errors_total",
 }
 
 // validateEndpoint GETs url and validates the payload: a /metrics.json

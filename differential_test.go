@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"adept2"
+	"adept2/internal/rpc"
 	"adept2/internal/sim"
 	"adept2/internal/state"
 )
@@ -303,6 +304,109 @@ func TestDifferentialConcurrentAsyncRecovery(t *testing.T) {
 			}
 			defer got.Close()
 			assertSameState(t, sys, got)
+		})
+	}
+}
+
+// TestDifferentialRemoteLocal drives the identical seeded command
+// stream into an in-process system and into a second system behind the
+// networked command plane (cycling the remote submission mode across
+// sync, async-receipt, and batch), asserting that every step agrees on
+// outcome and taxonomy code. The remote system is then drained,
+// crashed (closed), and recovered from its journal — its state must
+// match the local system exactly: the wire plane neither loses nor
+// reorders anything the in-process API would have preserved.
+func TestDifferentialRemoteLocal(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			cfg := adept2.CheckpointConfig{Every: 24, GroupCommit: true, Shards: 4}
+			local, err := adept2.Open(filepath.Join(t.TempDir(), "local.ndjson"),
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer local.Close()
+			remotePath := filepath.Join(t.TempDir(), "remote.ndjson")
+			remote, err := adept2.Open(remotePath,
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := rpc.NewServer(remote, rpc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli, err := rpc.Dial(ctx, srv.URL())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+
+			d := newCmdDriver(t, local, seed) // deploys on local
+			if _, err := cli.Submit(ctx, &adept2.Deploy{Schema: sim.OnlineOrder()}); err != nil {
+				t.Fatal(err)
+			}
+
+			var receipts []*rpc.Receipt
+			for i := 0; i < 120; i++ {
+				cmd := d.propose()
+				if cmd == nil {
+					continue
+				}
+				lres, lerr := local.Submit(ctx, cmd)
+				d.note(lres, lerr)
+				var rerr error
+				mode := i % 3
+				switch mode {
+				case 0:
+					_, rerr = cli.Submit(ctx, cmd)
+				case 1:
+					var rcpt *rpc.Receipt
+					rcpt, rerr = cli.SubmitAsync(ctx, cmd)
+					if rerr == nil {
+						receipts = append(receipts, rcpt)
+					}
+				case 2:
+					_, rerr = cli.SubmitBatch(ctx, []adept2.Command{cmd})
+				}
+				if (lerr == nil) != (rerr == nil) {
+					t.Fatalf("step %d (%s): local err %v, remote err %v", i, cmd.CommandName(), lerr, rerr)
+				}
+				if lerr != nil && mode != 2 {
+					var le, re *adept2.Error
+					if !errors.As(lerr, &le) || !errors.As(rerr, &re) || le.Code != re.Code {
+						t.Fatalf("step %d (%s): taxonomy diverged across the wire: local %v, remote %v",
+							i, cmd.CommandName(), lerr, rerr)
+					}
+				}
+			}
+			if d.applied < 40 {
+				t.Fatalf("random walk applied only %d commands — driver degenerated", d.applied)
+			}
+			for _, rcpt := range receipts {
+				if err := rcpt.Wait(ctx); err != nil {
+					t.Fatalf("remote receipt: %v", err)
+				}
+			}
+
+			// Drain the wire plane, crash the remote system, recover it.
+			if err := srv.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := remote.WaitCheckpoints(); err != nil {
+				t.Fatal(err)
+			}
+			if err := remote.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recovered, err := adept2.Open(remotePath,
+				adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recovered.Close()
+			assertSameState(t, local, recovered)
 		})
 	}
 }

@@ -195,4 +195,34 @@
 // the same plane: WithEscalationBothCanAct offers expired work to the
 // union of the original and escalation roles instead of replacing the
 // offer, and recovery replays escalations under the same knob.
+//
+// # The networked command plane
+//
+// internal/rpc turns the in-process API into a network service without
+// inventing a second protocol: the wire envelope {"op","args"} IS the
+// journal record format, encoded and decoded through the same command
+// registry (EncodeCommand / DecodeWireCommand on this façade), so a
+// command serialized by a remote client is byte-compatible with what
+// the journal stores and replay consumes. rpc.NewServer mounts the
+// HTTP/JSON plane on a System; rpc.Dial returns a typed Client whose
+// Submit / SubmitAsync / SubmitBatch mirror the façade with identical
+// durable-on-resolution semantics and the identical Error taxonomy —
+// non-2xx answers carry a structured error envelope mapped through
+// Code.HTTPStatus, and the client rehydrates it so errors.Is matches
+// the Err* sentinels across the network.
+//
+// Async submission keeps its pipelining win remotely because receipts
+// are tokens, not server state: a receipt is (shard, shard-local seq),
+// durable exactly when the shard's fsync watermark reaches the seq.
+// The server streams watermark advances over one NDJSON subscription
+// (GET /v1/watermarks) and every client resolves any number of
+// receipts locally against that single shared stream — resolving a
+// window of N receipts costs zero additional requests. Reads (cursor-
+// paginated instances and work items, instance detail, open
+// exceptions, health) and a durable-gated control-log tail round out
+// the plane; Server.Close drains gracefully, refusing new work,
+// finishing in-flight commands, forcing a final flush, and ending
+// streams with Final events so every receipt issued before the drain
+// resolves. See internal/rpc's package documentation for the wire
+// invariants, and `adeptctl serve` / `-remote` for the CLI surface.
 package adept2

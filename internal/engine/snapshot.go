@@ -226,10 +226,12 @@ func (e *Engine) SetInstanceCounter(n int) {
 // SortInstanceOrder re-sorts the creation-order index by the numeric
 // suffix of engine-assigned IDs (inst-%d; the %06d padding alone would
 // misorder lexicographically past a million instances), falling back to
-// string order for foreign IDs. Sharded recovery — which restores and
-// replays shards concurrently and therefore inserts instances out of
-// order — calls this once at the end to make Instances() deterministic
-// again.
+// string order for foreign IDs. Recovery calls this once at the end:
+// sharded recovery restores and replays shards concurrently, and even a
+// single journal records concurrent creates in append order, not
+// engine-apply (ID-assignment) order — either way instances arrive out
+// of ID order and the live listing must not depend on which path built
+// it.
 func (e *Engine) SortInstanceOrder() {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -107,6 +107,25 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	pw.header("adept2_sweep_lag_seconds", "gauge", "Latest timer sweep's due-to-done lag.")
 	pw.val("adept2_sweep_lag_seconds", "", float64(s.Exception.SweepLagNanos)*1e-9)
 
+	pw.header("adept2_rpc_requests_total", "counter", "RPC requests answered, by endpoint and outcome.")
+	for _, ep := range sortedRPC(s.RPC.Endpoints) {
+		e := s.RPC.Endpoints[ep]
+		pw.val("adept2_rpc_requests_total", lbl("endpoint", ep, "code", "ok"), float64(e.Requests-e.Failures))
+		if e.Failures > 0 {
+			pw.val("adept2_rpc_requests_total", lbl("endpoint", ep, "code", "error"), float64(e.Failures))
+		}
+	}
+	pw.header("adept2_rpc_request_seconds", "histogram", "RPC handler duration, by endpoint.")
+	for _, ep := range sortedRPC(s.RPC.Endpoints) {
+		pw.histogram("adept2_rpc_request_seconds", lbl("endpoint", ep), s.RPC.Endpoints[ep].Latency, 1e-9)
+	}
+	pw.header("adept2_rpc_open_streams", "gauge", "Connected NDJSON stream subscribers (watermarks + control-log tails).")
+	pw.val("adept2_rpc_open_streams", "", float64(s.RPC.OpenStreams))
+	pw.header("adept2_rpc_stream_events_total", "counter", "Lines pushed to stream subscribers (receipt-resolution fan-out).")
+	pw.val("adept2_rpc_stream_events_total", "", float64(s.RPC.StreamEvents))
+	pw.header("adept2_rpc_decode_errors_total", "counter", "Wire envelopes rejected before dispatch.")
+	pw.val("adept2_rpc_decode_errors_total", "", float64(s.RPC.DecodeErrors))
+
 	pw.header("adept2_instances", "gauge", "Instances resident in the engine.")
 	pw.val("adept2_instances", "", float64(s.Engine.Instances))
 	pw.header("adept2_worklist_depth", "gauge", "Offered work items across all users.")
@@ -215,6 +234,15 @@ func escapeLabel(v string) string {
 }
 
 func sortedOps(m map[string]OpSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedRPC(m map[string]RPCEndpointSnapshot) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -24,6 +24,7 @@ type Set struct {
 	Checkpoint CheckpointMetrics
 	Recovery   RecoveryMetrics
 	Exception  ExceptionMetrics
+	RPC        RPCMetrics
 
 	Ring *TraceRing
 }
@@ -75,6 +76,12 @@ func New(ops, codes []string, shards int, o Options) *Set {
 	}
 	s.Checkpoint.Nanos = NewHistogram(28, 10)
 	s.Exception.SweepNanos = NewHistogram(28, 10)
+	s.RPC.requests = make([]Counter, len(RPCEndpoints))
+	s.RPC.failures = make([]Counter, len(RPCEndpoints))
+	s.RPC.Latency = make([]*Histogram, len(RPCEndpoints))
+	for i := range s.RPC.Latency {
+		s.RPC.Latency[i] = NewHistogram(28, 10)
+	}
 	return s
 }
 
@@ -220,3 +227,92 @@ type ExceptionMetrics struct {
 // ActionNames labels ExceptionMetrics.Actions, aligned with the
 // facade's CompensationAction ordinals.
 var ActionNames = [4]string{"none", "retry", "skip", "suspend"}
+
+// RPC endpoint indexes into RPCEndpoints — the networked command plane's
+// fixed label space (one slot per wire endpoint family).
+const (
+	EpCommands = iota // POST /v1/commands (sync + async submit)
+	EpBatch           // POST /v1/batch
+	EpInstances       // GET /v1/instances, /v1/instances/{id}
+	EpWorkItems       // GET /v1/workitems
+	EpExceptions      // GET /v1/exceptions
+	EpHealth          // GET /v1/healthz
+	EpWatermarks      // GET /v1/watermarks (snapshot + NDJSON stream)
+	EpControlLog      // GET /v1/control-log (suffix read + NDJSON tail)
+	NumEndpoints
+)
+
+// RPCEndpoints labels the RPC metric arrays, aligned with the Ep*
+// indexes.
+var RPCEndpoints = [NumEndpoints]string{
+	"commands", "batch", "instances", "workitems",
+	"exceptions", "health", "watermarks", "controllog",
+}
+
+// RPCMetrics is the networked command plane's family: per-endpoint
+// request counts and latency, the open-stream gauge, the receipt/
+// watermark stream depth, and wire decode failures. Recording goes
+// through the nil-safe *Set methods below, so a System without metrics
+// (or a Server handed obs.Disabled) pays one branch.
+type RPCMetrics struct {
+	requests []Counter    // per endpoint: requests answered (any status)
+	failures []Counter    // per endpoint: non-2xx answers
+	Latency  []*Histogram // per endpoint, nanos, full handler duration
+
+	// OpenStreams counts currently-connected NDJSON subscribers
+	// (watermark + control-log tails); StreamEvents counts lines pushed
+	// to them (receipt-resolution fan-out depth over time).
+	OpenStreams  Gauge
+	StreamEvents Counter
+	// DecodeErrors counts wire envelopes rejected before dispatch
+	// (unknown op, malformed args/JSON).
+	DecodeErrors Counter
+}
+
+// RPCRequest records one answered RPC request: the endpoint slot, the
+// handler duration, and whether the answer was a success (2xx).
+func (s *Set) RPCRequest(ep int, nanos int64, ok bool) {
+	if s == nil || ep < 0 || ep >= len(s.RPC.requests) {
+		return
+	}
+	s.RPC.requests[ep].Inc()
+	if !ok {
+		s.RPC.failures[ep].Inc()
+	}
+	s.RPC.Latency[ep].Observe(nanos)
+}
+
+// RPCStreamOpen/RPCStreamClose move the open-stream gauge.
+func (s *Set) RPCStreamOpen() {
+	if s != nil {
+		s.RPC.OpenStreams.Add(1)
+	}
+}
+
+func (s *Set) RPCStreamClose() {
+	if s != nil {
+		s.RPC.OpenStreams.Add(-1)
+	}
+}
+
+// RPCStreamEvents counts n lines pushed to stream subscribers.
+func (s *Set) RPCStreamEvents(n int64) {
+	if s != nil && n > 0 {
+		s.RPC.StreamEvents.Add(n)
+	}
+}
+
+// RPCDecodeError counts one rejected wire envelope.
+func (s *Set) RPCDecodeError() {
+	if s != nil {
+		s.RPC.DecodeErrors.Inc()
+	}
+}
+
+// RPCRequests returns one endpoint's request count (tests).
+func (s *Set) RPCRequests(ep int) int64 {
+	if s == nil || ep < 0 || ep >= len(s.RPC.requests) {
+		return 0
+	}
+	return s.RPC.requests[ep].Load()
+}

@@ -15,6 +15,7 @@ type Snapshot struct {
 	Checkpoint CheckpointSnapshot    `json:"checkpoint"`
 	Recovery   RecoverySnapshot      `json:"recovery"`
 	Exception  ExceptionSnapshot     `json:"exception"`
+	RPC        RPCSnapshot           `json:"rpc"`
 	Engine     EngineSnapshot        `json:"engine"`
 	Health     HealthSnapshot        `json:"health"`
 	Traces     []Span                `json:"traces,omitempty"`
@@ -94,6 +95,23 @@ type ExceptionSnapshot struct {
 	SweepErrors   int64             `json:"sweepErrors"`
 	SweepNanos    HistogramSnapshot `json:"sweepNanos"`
 	SweepLagNanos int64             `json:"sweepLagNanos"`
+}
+
+// RPCSnapshot is the networked command plane's family. Endpoints holds
+// only endpoints that served at least one request, keeping systems
+// without an RPC server small.
+type RPCSnapshot struct {
+	Endpoints    map[string]RPCEndpointSnapshot `json:"endpoints,omitempty"`
+	OpenStreams  int64                          `json:"openStreams"`
+	StreamEvents int64                          `json:"streamEvents"`
+	DecodeErrors int64                          `json:"decodeErrors"`
+}
+
+// RPCEndpointSnapshot is one wire endpoint's request family.
+type RPCEndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Failures int64             `json:"failures,omitempty"`
+	Latency  HistogramSnapshot `json:"latency"`
 }
 
 // EngineSnapshot is the engine's instantaneous gauges (facade-filled).
@@ -180,6 +198,25 @@ func (s *Set) Snapshot() *Snapshot {
 		}
 	}
 	snap.Exception = x
+	snap.RPC = RPCSnapshot{
+		OpenStreams:  s.RPC.OpenStreams.Load(),
+		StreamEvents: s.RPC.StreamEvents.Load(),
+		DecodeErrors: s.RPC.DecodeErrors.Load(),
+	}
+	for i := range s.RPC.requests {
+		n := s.RPC.requests[i].Load()
+		if n == 0 {
+			continue
+		}
+		if snap.RPC.Endpoints == nil {
+			snap.RPC.Endpoints = map[string]RPCEndpointSnapshot{}
+		}
+		snap.RPC.Endpoints[RPCEndpoints[i]] = RPCEndpointSnapshot{
+			Requests: n,
+			Failures: s.RPC.failures[i].Load(),
+			Latency:  s.RPC.Latency[i].Snapshot(),
+		}
+	}
 	traces := s.Ring.Snapshot()
 	sort.Slice(traces, func(i, j int) bool { return traces[i].SubmitNanos < traces[j].SubmitNanos })
 	snap.Traces = traces

@@ -1,0 +1,509 @@
+package rpc_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adept2"
+	"adept2/internal/rpc"
+	"adept2/internal/sim"
+)
+
+func openSystem(t *testing.T, cfg adept2.CheckpointConfig) *adept2.System {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	sys, err := adept2.Open(path, adept2.WithOrg(sim.Org()), adept2.WithCheckpointing(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := sys.Deploy(sim.OnlineOrder()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func serve(t *testing.T, sys *adept2.System, opts rpc.Options) (*rpc.Server, *rpc.Client) {
+	t.Helper()
+	srv, err := rpc.NewServer(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	cli, err := rpc.Dial(context.Background(), srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// TestRemoteSubmitModes drives all three submission modes through the
+// wire and checks the durable-on-resolution contract of each.
+func TestRemoteSubmitModes(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true, Shards: shards})
+			_, cli := serve(t, sys, rpc.Options{})
+			ctx := context.Background()
+
+			// Sync: durable on return, result carries the instance.
+			res, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Durable || res.Result == nil || res.Result.Instance == nil {
+				t.Fatalf("sync submit: %+v", res)
+			}
+			id := res.Result.Instance.ID
+			wms, err := cli.Watermarks(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wms[res.Shard] < res.Seq {
+				t.Fatalf("sync receipt (%d,%d) not covered by watermark %d", res.Shard, res.Seq, wms[res.Shard])
+			}
+
+			// Async: receipt resolves at fsync coverage via the stream.
+			rcpt, err := cli.SubmitAsync(ctx, &adept2.CompleteActivity{
+				Instance: id, Node: "get_order", User: "ann",
+				Outputs: map[string]any{"out": "o-1"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rcpt.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if wms, _ := cli.Watermarks(ctx); wms[rcpt.Shard()] < rcpt.Seq() {
+				t.Fatalf("resolved receipt (%d,%d) not fsync-covered", rcpt.Shard(), rcpt.Seq())
+			}
+
+			// Batch: durable on return, per-command results.
+			results, err := cli.SubmitBatch(ctx, []adept2.Command{
+				&adept2.CreateInstance{TypeName: "online_order"},
+				&adept2.CreateInstance{TypeName: "online_order"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 2 || results[0].Instance == nil || results[1].Instance == nil {
+				t.Fatalf("batch results: %+v", results)
+			}
+
+			// The server engine agrees with what the wire reported.
+			if inst, ok := sys.Instance(id); !ok || inst.NodeState("get_order").String() == "" {
+				t.Fatalf("instance %s missing server-side", id)
+			}
+		})
+	}
+}
+
+// TestRemoteReceiptsConcurrentSubmitters fans pipelined async
+// submissions out of many goroutines over one client and resolves
+// every receipt against the single shared watermark stream.
+func TestRemoteReceiptsConcurrentSubmitters(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true, Shards: 4})
+	_, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+
+	const workers, perWorker = 8, 10
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var receipts []*rpc.Receipt
+			for i := 0; i < perWorker; i++ {
+				rcpt, err := cli.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				receipts = append(receipts, rcpt)
+			}
+			for _, rcpt := range receipts {
+				if err := rcpt.Wait(ctx); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sys.Instances()); got != workers*perWorker {
+		t.Fatalf("server holds %d instances, want %d", got, workers*perWorker)
+	}
+}
+
+// TestRemoteErrorTaxonomy exercises the error envelope: errors.Is
+// against the taxonomy sentinels must hold across the network hop.
+func TestRemoteErrorTaxonomy(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true})
+	_, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+
+	// Unknown instance → ErrNotFound.
+	_, err := cli.Submit(ctx, &adept2.Suspend{Instance: "inst-nope"})
+	if !errors.Is(err, adept2.ErrNotFound) {
+		t.Fatalf("suspend unknown instance: got %v, want ErrNotFound", err)
+	}
+	var ae *adept2.Error
+	if !errors.As(err, &ae) || ae.Op != "suspend" || ae.Instance != "inst-nope" {
+		t.Fatalf("rehydrated envelope lost context: %+v", ae)
+	}
+
+	// Unknown type → ErrNotFound; the Instance lookup 404s too.
+	if _, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "ghost"}); !errors.Is(err, adept2.ErrNotFound) {
+		t.Fatalf("create unknown type: got %v", err)
+	}
+	if _, err := cli.Instance(ctx, "inst-nope"); !errors.Is(err, adept2.ErrNotFound) {
+		t.Fatalf("instance read: got %v", err)
+	}
+
+	// Completing a node that is not active → ErrConflict.
+	res, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res.Result.Instance.ID
+	_, err = cli.Submit(ctx, &adept2.CompleteActivity{Instance: id, Node: "ship", User: "ann"})
+	if !errors.Is(err, adept2.ErrConflict) && !errors.Is(err, adept2.ErrNotFound) {
+		t.Fatalf("complete inactive node: got %v", err)
+	}
+
+	// Suspended instance rejects activity commands → ErrSuspended.
+	if _, err := cli.Submit(ctx, &adept2.Suspend{Instance: id}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Submit(ctx, &adept2.CompleteActivity{
+		Instance: id, Node: "get_order", User: "ann", Outputs: map[string]any{"out": "o"}})
+	if !errors.Is(err, adept2.ErrSuspended) {
+		t.Fatalf("complete while suspended: got %v", err)
+	}
+}
+
+// TestRemoteDecodeErrors checks pre-dispatch rejection and its metric.
+func TestRemoteDecodeErrors(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true})
+	srv, _ := serve(t, sys, rpc.Options{})
+
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL()+"/v1/commands", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb struct {
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("error envelope: %v", err)
+		}
+		if eb.Error == nil || eb.Error.Code != string(adept2.CodeInvalid) {
+			t.Fatalf("want invalid envelope, got %+v", eb.Error)
+		}
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", code)
+	}
+	if code := post(`{"op":"no_such_op","args":{}}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d", code)
+	}
+	snap := sys.Metrics()
+	if snap.RPC.DecodeErrors != 2 {
+		t.Fatalf("decode errors metric = %d, want 2", snap.RPC.DecodeErrors)
+	}
+	if ep, ok := snap.RPC.Endpoints["commands"]; !ok || ep.Requests != 2 || ep.Failures != 2 {
+		t.Fatalf("commands endpoint family: %+v", snap.RPC.Endpoints)
+	}
+}
+
+// TestClientCancelMidStream parks a Wait on an unflushed receipt and
+// cancels it: ErrCanceled with Applied=true, and a later Wait still
+// resolves the same receipt.
+func TestClientCancelMidStream(t *testing.T) {
+	// A wide flush window keeps records staged well past the probe wait.
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true, FlushWindow: 500 * time.Millisecond, MaxBatch: 1 << 20})
+	_, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+
+	rcpt, err := cli.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	err = rcpt.Wait(short)
+	if !errors.Is(err, adept2.ErrCanceled) {
+		t.Fatalf("canceled wait: got %v", err)
+	}
+	var ae *adept2.Error
+	if !errors.As(err, &ae) || !ae.Applied {
+		t.Fatalf("canceled wait must report Applied: %+v", ae)
+	}
+
+	// The record is still queued; forcing the flush resolves it.
+	if err := sys.SyncDurable(); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer wcancel()
+	if err := rcpt.Wait(wctx); err != nil {
+		t.Fatalf("post-sync wait: %v", err)
+	}
+}
+
+// TestServerDrainResolvesReceipts closes the server while receipts are
+// in flight: the drain syncs every staged record and the streams emit
+// final watermarks, so every receipt issued before Close resolves nil.
+func TestServerDrainResolvesReceipts(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true, Shards: 4, FlushWindow: 500 * time.Millisecond, MaxBatch: 1 << 20})
+	srv, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+	cli.Watch() // connect the watermark stream before the drain
+
+	var receipts []*rpc.Receipt
+	for i := 0; i < 12; i++ {
+		rcpt, err := cli.SubmitAsync(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		receipts = append(receipts, rcpt)
+	}
+	// The long flush window guarantees they are still unresolved.
+	probe, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	err := receipts[len(receipts)-1].Wait(probe)
+	cancel()
+	if !errors.Is(err, adept2.ErrCanceled) {
+		t.Fatalf("receipt resolved before drain: %v", err)
+	}
+
+	done := make(chan error, len(receipts))
+	for _, rcpt := range receipts {
+		go func(r *rpc.Receipt) {
+			wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+			defer wcancel()
+			done <- r.Wait(wctx)
+		}(rcpt)
+	}
+	time.Sleep(50 * time.Millisecond) // let the waits park on the stream
+
+	cctx, ccancel := context.WithTimeout(ctx, 10*time.Second)
+	defer ccancel()
+	if err := srv.Close(cctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for range receipts {
+		if err := <-done; err != nil {
+			t.Fatalf("receipt across drain: %v", err)
+		}
+	}
+
+	// Post-drain submissions are rejected with the 503 envelope.
+	if _, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"}); err == nil {
+		t.Fatal("submit after drain succeeded")
+	}
+}
+
+// TestRemoteReadEndpoints covers cursor pagination, instance detail,
+// worklists, exceptions, and health over the wire.
+func TestRemoteReadEndpoints(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true})
+	_, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		res, err := cli.Submit(ctx, &adept2.CreateInstance{TypeName: "online_order"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, res.Result.Instance.ID)
+	}
+
+	var seen []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatal("pagination did not terminate")
+		}
+		page, err := cli.Instances(ctx, cursor, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range page.Instances {
+			seen = append(seen, inst.ID)
+		}
+		if page.Next == "" {
+			break
+		}
+		cursor = page.Next
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("paged %d instances, want %d", len(seen), len(ids))
+	}
+
+	detail, err := cli.Instance(ctx, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.ID != ids[0] || detail.Type != "online_order" {
+		t.Fatalf("detail: %+v", detail)
+	}
+
+	items, err := cli.WorkItems(ctx, "ann", "", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items.Items) == 0 {
+		t.Fatal("ann has no offered work items")
+	}
+	for _, it := range items.Items {
+		if it.Node != "get_order" || it.State == "" {
+			t.Fatalf("work item: %+v", it)
+		}
+	}
+
+	open, err := cli.OpenExceptions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 0 {
+		t.Fatalf("unexpected open exceptions: %+v", open)
+	}
+
+	sum, err := cli.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Healthy || sum.Shards != 1 || sum.Instances != 5 {
+		t.Fatalf("health: %+v", sum)
+	}
+}
+
+// TestControlLogTail checks the durable-gated suffix read and the
+// follow stream: only fsync-covered records arrive, in order, with
+// their journaled epochs.
+func TestControlLogTail(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true, Shards: 4})
+	srv, cli := serve(t, sys, rpc.Options{})
+	ctx := context.Background()
+
+	got := make(chan adept2.WireRecord, 64)
+	tailCtx, tailCancel := context.WithCancel(ctx)
+	defer tailCancel()
+	tailDone := make(chan error, 1)
+	go func() {
+		tailDone <- cli.TailControlLog(tailCtx, 0, func(rec adept2.WireRecord) error {
+			got <- rec
+			return nil
+		})
+	}()
+
+	// Control commands land on shard 0 durable-on-return.
+	if _, err := cli.Submit(ctx, &adept2.Evolve{TypeName: "online_order", Ops: sim.OnlineOrderTypeChange()}); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, wm, err := cli.ControlLog(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || wm < recs[len(recs)-1].Seq {
+		t.Fatalf("control log read: %d records, watermark %d", len(recs), wm)
+	}
+	ops := map[string]bool{}
+	lastSeq := 0
+	for _, r := range recs {
+		if r.Seq <= lastSeq {
+			t.Fatalf("control log out of order: %d after %d", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		ops[r.Op] = true
+		if _, err := adept2.DecodeWireCommand(r.Op, r.Args); err != nil {
+			t.Fatalf("record %d (%s) does not decode: %v", r.Seq, r.Op, err)
+		}
+	}
+	if !ops["deploy"] || !ops["evolve"] {
+		t.Fatalf("control log misses deploy/evolve: %v", ops)
+	}
+
+	// The tail saw the same prefix.
+	deadline := time.After(5 * time.Second)
+	var tailSeqs []int
+	for len(tailSeqs) < len(recs) {
+		select {
+		case rec := <-got:
+			tailSeqs = append(tailSeqs, rec.Seq)
+		case <-deadline:
+			t.Fatalf("tail delivered %d of %d records", len(tailSeqs), len(recs))
+		}
+	}
+	for i, r := range recs {
+		if tailSeqs[i] != r.Seq {
+			t.Fatalf("tail order diverged at %d: %v vs %v", i, tailSeqs, recs)
+		}
+	}
+	tailCancel()
+	if err := <-tailDone; err != nil {
+		t.Fatalf("tail end: %v", err)
+	}
+	_ = srv
+}
+
+// TestStreamBackpressure checks the MaxStreams rejection.
+func TestStreamBackpressure(t *testing.T) {
+	sys := openSystem(t, adept2.CheckpointConfig{GroupCommit: true})
+	srv, _ := serve(t, sys, rpc.Options{MaxStreams: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL()+"/v1/watermarks", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first stream: %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil { // stream is live
+		t.Fatal(err)
+	}
+
+	resp2, err := http.Get(srv.URL() + "/v1/watermarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second stream: %d, want 503", resp2.StatusCode)
+	}
+	if sys.Metrics().RPC.OpenStreams != 1 {
+		t.Fatalf("open streams gauge: %d", sys.Metrics().RPC.OpenStreams)
+	}
+}

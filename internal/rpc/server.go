@@ -1,0 +1,546 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adept2"
+	"adept2/internal/obs"
+)
+
+// Options tunes a Server (zero values take defaults).
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:0" — loopback,
+	// kernel-assigned port; read it back with Addr()).
+	Addr string
+	// MaxInflight bounds concurrently executing command/batch handlers;
+	// excess requests block in the handler until a slot frees (the
+	// wire plane's backpressure — the TCP connection absorbs the queue).
+	// Default 64.
+	MaxInflight int
+	// MaxStreams bounds concurrently connected NDJSON subscribers
+	// (watermark + control-log tails); excess subscriptions are rejected
+	// with 503. Default 8.
+	MaxStreams int
+}
+
+// Server is the networked command plane: an HTTP/JSON front over one
+// *adept2.System. Commands travel as registry (op, args) envelopes —
+// the same codec the journal uses — and async durability resolves
+// through the watermark stream (see doc.go for the wire protocol).
+type Server struct {
+	sys  *adept2.System
+	met  *obs.Set
+	opts Options
+
+	lis net.Listener
+	srv *http.Server
+
+	sema     chan struct{} // command/batch backpressure slots
+	streams  atomic.Int64  // connected NDJSON subscribers
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when drain begins: unblocks slot waiters
+
+	streamCtx    context.Context // canceled after drain syncs: ends streams
+	streamCancel context.CancelFunc
+
+	closeOnce sync.Once
+	closeErr  error
+	serveErr  chan error
+}
+
+// NewServer starts serving sys on opts.Addr. The returned server is
+// live: Addr() is connectable until Close.
+func NewServer(sys *adept2.System, opts Options) (*Server, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 64
+	}
+	if opts.MaxStreams <= 0 {
+		opts.MaxStreams = 8
+	}
+	lis, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", opts.Addr, err)
+	}
+	s := &Server{
+		sys:      sys,
+		met:      sys.ObsSet(),
+		opts:     opts,
+		lis:      lis,
+		sema:     make(chan struct{}, opts.MaxInflight),
+		drainCh:  make(chan struct{}),
+		serveErr: make(chan error, 1),
+	}
+	s.streamCtx, s.streamCancel = context.WithCancel(context.Background())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/commands", s.instrument(obs.EpCommands, s.handleCommands))
+	mux.HandleFunc("POST /v1/batch", s.instrument(obs.EpBatch, s.handleBatch))
+	mux.HandleFunc("GET /v1/instances", s.instrument(obs.EpInstances, s.handleInstances))
+	mux.HandleFunc("GET /v1/instances/{id}", s.instrument(obs.EpInstances, s.handleInstance))
+	mux.HandleFunc("GET /v1/workitems", s.instrument(obs.EpWorkItems, s.handleWorkItems))
+	mux.HandleFunc("GET /v1/exceptions", s.instrument(obs.EpExceptions, s.handleExceptions))
+	mux.HandleFunc("GET /v1/healthz", s.instrument(obs.EpHealth, s.handleHealth))
+	mux.HandleFunc("GET /v1/watermarks", s.instrument(obs.EpWatermarks, s.handleWatermarks))
+	mux.HandleFunc("GET /v1/control-log", s.instrument(obs.EpControlLog, s.handleControlLog))
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { s.serveErr <- s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the server's base URL, the form Dial takes.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close drains gracefully: (1) new commands and subscriptions are
+// rejected 503, (2) in-flight command handlers finish (bounded by ctx),
+// (3) every staged journal record is forced durable, (4) streams emit
+// their final watermarks and end — resolving every receipt issued
+// before Close — and (5) the HTTP server shuts down. Close does not
+// close the underlying System.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		// Barrier: owning every slot means no command handler is mid-
+		// stage, so the sync below covers everything submitted so far.
+		acquired := 0
+	barrier:
+		for acquired < cap(s.sema) {
+			select {
+			case s.sema <- struct{}{}:
+				acquired++
+			case <-ctx.Done():
+				s.closeErr = ctx.Err()
+				break barrier
+			}
+		}
+		err := s.sys.SyncDurable()
+		s.streamCancel()
+		if serr := s.srv.Shutdown(ctx); err == nil {
+			err = serr
+		}
+		for i := 0; i < acquired; i++ {
+			<-s.sema
+		}
+		if s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// instrument wraps a handler with the per-endpoint request counter and
+// latency histogram (streaming handlers observe the full stream
+// lifetime). All obs methods are nil-Set-safe.
+func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.met.RPCRequest(ep, time.Since(start).Nanoseconds(), sr.code < 400)
+	}
+}
+
+// statusRecorder captures the response status for the request metrics
+// and forwards Flush so streaming handlers keep their flusher.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	we, status := toWireError(err)
+	writeJSON(w, status, errorBody{Error: we})
+}
+
+func drainingErr() error {
+	return &adept2.Error{Code: adept2.CodeWedged, Op: "rpc",
+		Err: errors.New("rpc: server draining")}
+}
+
+// acquireSlot takes one backpressure slot, blocking while the plane is
+// at MaxInflight. It reports false (with the response written) when
+// the client went away or the server started draining.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		writeError(w, drainingErr())
+		return false
+	}
+	select {
+	case s.sema <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		writeError(w, &adept2.Error{Code: adept2.CodeCanceled, Op: "rpc", Err: r.Context().Err()})
+		return false
+	case <-s.drainCh:
+		writeError(w, drainingErr())
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.sema }
+
+// handleCommands serves POST /v1/commands: decode the envelope through
+// the registry, dispatch SubmitAsync, and either wait for durability
+// (sync mode) or hand back the receipt token (async mode).
+func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
+	if !s.acquireSlot(w, r) {
+		return
+	}
+	defer s.releaseSlot()
+	var req commandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.RPCDecodeError()
+		writeError(w, decodeErr("command envelope", err))
+		return
+	}
+	cmd, err := adept2.DecodeWireCommand(req.Op, req.Args)
+	if err != nil {
+		s.met.RPCDecodeError()
+		writeError(w, err)
+		return
+	}
+	rcpt, err := s.sys.SubmitAsync(r.Context(), cmd)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res := SubmitResult{
+		Op:     req.Op,
+		Shard:  rcpt.Shard(),
+		Seq:    rcpt.Seq(),
+		Result: resultSummary(rcpt.Result()),
+	}
+	if req.Mode == "async" {
+		res.Durable = s.sys.DurableWatermarks()[res.Shard] >= res.Seq
+	} else {
+		if err := rcpt.Wait(r.Context()); err != nil {
+			writeError(w, err)
+			return
+		}
+		res.Durable = true
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleBatch serves POST /v1/batch: decode every envelope, land the
+// run through SubmitBatch (durable on return), answer the applied
+// results plus the in-band error envelope of the first failure.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.acquireSlot(w, r) {
+		return
+	}
+	defer s.releaseSlot()
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.RPCDecodeError()
+		writeError(w, decodeErr("batch envelope", err))
+		return
+	}
+	cmds := make([]adept2.Command, len(req.Commands))
+	for i, env := range req.Commands {
+		cmd, err := adept2.DecodeWireCommand(env.Op, env.Args)
+		if err != nil {
+			s.met.RPCDecodeError()
+			writeError(w, decodeErr(fmt.Sprintf("batch command %d", i), err))
+			return
+		}
+		cmds[i] = cmd
+	}
+	results, err := s.sys.SubmitBatch(r.Context(), cmds)
+	resp := BatchResponse{Results: make([]*ResultSummary, len(results))}
+	for i, res := range results {
+		resp.Results[i] = resultSummary(res)
+	}
+	if err != nil {
+		resp.Error, _ = toWireError(err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamWriter serializes NDJSON lines from concurrent per-shard
+// emitters onto one response and flushes each line immediately.
+type streamWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher
+	met *obs.Set
+}
+
+func (sw *streamWriter) send(v any) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if err := sw.enc.Encode(v); err != nil {
+		return // client gone; the handler context ends the stream
+	}
+	sw.fl.Flush()
+	sw.met.RPCStreamEvents(1)
+}
+
+// acquireStream admits one NDJSON subscriber, rejecting past
+// MaxStreams and during drain. The caller must releaseStream.
+func (s *Server) acquireStream(w http.ResponseWriter) (*streamWriter, bool) {
+	if s.draining.Load() {
+		writeError(w, drainingErr())
+		return nil, false
+	}
+	if s.streams.Add(1) > int64(s.opts.MaxStreams) {
+		s.streams.Add(-1)
+		writeError(w, &adept2.Error{Code: adept2.CodeWedged, Op: "rpc",
+			Err: fmt.Errorf("rpc: stream limit %d reached", s.opts.MaxStreams)})
+		return nil, false
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.streams.Add(-1)
+		writeError(w, &adept2.Error{Code: adept2.CodeInternal, Op: "rpc",
+			Err: errors.New("rpc: response not flushable")})
+		return nil, false
+	}
+	s.met.RPCStreamOpen()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	return &streamWriter{enc: json.NewEncoder(w), fl: fl, met: s.met}, true
+}
+
+func (s *Server) releaseStream() {
+	s.streams.Add(-1)
+	s.met.RPCStreamClose()
+}
+
+// streamContext merges the request context with the server's drain
+// signal so streams end both when the client goes away and on Close.
+func (s *Server) streamContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.streamCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// handleWatermarks serves GET /v1/watermarks. With ?once=1 it answers
+// the current watermark snapshot; otherwise it streams NDJSON
+// WatermarkEvents — the initial watermark of every shard, then one
+// event per advance — until the client disconnects or the server
+// drains (emitting Final events after the drain sync).
+func (s *Server) handleWatermarks(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("once") != "" {
+		writeJSON(w, http.StatusOK, WatermarksSnapshot{Durable: s.sys.DurableWatermarks()})
+		return
+	}
+	sw, ok := s.acquireStream(w)
+	if !ok {
+		return
+	}
+	defer s.releaseStream()
+	ctx, cancel := s.streamContext(r)
+	defer cancel()
+
+	wms := s.sys.DurableWatermarks()
+	for k, wm := range wms {
+		sw.send(WatermarkEvent{Shard: k, Durable: wm})
+	}
+	var wg sync.WaitGroup
+	for k := range wms {
+		k, wm := k, wms[k]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := s.sys.WaitDurable(ctx, k, wm+1); err != nil {
+					if ctx.Err() == nil {
+						sw.send(WatermarkEvent{Shard: k, Err: err.Error(), Code: string(codeOf(err))})
+					}
+					return
+				}
+				wm = s.sys.DurableWatermarks()[k]
+				sw.send(WatermarkEvent{Shard: k, Durable: wm})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.draining.Load() {
+		// Drain already synced every staged record; these finals are
+		// what resolve the receipts remote clients still hold.
+		for k, wm := range s.sys.DurableWatermarks() {
+			sw.send(WatermarkEvent{Shard: k, Durable: wm, Final: true})
+		}
+	}
+}
+
+// handleControlLog serves GET /v1/control-log?after=N: the durable
+// control-log suffix as JSON, or — with &follow=1 — an NDJSON tail
+// that parks on the shard-0 watermark and pushes records as they
+// become durable. Records are epoch-stamped exactly as journaled.
+func (s *Server) handleControlLog(w http.ResponseWriter, r *http.Request) {
+	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+	if r.URL.Query().Get("follow") == "" {
+		recs, wm, err := s.sys.ControlLog(after)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if recs == nil {
+			recs = []adept2.WireRecord{}
+		}
+		writeJSON(w, http.StatusOK, ControlLogPage{Records: recs, Watermark: wm})
+		return
+	}
+	sw, ok := s.acquireStream(w)
+	if !ok {
+		return
+	}
+	defer s.releaseStream()
+	ctx, cancel := s.streamContext(r)
+	defer cancel()
+
+	emit := func() bool {
+		recs, wm, err := s.sys.ControlLog(after)
+		if err != nil {
+			sw.send(ControlLogEvent{Err: err.Error(), Code: string(codeOf(err))})
+			return false
+		}
+		for i := range recs {
+			sw.send(ControlLogEvent{Record: &recs[i]})
+		}
+		if wm > after {
+			after = wm
+		}
+		return true
+	}
+	for {
+		if !emit() {
+			return
+		}
+		if err := s.sys.WaitDurable(ctx, 0, after+1); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			sw.send(ControlLogEvent{Err: err.Error(), Code: string(codeOf(err))})
+			return
+		}
+	}
+	if s.draining.Load() {
+		emit()
+		sw.send(ControlLogEvent{Watermark: after, Final: true})
+	}
+}
+
+// handleInstances serves GET /v1/instances?cursor=&limit=.
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	if limit <= 0 {
+		limit = 100
+	}
+	insts, next := s.sys.InstancesPage(r.URL.Query().Get("cursor"), limit)
+	page := InstancePage{Instances: make([]*InstanceSummary, len(insts)), Next: next}
+	for i, inst := range insts {
+		page.Instances[i] = instanceSummary(inst)
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleInstance serves GET /v1/instances/{id}.
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	inst, ok := s.sys.Instance(id)
+	if !ok {
+		writeError(w, &adept2.Error{Code: adept2.CodeNotFound, Op: "instance", Instance: id,
+			Err: fmt.Errorf("rpc: unknown instance %q", id)})
+		return
+	}
+	detail := InstanceDetail{
+		InstanceSummary: *instanceSummary(inst),
+		HistoryLen:      len(inst.HistoryEvents()),
+		Deadlines:       inst.Deadlines(),
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleWorkItems serves GET /v1/workitems?user=&cursor=&limit=.
+func (s *Server) handleWorkItems(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	if limit <= 0 {
+		limit = 100
+	}
+	items, next := s.sys.WorkItemsPage(q.Get("user"), q.Get("cursor"), limit)
+	page := WorkItemPage{Items: make([]*WorkItemSummary, len(items)), Next: next}
+	for i, it := range items {
+		page.Items[i] = workItemSummary(it)
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleExceptions serves GET /v1/exceptions.
+func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) {
+	open := s.sys.OpenExceptions()
+	list := ExceptionList{Exceptions: make([]ExceptionSummary, len(open))}
+	for i, x := range open {
+		xs := ExceptionSummary{
+			Instance: x.Instance,
+			Node:     x.Node,
+			Kind:     x.Kind.String(),
+			Reason:   x.Reason,
+			Failures: x.Failures,
+		}
+		if x.Err != nil {
+			xs.Err = x.Err.Error()
+		}
+		list.Exceptions[i] = xs
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleHealth serves GET /v1/healthz: 200 with the summary when the
+// system is serving, 503 (with the same summary body) when wedged or
+// draining — the body always parses, so Dial learns the shard count
+// either way.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	info := s.sys.HealthInfo()
+	sum := HealthSummary{
+		Healthy:      info.Wedged == nil,
+		Shards:       s.sys.NumShards(),
+		Instances:    len(s.sys.Instances()),
+		WedgedShards: info.WedgedShards,
+		Draining:     s.draining.Load(),
+	}
+	if info.Wedged != nil {
+		sum.Err = info.Wedged.Error()
+	}
+	status := http.StatusOK
+	if !sum.Healthy || sum.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, sum)
+}

@@ -1,0 +1,300 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"adept2"
+)
+
+// Envelope is one command in wire form: the registry op name and its
+// JSON args, exactly as adept2.EncodeCommand produces them and as the
+// journal records them. The registry is the single codec — a command
+// that round-trips through an Envelope is byte-identical to its journal
+// record.
+type Envelope struct {
+	Op   string          `json:"op"`
+	Args json.RawMessage `json:"args"`
+}
+
+// commandRequest is the POST /v1/commands body: an Envelope plus the
+// submission mode ("sync" — the default — blocks until the record is
+// fsync-covered; "async" returns as soon as the mutation is applied and
+// the record staged, handing back a receipt token).
+type commandRequest struct {
+	Envelope
+	Mode string `json:"mode,omitempty"`
+}
+
+// batchRequest is the POST /v1/batch body. The run lands as one
+// multi-record append and is durable when the response arrives.
+type batchRequest struct {
+	Commands []Envelope `json:"commands"`
+}
+
+// SubmitResult answers a command submission. Shard and Seq are the
+// receipt token: the journal position the command's record received.
+// Durable reports whether that position was already fsync-covered when
+// the response was written — true for sync mode, usually false for
+// async, where the client resolves the token against the watermark
+// stream (a receipt (shard, seq) is durable exactly when the shard's
+// streamed watermark reaches seq).
+type SubmitResult struct {
+	Op      string         `json:"op"`
+	Shard   int            `json:"shard"`
+	Seq     int            `json:"seq"`
+	Durable bool           `json:"durable"`
+	Result  *ResultSummary `json:"result,omitempty"`
+}
+
+// ResultSummary is a command's typed result projected onto the wire
+// (nil for commands without one).
+type ResultSummary struct {
+	Instance *InstanceSummary `json:"instance,omitempty"`
+	Report   *ReportSummary   `json:"report,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch: one ResultSummary per applied
+// command (the applied prefix on error — its journal records are
+// durable even when a later command failed) and the in-band error
+// envelope of the first failure, if any. The HTTP status is 200
+// whenever the batch was dispatched, because partial results matter.
+type BatchResponse struct {
+	Results []*ResultSummary `json:"results"`
+	Error   *WireError       `json:"error,omitempty"`
+}
+
+// WireError is the error envelope every non-2xx response carries under
+// an "error" key: the taxonomy code, the op/instance context, whether
+// the mutation was applied despite the error, and the flattened
+// message. Clients rehydrate it into an *adept2.Error so errors.Is
+// works across the network hop.
+type WireError struct {
+	Code     string `json:"code"`
+	Op       string `json:"op,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	Applied  bool   `json:"applied,omitempty"`
+	Message  string `json:"message"`
+}
+
+// errorBody is the envelope wrapper of every error response.
+type errorBody struct {
+	Error *WireError `json:"error"`
+}
+
+// toWireError projects an error onto the envelope and its HTTP status.
+func toWireError(err error) (*WireError, int) {
+	var ae *adept2.Error
+	if errors.As(err, &ae) {
+		return &WireError{
+			Code:     string(ae.Code),
+			Op:       ae.Op,
+			Instance: ae.Instance,
+			Applied:  ae.Applied,
+			Message:  err.Error(),
+		}, ae.Code.HTTPStatus()
+	}
+	return &WireError{Code: string(adept2.CodeInternal), Message: err.Error()},
+		adept2.CodeInternal.HTTPStatus()
+}
+
+// Err rehydrates the envelope into the taxonomy error the in-process
+// API would have returned: errors.Is(err, adept2.ErrNotFound) (and
+// every other sentinel) holds on the client exactly when it held on
+// the server.
+func (we *WireError) Err() error {
+	return &adept2.Error{
+		Code:     adept2.Code(we.Code),
+		Op:       we.Op,
+		Instance: we.Instance,
+		Applied:  we.Applied,
+		Err:      errors.New(we.Message),
+	}
+}
+
+// WatermarkEvent is one line of the GET /v1/watermarks NDJSON stream:
+// shard's durable watermark advanced to Durable. Err/Code report a
+// wedged durability pipeline (the stream ends after an error event).
+// Final marks the post-drain emission: the server synced every staged
+// record and this is the shard's closing watermark.
+type WatermarkEvent struct {
+	Shard   int    `json:"shard"`
+	Durable int    `json:"durable,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Code    string `json:"code,omitempty"`
+	Final   bool   `json:"final,omitempty"`
+}
+
+// WatermarksSnapshot answers GET /v1/watermarks?once=1: every shard's
+// durable watermark, indexed by shard.
+type WatermarksSnapshot struct {
+	Durable []int `json:"durable"`
+}
+
+// ControlLogEvent is one line of the GET /v1/control-log?follow=1
+// NDJSON stream: a durable control-log record, an error, or the Final
+// watermark emitted on drain.
+type ControlLogEvent struct {
+	Record    *adept2.WireRecord `json:"record,omitempty"`
+	Watermark int                `json:"watermark,omitempty"`
+	Err       string             `json:"err,omitempty"`
+	Code      string             `json:"code,omitempty"`
+	Final     bool               `json:"final,omitempty"`
+}
+
+// ControlLogPage answers the non-follow GET /v1/control-log read: the
+// durable suffix after the requested sequence number and the watermark
+// the read was gated on (resume from it).
+type ControlLogPage struct {
+	Records   []adept2.WireRecord `json:"records"`
+	Watermark int                 `json:"watermark"`
+}
+
+// InstanceSummary is one instance's wire projection.
+type InstanceSummary struct {
+	ID         string `json:"id"`
+	Type       string `json:"type"`
+	Version    int    `json:"version"`
+	Done       bool   `json:"done,omitempty"`
+	Suspended  bool   `json:"suspended,omitempty"`
+	Biased     bool   `json:"biased,omitempty"`
+	Migrations int    `json:"migrations,omitempty"`
+}
+
+func instanceSummary(inst *adept2.Instance) *InstanceSummary {
+	return &InstanceSummary{
+		ID:         inst.ID(),
+		Type:       inst.TypeName(),
+		Version:    inst.Version(),
+		Done:       inst.Done(),
+		Suspended:  inst.Suspended(),
+		Biased:     inst.Biased(),
+		Migrations: inst.Migrations(),
+	}
+}
+
+// InstanceDetail answers GET /v1/instances/{id}.
+type InstanceDetail struct {
+	InstanceSummary
+	HistoryLen int              `json:"historyLen"`
+	Deadlines  map[string]int64 `json:"deadlines,omitempty"`
+}
+
+// InstancePage is one cursor page of instances.
+type InstancePage struct {
+	Instances []*InstanceSummary `json:"instances"`
+	Next      string             `json:"next,omitempty"`
+}
+
+// WorkItemSummary is one worklist item's wire projection.
+type WorkItemSummary struct {
+	ID        string   `json:"id"`
+	Instance  string   `json:"instance"`
+	Node      string   `json:"node"`
+	Role      string   `json:"role,omitempty"`
+	Offered   []string `json:"offered,omitempty"`
+	ClaimedBy string   `json:"claimedBy,omitempty"`
+	State     string   `json:"state"`
+}
+
+func workItemSummary(it *adept2.WorkItem) *WorkItemSummary {
+	return &WorkItemSummary{
+		ID:        it.ID,
+		Instance:  it.Instance,
+		Node:      it.Node,
+		Role:      it.Role,
+		Offered:   it.Offered,
+		ClaimedBy: it.ClaimedBy,
+		State:     it.State.String(),
+	}
+}
+
+// WorkItemPage is one cursor page of a user's worklist.
+type WorkItemPage struct {
+	Items []*WorkItemSummary `json:"items"`
+	Next  string             `json:"next,omitempty"`
+}
+
+// ExceptionSummary is one open exception's wire projection.
+type ExceptionSummary struct {
+	Instance string `json:"instance"`
+	Node     string `json:"node"`
+	Kind     string `json:"kind"`
+	Reason   string `json:"reason,omitempty"`
+	Failures int    `json:"failures"`
+	Err      string `json:"err,omitempty"`
+}
+
+// ExceptionList answers GET /v1/exceptions.
+type ExceptionList struct {
+	Exceptions []ExceptionSummary `json:"exceptions"`
+}
+
+// HealthSummary answers GET /v1/healthz (status 200 healthy, 503
+// wedged or draining). Shards sizes a client's watermark tracking.
+type HealthSummary struct {
+	Healthy      bool   `json:"healthy"`
+	Shards       int    `json:"shards"`
+	Instances    int    `json:"instances"`
+	WedgedShards []int  `json:"wedgedShards,omitempty"`
+	Err          string `json:"err,omitempty"`
+	Draining     bool   `json:"draining,omitempty"`
+}
+
+// ReportSummary is a migration report's wire projection.
+type ReportSummary struct {
+	Type         string         `json:"type"`
+	From         int            `json:"from"`
+	To           int            `json:"to"`
+	Total        int            `json:"total"`
+	Outcomes     map[string]int `json:"outcomes,omitempty"`
+	ElapsedNanos int64          `json:"elapsedNanos"`
+}
+
+func reportSummary(rep *adept2.MigrationReport) *ReportSummary {
+	rs := &ReportSummary{
+		Type:         rep.TypeName,
+		From:         rep.FromVersion,
+		To:           rep.ToVersion,
+		Total:        len(rep.Results),
+		ElapsedNanos: rep.Elapsed.Nanoseconds(),
+	}
+	for _, res := range rep.Results {
+		if rs.Outcomes == nil {
+			rs.Outcomes = map[string]int{}
+		}
+		rs.Outcomes[res.Outcome.String()]++
+	}
+	return rs
+}
+
+// resultSummary projects a command's in-process result onto the wire.
+func resultSummary(res any) *ResultSummary {
+	switch t := res.(type) {
+	case *adept2.Instance:
+		return &ResultSummary{Instance: instanceSummary(t)}
+	case *adept2.MigrationReport:
+		return &ResultSummary{Report: reportSummary(t)}
+	case nil:
+		return nil
+	default:
+		return nil
+	}
+}
+
+// codeOf extracts the taxonomy code of an error (CodeInternal for
+// foreign errors), mirroring the facade's classification.
+func codeOf(err error) adept2.Code {
+	var ae *adept2.Error
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return adept2.CodeInternal
+}
+
+// decodeErr wraps a wire decode failure as ErrInvalid.
+func decodeErr(what string, err error) error {
+	return &adept2.Error{Code: adept2.CodeInvalid, Op: "rpc",
+		Err: fmt.Errorf("rpc: malformed %s: %w", what, err)}
+}

@@ -216,6 +216,13 @@ func (s *System) Metrics() *obs.Snapshot {
 	return snap
 }
 
+// ObsSet exposes the live metric registry for in-module wiring (the
+// networked command plane records its request/stream families into the
+// same Set System.Metrics snapshots). nil when metrics are disabled —
+// every obs recording method is nil-safe, so callers pass it through
+// unguarded. External consumers should use Metrics instead.
+func (s *System) ObsSet() *obs.Set { return s.met }
+
 // MetricsAddr returns the metrics server's bound address ("" without
 // WithMetricsServer) — the way to find the port after ":0".
 func (s *System) MetricsAddr() string {

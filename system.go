@@ -57,6 +57,11 @@ type System struct {
 	ckpt     *checkpointer
 	recovery *RecoveryInfo
 
+	// fsys is the filesystem every durability artifact lives on (vfs.OS
+	// unless WithVFS injected one). The wire plane's control-log tail
+	// reads journal suffixes through it.
+	fsys vfs.FS
+
 	// nowFn is the system clock (unix nanos), injectable via WithClock
 	// so deterministic soaks drive deadlines with a logical clock. Only
 	// the live path reads it — every timestamp that matters is stamped
@@ -294,7 +299,7 @@ func newSystem(c *config) *System {
 	// replay — funnels through here), so recovered timeout records
 	// escalate to the identical user set the original execution offered.
 	e.SetEscalationBothCanAct(c.bothCanAct)
-	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal, nowFn: c.nowFn, policy: c.policy}
+	return &System{eng: e, mgr: evolution.NewManager(e), journal: c.journal, fsys: c.fsys(), nowFn: c.nowFn, policy: c.policy}
 }
 
 // Open creates a System backed by a file journal at path, recovering any
@@ -461,6 +466,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 					return nil, nil, none, fmt.Errorf("persist: replay record %d (%s): %w", rec.Seq, rec.Op, err)
 				}
 			}
+			sys.eng.SortInstanceOrder()
 			info.SnapshotSeq = st.Seq
 			info.SnapshotFile = entry.File
 			info.Replayed = len(recs)
@@ -482,6 +488,7 @@ func recoverSystem(c *config, store *durable.SnapshotStore, path string) (*Syste
 	if err := persist.Replay(recs, sys.apply); err != nil {
 		return nil, nil, none, err
 	}
+	sys.eng.SortInstanceOrder()
 	info.FullReplay = true
 	info.Replayed = len(recs)
 	return sys, info, tail, nil

@@ -1,0 +1,265 @@
+package adept2
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"adept2/internal/persist"
+)
+
+// This file is the façade's wire plane: the exported choke points the
+// networked command plane (internal/rpc) builds on. The command registry
+// stays the single source of truth — EncodeCommand and DecodeWireCommand
+// expose its codec without exposing the registry itself — and the
+// durability watermarks exported here are what lets receipt resolution
+// stream across a network hop with the same fsync-coverage semantics as
+// the in-process Receipt.
+
+// EncodeCommand serializes a Command into its wire form: the registry op
+// name and the JSON args a server-side DecodeWireCommand (or recovery
+// replay) decodes back into the identical typed command. The encoding is
+// byte-compatible with the journal's record format — Resume encodes as op
+// "suspend" with the resume flag, ad-hoc changes and evolutions serialize
+// their operations through the change codec. Foreign Command
+// implementations are rejected with ErrInvalid, mirroring SubmitAsync.
+func EncodeCommand(cmd Command) (op string, args json.RawMessage, err error) {
+	c, ok := cmd.(command)
+	if !ok {
+		return "", nil, &Error{Code: CodeInvalid, Op: cmd.CommandName(),
+			Err: fmt.Errorf("adept2: foreign Command implementation %T", cmd)}
+	}
+	op = c.CommandName()
+	var wire any = cmd
+	switch t := cmd.(type) {
+	case *Resume:
+		op, wire = "suspend", suspendArgs{Instance: t.Instance, Resume: true}
+	case *Suspend:
+		wire = suspendArgs{Instance: t.Instance}
+	default:
+		if enc, isEnc := cmd.(argsEncoder); isEnc {
+			w, encErr := enc.encodeArgs()
+			if encErr != nil {
+				return "", nil, wrapErr(op, c.target(), encErr)
+			}
+			wire = w
+		}
+	}
+	blob, err := json.Marshal(wire)
+	if err != nil {
+		return "", nil, wrapErr(op, c.target(), err)
+	}
+	return op, blob, nil
+}
+
+// DecodeWireCommand resolves a wire (op, args) pair — produced by
+// EncodeCommand on a remote client, or read from a journal — to its typed
+// Command through the same registry recovery replay uses. Unknown ops and
+// malformed args return ErrInvalid.
+func DecodeWireCommand(op string, args json.RawMessage) (Command, error) {
+	cmd, err := decodeCommand(op, args)
+	if err != nil {
+		return nil, &Error{Code: CodeInvalid, Op: op, Err: err}
+	}
+	return cmd, nil
+}
+
+// HTTPStatus maps a taxonomy code onto the HTTP status the networked
+// command plane answers with. The mapping is total: unknown codes fall
+// back to 500 like CodeInternal.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeInvalid:
+		return http.StatusBadRequest // 400
+	case CodeNotFound:
+		return http.StatusNotFound // 404
+	case CodeConflict, CodeVersionSkew:
+		return http.StatusConflict // 409
+	case CodeDenied:
+		return http.StatusForbidden // 403
+	case CodeSuspended:
+		return http.StatusLocked // 423
+	case CodeCompleted:
+		return http.StatusGone // 410
+	case CodeNotCompliant:
+		return http.StatusUnprocessableEntity // 422
+	case CodeWedged:
+		return http.StatusServiceUnavailable // 503
+	case CodeCanceled, CodeTimeout:
+		return http.StatusRequestTimeout // 408
+	case CodeFailed:
+		return http.StatusConflict // 409: activity state contradicts the request
+	case CodeInternal, CodeUnrecoverable:
+		return http.StatusInternalServerError // 500
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForHTTPStatus is the client-side fallback mapping for responses
+// whose error envelope was lost (proxies, panics): the best-effort code
+// for a bare status. It inverts HTTPStatus where the inverse is unique
+// and picks the broader class where it is not (409 → CodeConflict).
+func CodeForHTTPStatus(status int) Code {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalid
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusForbidden:
+		return CodeDenied
+	case http.StatusLocked:
+		return CodeSuspended
+	case http.StatusGone:
+		return CodeCompleted
+	case http.StatusUnprocessableEntity:
+		return CodeNotCompliant
+	case http.StatusServiceUnavailable:
+		return CodeWedged
+	case http.StatusRequestTimeout:
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// NumShards returns the durability layout's shard count: 1 for the
+// single-journal (and journal-less) layouts, the WAL's count for sharded
+// ones. Wire receipt tokens identify a record by (shard, shard-local
+// sequence number), so clients size their watermark tracking from this.
+func (s *System) NumShards() int {
+	if s.wal != nil {
+		return s.wal.Shards()
+	}
+	return 1
+}
+
+// DurableWatermarks returns every shard's durable watermark: the highest
+// shard-local sequence number covered by an fsync. A Receipt for (shard,
+// seq) is durable exactly when watermark[shard] >= seq — the invariant
+// the wire plane's watermark stream carries to remote clients. Layouts
+// without group commit are durable on return, so their watermark is the
+// journal head.
+func (s *System) DurableWatermarks() []int {
+	switch {
+	case s.wal != nil:
+		seqs, depths := s.wal.Seqs(), s.wal.Depths()
+		for k := range seqs {
+			seqs[k] -= depths[k]
+		}
+		return seqs
+	case s.committer != nil:
+		return []int{s.committer.Flushed()}
+	case s.journal != nil:
+		return []int{s.journal.Seq()}
+	default:
+		return []int{0}
+	}
+}
+
+// WaitDurable blocks until shard's durable watermark covers seq, the
+// durability pipeline wedges (ErrWedged), or ctx is done (ErrCanceled).
+// seq may lie beyond the journal head: the wait then spans the append
+// AND its flush, which is what lets a watermark streamer park until the
+// next record lands. Durable-on-return layouts poll (their watermark
+// advances with every append).
+func (s *System) WaitDurable(ctx context.Context, shard, seq int) error {
+	const op = "wait_durable"
+	n := s.NumShards()
+	if shard < 0 || shard >= n {
+		return &Error{Code: CodeInvalid, Op: op,
+			Err: fmt.Errorf("adept2: shard %d out of range [0,%d)", shard, n)}
+	}
+	for {
+		if s.DurableWatermarks()[shard] >= seq {
+			return nil
+		}
+		var err error
+		switch {
+		case s.wal != nil:
+			err = s.wal.WaitShardSeq(ctx, shard, seq)
+		case s.committer != nil:
+			err = s.committer.WaitSeq(ctx, seq)
+		}
+		if err != nil {
+			return wrapErr(op, "", err)
+		}
+		if s.DurableWatermarks()[shard] >= seq {
+			return nil
+		}
+		// Either a durable-on-return layout (no committer to park on) or
+		// a committer that settled without covering seq (shutdown
+		// straggler): poll instead of spinning.
+		select {
+		case <-ctx.Done():
+			return wrapErr(op, "", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// SyncDurable forces every staged journal record durable (one flush +
+// fsync per shard), advancing the watermarks to the journal heads. The
+// wire plane calls this on graceful drain so in-flight receipts resolve
+// before streams close; it is also a barrier for tests.
+func (s *System) SyncDurable() error {
+	var err error
+	switch {
+	case s.wal != nil:
+		err = s.wal.Sync()
+	case s.committer != nil:
+		err = s.committer.Sync()
+	}
+	return wrapErr("sync", "", err)
+}
+
+// WireRecord is one journal record in wire form: the shard-local
+// sequence number, the control epoch it was stamped under (0 on the
+// control log itself and in single-journal layouts), and the registry op
+// + args. DecodeWireCommand turns Op/Args back into the typed command.
+type WireRecord struct {
+	Seq   int             `json:"seq"`
+	Epoch int             `json:"epoch,omitempty"`
+	Op    string          `json:"op"`
+	Args  json.RawMessage `json:"args"`
+}
+
+// ControlLog reads the durable suffix of the control log — shard 0's
+// journal in a sharded layout (the epoch-stamping global ordering
+// primitive), the whole journal in a single-journal layout — returning
+// records with afterSeq < seq <= durable watermark. Staged-but-unflushed
+// records are withheld: a tail subscriber must never observe a record a
+// crash could still revoke. Journal-less systems return (nil, 0, nil).
+// The second result is the watermark the read was gated on, so a tailer
+// resumes from max(lastSeen, watermark) without re-scanning.
+func (s *System) ControlLog(afterSeq int) ([]WireRecord, int, error) {
+	var path string
+	switch {
+	case s.wal != nil:
+		path = s.wal.Journal(0).Path()
+	case s.journal != nil:
+		path = s.journal.Path()
+	default:
+		return nil, 0, nil
+	}
+	wm := s.DurableWatermarks()[0]
+	if wm <= afterSeq {
+		return nil, wm, nil
+	}
+	recs, _, err := persist.LoadJournalSuffixFS(s.fsys, path, afterSeq)
+	if err != nil {
+		return nil, 0, wrapErr("control_log", "", err)
+	}
+	out := make([]WireRecord, 0, len(recs))
+	for _, r := range recs {
+		if r.Seq > wm {
+			break // staged past the fsync watermark: not durable yet
+		}
+		out = append(out, WireRecord{Seq: r.Seq, Epoch: r.Epoch, Op: r.Op, Args: r.Args})
+	}
+	return out, wm, nil
+}

@@ -1,0 +1,96 @@
+package adept2_test
+
+import (
+	"net/http"
+	"testing"
+
+	"adept2"
+	"adept2/internal/sim"
+)
+
+// TestCodeHTTPStatus pins the taxonomy-to-HTTP mapping the networked
+// command plane answers with: every code must map, and the mapping
+// must agree with how clients classify the status on the way back.
+func TestCodeHTTPStatus(t *testing.T) {
+	cases := []struct {
+		code   adept2.Code
+		status int
+	}{
+		{adept2.CodeInternal, http.StatusInternalServerError},
+		{adept2.CodeInvalid, http.StatusBadRequest},
+		{adept2.CodeNotFound, http.StatusNotFound},
+		{adept2.CodeConflict, http.StatusConflict},
+		{adept2.CodeDenied, http.StatusForbidden},
+		{adept2.CodeSuspended, http.StatusLocked},
+		{adept2.CodeCompleted, http.StatusGone},
+		{adept2.CodeNotCompliant, http.StatusUnprocessableEntity},
+		{adept2.CodeVersionSkew, http.StatusConflict},
+		{adept2.CodeWedged, http.StatusServiceUnavailable},
+		{adept2.CodeUnrecoverable, http.StatusInternalServerError},
+		{adept2.CodeCanceled, http.StatusRequestTimeout},
+		{adept2.CodeFailed, http.StatusConflict},
+		{adept2.CodeTimeout, http.StatusRequestTimeout},
+		{adept2.Code("no_such_code"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := tc.code.HTTPStatus(); got != tc.status {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", tc.code, got, tc.status)
+		}
+		// The inverse classifies the status back into the taxonomy; for
+		// statuses shared by several codes it picks the broader class,
+		// but it must never leave the 4xx/5xx family of the original.
+		back := adept2.CodeForHTTPStatus(tc.status)
+		if back.HTTPStatus() != tc.status {
+			t.Errorf("CodeForHTTPStatus(%d) = %s, which maps to %d", tc.status, back, back.HTTPStatus())
+		}
+	}
+	if got := adept2.CodeForHTTPStatus(http.StatusTeapot); got != adept2.CodeInternal {
+		t.Errorf("unknown status classified as %s, want internal", got)
+	}
+}
+
+// TestEncodeCommandRoundTrip checks the wire codec is the journal
+// codec: every registry command round-trips EncodeCommand →
+// DecodeWireCommand into an equivalent typed command, including the
+// special cases (Resume journals as op "suspend"; ad-hoc and evolve
+// serialize through the change codec).
+func TestEncodeCommandRoundTrip(t *testing.T) {
+	cmds := []adept2.Command{
+		&adept2.CreateInstance{TypeName: "online_order"},
+		&adept2.StartActivity{Instance: "inst-1", Node: "get_order", User: "ann"},
+		&adept2.CompleteActivity{Instance: "inst-1", Node: "get_order", User: "ann",
+			Outputs: map[string]any{"out": "o1"}},
+		&adept2.Suspend{Instance: "inst-1"},
+		&adept2.Resume{Instance: "inst-1"},
+		&adept2.Undo{Instance: "inst-1"},
+		&adept2.AdHoc{Instance: "inst-1", Ops: sim.OnlineOrderBiasI2()},
+		&adept2.Evolve{TypeName: "online_order", Ops: sim.OnlineOrderTypeChange()},
+	}
+	for _, cmd := range cmds {
+		op, args, err := adept2.EncodeCommand(cmd)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", cmd, err)
+		}
+		back, err := adept2.DecodeWireCommand(op, args)
+		if err != nil {
+			t.Fatalf("%T: decode %s %s: %v", cmd, op, args, err)
+		}
+		if _, isResume := cmd.(*adept2.Resume); isResume {
+			if _, ok := back.(*adept2.Resume); !ok {
+				t.Fatalf("Resume decoded as %T", back)
+			}
+			continue
+		}
+		if want, got := cmd.CommandName(), back.CommandName(); want != got {
+			t.Fatalf("%T round-tripped to op %s, want %s", cmd, got, want)
+		}
+	}
+
+	// Foreign implementations and unknown ops are rejected as invalid.
+	if _, _, err := adept2.EncodeCommand(fakeCommand{}); err == nil {
+		t.Fatal("foreign command encoded")
+	}
+	if _, err := adept2.DecodeWireCommand("no_such_op", nil); err == nil {
+		t.Fatal("unknown op decoded")
+	}
+}
